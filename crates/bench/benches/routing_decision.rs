@@ -1,0 +1,37 @@
+//! Criterion benchmark: per-mechanism routing cost.
+//!
+//! Runs the same loaded network for a fixed number of cycles under every routing
+//! mechanism, so the relative cost of the routing decisions (parity-sign checks for
+//! RLM, escape-ladder checks for OLM, the 6-VC ladder of PAR-6/2, ...) can be
+//! compared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_core::{ExperimentSpec, RoutingKind, TrafficKind};
+use std::time::Duration;
+
+fn bench_routing_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_mechanism_cycles");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for kind in RoutingKind::ALL {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = kind;
+        spec.traffic = TrafficKind::AdversarialGlobal(1);
+        spec.offered_load = 0.4;
+        let mut sim = spec.build_simulation();
+        sim.network_mut().set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+            0.4,
+            spec.flow_control.packet_size(),
+        )));
+        sim.run_cycles(1_500);
+        group.bench_with_input(BenchmarkId::new("run_100_cycles", kind.name()), &(), |b, _| {
+            b.iter(|| sim.run_cycles(100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing_mechanisms);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark: raw simulator cycle rate.
+//!
+//! Measures how fast the phit-level engine advances a loaded network, in simulated
+//! cycles per second, for both flow-control disciplines.  This is the figure of merit
+//! that determines how long the paper's figures take to regenerate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use std::time::Duration;
+
+fn prepared_simulation(flow: FlowControlKind, load: f64) -> dragonfly_sim::Simulation {
+    let mut spec = ExperimentSpec::new(2);
+    spec.flow_control = flow;
+    spec.routing = RoutingKind::Olm;
+    if flow == FlowControlKind::Wormhole {
+        // OLM needs VCT; use RLM for the wormhole variant.
+        spec.routing = RoutingKind::Rlm;
+    }
+    spec.traffic = TrafficKind::Uniform;
+    spec.offered_load = load;
+    let mut sim = spec.build_simulation();
+    // Warm the network up so the benchmark measures loaded steady-state cycles.
+    sim.network_mut().set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+        load,
+        spec.flow_control.packet_size(),
+    )));
+    sim.run_cycles(2_000);
+    sim
+}
+
+fn bench_cycle_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_cycle_rate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for (name, flow, load) in [
+        ("vct_load0.2", FlowControlKind::Vct, 0.2),
+        ("vct_load0.6", FlowControlKind::Vct, 0.6),
+        ("wormhole_load0.2", FlowControlKind::Wormhole, 0.2),
+    ] {
+        let mut sim = prepared_simulation(flow, load);
+        group.bench_with_input(BenchmarkId::new("run_100_cycles", name), &(), |b, _| {
+            b.iter(|| sim.run_cycles(100));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_rate);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark: topology query cost.
+//!
+//! The routing mechanisms call `minimal_port`, `port_toward_group` and
+//! `global_neighbor` on every hop of every packet, so these must stay in the
+//! nanosecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dragonfly_topology::{DragonflyParams, NodeId, RouterId};
+use std::time::Duration;
+
+fn bench_topology_queries(c: &mut Criterion) {
+    let params = DragonflyParams::new(8);
+    let nodes = params.num_nodes() as u32;
+    let routers = params.num_routers() as u32;
+
+    let mut group = c.benchmark_group("topology_queries");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    group.bench_function("minimal_port_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1_000u32 {
+                let router = RouterId((i * 7919) % routers);
+                let dest = NodeId((i * 104729) % nodes);
+                acc += params.minimal_port(black_box(router), black_box(dest)).class_index();
+            }
+            acc
+        });
+    });
+
+    group.bench_function("global_neighbor_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..1_000u32 {
+                let router = RouterId((i * 7919) % routers);
+                let port = (i % params.global_ports() as u32) as usize;
+                let (nbr, back) = params.global_neighbor(black_box(router), black_box(port));
+                acc += nbr.index() + back;
+            }
+            acc
+        });
+    });
+
+    group.bench_function("minimal_route_enumeration", |b| {
+        b.iter(|| {
+            let mut total_hops = 0usize;
+            for i in 0..200u32 {
+                let src = NodeId((i * 7919) % nodes);
+                let dst = NodeId((i * 104729 + 13) % nodes);
+                total_hops += params.minimal_route(black_box(src), black_box(dst)).len();
+            }
+            total_hops
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology_queries);
+criterion_main!(benches);

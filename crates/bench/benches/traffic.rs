@@ -1,0 +1,45 @@
+//! Criterion benchmark: traffic-pattern generation cost.
+//!
+//! Destination selection runs once per generated packet (tens of thousands per
+//! simulated millisecond at full load), so the patterns must be allocation-free and
+//! cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dragonfly_rng::Rng;
+use dragonfly_topology::{DragonflyParams, NodeId};
+use dragonfly_traffic::{
+    AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, TrafficPattern, Uniform,
+};
+use std::time::Duration;
+
+fn bench_patterns(c: &mut Criterion) {
+    let params = DragonflyParams::new(8);
+    let patterns: Vec<(&str, Box<dyn TrafficPattern>)> = vec![
+        ("uniform", Box::new(Uniform::new())),
+        ("advg+8", Box::new(AdversarialGlobal::new(8))),
+        ("advl+1", Box::new(AdversarialLocal::new(1))),
+        ("mix50", Box::new(MixedGlobalLocal::new(0.5, 8, 1))),
+    ];
+    let mut group = c.benchmark_group("traffic_destination");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, pattern) in &patterns {
+        group.bench_with_input(BenchmarkId::new("destinations_1k", *name), &(), |b, _| {
+            let mut rng = Rng::seed_from(7);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..1_000u32 {
+                    let src = NodeId(i % params.num_nodes() as u32);
+                    acc += pattern.destination(black_box(src), &params, &mut rng).0 as u64;
+                }
+                acc
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Regenerates Table I of the paper: the allowed/forbidden 2-hop combinations of the
+//! parity-sign restriction used by RLM.
+//!
+//! ```text
+//! cargo run --release -p dragonfly-bench --bin table1
+//! ```
+
+use dragonfly_routing::{ParitySignTable, LinkClass};
+use dragonfly_topology::DragonflyParams;
+
+fn main() {
+    let table = ParitySignTable::new();
+    println!("Table I: possible hop combinations for local misrouting within supernodes");
+    println!("{:<12} {:<12} {:<10}", "first hop", "second hop", "allowed");
+    println!("{}", "-".repeat(36));
+    for (first, second, allowed) in table.rows() {
+        println!(
+            "{:<12} {:<12} {:<10}",
+            first.label(),
+            second.label(),
+            if allowed { "YES" } else { "NO" }
+        );
+    }
+
+    // The capacity argument of the paper: at least h-1 two-hop detours for any pair.
+    println!();
+    for h in [2usize, 4, 8] {
+        let params = DragonflyParams::new(h);
+        println!(
+            "h = {h}: minimum number of allowed 2-hop detours between any router pair = {} \
+             (paper guarantees at least h-1 = {})",
+            table.min_detours(&params),
+            h - 1
+        );
+    }
+
+    // The worked example of Figure 2 (h = 4): detours from router 5 to router 0.
+    let detours = table.allowed_intermediates(5, 0, 8);
+    println!(
+        "\nFigure 2 example (h = 4): allowed intermediate routers from 5 to 0: {detours:?} \
+         (the detour through router 1 is forbidden: {} -> {})",
+        LinkClass::of_hop(5, 1).label(),
+        LinkClass::of_hop(1, 0).label()
+    );
+}

@@ -1,0 +1,252 @@
+//! Shared harness utilities for the figure-regeneration binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the paper.  They
+//! all accept the same command-line switches, parsed by [`HarnessArgs`]:
+//!
+//! ```text
+//! --h <N>          Dragonfly parameter h (default 4; the paper uses 8)
+//! --full           paper scale: h = 8 and the paper's cycle counts
+//! --quick          reduced scale for smoke runs (h = 2, short windows, fewer points)
+//! --warmup <N>     warm-up cycles
+//! --measure <N>    measurement cycles
+//! --seed <N>       base random seed
+//! --threads <N>    worker threads for the sweep (default: all cores)
+//! --out <DIR>      directory for CSV output (default: results/)
+//! --loads a,b,c    explicit offered-load points
+//! --pattern <P>    traffic pattern selector where applicable (un, advg1, advgh, all)
+//! ```
+
+use dragonfly_core::{ExperimentSpec, FlowControlKind, SimReport};
+use std::path::PathBuf;
+
+/// Parsed command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Dragonfly parameter `h`.
+    pub h: usize,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Drain cycles.
+    pub drain: u64,
+    /// Base seed.
+    pub seed: u64,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Offered-load points (figures 4/5/7/8/10/11).
+    pub loads: Vec<f64>,
+    /// Traffic-pattern selector (figures 4/5/7/8): `un`, `advg1`, `advgh` or `all`.
+    pub pattern: String,
+    /// Quick mode (CI smoke runs).
+    pub quick: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self {
+            h: 4,
+            warmup: 6_000,
+            measure: 8_000,
+            drain: 8_000,
+            seed: 1,
+            threads: None,
+            out_dir: PathBuf::from("results"),
+            loads: dragonfly_core::sweep::default_loads(),
+            pattern: "all".to_string(),
+            quick: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse from an explicit argument list (excluding the program name).
+    pub fn parse_from<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Self::default();
+        let args: Vec<String> = args.into_iter().map(|a| a.as_ref().to_string()).collect();
+        let mut i = 0;
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--h" => out.h = value(&mut i)?.parse().map_err(|e| format!("--h: {e}"))?,
+                "--warmup" => {
+                    out.warmup = value(&mut i)?.parse().map_err(|e| format!("--warmup: {e}"))?
+                }
+                "--measure" => {
+                    out.measure = value(&mut i)?.parse().map_err(|e| format!("--measure: {e}"))?;
+                    out.drain = out.measure;
+                }
+                "--drain" => {
+                    out.drain = value(&mut i)?.parse().map_err(|e| format!("--drain: {e}"))?
+                }
+                "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--threads" => {
+                    out.threads =
+                        Some(value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?)
+                }
+                "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
+                "--pattern" => out.pattern = value(&mut i)?,
+                "--loads" => {
+                    out.loads = value(&mut i)?
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().map_err(|e| format!("--loads: {e}")))
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+                "--full" => {
+                    out.h = 8;
+                    out.warmup = 20_000;
+                    out.measure = 30_000;
+                    out.drain = 30_000;
+                }
+                "--quick" => {
+                    out.quick = true;
+                    out.h = 2;
+                    out.warmup = 1_000;
+                    out.measure = 2_000;
+                    out.drain = 2_000;
+                    out.loads = vec![0.1, 0.3, 0.5, 0.8];
+                }
+                "--help" | "-h" => return Err(usage()),
+                other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse_from(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The base experiment specification implied by these arguments.
+    pub fn base_spec(&self, flow_control: FlowControlKind) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(self.h);
+        spec.flow_control = flow_control;
+        spec.warmup = self.warmup;
+        spec.measure = self.measure;
+        spec.drain = self.drain;
+        spec.seed = self.seed;
+        spec
+    }
+
+    /// Ensure the output directory exists and return the path of a CSV file inside it.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("cannot create the output directory");
+        self.out_dir.join(name)
+    }
+}
+
+fn usage() -> String {
+    "usage: <figure-binary> [--h N] [--full] [--quick] [--warmup N] [--measure N] \
+     [--drain N] [--seed N] [--threads N] [--out DIR] [--loads a,b,c] [--pattern P]"
+        .to_string()
+}
+
+/// Pretty-print a set of steady-state reports as the latency/throughput series of a
+/// figure, grouped by mechanism.
+pub fn print_series(title: &str, reports: &[SimReport]) {
+    println!("\n== {title} ==");
+    println!(
+        "{:<10} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "routing", "offered", "accepted", "avg_lat", "p99_lat", "hops", "gmis%", "lmis%"
+    );
+    for r in reports {
+        println!(
+            "{:<10} {:>8.3} {:>10.4} {:>12.1} {:>12.1} {:>10.2} {:>8.1}% {:>8.1}%",
+            r.routing,
+            r.offered_load,
+            r.accepted_load,
+            r.avg_latency_cycles,
+            r.p99_latency_cycles,
+            r.avg_hops,
+            r.global_misroute_fraction * 100.0,
+            r.local_misroute_fraction * 100.0
+        );
+    }
+}
+
+/// Simple progress callback printing to stderr.
+pub fn progress(done: usize, total: usize) {
+    eprint!("\r  [{done}/{total}] simulations finished");
+    if done == total {
+        eprintln!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let args = HarnessArgs::default();
+        assert_eq!(args.h, 4);
+        assert!(!args.loads.is_empty());
+        assert_eq!(args.pattern, "all");
+    }
+
+    #[test]
+    fn parse_overrides() {
+        let args = HarnessArgs::parse_from([
+            "--h", "3", "--warmup", "100", "--measure", "200", "--seed", "9", "--threads", "2",
+            "--out", "/tmp/x", "--loads", "0.1,0.2", "--pattern", "advg1",
+        ])
+        .unwrap();
+        assert_eq!(args.h, 3);
+        assert_eq!(args.warmup, 100);
+        assert_eq!(args.measure, 200);
+        assert_eq!(args.drain, 200);
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.threads, Some(2));
+        assert_eq!(args.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(args.loads, vec![0.1, 0.2]);
+        assert_eq!(args.pattern, "advg1");
+    }
+
+    #[test]
+    fn parse_full_and_quick_presets() {
+        let full = HarnessArgs::parse_from(["--full"]).unwrap();
+        assert_eq!(full.h, 8);
+        assert_eq!(full.warmup, 20_000);
+        let quick = HarnessArgs::parse_from(["--quick"]).unwrap();
+        assert_eq!(quick.h, 2);
+        assert!(quick.quick);
+        assert!(quick.loads.len() <= 5);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_missing() {
+        assert!(HarnessArgs::parse_from(["--nope"]).is_err());
+        assert!(HarnessArgs::parse_from(["--h"]).is_err());
+        assert!(HarnessArgs::parse_from(["--h", "abc"]).is_err());
+    }
+
+    #[test]
+    fn base_spec_reflects_args() {
+        let args = HarnessArgs::parse_from(["--h", "2", "--warmup", "10", "--measure", "20"])
+            .unwrap();
+        let spec = args.base_spec(FlowControlKind::Wormhole);
+        assert_eq!(spec.h, 2);
+        assert_eq!(spec.warmup, 10);
+        assert_eq!(spec.measure, 20);
+        assert_eq!(spec.flow_control, FlowControlKind::Wormhole);
+    }
+}

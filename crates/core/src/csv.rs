@@ -1,0 +1,94 @@
+//! Minimal CSV emission for the figure-regeneration binaries.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A very small CSV writer: a header row plus data rows, flushed on drop.
+///
+/// The workspace intentionally avoids a CSV dependency; the emitted files are simple
+/// numeric tables that gnuplot/pandas read directly.
+pub struct CsvWriter {
+    out: BufWriter<File>,
+    columns: usize,
+    rows_written: usize,
+}
+
+impl CsvWriter {
+    /// Create the file and write the header row.
+    pub fn create(path: impl AsRef<Path>, header: &str) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        let mut out = BufWriter::new(file);
+        writeln!(out, "{header}")?;
+        Ok(Self {
+            out,
+            columns: header.split(',').count(),
+            rows_written: 0,
+        })
+    }
+
+    /// Append one pre-formatted row (comma-separated, no newline).
+    pub fn row(&mut self, row: &str) -> std::io::Result<()> {
+        debug_assert_eq!(
+            row.split(',').count(),
+            self.columns,
+            "CSV row arity differs from the header"
+        );
+        writeln!(self.out, "{row}")?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    /// Append a row built from string-able fields.
+    pub fn fields<I, S>(&mut self, fields: I) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let joined = fields
+            .into_iter()
+            .map(|f| f.as_ref().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.row(&joined)
+    }
+
+    /// Number of data rows written so far.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+
+    /// Flush buffered output.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_header_and_rows() {
+        let dir = std::env::temp_dir().join("dragonfly_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        {
+            let mut w = CsvWriter::create(&path, "a,b,c").unwrap();
+            w.row("1,2,3").unwrap();
+            w.fields(["4", "5", "6"]).unwrap();
+            assert_eq!(w.rows_written(), 2);
+            w.flush().unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines, vec!["a,b,c", "1,2,3", "4,5,6"]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn create_fails_for_missing_directory() {
+        let path = Path::new("/nonexistent-dir-hopefully/x.csv");
+        assert!(CsvWriter::create(path, "a").is_err());
+    }
+}

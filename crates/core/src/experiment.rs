@@ -1,0 +1,343 @@
+//! Single-experiment specification and execution.
+
+use dragonfly_routing::{AdaptiveParams, RoutingKind};
+use dragonfly_sim::{SimConfig, Simulation};
+use dragonfly_stats::{BatchReport, SimReport};
+use dragonfly_traffic::{
+    AdversarialGlobal, AdversarialLocal, BurstSpec, MixedGlobalLocal, TrafficPattern, Uniform,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which of the paper's two flow-control setups to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowControlKind {
+    /// Virtual Cut-Through with 8-phit packets (Cascade-like, Section IV-A).
+    Vct,
+    /// Wormhole with 80-phit packets of 8×10-phit flits (PERCS-like, Section IV-B).
+    Wormhole,
+}
+
+impl FlowControlKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowControlKind::Vct => "VCT",
+            FlowControlKind::Wormhole => "WH",
+        }
+    }
+
+    /// The packet size (phits) the paper uses for this flow control.
+    pub fn packet_size(self) -> usize {
+        match self {
+            FlowControlKind::Vct => 8,
+            FlowControlKind::Wormhole => 80,
+        }
+    }
+}
+
+/// Which traffic pattern to drive the network with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// Uniform random traffic.
+    Uniform,
+    /// Adversarial-global with the given group offset (ADVG+N).
+    AdversarialGlobal(usize),
+    /// Adversarial-local with the given router offset (ADVL+N).
+    AdversarialLocal(usize),
+    /// Mix of ADVG+`global_offset` (with probability `global_fraction`) and
+    /// ADVL+`local_offset`.
+    Mixed {
+        /// Fraction of packets following the adversarial-global component.
+        global_fraction: f64,
+        /// Group offset of the global component.
+        global_offset: usize,
+        /// Router offset of the local component.
+        local_offset: usize,
+    },
+}
+
+impl TrafficKind {
+    /// ADVG+h for a given `h` (the severe pattern of Figures 4c/5c/7c/8c).
+    pub fn advg_h(h: usize) -> Self {
+        TrafficKind::AdversarialGlobal(h)
+    }
+
+    /// Instantiate the pattern.
+    pub fn build(self) -> Box<dyn TrafficPattern> {
+        match self {
+            TrafficKind::Uniform => Box::new(Uniform::new()),
+            TrafficKind::AdversarialGlobal(n) => Box::new(AdversarialGlobal::new(n)),
+            TrafficKind::AdversarialLocal(n) => Box::new(AdversarialLocal::new(n)),
+            TrafficKind::Mixed {
+                global_fraction,
+                global_offset,
+                local_offset,
+            } => Box::new(MixedGlobalLocal::new(global_fraction, global_offset, local_offset)),
+        }
+    }
+
+    /// Display name matching the paper's labels.
+    pub fn name(self) -> String {
+        match self {
+            TrafficKind::Uniform => "UN".to_string(),
+            TrafficKind::AdversarialGlobal(n) => format!("ADVG+{n}"),
+            TrafficKind::AdversarialLocal(n) => format!("ADVL+{n}"),
+            TrafficKind::Mixed {
+                global_fraction,
+                global_offset,
+                local_offset,
+            } => format!(
+                "MIX{}%(ADVG+{global_offset}/ADVL+{local_offset})",
+                (global_fraction * 100.0).round() as u32
+            ),
+        }
+    }
+}
+
+/// Full specification of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Dragonfly parameter `h`.
+    pub h: usize,
+    /// Flow control / packet-size setup.
+    pub flow_control: FlowControlKind,
+    /// Routing mechanism.
+    #[serde(skip, default = "default_routing")]
+    pub routing: RoutingKind,
+    /// Traffic pattern.
+    pub traffic: TrafficKind,
+    /// Offered load in phits/(node·cycle).
+    pub offered_load: f64,
+    /// Misrouting-trigger threshold for the adaptive mechanisms.
+    pub threshold: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// Warm-up cycles.
+    pub warmup: u64,
+    /// Measurement cycles.
+    pub measure: u64,
+    /// Extra drain cycles after the window.
+    pub drain: u64,
+}
+
+fn default_routing() -> RoutingKind {
+    RoutingKind::Minimal
+}
+
+impl ExperimentSpec {
+    /// A reasonable default specification for the given scale.
+    pub fn new(h: usize) -> Self {
+        Self {
+            h,
+            flow_control: FlowControlKind::Vct,
+            routing: RoutingKind::Minimal,
+            traffic: TrafficKind::Uniform,
+            offered_load: 0.1,
+            threshold: 0.45,
+            seed: 1,
+            warmup: 5_000,
+            measure: 8_000,
+            drain: 8_000,
+        }
+    }
+
+    /// Build the simulator configuration implied by this specification.
+    pub fn sim_config(&self) -> SimConfig {
+        let base = match self.flow_control {
+            FlowControlKind::Vct => SimConfig::paper_vct(self.h),
+            FlowControlKind::Wormhole => SimConfig::paper_wormhole(self.h),
+        };
+        base.with_local_vcs(self.routing.local_vcs()).with_seed(self.seed)
+    }
+
+    /// Build the simulation (network + routing + traffic) for this specification.
+    pub fn build_simulation(&self) -> Simulation {
+        let routing = self
+            .routing
+            .build_with(AdaptiveParams::with_threshold(self.threshold));
+        Simulation::new(self.sim_config(), routing, self.traffic.build())
+    }
+
+    /// Run the steady-state protocol and return the report.
+    pub fn run(&self) -> SimReport {
+        let mut sim = self.build_simulation();
+        sim.run_steady_state(self.offered_load, self.warmup, self.measure, self.drain)
+    }
+
+    /// Run the burst-consumption protocol: `packets_per_node` packets per node, with a
+    /// safety limit of `max_cycles`.
+    pub fn run_batch(&self, packets_per_node: u64, max_cycles: u64) -> BatchReport {
+        let mut sim = self.build_simulation();
+        let burst = BurstSpec::new(packets_per_node, self.flow_control.packet_size());
+        sim.run_batch(burst, max_cycles)
+    }
+}
+
+/// Fluent builder over [`ExperimentSpec`] for one-off runs and examples.
+#[derive(Debug, Clone)]
+pub struct ExperimentBuilder {
+    spec: ExperimentSpec,
+}
+
+impl ExperimentBuilder {
+    /// Start from the defaults for parameter `h`.
+    pub fn new(h: usize) -> Self {
+        Self {
+            spec: ExperimentSpec::new(h),
+        }
+    }
+
+    /// Select the routing mechanism.
+    pub fn routing(mut self, routing: RoutingKind) -> Self {
+        self.spec.routing = routing;
+        self
+    }
+
+    /// Select the traffic pattern.
+    pub fn traffic(mut self, traffic: TrafficKind) -> Self {
+        self.spec.traffic = traffic;
+        self
+    }
+
+    /// Select the flow control.
+    pub fn flow_control(mut self, fc: FlowControlKind) -> Self {
+        self.spec.flow_control = fc;
+        self
+    }
+
+    /// Set the offered load in phits/(node·cycle).
+    pub fn offered_load(mut self, load: f64) -> Self {
+        self.spec.offered_load = load;
+        self
+    }
+
+    /// Set the misrouting threshold.
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.spec.threshold = threshold;
+        self
+    }
+
+    /// Set the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Set the warm-up length in cycles.
+    pub fn warmup_cycles(mut self, cycles: u64) -> Self {
+        self.spec.warmup = cycles;
+        self
+    }
+
+    /// Set the measurement window length in cycles.
+    pub fn measure_cycles(mut self, cycles: u64) -> Self {
+        self.spec.measure = cycles;
+        self.spec.drain = cycles;
+        self
+    }
+
+    /// The underlying specification.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Consume the builder into its specification.
+    pub fn into_spec(self) -> ExperimentSpec {
+        self.spec
+    }
+
+    /// Run the steady-state experiment.
+    pub fn run(self) -> SimReport {
+        self.spec.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_control_kind_metadata() {
+        assert_eq!(FlowControlKind::Vct.name(), "VCT");
+        assert_eq!(FlowControlKind::Wormhole.name(), "WH");
+        assert_eq!(FlowControlKind::Vct.packet_size(), 8);
+        assert_eq!(FlowControlKind::Wormhole.packet_size(), 80);
+    }
+
+    #[test]
+    fn traffic_kind_names() {
+        assert_eq!(TrafficKind::Uniform.name(), "UN");
+        assert_eq!(TrafficKind::AdversarialGlobal(8).name(), "ADVG+8");
+        assert_eq!(TrafficKind::AdversarialLocal(1).name(), "ADVL+1");
+        assert_eq!(TrafficKind::advg_h(4), TrafficKind::AdversarialGlobal(4));
+        let mix = TrafficKind::Mixed {
+            global_fraction: 0.4,
+            global_offset: 8,
+            local_offset: 1,
+        };
+        assert!(mix.name().starts_with("MIX40%"));
+    }
+
+    #[test]
+    fn spec_config_respects_routing_vcs() {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Par62;
+        assert_eq!(spec.sim_config().local_vcs, 6);
+        spec.routing = RoutingKind::Olm;
+        assert_eq!(spec.sim_config().local_vcs, 3);
+        spec.flow_control = FlowControlKind::Wormhole;
+        assert_eq!(spec.sim_config().packet_size, 80);
+    }
+
+    #[test]
+    fn builder_round_trip() {
+        let builder = ExperimentBuilder::new(2)
+            .routing(RoutingKind::Olm)
+            .traffic(TrafficKind::AdversarialGlobal(1))
+            .flow_control(FlowControlKind::Vct)
+            .offered_load(0.25)
+            .threshold(0.5)
+            .seed(77)
+            .warmup_cycles(500)
+            .measure_cycles(800);
+        let spec = builder.spec();
+        assert_eq!(spec.routing, RoutingKind::Olm);
+        assert_eq!(spec.offered_load, 0.25);
+        assert_eq!(spec.threshold, 0.5);
+        assert_eq!(spec.seed, 77);
+        assert_eq!(spec.warmup, 500);
+        assert_eq!(spec.measure, 800);
+        assert_eq!(spec.drain, 800);
+        let spec = builder.into_spec();
+        assert_eq!(spec.traffic, TrafficKind::AdversarialGlobal(1));
+    }
+
+    #[test]
+    fn builder_runs_small_experiment() {
+        let report = ExperimentBuilder::new(2)
+            .routing(RoutingKind::Olm)
+            .traffic(TrafficKind::Uniform)
+            .offered_load(0.15)
+            .warmup_cycles(800)
+            .measure_cycles(1_500)
+            .run();
+        assert!(!report.deadlock_detected);
+        assert!(report.accepted_load > 0.05);
+        assert_eq!(report.routing, "OLM");
+    }
+
+    #[test]
+    fn batch_run_through_spec() {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Rlm;
+        spec.traffic = TrafficKind::Mixed {
+            global_fraction: 0.5,
+            global_offset: 2,
+            local_offset: 1,
+        };
+        let report = spec.run_batch(3, 100_000);
+        assert!(!report.deadlock_detected);
+        assert!(!report.timed_out);
+        assert_eq!(report.packets_delivered, report.packets_total);
+    }
+}

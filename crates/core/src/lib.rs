@@ -1,0 +1,37 @@
+//! High-level experiment API for the Dragonfly routing reproduction.
+//!
+//! This crate glues the topology, simulator, routing mechanisms and traffic patterns
+//! into the experiment protocols of the paper:
+//!
+//! * [`ExperimentSpec`] / [`ExperimentBuilder`] — one steady-state or burst run,
+//! * [`sweep`] — the load, threshold and traffic-mix sweeps behind each figure,
+//! * [`parallel`] — a work-stealing parallel executor that runs independent
+//!   simulations on multiple threads (each simulation itself stays single-threaded and
+//!   deterministic),
+//! * [`csv`] — small CSV emission helpers used by the figure binaries.
+//!
+//! ```
+//! use dragonfly_core::{ExperimentBuilder, RoutingKind, TrafficKind};
+//!
+//! let report = ExperimentBuilder::new(2)
+//!     .routing(RoutingKind::Rlm)
+//!     .traffic(TrafficKind::AdversarialGlobal(1))
+//!     .offered_load(0.3)
+//!     .warmup_cycles(1_000)
+//!     .measure_cycles(2_000)
+//!     .run();
+//! assert!(report.accepted_load > 0.0);
+//! ```
+
+pub mod csv;
+pub mod experiment;
+pub mod parallel;
+pub mod sweep;
+
+pub use csv::CsvWriter;
+pub use experiment::{ExperimentBuilder, ExperimentSpec, FlowControlKind, TrafficKind};
+pub use parallel::{run_batches_parallel, run_parallel};
+pub use sweep::{load_sweep, mix_sweep, threshold_sweep, LoadSweep, MixSweep, ThresholdSweep};
+
+pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
+pub use dragonfly_stats::{BatchReport, SimReport};

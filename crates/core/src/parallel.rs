@@ -1,0 +1,169 @@
+//! Parallel execution of independent simulations.
+//!
+//! Each simulation is single-threaded and deterministic; a sweep of tens of points is
+//! embarrassingly parallel.  The executor uses a crossbeam channel as a work queue,
+//! one worker per hardware thread (or an explicit count), and a `parking_lot`-guarded
+//! progress counter that callers can observe through a callback.
+
+use crate::experiment::ExperimentSpec;
+use crossbeam::channel;
+use dragonfly_stats::{BatchReport, SimReport};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Number of worker threads to use when the caller passes `None`.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+fn run_indexed<T, F>(jobs: usize, threads: Option<usize>, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.unwrap_or_else(default_threads).clamp(1, jobs.max(1));
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for i in 0..jobs {
+        job_tx.send(i).expect("filling the job queue cannot fail");
+    }
+    drop(job_tx);
+
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..jobs).map(|_| None).collect()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let job_rx = job_rx.clone();
+            let results = Arc::clone(&results);
+            let work = &work;
+            scope.spawn(move || {
+                while let Ok(index) = job_rx.recv() {
+                    let value = work(index);
+                    results.lock()[index] = Some(value);
+                }
+            });
+        }
+    });
+
+    Arc::try_unwrap(results)
+        .unwrap_or_else(|_| panic!("workers still hold the result buffer"))
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every job must produce a result"))
+        .collect()
+}
+
+/// Run every steady-state specification, possibly in parallel, preserving order.
+///
+/// `threads = None` uses all available hardware threads.  `progress` is called after
+/// each finished run with `(finished, total)`.
+pub fn run_parallel(
+    specs: &[ExperimentSpec],
+    threads: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<SimReport> {
+    let done = Arc::new(Mutex::new(0usize));
+    let total = specs.len();
+    run_indexed(specs.len(), threads, |i| {
+        let report = specs[i].run();
+        let mut d = done.lock();
+        *d += 1;
+        progress(*d, total);
+        report
+    })
+}
+
+/// Run every specification in burst-consumption mode, possibly in parallel,
+/// preserving order.
+pub fn run_batches_parallel(
+    specs: &[ExperimentSpec],
+    packets_per_node: u64,
+    max_cycles: u64,
+    threads: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<BatchReport> {
+    let done = Arc::new(Mutex::new(0usize));
+    let total = specs.len();
+    run_indexed(specs.len(), threads, |i| {
+        let report = specs[i].run_batch(packets_per_node, max_cycles);
+        let mut d = done.lock();
+        *d += 1;
+        progress(*d, total);
+        report
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrafficKind;
+    use dragonfly_routing::RoutingKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick_spec(routing: RoutingKind, load: f64, seed: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = routing;
+        spec.traffic = TrafficKind::Uniform;
+        spec.offered_load = load;
+        spec.warmup = 500;
+        spec.measure = 800;
+        spec.drain = 800;
+        spec.seed = seed;
+        spec
+    }
+
+    #[test]
+    fn parallel_preserves_order_and_counts_progress() {
+        let specs = vec![
+            quick_spec(RoutingKind::Minimal, 0.05, 1),
+            quick_spec(RoutingKind::Olm, 0.1, 2),
+            quick_spec(RoutingKind::Rlm, 0.15, 3),
+        ];
+        let calls = AtomicUsize::new(0);
+        let reports = run_parallel(&specs, Some(2), |_, total| {
+            assert_eq!(total, 3);
+            calls.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(reports.len(), 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        assert_eq!(reports[0].routing, "Minimal");
+        assert_eq!(reports[1].routing, "OLM");
+        assert_eq!(reports[2].routing, "RLM");
+        assert!((reports[2].offered_load - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        // Determinism: the same spec run in parallel or alone yields identical numbers.
+        let spec = quick_spec(RoutingKind::Rlm, 0.2, 9);
+        let alone = spec.run();
+        let parallel = run_parallel(&vec![spec.clone(); 3], Some(3), |_, _| {});
+        for report in &parallel {
+            assert_eq!(report.packets_delivered, alone.packets_delivered);
+            assert!((report.accepted_load - alone.accepted_load).abs() < 1e-12);
+            assert!((report.avg_latency_cycles - alone.avg_latency_cycles).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_thread_fallback_works() {
+        let specs = vec![quick_spec(RoutingKind::Minimal, 0.05, 4)];
+        let reports = run_parallel(&specs, Some(1), |_, _| {});
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn batch_parallel_runs() {
+        let specs = vec![
+            quick_spec(RoutingKind::Olm, 1.0, 5),
+            quick_spec(RoutingKind::Rlm, 1.0, 6),
+        ];
+        let reports = run_batches_parallel(&specs, 2, 100_000, Some(2), |_, _| {});
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(!r.timed_out);
+            assert_eq!(r.packets_total, r.packets_delivered);
+        }
+    }
+}

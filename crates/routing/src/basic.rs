@@ -1,0 +1,200 @@
+//! The oblivious baselines: Minimal routing and Valiant randomized routing.
+
+use crate::common::{ladder_vc_3_2, next_productive_port, sample_intermediate_groups};
+use dragonfly_rng::Rng;
+use dragonfly_sim::{
+    FlowControl, Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm,
+};
+
+/// Minimal routing: always follow the shortest path `l – g – l` with the ascending
+/// 3/2 VC ladder.  The baseline for uniform traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimalRouting;
+
+impl MinimalRouting {
+    /// Create the mechanism.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutingAlgorithm for MinimalRouting {
+    fn name(&self) -> &'static str {
+        "Minimal"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        2
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        1
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        _rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let port = next_productive_port(view.params, view.router, packet);
+        Some(RouteChoice::plain(port, ladder_vc_3_2(port, packet)))
+    }
+}
+
+/// Valiant randomized routing: every packet is first sent minimally to a uniformly
+/// random intermediate group (chosen at injection) and then minimally to its
+/// destination.  The baseline for adversarial-global traffic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValiantRouting;
+
+impl ValiantRouting {
+    /// Create the mechanism.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl RoutingAlgorithm for ValiantRouting {
+    fn name(&self) -> &'static str {
+        "Valiant"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        3
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        2
+    }
+
+    fn supports_flow_control(&self, _fc: FlowControl) -> bool {
+        true
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let params = view.params;
+        let dest_router = params.router_of_node(packet.dst);
+        // Delivered locally: nothing to randomize.
+        if dest_router == view.router {
+            let port = next_productive_port(params, view.router, packet);
+            return Some(RouteChoice::plain(port, 0));
+        }
+        // At the injection router, commit to a random intermediate group.
+        if !packet.route.source_decision_taken && packet.route.total_hops == 0 {
+            let src_group = view.group();
+            let dst_group = params.group_of_node(packet.dst);
+            let candidates = sample_intermediate_groups(params, src_group, dst_group, 1, rng);
+            if let Some(&ig) = candidates.first() {
+                // Route toward the chosen group; the commitment is applied on grant.
+                let mut probe = packet.clone();
+                probe.route.intermediate_group = Some(ig);
+                probe.route.reached_intermediate = false;
+                let port = next_productive_port(params, view.router, &probe);
+                let update = RouteUpdate {
+                    set_intermediate_group: Some(ig),
+                    mark_global_misroute: true,
+                    mark_source_decision: true,
+                    ..RouteUpdate::default()
+                };
+                return Some(RouteChoice {
+                    port,
+                    vc: ladder_vc_3_2(port, packet),
+                    update,
+                });
+            }
+        }
+        // Otherwise continue along the committed Valiant path (or minimally once the
+        // intermediate group has been reached).
+        let port = next_productive_port(params, view.router, packet);
+        Some(RouteChoice::plain(port, ladder_vc_3_2(port, packet)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_sim::{SimConfig, Simulation};
+    use dragonfly_traffic::{AdversarialGlobal, Uniform};
+
+    #[test]
+    fn minimal_metadata() {
+        let m = MinimalRouting::new();
+        assert_eq!(m.name(), "Minimal");
+        assert!(m.required_local_vcs() <= 3);
+        assert!(m.supports_flow_control(FlowControl::Vct));
+        assert!(m.supports_flow_control(FlowControl::Wormhole { flit_size: 10 }));
+    }
+
+    #[test]
+    fn valiant_metadata() {
+        let v = ValiantRouting::new();
+        assert_eq!(v.name(), "Valiant");
+        assert_eq!(v.required_local_vcs(), 3);
+        assert_eq!(v.required_global_vcs(), 2);
+    }
+
+    #[test]
+    fn minimal_uniform_traffic_end_to_end() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(42),
+            Box::new(MinimalRouting::new()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.15, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        assert!((report.accepted_load - 0.15).abs() < 0.04, "{}", report.accepted_load);
+        assert!(report.avg_hops <= 3.0);
+        assert_eq!(report.global_misroute_fraction, 0.0);
+        assert_eq!(report.local_misroute_fraction, 0.0);
+    }
+
+    #[test]
+    fn valiant_uniform_traffic_uses_longer_paths() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(42),
+            Box::new(ValiantRouting::new()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.1, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        // Essentially every packet is globally misrouted under Valiant.
+        assert!(report.global_misroute_fraction > 0.9, "{}", report.global_misroute_fraction);
+        assert!(report.avg_hops > 2.0, "{}", report.avg_hops);
+        assert!((report.accepted_load - 0.1).abs() < 0.04);
+    }
+
+    #[test]
+    fn valiant_beats_minimal_under_advg() {
+        // The defining property of Valiant routing: under adversarial-global traffic
+        // it sustains much more throughput than minimal routing.
+        let adv = || Box::new(AdversarialGlobal::new(1));
+        let mut minimal = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(7),
+            Box::new(MinimalRouting::new()),
+            adv(),
+        );
+        let mut valiant = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(7),
+            Box::new(ValiantRouting::new()),
+            adv(),
+        );
+        let rm = minimal.run_steady_state(0.4, 3_000, 4_000, 2_000);
+        let rv = valiant.run_steady_state(0.4, 3_000, 4_000, 2_000);
+        assert!(
+            rv.accepted_load > rm.accepted_load * 1.5,
+            "valiant {} vs minimal {}",
+            rv.accepted_load,
+            rm.accepted_load
+        );
+        assert!(!rv.deadlock_detected);
+        assert!(!rm.deadlock_detected);
+    }
+}

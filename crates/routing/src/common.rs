@@ -1,0 +1,371 @@
+//! Building blocks shared by the adaptive routing mechanisms.
+//!
+//! All in-transit adaptive mechanisms of the paper (PAR-6/2, RLM, OLM) share the same
+//! skeleton: prefer the minimal output; when it cannot be granted this cycle, consult
+//! the *misrouting trigger* and pick a random non-minimal output whose downstream
+//! occupancy is below a fraction of the minimal output's occupancy.  Global misrouting
+//! (committing to a Valiant intermediate group) is only allowed in the source group,
+//! at the injection router or after one minimal local hop (as in PAR); local
+//! misrouting is allowed once per intermediate/destination group.  The mechanisms
+//! differ in which local detours are legal and which virtual channels they may use.
+
+use dragonfly_rng::Rng;
+use dragonfly_sim::{Packet, RouterView};
+use dragonfly_topology::{DragonflyParams, GroupId, Port, RouterId};
+
+/// Tunable knobs of the adaptive mechanisms.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveParams {
+    /// Misrouting-trigger threshold: a non-minimal output is acceptable when its
+    /// occupancy is below `threshold × occupancy(minimal output)`.
+    pub threshold: f64,
+    /// Number of random intermediate groups examined when attempting a global
+    /// misroute.
+    pub global_candidates: usize,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        Self {
+            threshold: 0.45,
+            global_candidates: 4,
+        }
+    }
+}
+
+impl AdaptiveParams {
+    /// Create parameters with an explicit trigger threshold (e.g. for the Figure 10/11
+    /// sweeps).
+    pub fn with_threshold(threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "threshold must be non-negative");
+        Self {
+            threshold,
+            ..Self::default()
+        }
+    }
+}
+
+/// The credit-based misrouting trigger of the paper.
+#[derive(Debug, Clone, Copy)]
+pub struct MisroutingTrigger {
+    /// Threshold as a fraction of the minimal output occupancy.
+    pub threshold: f64,
+}
+
+impl MisroutingTrigger {
+    /// Create a trigger.
+    pub fn new(threshold: f64) -> Self {
+        Self { threshold }
+    }
+
+    /// Whether a candidate output with `candidate_occ` downstream phits may be used
+    /// instead of a minimal output with `minimal_occ` downstream phits.
+    ///
+    /// When the minimal queue is empty (the minimal output is blocked for another
+    /// reason, e.g. its VC is held by another packet), candidates with an empty queue
+    /// are still acceptable.
+    #[inline]
+    pub fn allows(&self, candidate_occ: usize, minimal_occ: usize) -> bool {
+        if minimal_occ == 0 {
+            candidate_occ == 0
+        } else {
+            (candidate_occ as f64) < self.threshold * (minimal_occ as f64)
+        }
+    }
+}
+
+/// The group the packet should currently be heading to: its committed Valiant
+/// intermediate group while it has not reached it yet, the destination group
+/// otherwise.
+pub fn target_group(params: &DragonflyParams, packet: &Packet) -> GroupId {
+    if let Some(ig) = packet.route.intermediate_group {
+        if !packet.route.reached_intermediate {
+            return ig;
+        }
+    }
+    params.group_of_node(packet.dst)
+}
+
+/// The next hop of the minimal (productive) route from `router`, taking the committed
+/// intermediate group into account.  Returns a terminal port at the destination
+/// router.
+pub fn next_productive_port(params: &DragonflyParams, router: RouterId, packet: &Packet) -> Port {
+    let dest_router = params.router_of_node(packet.dst);
+    if dest_router == router {
+        return Port::Terminal(params.node_index_in_router(packet.dst));
+    }
+    let current_group = params.group_of_router(router);
+    let target = target_group(params, packet);
+    if target != current_group {
+        params.port_toward_group(router, target)
+    } else {
+        let from = params.router_index_in_group(router);
+        let to = params.router_index_in_group(dest_router);
+        Port::Local(params.local_port_to(from, to))
+    }
+}
+
+/// Ascending virtual-channel ladder used by the 3/2-VC mechanisms (Minimal, Valiant,
+/// Piggybacking and RLM): local and global hops both use the VC indexed by the number
+/// of global hops already taken.
+pub fn ladder_vc_3_2(port: Port, packet: &Packet) -> u8 {
+    match port {
+        Port::Global(_) => packet.route.global_hops.min(1),
+        Port::Local(_) => packet.route.global_hops.min(2),
+        Port::Terminal(_) => 0,
+    }
+}
+
+/// Ascending ladder of the naïve PAR-6/2 mechanism: every local hop moves to a fresh
+/// local VC (`2·global_hops + local_hops_in_group`), every global hop to
+/// `global_hops`, reproducing the sequence `l1 l2 g1 l3 l4 g2 l5 l6`.
+pub fn ladder_vc_6_2(port: Port, packet: &Packet) -> u8 {
+    match port {
+        Port::Global(_) => packet.route.global_hops.min(1),
+        Port::Local(_) => (2 * packet.route.global_hops + packet.route.local_hops_in_group).min(5),
+        Port::Terminal(_) => 0,
+    }
+}
+
+/// Whether the packet may still commit to a global misroute (Valiant path) here: only
+/// in the source group, with at most one minimal local hop already taken (PAR rule),
+/// and only once.
+pub fn global_misroute_eligible(params: &DragonflyParams, view_group: GroupId, packet: &Packet) -> bool {
+    if packet.route.global_misrouted || packet.route.global_hops != 0 {
+        return false;
+    }
+    let dest_group = params.group_of_node(packet.dst);
+    if dest_group == view_group {
+        // Local traffic: a Valiant detour through another group is only taken straight
+        // from the injection router.
+        packet.route.local_hops_in_group == 0
+    } else {
+        packet.route.local_hops_in_group <= 1
+    }
+}
+
+/// Whether the packet may take a local misroute here: the minimal next hop must be a
+/// local hop, the packet must not have misrouted locally in this group already, and —
+/// per the paper — local misrouting is reserved for the intermediate and destination
+/// groups (which includes the source group when the traffic is group-local).
+pub fn local_misroute_eligible(
+    params: &DragonflyParams,
+    view_group: GroupId,
+    minimal_port: Port,
+    packet: &Packet,
+) -> bool {
+    if !minimal_port.is_local() {
+        return false;
+    }
+    if packet.route.local_misrouted_in_group || packet.route.local_hops_in_group != 0 {
+        return false;
+    }
+    let dest_group = params.group_of_node(packet.dst);
+    packet.route.global_hops >= 1 || dest_group == view_group
+}
+
+/// Draw up to `count` distinct candidate intermediate groups, excluding the source and
+/// destination groups.
+pub fn sample_intermediate_groups(
+    params: &DragonflyParams,
+    exclude_a: GroupId,
+    exclude_b: GroupId,
+    count: usize,
+    rng: &mut Rng,
+) -> Vec<GroupId> {
+    let groups = params.groups();
+    let mut out = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 4 {
+        attempts += 1;
+        let g = GroupId(rng.gen_index(groups) as u32);
+        if g == exclude_a || g == exclude_b || out.contains(&g) {
+            continue;
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// In-group router indices usable as a local detour between `from` and `to` (all
+/// routers except the two endpoints).  The mechanisms filter this further (parity-sign
+/// for RLM, VC space for OLM) and apply the misrouting trigger.
+pub fn local_detour_targets(params: &DragonflyParams, from: usize, to: usize) -> Vec<usize> {
+    (0..params.routers_per_group())
+        .filter(|&k| k != from && k != to)
+        .collect()
+}
+
+/// Convenience: occupancy of the downstream buffer behind (`port`, `vc`).
+#[inline]
+pub fn occupancy(view: &RouterView<'_>, port: Port, vc: u8) -> usize {
+    view.occupancy(port, vc as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_sim::PacketId;
+    use dragonfly_topology::NodeId;
+
+    fn packet(params: &DragonflyParams, src: u32, dst: u32) -> Packet {
+        let _ = params;
+        Packet::new(PacketId(0), NodeId(src), NodeId(dst), 8, 0)
+    }
+
+    #[test]
+    fn trigger_threshold_semantics() {
+        let t = MisroutingTrigger::new(0.5);
+        assert!(t.allows(10, 30));
+        assert!(!t.allows(15, 30));
+        assert!(!t.allows(20, 30));
+        // Empty minimal queue: only empty candidates qualify.
+        assert!(t.allows(0, 0));
+        assert!(!t.allows(1, 0));
+    }
+
+    #[test]
+    fn adaptive_params_defaults_and_threshold() {
+        let d = AdaptiveParams::default();
+        assert!((d.threshold - 0.45).abs() < 1e-12);
+        assert_eq!(d.global_candidates, 4);
+        let s = AdaptiveParams::with_threshold(0.3);
+        assert!((s.threshold - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_group_prefers_unreached_intermediate() {
+        let params = DragonflyParams::new(2);
+        let mut p = packet(&params, 0, (params.num_nodes() - 1) as u32);
+        let dest_group = params.group_of_node(p.dst);
+        assert_eq!(target_group(&params, &p), dest_group);
+        p.route.intermediate_group = Some(GroupId(3));
+        assert_eq!(target_group(&params, &p), GroupId(3));
+        p.route.reached_intermediate = true;
+        assert_eq!(target_group(&params, &p), dest_group);
+    }
+
+    #[test]
+    fn productive_port_follows_minimal_path() {
+        let params = DragonflyParams::new(2);
+        let dst = NodeId((params.num_nodes() - 1) as u32);
+        let p = packet(&params, 0, dst.0);
+        // At the destination router the productive port is the terminal one.
+        let dest_router = params.router_of_node(dst);
+        let port = next_productive_port(&params, dest_router, &p);
+        assert!(port.is_terminal());
+        // At the source router it matches topology minimal routing.
+        let src_router = params.router_of_node(NodeId(0));
+        assert_eq!(
+            next_productive_port(&params, src_router, &p),
+            params.minimal_port(src_router, dst)
+        );
+    }
+
+    #[test]
+    fn productive_port_targets_intermediate_group_first() {
+        let params = DragonflyParams::new(2);
+        let dst = NodeId((params.num_nodes() - 1) as u32);
+        let mut p = packet(&params, 0, dst.0);
+        p.route.intermediate_group = Some(GroupId(4));
+        let src_router = params.router_of_node(NodeId(0));
+        let port = next_productive_port(&params, src_router, &p);
+        assert_eq!(port, params.port_toward_group(src_router, GroupId(4)));
+    }
+
+    #[test]
+    fn ladders_follow_hop_counters() {
+        let params = DragonflyParams::new(4);
+        let mut p = packet(&params, 0, (params.num_nodes() - 1) as u32);
+        assert_eq!(ladder_vc_3_2(Port::Local(0), &p), 0);
+        assert_eq!(ladder_vc_6_2(Port::Local(0), &p), 0);
+        p.route.local_hops_in_group = 1;
+        assert_eq!(ladder_vc_3_2(Port::Local(0), &p), 0);
+        assert_eq!(ladder_vc_6_2(Port::Local(0), &p), 1);
+        p.route.global_hops = 1;
+        p.route.local_hops_in_group = 0;
+        assert_eq!(ladder_vc_3_2(Port::Local(0), &p), 1);
+        assert_eq!(ladder_vc_3_2(Port::Global(0), &p), 1);
+        assert_eq!(ladder_vc_6_2(Port::Local(0), &p), 2);
+        p.route.local_hops_in_group = 1;
+        assert_eq!(ladder_vc_6_2(Port::Local(0), &p), 3);
+        p.route.global_hops = 2;
+        p.route.local_hops_in_group = 1;
+        assert_eq!(ladder_vc_3_2(Port::Local(0), &p), 2);
+        assert_eq!(ladder_vc_6_2(Port::Local(0), &p), 5);
+        assert_eq!(ladder_vc_3_2(Port::Terminal(0), &p), 0);
+    }
+
+    #[test]
+    fn global_misroute_eligibility_rules() {
+        let params = DragonflyParams::new(2);
+        let remote_dst = (params.num_nodes() - 1) as u32;
+        let mut p = packet(&params, 0, remote_dst);
+        let src_group = params.group_of_node(NodeId(0));
+        assert!(global_misroute_eligible(&params, src_group, &p));
+        p.route.local_hops_in_group = 1;
+        assert!(global_misroute_eligible(&params, src_group, &p));
+        p.route.local_hops_in_group = 2;
+        assert!(!global_misroute_eligible(&params, src_group, &p));
+        p.route.local_hops_in_group = 0;
+        p.route.global_misrouted = true;
+        assert!(!global_misroute_eligible(&params, src_group, &p));
+        // Local traffic: only straight from the injection router.
+        let mut q = packet(&params, 0, 2); // node 2 is router 1 of group 0
+        assert!(global_misroute_eligible(&params, src_group, &q));
+        q.route.local_hops_in_group = 1;
+        assert!(!global_misroute_eligible(&params, src_group, &q));
+        // Once a global hop has been taken, never again.
+        let mut r = packet(&params, 0, remote_dst);
+        r.route.global_hops = 1;
+        assert!(!global_misroute_eligible(&params, src_group, &r));
+    }
+
+    #[test]
+    fn local_misroute_eligibility_rules() {
+        let params = DragonflyParams::new(2);
+        let src_group = params.group_of_node(NodeId(0));
+        // Remote traffic in the source group: not eligible (that is global misrouting's
+        // job).
+        let p = packet(&params, 0, (params.num_nodes() - 1) as u32);
+        assert!(!local_misroute_eligible(&params, src_group, Port::Local(0), &p));
+        // After a global hop (intermediate/destination group) it becomes eligible.
+        let mut q = packet(&params, 0, (params.num_nodes() - 1) as u32);
+        q.route.global_hops = 1;
+        assert!(local_misroute_eligible(&params, src_group, Port::Local(0), &q));
+        q.route.local_misrouted_in_group = true;
+        assert!(!local_misroute_eligible(&params, src_group, Port::Local(0), &q));
+        // Group-local traffic is eligible straight away, but only for local next hops.
+        let r = packet(&params, 0, 2);
+        assert!(local_misroute_eligible(&params, src_group, Port::Local(0), &r));
+        assert!(!local_misroute_eligible(&params, src_group, Port::Global(0), &r));
+        assert!(!local_misroute_eligible(&params, src_group, Port::Terminal(0), &r));
+    }
+
+    #[test]
+    fn sampled_intermediates_exclude_endpoints() {
+        let params = DragonflyParams::new(2);
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..100 {
+            let picks = sample_intermediate_groups(&params, GroupId(0), GroupId(5), 4, &mut rng);
+            assert!(!picks.is_empty());
+            assert!(picks.len() <= 4);
+            for g in &picks {
+                assert_ne!(*g, GroupId(0));
+                assert_ne!(*g, GroupId(5));
+            }
+            let mut dedup = picks.clone();
+            dedup.dedup();
+            assert_eq!(dedup.len(), picks.len());
+        }
+    }
+
+    #[test]
+    fn detour_targets_exclude_endpoints() {
+        let params = DragonflyParams::new(4);
+        let targets = local_detour_targets(&params, 2, 5);
+        assert_eq!(targets.len(), params.routers_per_group() - 2);
+        assert!(!targets.contains(&2));
+        assert!(!targets.contains(&5));
+    }
+}

@@ -1,0 +1,165 @@
+//! Deadlock-free routing mechanisms for Dragonfly networks.
+//!
+//! This crate implements every mechanism evaluated by the paper:
+//!
+//! | Mechanism | VCs (local/global) | Flow control | Misrouting |
+//! |-----------|--------------------|--------------|------------|
+//! | [`MinimalRouting`] | 2/1 (fits 3/2) | VCT, WH | none |
+//! | [`ValiantRouting`] | 3/2 | VCT, WH | global (always) |
+//! | [`Piggybacking`]   | 3/2 | VCT, WH | global (source-adaptive) |
+//! | [`Par62`]          | 6/2 | VCT, WH | global + local (in-transit) |
+//! | [`Rlm`]            | 3/2 | VCT, WH | global + restricted local |
+//! | [`Olm`]            | 3/2 | VCT only | global + opportunistic local |
+//!
+//! The two contributions of the paper are [`Rlm`] (Restricted Local Misrouting, built
+//! on the parity-sign table of [`parity_sign`]) and [`Olm`] (Opportunistic Local
+//! Misrouting, built on ascending escape paths).  All adaptive mechanisms share the
+//! misrouting trigger and eligibility rules in [`common`].
+
+pub mod basic;
+pub mod common;
+pub mod olm;
+pub mod par;
+pub mod par62;
+pub mod parity_sign;
+pub mod piggyback;
+pub mod rlm;
+
+pub use basic::{MinimalRouting, ValiantRouting};
+pub use common::{AdaptiveParams, MisroutingTrigger};
+pub use olm::Olm;
+pub use par::Par;
+pub use par62::Par62;
+pub use parity_sign::{LinkClass, ParitySignTable};
+pub use piggyback::Piggybacking;
+pub use rlm::Rlm;
+
+use dragonfly_sim::RoutingAlgorithm;
+
+/// Enumeration of every routing mechanism in the crate, used by the experiment
+/// harness and the figure-regeneration binaries to select mechanisms by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingKind {
+    /// Minimal routing.
+    Minimal,
+    /// Valiant randomized routing.
+    Valiant,
+    /// Piggybacking (indirect adaptive, source-routed).
+    Piggybacking,
+    /// PAR with 4 local VCs (global misrouting only, no local misrouting).
+    Par,
+    /// PAR-6/2 (naïve reference with 6 local VCs).
+    Par62,
+    /// Restricted Local Misrouting.
+    Rlm,
+    /// Opportunistic Local Misrouting.
+    Olm,
+}
+
+impl RoutingKind {
+    /// All mechanisms, in the order used by the paper's figures.
+    pub const ALL: [RoutingKind; 7] = [
+        RoutingKind::Par62,
+        RoutingKind::Olm,
+        RoutingKind::Rlm,
+        RoutingKind::Minimal,
+        RoutingKind::Valiant,
+        RoutingKind::Piggybacking,
+        RoutingKind::Par,
+    ];
+
+    /// Short display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingKind::Minimal => "Minimal",
+            RoutingKind::Valiant => "Valiant",
+            RoutingKind::Piggybacking => "PB",
+            RoutingKind::Par => "PAR",
+            RoutingKind::Par62 => "PAR-6/2",
+            RoutingKind::Rlm => "RLM",
+            RoutingKind::Olm => "OLM",
+        }
+    }
+
+    /// Parse a (case-insensitive) mechanism name.
+    pub fn parse(name: &str) -> Option<RoutingKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "minimal" | "min" => Some(RoutingKind::Minimal),
+            "valiant" | "val" => Some(RoutingKind::Valiant),
+            "pb" | "piggyback" | "piggybacking" => Some(RoutingKind::Piggybacking),
+            "par" | "par-4/2" | "par42" => Some(RoutingKind::Par),
+            "par-6/2" | "par62" => Some(RoutingKind::Par62),
+            "rlm" => Some(RoutingKind::Rlm),
+            "olm" => Some(RoutingKind::Olm),
+            _ => None,
+        }
+    }
+
+    /// Number of local VCs the mechanism needs.
+    pub fn local_vcs(self) -> usize {
+        match self {
+            RoutingKind::Par62 => 6,
+            RoutingKind::Par => 4,
+            _ => 3,
+        }
+    }
+
+    /// Whether the mechanism is safe under Wormhole flow control.
+    pub fn supports_wormhole(self) -> bool {
+        !matches!(self, RoutingKind::Olm)
+    }
+
+    /// Instantiate the mechanism with default adaptive parameters.
+    pub fn build(self) -> Box<dyn RoutingAlgorithm> {
+        self.build_with(AdaptiveParams::default())
+    }
+
+    /// Instantiate the mechanism with explicit adaptive parameters (the threshold is
+    /// ignored by the oblivious mechanisms).
+    pub fn build_with(self, params: AdaptiveParams) -> Box<dyn RoutingAlgorithm> {
+        match self {
+            RoutingKind::Minimal => Box::new(MinimalRouting::new()),
+            RoutingKind::Valiant => Box::new(ValiantRouting::new()),
+            RoutingKind::Piggybacking => Box::new(Piggybacking::new()),
+            RoutingKind::Par => Box::new(Par::new(params)),
+            RoutingKind::Par62 => Box::new(Par62::new(params)),
+            RoutingKind::Rlm => Box::new(Rlm::new(params)),
+            RoutingKind::Olm => Box::new(Olm::new(params)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip_through_parse() {
+        for kind in RoutingKind::ALL {
+            assert_eq!(RoutingKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(RoutingKind::parse("olm"), Some(RoutingKind::Olm));
+        assert_eq!(RoutingKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn kind_metadata_matches_mechanisms() {
+        for kind in RoutingKind::ALL {
+            let mech = kind.build();
+            assert_eq!(mech.name(), kind.name());
+            assert!(kind.local_vcs() >= mech.required_local_vcs());
+            assert_eq!(
+                kind.supports_wormhole(),
+                mech.supports_flow_control(dragonfly_sim::FlowControl::Wormhole { flit_size: 10 })
+            );
+        }
+    }
+
+    #[test]
+    fn all_list_has_every_variant_once() {
+        let mut names: Vec<&str> = RoutingKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,369 @@
+//! Opportunistic Local Misrouting (OLM) — second contribution of the paper.
+//!
+//! OLM also keeps the baseline 3/2 virtual channels but, unlike RLM, it does not
+//! restrict which local detours are legal.  Cyclic dependencies may therefore appear;
+//! deadlock is avoided because every packet always keeps a deadlock-free *escape
+//! path*: from wherever it sits it can still reach its destination using virtual
+//! channels in strictly ascending order.  To preserve that property a local detour is
+//! only taken *opportunistically*, when
+//!
+//! 1. the target buffer can hold the **whole packet** (hence the VCT requirement), and
+//! 2. the local VC used for the detour is strictly below every VC of the escape path
+//!    from the detour target, so the escape ladder remains intact.
+//!
+//! Productive hops (minimal, or toward the committed Valiant group) use the ascending
+//! ladder `lVC_k / gVC_k` indexed by the number of global hops taken, exactly as in
+//! the paper's Figure 3.
+
+use crate::common::{
+    global_misroute_eligible, ladder_vc_3_2, local_detour_targets, local_misroute_eligible,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams,
+    MisroutingTrigger,
+};
+use dragonfly_rng::Rng;
+use dragonfly_sim::{
+    FlowControl, Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm,
+};
+use dragonfly_topology::{Port, RouterId};
+
+/// The OLM mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct Olm {
+    params: AdaptiveParams,
+    trigger: MisroutingTrigger,
+}
+
+impl Default for Olm {
+    fn default() -> Self {
+        Self::new(AdaptiveParams::default())
+    }
+}
+
+impl Olm {
+    /// Create the mechanism with the given adaptive parameters.
+    pub fn new(params: AdaptiveParams) -> Self {
+        Self {
+            params,
+            trigger: MisroutingTrigger::new(params.threshold),
+        }
+    }
+
+    /// Create the mechanism with an explicit misrouting threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        Self::new(AdaptiveParams::with_threshold(threshold))
+    }
+
+    /// Ladder position of a (port-class, VC) pair in the combined ascending order
+    /// `lVC0 < gVC0 < lVC1 < gVC1 < lVC2`.
+    fn ladder_position(port: Port, vc: u8) -> u8 {
+        match port {
+            Port::Local(_) => 2 * vc,
+            Port::Global(_) => 2 * vc + 1,
+            Port::Terminal(_) => u8::MAX,
+        }
+    }
+
+    /// Ladder position of the *first hop of the escape path* a packet would have after
+    /// moving to `at`: its minimal continuation (toward the committed intermediate
+    /// group if not yet reached, the destination otherwise) in ascending-ladder VCs.
+    fn escape_first_hop_position(
+        view: &RouterView<'_>,
+        packet: &Packet,
+        at: RouterId,
+    ) -> u8 {
+        let port = next_productive_port(view.params, at, packet);
+        let vc = ladder_vc_3_2(port, packet);
+        Self::ladder_position(port, vc)
+    }
+
+    /// The highest local VC usable for a non-productive (detour) hop landing at
+    /// router `at`, or `None` if no VC keeps the escape ladder strictly ascending.
+    fn best_detour_vc(view: &RouterView<'_>, packet: &Packet, at: RouterId) -> Option<u8> {
+        let escape = Self::escape_first_hop_position(view, packet, at);
+        let max_local = (view.config.local_vcs - 1) as u8;
+        // lVC_j has ladder position 2j; it must stay strictly below the escape hop.
+        (0..=max_local)
+            .rev()
+            .find(|&j| 2 * j < escape)
+    }
+}
+
+impl RoutingAlgorithm for Olm {
+    fn name(&self) -> &'static str {
+        "OLM"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        3
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        2
+    }
+
+    /// OLM relies on whole-packet buffering for its opportunistic detours, so it is
+    /// only safe under Virtual Cut-Through.
+    fn supports_flow_control(&self, fc: FlowControl) -> bool {
+        fc.is_vct()
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let params = view.params;
+        let group = view.group();
+        let cur_idx = params.router_index_in_group(view.router);
+
+        // Productive hop first (this is also the escape path, so it is always legal).
+        let minimal_port = next_productive_port(params, view.router, packet);
+        let minimal_vc = if minimal_port.is_terminal() {
+            0
+        } else {
+            ladder_vc_3_2(minimal_port, packet)
+        };
+        if view.can_claim(minimal_port, minimal_vc as usize, packet) {
+            return Some(RouteChoice::plain(minimal_port, minimal_vc));
+        }
+        if minimal_port.is_terminal() {
+            return None;
+        }
+        let minimal_occ = occupancy(view, minimal_port, minimal_vc);
+
+        // 1. Opportunistic local misrouting: any detour router is acceptable as long
+        //    as the whole packet fits in a VC that keeps the escape ladder ascending.
+        if local_misroute_eligible(params, group, minimal_port, packet) {
+            let to_idx = params.local_neighbor_index(cur_idx, minimal_port.class_index());
+            let mut candidates = Vec::new();
+            for k in local_detour_targets(params, cur_idx, to_idx) {
+                let target = params.router_in_group(group, k);
+                let Some(vc) = Self::best_detour_vc(view, packet, target) else {
+                    continue;
+                };
+                let port = Port::Local(params.local_port_to(cur_idx, k));
+                if view.fits_whole_packet(port, vc as usize, packet)
+                    && self.trigger.allows(occupancy(view, port, vc), minimal_occ)
+                {
+                    candidates.push((port, vc));
+                }
+            }
+            if !candidates.is_empty() {
+                let &(port, vc) = rng.choose(&candidates);
+                return Some(RouteChoice {
+                    port,
+                    vc,
+                    update: RouteUpdate {
+                        mark_local_misroute: true,
+                        ..RouteUpdate::default()
+                    },
+                });
+            }
+        }
+
+        // 2. Global misrouting in the source group.  A direct detour uses the router's
+        //    own global port (ascending ladder); an indirect detour first takes a
+        //    local hop, which is non-productive and therefore follows the same
+        //    opportunistic rule as a local misroute.
+        if global_misroute_eligible(params, group, packet) {
+            let dst_group = params.group_of_node(packet.dst);
+            for ig in
+                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
+            {
+                let port = params.port_toward_group(view.router, ig);
+                let choice = match port {
+                    Port::Global(_) => {
+                        let vc = ladder_vc_3_2(port, packet);
+                        if view.can_claim(port, vc as usize, packet)
+                            && self.trigger.allows(occupancy(view, port, vc), minimal_occ)
+                        {
+                            Some((port, vc))
+                        } else {
+                            None
+                        }
+                    }
+                    Port::Local(p) => {
+                        let k = params.local_neighbor_index(cur_idx, p);
+                        let target = params.router_in_group(group, k);
+                        // The escape from the detour target is the global hop of the
+                        // committed Valiant path.
+                        let mut probe = packet.clone();
+                        probe.route.intermediate_group = Some(ig);
+                        probe.route.reached_intermediate = false;
+                        match Self::best_detour_vc(view, &probe, target) {
+                            Some(vc)
+                                if view.fits_whole_packet(port, vc as usize, packet)
+                                    && self
+                                        .trigger
+                                        .allows(occupancy(view, port, vc), minimal_occ) =>
+                            {
+                                Some((port, vc))
+                            }
+                            _ => None,
+                        }
+                    }
+                    Port::Terminal(_) => None,
+                };
+                if let Some((port, vc)) = choice {
+                    return Some(RouteChoice {
+                        port,
+                        vc,
+                        update: RouteUpdate {
+                            set_intermediate_group: Some(ig),
+                            mark_global_misroute: true,
+                            ..RouteUpdate::default()
+                        },
+                    });
+                }
+            }
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{MinimalRouting, ValiantRouting};
+    use crate::piggyback::Piggybacking;
+    use dragonfly_sim::{SimConfig, Simulation};
+    use dragonfly_traffic::{AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, Uniform};
+
+    fn olm_sim(
+        config: SimConfig,
+        traffic: Box<dyn dragonfly_traffic::TrafficPattern>,
+    ) -> Simulation {
+        Simulation::new(config, Box::new(Olm::default()), traffic)
+    }
+
+    #[test]
+    fn metadata_and_flow_control() {
+        let o = Olm::default();
+        assert_eq!(o.name(), "OLM");
+        assert_eq!(o.required_local_vcs(), 3);
+        assert_eq!(o.required_global_vcs(), 2);
+        assert!(o.supports_flow_control(FlowControl::Vct));
+        assert!(!o.supports_flow_control(FlowControl::Wormhole { flit_size: 10 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn rejects_wormhole() {
+        let _ = Simulation::new(
+            SimConfig::paper_wormhole(2),
+            Box::new(Olm::default()),
+            Box::new(Uniform::new()),
+        );
+    }
+
+    #[test]
+    fn ladder_positions_follow_paper_order() {
+        // lVC0 < gVC0 < lVC1 < gVC1 < lVC2
+        assert_eq!(Olm::ladder_position(Port::Local(0), 0), 0);
+        assert_eq!(Olm::ladder_position(Port::Global(0), 0), 1);
+        assert_eq!(Olm::ladder_position(Port::Local(0), 1), 2);
+        assert_eq!(Olm::ladder_position(Port::Global(0), 1), 3);
+        assert_eq!(Olm::ladder_position(Port::Local(0), 2), 4);
+    }
+
+    #[test]
+    fn uniform_traffic_vct() {
+        let mut sim = olm_sim(SimConfig::paper_vct(2).with_seed(3), Box::new(Uniform::new()));
+        let report = sim.run_steady_state(0.3, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        assert!((report.accepted_load - 0.3).abs() < 0.06, "{}", report.accepted_load);
+        assert!(report.avg_hops <= 8.0);
+    }
+
+    #[test]
+    fn advg_traffic_beats_minimal() {
+        let adv = || Box::new(AdversarialGlobal::new(1));
+        let run = |routing: Box<dyn dragonfly_sim::RoutingAlgorithm>| {
+            let mut sim = Simulation::new(SimConfig::paper_vct(2).with_seed(19), routing, adv());
+            sim.run_steady_state(0.5, 3_000, 4_000, 2_000)
+        };
+        let minimal = run(Box::new(MinimalRouting::new()));
+        let olm = run(Box::new(Olm::default()));
+        assert!(
+            olm.accepted_load > minimal.accepted_load * 1.5,
+            "OLM {} vs minimal {}",
+            olm.accepted_load,
+            minimal.accepted_load
+        );
+        assert!(olm.global_misroute_fraction > 0.3);
+        assert!(!olm.deadlock_detected);
+    }
+
+    #[test]
+    fn advl_traffic_beats_one_over_h() {
+        let mut sim = olm_sim(
+            SimConfig::paper_vct(2).with_seed(23),
+            Box::new(AdversarialLocal::new(1)),
+        );
+        let report = sim.run_steady_state(0.9, 3_000, 4_000, 2_000);
+        assert!(!report.deadlock_detected);
+        assert!(
+            report.accepted_load > 0.5,
+            "OLM should beat the 1/h bound under ADVL+1, got {}",
+            report.accepted_load
+        );
+        assert!(report.local_misroute_fraction + report.global_misroute_fraction > 0.05);
+    }
+
+    #[test]
+    fn advg_plus_h_competitive_with_valiant() {
+        let h = 2;
+        let adv = || Box::new(AdversarialGlobal::new(h));
+        let mut olm = olm_sim(SimConfig::paper_vct(h).with_seed(29), adv());
+        let olm_report = olm.run_steady_state(0.6, 3_000, 5_000, 2_000);
+        let mut valiant = Simulation::new(
+            SimConfig::paper_vct(h).with_seed(29),
+            Box::new(ValiantRouting::new()),
+            adv(),
+        );
+        let valiant_report = valiant.run_steady_state(0.6, 3_000, 5_000, 2_000);
+        assert!(!olm_report.deadlock_detected);
+        assert!(
+            olm_report.accepted_load >= valiant_report.accepted_load * 0.95,
+            "OLM {} should not lose to Valiant {} under ADVG+h",
+            olm_report.accepted_load,
+            valiant_report.accepted_load
+        );
+    }
+
+    #[test]
+    fn mixed_traffic_beats_piggybacking() {
+        // Figure 6a of the paper: under the ADVG+h / ADVL+1 mix the mechanisms with
+        // local misrouting clearly beat PB.
+        let mix = || Box::new(MixedGlobalLocal::new(0.5, 2, 1));
+        let run = |routing: Box<dyn dragonfly_sim::RoutingAlgorithm>| {
+            let mut sim = Simulation::new(SimConfig::paper_vct(2).with_seed(31), routing, mix());
+            sim.run_steady_state(0.9, 3_000, 4_000, 2_000)
+        };
+        let olm = run(Box::new(Olm::default()));
+        let pb = run(Box::new(Piggybacking::new()));
+        assert!(
+            olm.accepted_load > pb.accepted_load,
+            "OLM {} should beat PB {} on the mixed pattern",
+            olm.accepted_load,
+            pb.accepted_load
+        );
+        assert!(!olm.deadlock_detected);
+    }
+
+    #[test]
+    fn heavy_adversarial_load_never_deadlocks() {
+        // Cyclic dependencies can form under OLM; the escape path must prevent any
+        // actual deadlock even at saturation.
+        let mut sim = olm_sim(
+            SimConfig::paper_vct(2).with_seed(41),
+            Box::new(AdversarialGlobal::new(2)),
+        );
+        let report = sim.run_steady_state(1.0, 4_000, 6_000, 2_000);
+        assert!(!report.deadlock_detected, "OLM must not deadlock at saturation");
+        assert!(report.accepted_load > 0.1);
+    }
+}

@@ -1,0 +1,225 @@
+//! PAR — the original Progressive Adaptive Routing of Jiang, Kim & Dally (ISCA 2009)
+//! with 4 local / 2 global virtual channels.
+//!
+//! PAR decides between minimal and Valiant routing at injection time like
+//! Piggybacking, but it can *revisit* that decision after the first minimal local hop
+//! in the source group if the minimal global channel turns out to be saturated,
+//! producing paths of up to six hops (`l l g l g l`) and therefore needing a fourth
+//! local VC in the distance-ladder deadlock-avoidance scheme.  It supports **no**
+//! local misrouting, which is exactly the limitation the paper's PAR-6/2, RLM and OLM
+//! mechanisms remove.  It is included as an additional baseline (the paper discusses
+//! it in Section II and builds PAR-6/2 on top of it).
+
+use crate::common::{
+    global_misroute_eligible, next_productive_port, occupancy, sample_intermediate_groups,
+    AdaptiveParams, MisroutingTrigger,
+};
+use dragonfly_rng::Rng;
+use dragonfly_sim::{Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm};
+use dragonfly_topology::Port;
+
+/// The PAR (4/2) mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct Par {
+    params: AdaptiveParams,
+    trigger: MisroutingTrigger,
+}
+
+impl Default for Par {
+    fn default() -> Self {
+        Self::new(AdaptiveParams::default())
+    }
+}
+
+impl Par {
+    /// Create the mechanism with the given adaptive parameters.
+    pub fn new(params: AdaptiveParams) -> Self {
+        Self {
+            params,
+            trigger: MisroutingTrigger::new(params.threshold),
+        }
+    }
+
+    /// Create the mechanism with an explicit misrouting threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        Self::new(AdaptiveParams::with_threshold(threshold))
+    }
+
+    /// The PAR virtual-channel ladder: `l1 l2 g1 l3 g2 l4`, i.e. the two source-group
+    /// local hops use VCs 0 and 1, the intermediate-group local hop VC 2 and the
+    /// destination-group local hop VC 3.
+    fn ladder_vc(port: Port, packet: &Packet) -> u8 {
+        match port {
+            Port::Global(_) => packet.route.global_hops.min(1),
+            Port::Local(_) => {
+                if packet.route.global_hops == 0 {
+                    packet.route.local_hops_in_group.min(1)
+                } else {
+                    (packet.route.global_hops + 1).min(3)
+                }
+            }
+            Port::Terminal(_) => 0,
+        }
+    }
+}
+
+impl RoutingAlgorithm for Par {
+    fn name(&self) -> &'static str {
+        "PAR"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        4
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        2
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let params = view.params;
+        let group = view.group();
+
+        let minimal_port = next_productive_port(params, view.router, packet);
+        let minimal_vc = if minimal_port.is_terminal() {
+            0
+        } else {
+            Self::ladder_vc(minimal_port, packet)
+        };
+        if view.can_claim(minimal_port, minimal_vc as usize, packet) {
+            return Some(RouteChoice::plain(minimal_port, minimal_vc));
+        }
+        if minimal_port.is_terminal() {
+            return None;
+        }
+        let minimal_occ = occupancy(view, minimal_port, minimal_vc);
+
+        // Global misrouting only (at the injection router or after the first minimal
+        // local hop of the source group) — PAR never misroutes locally.
+        if global_misroute_eligible(params, group, packet) {
+            let dst_group = params.group_of_node(packet.dst);
+            for ig in
+                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
+            {
+                let port = params.port_toward_group(view.router, ig);
+                let vc = Self::ladder_vc(port, packet);
+                if view.can_claim(port, vc as usize, packet)
+                    && self.trigger.allows(occupancy(view, port, vc), minimal_occ)
+                {
+                    return Some(RouteChoice {
+                        port,
+                        vc,
+                        update: RouteUpdate {
+                            set_intermediate_group: Some(ig),
+                            mark_global_misroute: true,
+                            ..RouteUpdate::default()
+                        },
+                    });
+                }
+            }
+        }
+
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::MinimalRouting;
+    use dragonfly_sim::{Packet as SimPacket, PacketId, SimConfig, Simulation};
+    use dragonfly_topology::NodeId;
+    use dragonfly_traffic::{AdversarialGlobal, AdversarialLocal, Uniform};
+
+    #[test]
+    fn metadata() {
+        let p = Par::default();
+        assert_eq!(p.name(), "PAR");
+        assert_eq!(p.required_local_vcs(), 4);
+        assert_eq!(p.required_global_vcs(), 2);
+        let c = Par::with_threshold(0.6);
+        assert!((c.params.threshold - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_follows_l_l_g_l_g_l() {
+        let mut p = SimPacket::new(PacketId(0), NodeId(0), NodeId(500), 8, 0);
+        assert_eq!(Par::ladder_vc(Port::Local(0), &p), 0);
+        p.route.local_hops_in_group = 1;
+        assert_eq!(Par::ladder_vc(Port::Local(0), &p), 1);
+        assert_eq!(Par::ladder_vc(Port::Global(0), &p), 0);
+        p.route.global_hops = 1;
+        p.route.local_hops_in_group = 0;
+        assert_eq!(Par::ladder_vc(Port::Local(0), &p), 2);
+        assert_eq!(Par::ladder_vc(Port::Global(0), &p), 1);
+        p.route.global_hops = 2;
+        assert_eq!(Par::ladder_vc(Port::Local(0), &p), 3);
+        assert_eq!(Par::ladder_vc(Port::Terminal(0), &p), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 4 local VCs")]
+    fn rejects_three_local_vcs() {
+        let _ = Simulation::new(
+            SimConfig::paper_vct(2),
+            Box::new(Par::default()),
+            Box::new(Uniform::new()),
+        );
+    }
+
+    #[test]
+    fn advg_beats_minimal() {
+        let adv = || Box::new(AdversarialGlobal::new(1));
+        let mut par = Simulation::new(
+            SimConfig::paper_vct(2).with_local_vcs(4).with_seed(5),
+            Box::new(Par::default()),
+            adv(),
+        );
+        let par_report = par.run_steady_state(0.4, 3_000, 4_000, 2_000);
+        let mut minimal = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(5),
+            Box::new(MinimalRouting::new()),
+            adv(),
+        );
+        let minimal_report = minimal.run_steady_state(0.4, 3_000, 4_000, 2_000);
+        assert!(!par_report.deadlock_detected);
+        assert!(
+            par_report.accepted_load > minimal_report.accepted_load * 1.5,
+            "PAR {} vs minimal {}",
+            par_report.accepted_load,
+            minimal_report.accepted_load
+        );
+    }
+
+    #[test]
+    fn advl_stays_near_one_over_h_without_local_misrouting() {
+        // PAR has no local misrouting; under ADVL+1 it can only escape through full
+        // Valiant detours, so it stays well below the local-misrouting mechanisms.
+        let mut sim = Simulation::new(
+            SimConfig::paper_vct(2).with_local_vcs(4).with_seed(7),
+            Box::new(Par::default()),
+            Box::new(AdversarialLocal::new(1)),
+        );
+        let report = sim.run_steady_state(0.9, 3_000, 4_000, 2_000);
+        assert!(!report.deadlock_detected);
+        assert_eq!(report.local_misroute_fraction, 0.0, "PAR must never misroute locally");
+    }
+
+    #[test]
+    fn wormhole_supported() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_wormhole(2).with_local_vcs(4).with_seed(3),
+            Box::new(Par::default()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.1, 2_000, 3_000, 5_000);
+        assert!(!report.deadlock_detected);
+        assert!(report.packets_measured > 20);
+    }
+}

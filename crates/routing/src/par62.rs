@@ -1,0 +1,256 @@
+//! PAR-6/2 — the naïve reference mechanism: Progressive Adaptive Routing extended
+//! with local misrouting, made deadlock-free by a pure distance ladder that needs
+//! **six** local virtual channels.
+//!
+//! PAR-6/2 has the full routing freedom of the paper's proposals (global misrouting at
+//! the source router or after one minimal local hop, one local misroute per
+//! intermediate/destination group) but pays for it with twice the local VC count of
+//! RLM/OLM, which is exactly the cost the paper's new mechanisms avoid.
+
+use crate::common::{
+    global_misroute_eligible, ladder_vc_6_2, local_detour_targets, local_misroute_eligible,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams,
+    MisroutingTrigger,
+};
+use dragonfly_rng::Rng;
+use dragonfly_sim::{Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm};
+use dragonfly_topology::Port;
+
+/// The PAR-6/2 mechanism.
+#[derive(Debug, Clone, Copy)]
+pub struct Par62 {
+    params: AdaptiveParams,
+    trigger: MisroutingTrigger,
+}
+
+impl Default for Par62 {
+    fn default() -> Self {
+        Self::new(AdaptiveParams::default())
+    }
+}
+
+impl Par62 {
+    /// Create the mechanism with the given adaptive parameters.
+    pub fn new(params: AdaptiveParams) -> Self {
+        Self {
+            params,
+            trigger: MisroutingTrigger::new(params.threshold),
+        }
+    }
+
+    /// Create the mechanism with an explicit misrouting threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        Self::new(AdaptiveParams::with_threshold(threshold))
+    }
+}
+
+impl RoutingAlgorithm for Par62 {
+    fn name(&self) -> &'static str {
+        "PAR-6/2"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        6
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        2
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let params = view.params;
+        let group = view.group();
+
+        // Minimal (productive) hop is always preferred when it can be granted now.
+        let minimal_port = next_productive_port(params, view.router, packet);
+        let minimal_vc = if minimal_port.is_terminal() {
+            0
+        } else {
+            ladder_vc_6_2(minimal_port, packet)
+        };
+        if view.can_claim(minimal_port, minimal_vc as usize, packet) {
+            return Some(RouteChoice::plain(minimal_port, minimal_vc));
+        }
+        if minimal_port.is_terminal() {
+            // Ejection ports never stay blocked for long; just wait.
+            return None;
+        }
+        let minimal_occ = occupancy(view, minimal_port, minimal_vc);
+
+        // 1. Local misrouting in the intermediate / destination group.
+        if local_misroute_eligible(params, group, minimal_port, packet) {
+            let cur_idx = params.router_index_in_group(view.router);
+            let to_idx = params.local_neighbor_index(cur_idx, minimal_port.class_index());
+            let mut candidates = Vec::new();
+            for k in local_detour_targets(params, cur_idx, to_idx) {
+                let port = Port::Local(params.local_port_to(cur_idx, k));
+                let vc = ladder_vc_6_2(port, packet);
+                if view.can_claim(port, vc as usize, packet)
+                    && self.trigger.allows(occupancy(view, port, vc), minimal_occ)
+                {
+                    candidates.push((port, vc));
+                }
+            }
+            if !candidates.is_empty() {
+                let &(port, vc) = rng.choose(&candidates);
+                return Some(RouteChoice {
+                    port,
+                    vc,
+                    update: RouteUpdate {
+                        mark_local_misroute: true,
+                        ..RouteUpdate::default()
+                    },
+                });
+            }
+        }
+
+        // 2. Global misrouting in the source group (PAR style).
+        if global_misroute_eligible(params, group, packet) {
+            let dst_group = params.group_of_node(packet.dst);
+            for ig in
+                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
+            {
+                let port = params.port_toward_group(view.router, ig);
+                let vc = ladder_vc_6_2(port, packet);
+                if view.can_claim(port, vc as usize, packet)
+                    && self.trigger.allows(occupancy(view, port, vc), minimal_occ)
+                {
+                    return Some(RouteChoice {
+                        port,
+                        vc,
+                        update: RouteUpdate {
+                            set_intermediate_group: Some(ig),
+                            mark_global_misroute: true,
+                            ..RouteUpdate::default()
+                        },
+                    });
+                }
+            }
+        }
+
+        // Nothing acceptable this cycle: wait and re-evaluate.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::ValiantRouting;
+    use dragonfly_sim::{SimConfig, Simulation};
+    use dragonfly_traffic::{AdversarialGlobal, AdversarialLocal, Uniform};
+
+    fn par_sim(
+        h: usize,
+        seed: u64,
+        traffic: Box<dyn dragonfly_traffic::TrafficPattern>,
+    ) -> Simulation {
+        Simulation::new(
+            SimConfig::paper_vct(h).with_local_vcs(6).with_seed(seed),
+            Box::new(Par62::default()),
+            traffic,
+        )
+    }
+
+    #[test]
+    fn metadata() {
+        let p = Par62::default();
+        assert_eq!(p.name(), "PAR-6/2");
+        assert_eq!(p.required_local_vcs(), 6);
+        assert_eq!(p.required_global_vcs(), 2);
+        let custom = Par62::with_threshold(0.3);
+        assert!((custom.params.threshold - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires 6 local VCs")]
+    fn rejects_three_local_vcs() {
+        let _ = Simulation::new(
+            SimConfig::paper_vct(2),
+            Box::new(Par62::default()),
+            Box::new(Uniform::new()),
+        );
+    }
+
+    #[test]
+    fn uniform_traffic_delivers_without_deadlock() {
+        let mut sim = par_sim(2, 3, Box::new(Uniform::new()));
+        let report = sim.run_steady_state(0.3, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        assert!((report.accepted_load - 0.3).abs() < 0.06, "{}", report.accepted_load);
+        assert!(report.avg_hops <= 8.0);
+    }
+
+    #[test]
+    fn advg_traffic_misroutes_globally() {
+        let mut sim = par_sim(2, 5, Box::new(AdversarialGlobal::new(1)));
+        let report = sim.run_steady_state(0.4, 3_000, 4_000, 2_000);
+        assert!(!report.deadlock_detected);
+        assert!(
+            report.global_misroute_fraction > 0.4,
+            "PAR-6/2 should misroute most ADVG packets, got {}",
+            report.global_misroute_fraction
+        );
+        // Far better than the minimal bound of 1/(2h^2+1) = 1/9.
+        assert!(report.accepted_load > 0.2, "{}", report.accepted_load);
+    }
+
+    #[test]
+    fn advl_traffic_uses_local_misrouting_to_beat_one_over_h() {
+        // ADVL+1 with h=2 caps single-path throughput at 1/h = 0.5; local misrouting
+        // (plus the occasional Valiant detour) must push beyond it.
+        let mut sim = par_sim(2, 7, Box::new(AdversarialLocal::new(1)));
+        let report = sim.run_steady_state(0.9, 3_000, 4_000, 2_000);
+        assert!(!report.deadlock_detected);
+        assert!(
+            report.local_misroute_fraction > 0.05 || report.global_misroute_fraction > 0.05,
+            "expected some misrouting under ADVL"
+        );
+        assert!(
+            report.accepted_load > 0.5,
+            "PAR-6/2 should beat the 1/h bound under ADVL+1, got {}",
+            report.accepted_load
+        );
+    }
+
+    #[test]
+    fn advg_plus_h_beats_valiant() {
+        // ADVG+h saturates one local link per intermediate group under plain Valiant;
+        // local misrouting works around it.
+        let h = 2;
+        let adv = || Box::new(AdversarialGlobal::new(h));
+        let mut par = par_sim(h, 11, adv());
+        let par_report = par.run_steady_state(0.6, 3_000, 5_000, 2_000);
+        let mut valiant = Simulation::new(
+            SimConfig::paper_vct(h).with_seed(11),
+            Box::new(ValiantRouting::new()),
+            adv(),
+        );
+        let valiant_report = valiant.run_steady_state(0.6, 3_000, 5_000, 2_000);
+        assert!(!par_report.deadlock_detected);
+        assert!(
+            par_report.accepted_load > valiant_report.accepted_load,
+            "PAR-6/2 {} should beat Valiant {} under ADVG+h",
+            par_report.accepted_load,
+            valiant_report.accepted_load
+        );
+    }
+
+    #[test]
+    fn wormhole_flow_control_supported() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_wormhole(2).with_local_vcs(6).with_seed(13),
+            Box::new(Par62::default()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.1, 2_000, 3_000, 6_000);
+        assert!(!report.deadlock_detected);
+        assert!(report.packets_measured > 20);
+    }
+}

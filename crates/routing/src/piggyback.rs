@@ -1,0 +1,193 @@
+//! Piggybacking (PB) — the best indirect adaptive routing of Jiang, Kim & Dally
+//! (ISCA 2009), used by the paper as the adaptive baseline.
+//!
+//! Every router of a group periodically broadcasts one congestion bit per global
+//! channel to the other routers of its group (the simulator keeps this board up to
+//! date in [`dragonfly_sim::Network`]).  At injection time the source router compares
+//! the flag of the minimal global channel with the flag of the channel toward a
+//! candidate random intermediate group and commits the packet to either the minimal or
+//! the Valiant route — source routing, never revisited in transit, and no local
+//! misrouting at all.
+
+use crate::common::{ladder_vc_3_2, next_productive_port, sample_intermediate_groups};
+use dragonfly_rng::Rng;
+use dragonfly_sim::{Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm};
+
+/// Piggybacking source-adaptive routing.
+#[derive(Debug, Clone, Copy)]
+pub struct Piggybacking {
+    /// Occupancy fraction of the minimal *local* queue above which group-local traffic
+    /// is diverted onto a Valiant path (the paper notes its PB implementation may
+    /// misroute local traffic globally).
+    pub local_divert_threshold: f64,
+}
+
+impl Default for Piggybacking {
+    fn default() -> Self {
+        Self {
+            local_divert_threshold: 0.3,
+        }
+    }
+}
+
+impl Piggybacking {
+    /// Create the mechanism with default thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RoutingAlgorithm for Piggybacking {
+    fn name(&self) -> &'static str {
+        "PB"
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        3
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        2
+    }
+
+    fn route(
+        &self,
+        _ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        let params = view.params;
+        let dest_router = params.router_of_node(packet.dst);
+        if dest_router == view.router {
+            return Some(RouteChoice::plain(
+                next_productive_port(params, view.router, packet),
+                0,
+            ));
+        }
+
+        // The source-routed decision is taken exactly once, at the injection router.
+        if !packet.route.source_decision_taken && packet.route.total_hops == 0 {
+            let src_group = view.group();
+            let dst_group = params.group_of_node(packet.dst);
+            let flags = view.global_congested.unwrap_or(&[]);
+            let candidates = sample_intermediate_groups(params, src_group, dst_group, 1, rng);
+
+            let minimal_congested = if dst_group != src_group {
+                let channel = params.channel_to_group(src_group, dst_group);
+                flags.get(channel).copied().unwrap_or(false)
+            } else {
+                // Group-local traffic: judge the minimal local queue directly.
+                let port = next_productive_port(params, view.router, packet);
+                let occupancy = view.port_occupancy(port) as f64;
+                let capacity = view.outputs[port.flat(params.h())].total_capacity() as f64;
+                occupancy > self.local_divert_threshold * capacity
+            };
+
+            if minimal_congested {
+                if let Some(&ig) = candidates.first() {
+                    let channel = params.channel_to_group(src_group, ig);
+                    let candidate_congested = flags.get(channel).copied().unwrap_or(false);
+                    if !candidate_congested {
+                        let mut probe = packet.clone();
+                        probe.route.intermediate_group = Some(ig);
+                        probe.route.reached_intermediate = false;
+                        let port = next_productive_port(params, view.router, &probe);
+                        return Some(RouteChoice {
+                            port,
+                            vc: ladder_vc_3_2(port, packet),
+                            update: RouteUpdate {
+                                set_intermediate_group: Some(ig),
+                                mark_global_misroute: true,
+                                mark_source_decision: true,
+                                ..RouteUpdate::default()
+                            },
+                        });
+                    }
+                }
+            }
+            // Commit to the minimal route.
+            let port = next_productive_port(params, view.router, packet);
+            return Some(RouteChoice {
+                port,
+                vc: ladder_vc_3_2(port, packet),
+                update: RouteUpdate {
+                    mark_source_decision: true,
+                    ..RouteUpdate::default()
+                },
+            });
+        }
+
+        // In transit: follow whatever was decided at the source.
+        let port = next_productive_port(params, view.router, packet);
+        let vc = if port.is_terminal() {
+            0
+        } else {
+            ladder_vc_3_2(port, packet)
+        };
+        Some(RouteChoice::plain(port, vc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::{MinimalRouting, ValiantRouting};
+    use dragonfly_sim::{SimConfig, Simulation};
+    use dragonfly_traffic::{AdversarialGlobal, Uniform};
+
+    #[test]
+    fn metadata() {
+        let pb = Piggybacking::new();
+        assert_eq!(pb.name(), "PB");
+        assert_eq!(pb.required_local_vcs(), 3);
+        assert_eq!(pb.required_global_vcs(), 2);
+    }
+
+    #[test]
+    fn pb_uniform_traffic_mostly_minimal() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(4),
+            Box::new(Piggybacking::new()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.15, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        // Uniform traffic at moderate load keeps global queues below the congestion
+        // threshold, so PB rarely misroutes and behaves like minimal routing.
+        assert!(
+            report.global_misroute_fraction < 0.35,
+            "PB misrouted {} of packets under UN",
+            report.global_misroute_fraction
+        );
+        assert_eq!(report.local_misroute_fraction, 0.0);
+        assert!((report.accepted_load - 0.15).abs() < 0.04);
+    }
+
+    #[test]
+    fn pb_advg_beats_minimal_and_tracks_valiant() {
+        let adv = || Box::new(AdversarialGlobal::new(1));
+        let run = |routing: Box<dyn dragonfly_sim::RoutingAlgorithm>| {
+            let mut sim = Simulation::new(SimConfig::paper_vct(2).with_seed(9), routing, adv());
+            sim.run_steady_state(0.4, 3_000, 4_000, 2_000)
+        };
+        let minimal = run(Box::new(MinimalRouting::new()));
+        let pb = run(Box::new(Piggybacking::new()));
+        let valiant = run(Box::new(ValiantRouting::new()));
+        assert!(
+            pb.accepted_load > minimal.accepted_load * 1.5,
+            "PB {} vs minimal {}",
+            pb.accepted_load,
+            minimal.accepted_load
+        );
+        // PB adapts: it should deliver at least ~70% of pure Valiant under ADVG.
+        assert!(
+            pb.accepted_load > valiant.accepted_load * 0.7,
+            "PB {} vs Valiant {}",
+            pb.accepted_load,
+            valiant.accepted_load
+        );
+        assert!(pb.global_misroute_fraction > 0.3);
+        assert!(!pb.deadlock_detected);
+    }
+}

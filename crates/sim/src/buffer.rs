@@ -1,0 +1,288 @@
+//! Virtual-channel FIFO buffers measured in phits.
+
+use crate::packet::PacketId;
+use std::collections::VecDeque;
+
+/// Bookkeeping for one packet currently (partially) stored in a VC buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSlot {
+    /// The packet.
+    pub packet: PacketId,
+    /// Total packet size in phits.
+    pub size: u16,
+    /// Phits of this packet received into the buffer so far.
+    pub phits_received: u16,
+    /// Phits of this packet forwarded out of the buffer so far.
+    pub phits_sent: u16,
+}
+
+impl PacketSlot {
+    /// Phits physically present in the buffer.
+    #[inline]
+    pub fn phits_present(&self) -> u16 {
+        self.phits_received - self.phits_sent
+    }
+
+    /// True when at least one phit is available to forward.
+    #[inline]
+    pub fn has_phit(&self) -> bool {
+        self.phits_present() > 0
+    }
+
+    /// True when every phit of the packet has been forwarded.
+    #[inline]
+    pub fn fully_sent(&self) -> bool {
+        self.phits_sent == self.size
+    }
+
+    /// True when every phit of the packet has been received.
+    #[inline]
+    pub fn fully_received(&self) -> bool {
+        self.phits_received == self.size
+    }
+}
+
+/// One virtual-channel FIFO.
+///
+/// The buffer stores per-packet slots rather than individual phits: phits of a packet
+/// arrive in order and cannot interleave with other packets inside a single VC, so a
+/// `(received, sent)` pair per packet captures the exact FIFO content while staying
+/// O(packets) instead of O(phits).
+#[derive(Debug, Clone)]
+pub struct VcBuffer {
+    slots: VecDeque<PacketSlot>,
+    occupancy: usize,
+    capacity: usize,
+}
+
+impl VcBuffer {
+    /// Create a buffer able to hold `capacity` phits.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer capacity must be at least one phit");
+        Self {
+            slots: VecDeque::new(),
+            occupancy: 0,
+            capacity,
+        }
+    }
+
+    /// Capacity in phits.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Phits currently stored.
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    /// Free space in phits.
+    #[inline]
+    pub fn free_space(&self) -> usize {
+        self.capacity - self.occupancy
+    }
+
+    /// True when no phit is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.occupancy == 0 && self.slots.is_empty()
+    }
+
+    /// Number of packet slots currently tracked (packets partially or fully present,
+    /// or being cut through).
+    #[inline]
+    pub fn packets(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The packet at the head of the FIFO.
+    #[inline]
+    pub fn head(&self) -> Option<&PacketSlot> {
+        self.slots.front()
+    }
+
+    /// Receive one phit of `packet`.  `is_head` marks the first phit of the packet,
+    /// which opens a new slot at the tail of the FIFO.
+    ///
+    /// Panics if the buffer would overflow (the credit scheme must prevent this) or if
+    /// a non-head phit arrives for a packet that is not the most recent slot.
+    pub fn receive_phit(&mut self, packet: PacketId, size: u16, is_head: bool) {
+        assert!(
+            self.occupancy < self.capacity,
+            "VC buffer overflow: credit accounting is broken"
+        );
+        if is_head {
+            self.slots.push_back(PacketSlot {
+                packet,
+                size,
+                phits_received: 1,
+                phits_sent: 0,
+            });
+        } else {
+            let slot = self
+                .slots
+                .back_mut()
+                .expect("body phit arrived with no open packet slot");
+            assert_eq!(
+                slot.packet, packet,
+                "phits of different packets interleaved within one VC"
+            );
+            assert!(slot.phits_received < slot.size, "received more phits than packet size");
+            slot.phits_received += 1;
+        }
+        self.occupancy += 1;
+    }
+
+    /// Forward one phit of the head packet out of the buffer.
+    ///
+    /// Returns the packet id and whether the forwarded phit was the tail (last) phit;
+    /// when it is, the slot is popped.  Panics if no phit is available.
+    pub fn send_phit(&mut self) -> (PacketId, bool) {
+        let slot = self.slots.front_mut().expect("send from an empty VC buffer");
+        assert!(slot.has_phit(), "no phit of the head packet is present yet");
+        slot.phits_sent += 1;
+        self.occupancy -= 1;
+        let packet = slot.packet;
+        let is_tail = slot.fully_sent();
+        if is_tail {
+            debug_assert!(slot.fully_received());
+            self.slots.pop_front();
+        }
+        (packet, is_tail)
+    }
+
+    /// True when the head packet exists and has a phit ready to forward.
+    #[inline]
+    pub fn head_has_phit(&self) -> bool {
+        self.head().map(|s| s.has_phit()).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PacketId {
+        PacketId(i)
+    }
+
+    #[test]
+    fn receive_then_send_whole_packet() {
+        let mut b = VcBuffer::new(16);
+        for i in 0..4u16 {
+            b.receive_phit(pid(1), 4, i == 0);
+        }
+        assert_eq!(b.occupancy(), 4);
+        assert_eq!(b.packets(), 1);
+        assert!(b.head().unwrap().fully_received());
+        for i in 0..4 {
+            let (p, tail) = b.send_phit();
+            assert_eq!(p, pid(1));
+            assert_eq!(tail, i == 3);
+        }
+        assert!(b.is_empty());
+        assert_eq!(b.free_space(), 16);
+    }
+
+    #[test]
+    fn cut_through_send_while_receiving() {
+        let mut b = VcBuffer::new(8);
+        b.receive_phit(pid(7), 4, true);
+        assert!(b.head_has_phit());
+        let (_, tail) = b.send_phit();
+        assert!(!tail);
+        assert_eq!(b.occupancy(), 0);
+        assert!(!b.head_has_phit());
+        assert_eq!(b.packets(), 1, "slot stays open until the tail is sent");
+        b.receive_phit(pid(7), 4, false);
+        b.receive_phit(pid(7), 4, false);
+        b.receive_phit(pid(7), 4, false);
+        let mut tails = 0;
+        for _ in 0..3 {
+            let (_, t) = b.send_phit();
+            if t {
+                tails += 1;
+            }
+        }
+        assert_eq!(tails, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn multiple_packets_fifo_order() {
+        let mut b = VcBuffer::new(16);
+        for i in 0..3u16 {
+            b.receive_phit(pid(1), 3, i == 0);
+        }
+        for i in 0..2u16 {
+            b.receive_phit(pid(2), 2, i == 0);
+        }
+        assert_eq!(b.packets(), 2);
+        assert_eq!(b.occupancy(), 5);
+        // Head is packet 1; it must drain before packet 2.
+        for _ in 0..3 {
+            let (p, _) = b.send_phit();
+            assert_eq!(p, pid(1));
+        }
+        let (p, tail) = b.send_phit();
+        assert_eq!(p, pid(2));
+        assert!(!tail);
+        let (p, tail) = b.send_phit();
+        assert_eq!(p, pid(2));
+        assert!(tail);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = VcBuffer::new(2);
+        b.receive_phit(pid(1), 4, true);
+        b.receive_phit(pid(1), 4, false);
+        b.receive_phit(pid(1), 4, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "interleaved")]
+    fn interleaved_packets_rejected() {
+        let mut b = VcBuffer::new(8);
+        b.receive_phit(pid(1), 4, true);
+        b.receive_phit(pid(2), 4, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn send_from_empty_panics() {
+        let mut b = VcBuffer::new(4);
+        b.send_phit();
+    }
+
+    #[test]
+    #[should_panic(expected = "no phit of the head packet")]
+    fn send_without_present_phit_panics() {
+        let mut b = VcBuffer::new(8);
+        b.receive_phit(pid(1), 4, true);
+        let _ = b.send_phit();
+        let _ = b.send_phit();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phit")]
+    fn zero_capacity_rejected() {
+        VcBuffer::new(0);
+    }
+
+    #[test]
+    fn occupancy_tracks_present_phits_only() {
+        let mut b = VcBuffer::new(8);
+        b.receive_phit(pid(1), 8, true);
+        b.receive_phit(pid(1), 8, false);
+        let _ = b.send_phit();
+        assert_eq!(b.occupancy(), 1);
+        assert_eq!(b.free_space(), 7);
+        assert_eq!(b.head().unwrap().phits_present(), 1);
+        assert_eq!(b.head().unwrap().phits_sent, 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! Simulator configuration: flow control, buffer geometry, latencies and seeds.
+
+use dragonfly_topology::{DragonflyParams, Port, PortKind};
+use serde::{Deserialize, Serialize};
+
+/// Link-level flow control discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowControl {
+    /// Virtual Cut-Through: a packet only starts moving to the next buffer when the
+    /// whole packet fits there.
+    Vct,
+    /// Wormhole: packets are divided into flits of `flit_size` phits; a flit advances
+    /// when there is space for one flit downstream, so blocked packets can span
+    /// several routers.
+    Wormhole {
+        /// Flit size in phits.
+        flit_size: usize,
+    },
+}
+
+impl FlowControl {
+    /// The number of free downstream phits required before a packet (VCT) or its next
+    /// flit (WH) may start crossing the switch.
+    #[inline]
+    pub fn claim_phits(&self, packet_size: usize) -> usize {
+        match self {
+            FlowControl::Vct => packet_size,
+            FlowControl::Wormhole { flit_size } => (*flit_size).min(packet_size),
+        }
+    }
+
+    /// Phits required at a flit boundary during transmission.
+    #[inline]
+    pub fn flit_phits(&self, packet_size: usize) -> usize {
+        match self {
+            FlowControl::Vct => 1,
+            FlowControl::Wormhole { flit_size } => (*flit_size).min(packet_size),
+        }
+    }
+
+    /// True for Virtual Cut-Through.
+    #[inline]
+    pub fn is_vct(&self) -> bool {
+        matches!(self, FlowControl::Vct)
+    }
+}
+
+/// Full configuration of a simulation run.
+///
+/// Defaults follow the paper's methodology section: local links of 10 cycles, global
+/// links of 100 cycles, 32-phit local FIFOs, 256-phit global FIFOs, 3 local / 2 global
+/// VCs, 8-phit packets under VCT and 80-phit packets (8 flits of 10 phits) under WH.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Topology parameters.
+    pub params: DragonflyParams,
+    /// Flow-control discipline.
+    pub flow_control: FlowControl,
+    /// Packet size in phits.
+    pub packet_size: usize,
+    /// Local link latency in cycles.
+    pub local_latency: u64,
+    /// Global link latency in cycles.
+    pub global_latency: u64,
+    /// Injection/ejection link latency in cycles.
+    pub terminal_latency: u64,
+    /// Capacity of each local-port input VC, in phits.
+    pub local_buffer: usize,
+    /// Capacity of each global-port input VC, in phits.
+    pub global_buffer: usize,
+    /// Capacity of each injection-queue VC, in phits.
+    pub injection_buffer: usize,
+    /// Virtual channels per local port (and per injection port).
+    pub local_vcs: usize,
+    /// Virtual channels per global port.
+    pub global_vcs: usize,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Cycles without any phit movement (while packets are in flight) after which the
+    /// deadlock watchdog fires.
+    pub deadlock_threshold: u64,
+    /// Occupancy fraction above which a global channel is advertised as congested to
+    /// the Piggybacking mechanism.
+    pub pb_congestion_threshold: f64,
+}
+
+impl SimConfig {
+    /// Paper configuration for Virtual Cut-Through (8-phit packets).
+    pub fn paper_vct(h: usize) -> Self {
+        Self {
+            params: DragonflyParams::new(h),
+            flow_control: FlowControl::Vct,
+            packet_size: 8,
+            local_latency: 10,
+            global_latency: 100,
+            terminal_latency: 1,
+            local_buffer: 32,
+            global_buffer: 256,
+            injection_buffer: 32,
+            local_vcs: 3,
+            global_vcs: 2,
+            seed: 1,
+            deadlock_threshold: 50_000,
+            pb_congestion_threshold: 0.3,
+        }
+    }
+
+    /// Paper configuration for Wormhole (80-phit packets, 10-phit flits).
+    pub fn paper_wormhole(h: usize) -> Self {
+        Self {
+            flow_control: FlowControl::Wormhole { flit_size: 10 },
+            packet_size: 80,
+            ..Self::paper_vct(h)
+        }
+    }
+
+    /// Override the number of local VCs (e.g. 6 for PAR-6/2).
+    pub fn with_local_vcs(mut self, vcs: usize) -> Self {
+        assert!(vcs >= 1);
+        self.local_vcs = vcs;
+        self
+    }
+
+    /// Override the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the packet size.
+    pub fn with_packet_size(mut self, phits: usize) -> Self {
+        assert!(phits >= 1);
+        self.packet_size = phits;
+        self
+    }
+
+    /// Number of virtual channels of an *input or output* port of the given kind.
+    #[inline]
+    pub fn vcs_for(&self, kind: PortKind) -> usize {
+        match kind {
+            PortKind::Local => self.local_vcs,
+            PortKind::Global => self.global_vcs,
+            PortKind::Terminal => self.local_vcs,
+        }
+    }
+
+    /// Capacity in phits of one input VC on a port of the given kind.
+    #[inline]
+    pub fn buffer_for(&self, kind: PortKind) -> usize {
+        match kind {
+            PortKind::Local => self.local_buffer,
+            PortKind::Global => self.global_buffer,
+            PortKind::Terminal => self.injection_buffer,
+        }
+    }
+
+    /// Link latency of a port of the given kind.
+    #[inline]
+    pub fn latency_for(&self, kind: PortKind) -> u64 {
+        match kind {
+            PortKind::Local => self.local_latency,
+            PortKind::Global => self.global_latency,
+            PortKind::Terminal => self.terminal_latency,
+        }
+    }
+
+    /// Latency of the link reached through `port`.
+    #[inline]
+    pub fn latency_for_port(&self, port: Port) -> u64 {
+        self.latency_for(port.kind())
+    }
+
+    /// Sanity-check the configuration, panicking with a descriptive message if it is
+    /// inconsistent (e.g. VCT with buffers smaller than a packet).
+    pub fn validate(&self) {
+        assert!(self.packet_size >= 1, "packet size must be positive");
+        assert!(self.local_vcs >= 1 && self.global_vcs >= 1, "need at least one VC");
+        if self.flow_control.is_vct() {
+            assert!(
+                self.local_buffer >= self.packet_size,
+                "VCT requires local buffers ({} phits) to hold a whole packet ({} phits)",
+                self.local_buffer,
+                self.packet_size
+            );
+            assert!(
+                self.global_buffer >= self.packet_size,
+                "VCT requires global buffers to hold a whole packet"
+            );
+            assert!(
+                self.injection_buffer >= self.packet_size,
+                "VCT requires injection buffers to hold a whole packet"
+            );
+        } else if let FlowControl::Wormhole { flit_size } = self.flow_control {
+            assert!(flit_size >= 1, "flit size must be positive");
+            assert!(
+                self.local_buffer >= flit_size,
+                "WH requires local buffers to hold at least one flit"
+            );
+            assert!(
+                self.packet_size % flit_size == 0,
+                "packet size must be a whole number of flits"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vct_defaults() {
+        let c = SimConfig::paper_vct(8);
+        assert_eq!(c.params.h(), 8);
+        assert_eq!(c.packet_size, 8);
+        assert_eq!(c.local_latency, 10);
+        assert_eq!(c.global_latency, 100);
+        assert_eq!(c.local_buffer, 32);
+        assert_eq!(c.global_buffer, 256);
+        assert_eq!(c.local_vcs, 3);
+        assert_eq!(c.global_vcs, 2);
+        assert!(c.flow_control.is_vct());
+        c.validate();
+    }
+
+    #[test]
+    fn paper_wormhole_defaults() {
+        let c = SimConfig::paper_wormhole(8);
+        assert_eq!(c.packet_size, 80);
+        assert_eq!(c.flow_control, FlowControl::Wormhole { flit_size: 10 });
+        assert!(!c.flow_control.is_vct());
+        c.validate();
+    }
+
+    #[test]
+    fn claim_phits_by_flow_control() {
+        assert_eq!(FlowControl::Vct.claim_phits(8), 8);
+        assert_eq!(FlowControl::Wormhole { flit_size: 10 }.claim_phits(80), 10);
+        assert_eq!(FlowControl::Wormhole { flit_size: 10 }.claim_phits(4), 4);
+        assert_eq!(FlowControl::Vct.flit_phits(8), 1);
+        assert_eq!(FlowControl::Wormhole { flit_size: 10 }.flit_phits(80), 10);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let c = SimConfig::paper_vct(4)
+            .with_local_vcs(6)
+            .with_seed(99)
+            .with_packet_size(16);
+        assert_eq!(c.local_vcs, 6);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.packet_size, 16);
+    }
+
+    #[test]
+    fn vcs_and_buffers_per_kind() {
+        let c = SimConfig::paper_vct(4);
+        assert_eq!(c.vcs_for(PortKind::Local), 3);
+        assert_eq!(c.vcs_for(PortKind::Global), 2);
+        assert_eq!(c.vcs_for(PortKind::Terminal), 3);
+        assert_eq!(c.buffer_for(PortKind::Local), 32);
+        assert_eq!(c.buffer_for(PortKind::Global), 256);
+        assert_eq!(c.latency_for(PortKind::Global), 100);
+        assert_eq!(c.latency_for_port(Port::Local(0)), 10);
+        assert_eq!(c.latency_for_port(Port::Terminal(0)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole packet")]
+    fn vct_small_buffer_rejected() {
+        let mut c = SimConfig::paper_vct(2);
+        c.local_buffer = 4;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of flits")]
+    fn wormhole_ragged_packet_rejected() {
+        let mut c = SimConfig::paper_wormhole(2);
+        c.packet_size = 75;
+        c.validate();
+    }
+}

@@ -1,0 +1,253 @@
+//! High-level simulation drivers: steady-state and burst-consumption runs.
+
+use crate::config::SimConfig;
+use crate::network::Network;
+use crate::routing_iface::RoutingAlgorithm;
+use dragonfly_stats::{BatchReport, SimReport};
+use dragonfly_traffic::{BernoulliInjection, BurstSpec, TrafficPattern};
+
+/// A complete simulation: a [`Network`] plus the measurement protocol of the paper.
+pub struct Simulation {
+    net: Network,
+}
+
+impl Simulation {
+    /// Build a simulation from a configuration, a routing mechanism and a traffic
+    /// pattern.
+    pub fn new(
+        config: SimConfig,
+        routing: Box<dyn RoutingAlgorithm>,
+        traffic: Box<dyn TrafficPattern>,
+    ) -> Self {
+        Self {
+            net: Network::new(config, routing, traffic),
+        }
+    }
+
+    /// Read access to the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the underlying network (tests and custom experiments).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Advance one cycle.
+    pub fn step(&mut self) {
+        self.net.step();
+    }
+
+    /// Advance `cycles` cycles.
+    pub fn run_cycles(&mut self, cycles: u64) {
+        self.net.run(cycles);
+    }
+
+    /// Run the paper's steady-state protocol.
+    ///
+    /// The network is warmed up for `warmup` cycles under the given offered load, then
+    /// measured for `measure` cycles.  Packets generated inside the measurement window
+    /// are latency-tagged; after the window closes the simulation keeps running (with
+    /// injection still on, as in an open-loop measurement) for up to `drain` extra
+    /// cycles or until every tagged packet has been delivered, so latency statistics
+    /// are not truncated.
+    pub fn run_steady_state(
+        &mut self,
+        offered_load: f64,
+        warmup: u64,
+        measure: u64,
+        drain: u64,
+    ) -> SimReport {
+        let packet_size = self.net.config.packet_size;
+        let nodes = self.net.params().num_nodes();
+        self.net
+            .set_injection(Some(BernoulliInjection::new(offered_load, packet_size)));
+
+        // Warm-up.
+        self.net.tag_measured = false;
+        self.net.run(warmup);
+
+        // Measurement window.
+        let start = self.net.cycle;
+        self.net.stats.begin_measurement(start);
+        self.net.tag_measured = true;
+        self.net.run(measure);
+        let end = self.net.cycle;
+        self.net.stats.end_measurement(end);
+        self.net.tag_measured = false;
+
+        // Drain: let tagged packets finish, still under load, without extending the
+        // throughput window.
+        let measured_goal = self.net.stats.total_generated;
+        let mut drained = 0;
+        while drained < drain
+            && self.net.stats.total_delivered < measured_goal
+            && !self.net.deadlock_detected
+        {
+            self.net.step();
+            drained += 1;
+        }
+
+        let stats = &self.net.stats;
+        SimReport {
+            routing: self.net.routing_name().to_string(),
+            traffic: self.net.traffic_name(),
+            offered_load,
+            injected_load: stats.meter.injected_load(nodes),
+            accepted_load: stats.meter.accepted_load(nodes),
+            avg_latency_cycles: stats.latency.mean(),
+            p99_latency_cycles: stats.latency_hist.percentile(0.99).unwrap_or(0.0),
+            max_latency_cycles: stats.latency.max().unwrap_or(0.0),
+            avg_hops: stats.hops.mean(),
+            global_misroute_fraction: stats.global_misroute_fraction(),
+            local_misroute_fraction: stats.local_misroute_fraction(),
+            packets_delivered: stats.meter.packets_delivered,
+            packets_measured: stats.measured_delivered,
+            warmup_cycles: warmup,
+            measure_cycles: measure,
+            deadlock_detected: self.net.deadlock_detected,
+        }
+    }
+
+    /// Run the paper's burst-consumption protocol: every node sends
+    /// `burst.packets_per_node()` packets following the traffic pattern, and the
+    /// simulation runs until all of them are delivered (or `max_cycles` is reached).
+    pub fn run_batch(&mut self, burst: BurstSpec, max_cycles: u64) -> BatchReport {
+        assert_eq!(
+            burst.packet_size(),
+            self.net.config.packet_size,
+            "burst packet size must match the configured packet size"
+        );
+        self.net.set_injection(None);
+        self.net.stats.begin_measurement(self.net.cycle);
+        let start = self.net.cycle;
+        self.net.preload_burst(burst.packets_per_node());
+        let total = self.net.stats.total_generated;
+
+        while !self.net.is_drained()
+            && self.net.cycle - start < max_cycles
+            && !self.net.deadlock_detected
+        {
+            self.net.step();
+        }
+        let consumption = self.net.cycle - start;
+        self.net.stats.end_measurement(self.net.cycle);
+
+        let stats = &self.net.stats;
+        BatchReport {
+            routing: self.net.routing_name().to_string(),
+            traffic: self.net.traffic_name(),
+            packets_per_node: burst.packets_per_node(),
+            packets_total: total,
+            packets_delivered: stats.total_delivered,
+            consumption_cycles: consumption,
+            avg_latency_cycles: stats.latency.mean(),
+            timed_out: !self.net.is_drained() && !self.net.deadlock_detected,
+            deadlock_detected: self.net.deadlock_detected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing_iface::BaselineMinimal;
+    use dragonfly_traffic::{AdversarialGlobal, Uniform};
+
+    fn vct_sim(h: usize, seed: u64) -> Simulation {
+        Simulation::new(
+            SimConfig::paper_vct(h).with_seed(seed),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        )
+    }
+
+    #[test]
+    fn steady_state_uniform_low_load() {
+        let mut sim = vct_sim(2, 11);
+        let report = sim.run_steady_state(0.1, 2_000, 3_000, 4_000);
+        assert!(!report.deadlock_detected);
+        // Low load: accepted load tracks the offered load closely.
+        assert!(
+            (report.accepted_load - 0.1).abs() < 0.03,
+            "accepted {} vs offered 0.1",
+            report.accepted_load
+        );
+        assert!(report.injected_load > 0.05);
+        // Latency is bounded below by the physical path and above by sanity.
+        assert!(report.avg_latency_cycles > 50.0, "{}", report.avg_latency_cycles);
+        assert!(report.avg_latency_cycles < 400.0, "{}", report.avg_latency_cycles);
+        assert!(report.p99_latency_cycles >= report.avg_latency_cycles);
+        assert!(report.packets_measured > 100);
+        assert_eq!(report.routing, "Minimal");
+        assert_eq!(report.traffic, "UN");
+    }
+
+    #[test]
+    fn steady_state_latency_grows_with_load() {
+        let low = vct_sim(2, 3).run_steady_state(0.05, 1_500, 2_500, 3_000);
+        let high = vct_sim(2, 3).run_steady_state(0.45, 1_500, 2_500, 3_000);
+        assert!(
+            high.avg_latency_cycles > low.avg_latency_cycles,
+            "latency should grow with load: {} vs {}",
+            high.avg_latency_cycles,
+            low.avg_latency_cycles
+        );
+        assert!(high.accepted_load > low.accepted_load);
+    }
+
+    #[test]
+    fn adversarial_minimal_saturates_at_group_bound() {
+        // Under ADVG+1 with minimal routing the single global channel between
+        // consecutive groups caps throughput around 1/(2h^2+1).
+        let mut sim = Simulation::new(
+            SimConfig::paper_vct(2).with_seed(5),
+            Box::new(BaselineMinimal::new()),
+            Box::new(AdversarialGlobal::new(1)),
+        );
+        let report = sim.run_steady_state(0.5, 3_000, 4_000, 2_000);
+        let bound = 1.0 / (2.0 * 2.0 * 2.0 + 1.0); // 1/9 ≈ 0.111
+        assert!(
+            report.accepted_load < bound * 1.6,
+            "minimal routing under ADVG+1 should saturate near {bound}, got {}",
+            report.accepted_load
+        );
+        assert!(report.accepted_load > bound * 0.4);
+        assert!(!report.deadlock_detected);
+    }
+
+    #[test]
+    fn batch_run_delivers_everything() {
+        let mut sim = vct_sim(2, 21);
+        let report = sim.run_batch(BurstSpec::new(5, 8), 200_000);
+        assert!(!report.timed_out);
+        assert!(!report.deadlock_detected);
+        assert_eq!(report.packets_total, report.packets_delivered);
+        assert_eq!(report.packets_per_node, 5);
+        assert!(report.consumption_cycles > 100);
+        assert!(report.avg_latency_cycles > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "packet size")]
+    fn batch_rejects_mismatched_packet_size() {
+        let mut sim = vct_sim(2, 1);
+        let _ = sim.run_batch(BurstSpec::new(5, 16), 1_000);
+    }
+
+    #[test]
+    fn wormhole_uniform_delivers() {
+        let mut sim = Simulation::new(
+            SimConfig::paper_wormhole(2).with_seed(13),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        );
+        let report = sim.run_steady_state(0.1, 2_000, 3_000, 6_000);
+        assert!(!report.deadlock_detected);
+        assert!(report.packets_measured > 20);
+        assert!((report.accepted_load - 0.1).abs() < 0.04, "{}", report.accepted_load);
+        // 80-phit packets over a ~120-cycle path: latency well above the VCT case.
+        assert!(report.avg_latency_cycles > 150.0);
+    }
+}

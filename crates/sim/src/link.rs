@@ -1,0 +1,204 @@
+//! Pipelined links carrying phits forward and credits backward.
+
+use crate::packet::PacketId;
+use dragonfly_topology::NodeId;
+use std::collections::VecDeque;
+
+/// A phit travelling on a link.
+#[derive(Debug, Clone, Copy)]
+pub struct PhitInFlight {
+    /// Cycle at which the phit reaches the far end.
+    pub arrive: u64,
+    /// The packet it belongs to.
+    pub packet: PacketId,
+    /// Virtual channel it will be stored in at the far end.
+    pub vc: u8,
+    /// First phit of the packet.
+    pub is_head: bool,
+    /// Last phit of the packet.
+    pub is_tail: bool,
+    /// Size of the packet in phits (needed to open the downstream slot).
+    pub size: u16,
+}
+
+/// A credit travelling back to the transmitter of a link.
+#[derive(Debug, Clone, Copy)]
+pub struct CreditInFlight {
+    /// Cycle at which the credit reaches the transmitter.
+    pub arrive: u64,
+    /// Virtual channel the credit belongs to.
+    pub vc: u8,
+}
+
+/// The far end of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEnd {
+    /// Another router: `(router index, flat input port)`.
+    Router {
+        /// Destination router index.
+        router: usize,
+        /// Flat input port at the destination router.
+        port: usize,
+    },
+    /// A terminal node (ejection).
+    Node {
+        /// The consuming node.
+        node: NodeId,
+    },
+}
+
+/// A unidirectional pipelined channel.
+///
+/// Phits inserted at cycle `t` become available at the far end at `t + latency`.
+/// Credits flow in the opposite direction with the same latency, modelling the
+/// round-trip time that sizes the buffers in the paper's methodology.
+#[derive(Debug)]
+pub struct Link {
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Where the link ends.
+    pub to: LinkEnd,
+    phits: VecDeque<PhitInFlight>,
+    credits: VecDeque<CreditInFlight>,
+}
+
+impl Link {
+    /// Create an idle link.
+    pub fn new(latency: u64, to: LinkEnd) -> Self {
+        Self {
+            latency,
+            to,
+            phits: VecDeque::new(),
+            credits: VecDeque::new(),
+        }
+    }
+
+    /// Launch a phit at cycle `now`.
+    #[inline]
+    pub fn send_phit(&mut self, now: u64, mut phit: PhitInFlight) {
+        phit.arrive = now + self.latency;
+        debug_assert!(
+            self.phits.back().map(|p| p.arrive <= phit.arrive).unwrap_or(true),
+            "phits must be launched in non-decreasing time order"
+        );
+        self.phits.push_back(phit);
+    }
+
+    /// Launch a credit back to the transmitter at cycle `now`.
+    #[inline]
+    pub fn send_credit(&mut self, now: u64, vc: u8) {
+        self.credits.push_back(CreditInFlight {
+            arrive: now + self.latency,
+            vc,
+        });
+    }
+
+    /// Pop the next phit that has arrived by cycle `now`, if any.
+    #[inline]
+    pub fn pop_arrived_phit(&mut self, now: u64) -> Option<PhitInFlight> {
+        if self.phits.front().map(|p| p.arrive <= now).unwrap_or(false) {
+            self.phits.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Pop the next credit that has arrived by cycle `now`, if any.
+    #[inline]
+    pub fn pop_arrived_credit(&mut self, now: u64) -> Option<CreditInFlight> {
+        if self.credits.front().map(|c| c.arrive <= now).unwrap_or(false) {
+            self.credits.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Number of phits currently in flight.
+    #[inline]
+    pub fn phits_in_flight(&self) -> usize {
+        self.phits.len()
+    }
+
+    /// Number of credits currently in flight.
+    #[inline]
+    pub fn credits_in_flight(&self) -> usize {
+        self.credits.len()
+    }
+
+    /// True when nothing is travelling on the link in either direction.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.phits.is_empty() && self.credits.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phit(packet: u32) -> PhitInFlight {
+        PhitInFlight {
+            arrive: 0,
+            packet: PacketId(packet),
+            vc: 0,
+            is_head: true,
+            is_tail: false,
+            size: 8,
+        }
+    }
+
+    #[test]
+    fn phit_arrives_after_latency() {
+        let mut link = Link::new(10, LinkEnd::Node { node: NodeId(0) });
+        link.send_phit(5, phit(1));
+        assert!(link.pop_arrived_phit(14).is_none());
+        let p = link.pop_arrived_phit(15).expect("phit should have arrived");
+        assert_eq!(p.packet, PacketId(1));
+        assert_eq!(p.arrive, 15);
+        assert!(link.is_idle());
+    }
+
+    #[test]
+    fn phits_preserve_order() {
+        let mut link = Link::new(3, LinkEnd::Router { router: 1, port: 2 });
+        link.send_phit(0, phit(1));
+        link.send_phit(1, phit(2));
+        link.send_phit(2, phit(3));
+        assert_eq!(link.phits_in_flight(), 3);
+        assert_eq!(link.pop_arrived_phit(3).unwrap().packet, PacketId(1));
+        assert_eq!(link.pop_arrived_phit(4).unwrap().packet, PacketId(2));
+        assert!(link.pop_arrived_phit(4).is_none());
+        assert_eq!(link.pop_arrived_phit(5).unwrap().packet, PacketId(3));
+    }
+
+    #[test]
+    fn one_phit_per_cycle_pops_one_at_a_time() {
+        let mut link = Link::new(1, LinkEnd::Node { node: NodeId(3) });
+        link.send_phit(0, phit(1));
+        link.send_phit(1, phit(2));
+        // Both have arrived by cycle 10, but they pop in order, one call each.
+        assert!(link.pop_arrived_phit(10).is_some());
+        assert!(link.pop_arrived_phit(10).is_some());
+        assert!(link.pop_arrived_phit(10).is_none());
+    }
+
+    #[test]
+    fn credits_travel_with_latency() {
+        let mut link = Link::new(7, LinkEnd::Router { router: 0, port: 0 });
+        link.send_credit(100, 2);
+        assert!(link.pop_arrived_credit(106).is_none());
+        let c = link.pop_arrived_credit(107).unwrap();
+        assert_eq!(c.vc, 2);
+        assert_eq!(link.credits_in_flight(), 0);
+    }
+
+    #[test]
+    fn idle_tracks_both_directions() {
+        let mut link = Link::new(2, LinkEnd::Node { node: NodeId(1) });
+        assert!(link.is_idle());
+        link.send_credit(0, 0);
+        assert!(!link.is_idle());
+        let _ = link.pop_arrived_credit(2);
+        assert!(link.is_idle());
+    }
+}

@@ -1,0 +1,784 @@
+//! The network: routers, links, sources and the per-cycle simulation phases.
+
+use crate::config::SimConfig;
+use crate::link::{Link, LinkEnd, PhitInFlight};
+use crate::packet::{PacketArena, PacketId};
+use crate::router::Router;
+use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
+use crate::stats_collect::StatsCollector;
+use dragonfly_rng::Rng;
+use dragonfly_topology::{DragonflyParams, NodeId, Port, PortKind, RouterId};
+use dragonfly_traffic::{BernoulliInjection, TrafficPattern};
+use std::collections::VecDeque;
+
+/// Unbounded per-node source queue feeding the router's injection port.
+#[derive(Debug, Default)]
+pub struct SourceQueue {
+    /// Packets waiting to enter the injection buffer.
+    pub pending: VecDeque<PacketId>,
+    /// Phits of the head packet already pushed into the injection buffer.
+    pub head_phits_sent: u16,
+}
+
+impl SourceQueue {
+    /// True when no packet is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Per-group board of piggybacked global-channel congestion flags.
+#[derive(Debug)]
+pub struct GlobalStatusBoard {
+    flags: Vec<bool>,
+    channels_per_group: usize,
+}
+
+impl GlobalStatusBoard {
+    fn new(groups: usize, channels_per_group: usize) -> Self {
+        Self {
+            flags: vec![false; groups * channels_per_group],
+            channels_per_group,
+        }
+    }
+
+    /// The congestion flags of one group, indexed by global channel.
+    pub fn group(&self, group: usize) -> &[bool] {
+        let start = group * self.channels_per_group;
+        &self.flags[start..start + self.channels_per_group]
+    }
+
+    fn set(&mut self, group: usize, channel: usize, value: bool) {
+        self.flags[group * self.channels_per_group + channel] = value;
+    }
+}
+
+/// The simulated network and all of its per-cycle state.
+pub struct Network {
+    /// Configuration of this run.
+    pub config: SimConfig,
+    params: DragonflyParams,
+    /// All routers, indexed by router id.
+    pub routers: Vec<Router>,
+    links: Vec<Link>,
+    /// For every (router, input port): index of the link feeding it (usize::MAX for
+    /// terminal/injection ports).
+    incoming_link: Vec<usize>,
+    /// Phits transmitted on each link since construction (indexed like `links`).
+    link_phits: Vec<u64>,
+    /// Per-node source queues.
+    pub sources: Vec<SourceQueue>,
+    /// Packet arena.
+    pub packets: PacketArena,
+    /// Current cycle.
+    pub cycle: u64,
+    rng: Rng,
+    routing: Box<dyn RoutingAlgorithm>,
+    traffic: Box<dyn TrafficPattern>,
+    injection: Option<BernoulliInjection>,
+    /// Statistics collector.
+    pub stats: StatsCollector,
+    pb_board: GlobalStatusBoard,
+    last_activity: u64,
+    /// Set when the deadlock watchdog fires.
+    pub deadlock_detected: bool,
+    /// Whether newly generated packets are tagged as measured.
+    pub tag_measured: bool,
+}
+
+impl Network {
+    /// Build an idle network.
+    pub fn new(
+        config: SimConfig,
+        routing: Box<dyn RoutingAlgorithm>,
+        traffic: Box<dyn TrafficPattern>,
+    ) -> Self {
+        config.validate();
+        assert!(
+            config.local_vcs >= routing.required_local_vcs(),
+            "{} requires {} local VCs but the configuration provides {}",
+            routing.name(),
+            routing.required_local_vcs(),
+            config.local_vcs
+        );
+        assert!(
+            config.global_vcs >= routing.required_global_vcs(),
+            "{} requires {} global VCs but the configuration provides {}",
+            routing.name(),
+            routing.required_global_vcs(),
+            config.global_vcs
+        );
+        assert!(
+            routing.supports_flow_control(config.flow_control),
+            "{} does not support the selected flow control",
+            routing.name()
+        );
+        let params = config.params;
+        let ports = params.ports_per_router();
+        let num_routers = params.num_routers();
+        let ejection_capacity = (config.packet_size * 4).max(config.injection_buffer);
+
+        // Downstream capacities per output port are identical for every router.
+        let h = params.h();
+        let downstream: Vec<usize> = (0..ports)
+            .map(|flat| match Port::from_flat(flat, h).kind() {
+                PortKind::Local => config.local_buffer,
+                PortKind::Global => config.global_buffer,
+                PortKind::Terminal => ejection_capacity,
+            })
+            .collect();
+
+        let mut routers = Vec::with_capacity(num_routers);
+        let mut links = Vec::with_capacity(num_routers * ports);
+        for r in 0..num_routers {
+            let rid = RouterId(r as u32);
+            routers.push(Router::new(rid, &config, &downstream));
+            for flat in 0..ports {
+                let port = Port::from_flat(flat, h);
+                let latency = config.latency_for_port(port);
+                let end = match port {
+                    Port::Local(_) | Port::Global(_) => {
+                        let (nbr, back) = params.neighbor(rid, port);
+                        LinkEnd::Router {
+                            router: nbr.index(),
+                            port: back.flat(h),
+                        }
+                    }
+                    Port::Terminal(t) => LinkEnd::Node {
+                        node: params.node_of_router(rid, t),
+                    },
+                };
+                links.push(Link::new(latency, end));
+            }
+        }
+
+        // Reverse map: which link feeds each (router, input port)?
+        let mut incoming_link = vec![usize::MAX; num_routers * ports];
+        for (li, link) in links.iter().enumerate() {
+            if let LinkEnd::Router { router, port } = link.to {
+                incoming_link[router * ports + port] = li;
+            }
+        }
+
+        let sources = (0..params.num_nodes()).map(|_| SourceQueue::default()).collect();
+        let stats = StatsCollector::new(64 * 1024);
+        let pb_board = GlobalStatusBoard::new(params.groups(), params.global_channels_per_group());
+
+        let link_phits = vec![0u64; links.len()];
+        Self {
+            rng: Rng::seed_from(config.seed),
+            config,
+            params,
+            routers,
+            links,
+            incoming_link,
+            link_phits,
+            sources,
+            packets: PacketArena::new(),
+            cycle: 0,
+            routing,
+            traffic,
+            injection: None,
+            stats,
+            pb_board,
+            last_activity: 0,
+            deadlock_detected: false,
+            tag_measured: false,
+        }
+    }
+
+    /// Topology parameters of the network.
+    pub fn params(&self) -> &DragonflyParams {
+        &self.params
+    }
+
+    /// Name of the routing mechanism driving this network.
+    pub fn routing_name(&self) -> &'static str {
+        self.routing.name()
+    }
+
+    /// Name of the traffic pattern.
+    pub fn traffic_name(&self) -> String {
+        self.traffic.name()
+    }
+
+    /// Set (or clear) the Bernoulli injection process.
+    pub fn set_injection(&mut self, injection: Option<BernoulliInjection>) {
+        self.injection = injection;
+    }
+
+    /// Pre-load every node's source queue with `packets_per_node` packets (burst mode).
+    pub fn preload_burst(&mut self, packets_per_node: u64) {
+        for n in 0..self.params.num_nodes() {
+            let src = NodeId(n as u32);
+            for _ in 0..packets_per_node {
+                let dst = self.traffic.destination(src, &self.params, &mut self.rng);
+                debug_assert_ne!(dst, src);
+                let id = self
+                    .packets
+                    .alloc(src, dst, self.config.packet_size as u16, self.cycle);
+                self.packets.get_mut(id).measured = true;
+                self.sources[n].pending.push_back(id);
+                self.stats.record_generated(self.config.packet_size, self.cycle);
+            }
+        }
+    }
+
+    /// True when no packet exists anywhere in the network.
+    pub fn is_drained(&self) -> bool {
+        self.packets.live() == 0 && self.sources.iter().all(|s| s.is_empty())
+    }
+
+    /// Total phits currently stored in router buffers (conservation checks).
+    pub fn stored_phits(&self) -> usize {
+        self.routers.iter().map(|r| r.stored_phits()).sum()
+    }
+
+    /// Phits transmitted so far on the link behind `(router, flat output port)`.
+    pub fn link_phits(&self, router: usize, flat_port: usize) -> u64 {
+        self.link_phits[router * self.params.ports_per_router() + flat_port]
+    }
+
+    /// Utilization (phits per cycle, `0.0 ..= 1.0`) of every link of the given kind,
+    /// computed over the whole run so far.
+    pub fn link_utilization_by_kind(&self, kind: PortKind) -> Vec<f64> {
+        let ports = self.params.ports_per_router();
+        let h = self.params.h();
+        let cycles = self.cycle.max(1) as f64;
+        self.link_phits
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Port::from_flat(i % ports, h).kind() == kind)
+            .map(|(_, &phits)| phits as f64 / cycles)
+            .collect()
+    }
+
+    /// Maximum and mean utilization of the links of the given kind — the quantity
+    /// that exposes the ADVG+h intermediate-group pathology (a few local links near
+    /// 100% while the mean stays low).
+    pub fn link_utilization_summary(&self, kind: PortKind) -> (f64, f64) {
+        let utils = self.link_utilization_by_kind(kind);
+        if utils.is_empty() {
+            return (0.0, 0.0);
+        }
+        let max = utils.iter().cloned().fold(0.0f64, f64::max);
+        let mean = utils.iter().sum::<f64>() / utils.len() as f64;
+        (max, mean)
+    }
+
+    /// Advance the simulation by one cycle.
+    pub fn step(&mut self) {
+        let cycle = self.cycle;
+        let mut activity = false;
+        activity |= self.phase_arrivals(cycle);
+        activity |= self.phase_injection(cycle);
+        self.phase_routing(cycle);
+        activity |= self.phase_switch(cycle);
+        self.phase_bookkeeping(cycle, activity);
+        self.cycle += 1;
+    }
+
+    /// Run `cycles` simulation cycles.
+    pub fn run(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase A: link and credit arrivals.
+    // ------------------------------------------------------------------
+    fn phase_arrivals(&mut self, cycle: u64) -> bool {
+        let ports = self.params.ports_per_router();
+        let mut activity = false;
+        for li in 0..self.links.len() {
+            // Credits back to the transmitter (owner of this link).
+            while let Some(credit) = self.links[li].pop_arrived_credit(cycle) {
+                let router = li / ports;
+                let port = li % ports;
+                self.routers[router].outputs[port].vcs[credit.vc as usize].credits += 1;
+            }
+            // Phits forward to the receiver.
+            let to = self.links[li].to;
+            while let Some(phit) = self.links[li].pop_arrived_phit(cycle) {
+                activity = true;
+                match to {
+                    LinkEnd::Router { router, port } => {
+                        self.routers[router].inputs[port].vcs[phit.vc as usize]
+                            .buffer
+                            .receive_phit(phit.packet, phit.size, phit.is_head);
+                    }
+                    LinkEnd::Node { node: _ } => {
+                        // Ejection: the node consumes the phit immediately and returns
+                        // the credit so the ejection VC never backs up artificially.
+                        self.links[li].send_credit(cycle, phit.vc);
+                        if phit.is_tail {
+                            let packet = self.packets.get(phit.packet).clone();
+                            self.stats.record_delivery(&packet, cycle);
+                            self.packets.free(phit.packet);
+                        }
+                    }
+                }
+            }
+        }
+        activity
+    }
+
+    // ------------------------------------------------------------------
+    // Phase B: packet generation and injection into the terminal input buffers.
+    // ------------------------------------------------------------------
+    fn phase_injection(&mut self, cycle: u64) -> bool {
+        let mut activity = false;
+        let num_nodes = self.params.num_nodes();
+        for n in 0..num_nodes {
+            // Generation (Bernoulli process).
+            if let Some(injection) = self.injection {
+                if injection.generate(&mut self.rng) {
+                    let src = NodeId(n as u32);
+                    let dst = self.traffic.destination(src, &self.params, &mut self.rng);
+                    let id = self
+                        .packets
+                        .alloc(src, dst, self.config.packet_size as u16, cycle);
+                    self.packets.get_mut(id).measured = self.tag_measured;
+                    self.sources[n].pending.push_back(id);
+                    self.stats.record_generated(self.config.packet_size, cycle);
+                }
+            }
+            // Move at most one phit of the head packet into the injection buffer.
+            let source = &mut self.sources[n];
+            let Some(&head) = source.pending.front() else {
+                continue;
+            };
+            let node = NodeId(n as u32);
+            let router = self.params.router_of_node(node).index();
+            let term = self.params.node_index_in_router(node);
+            let port = Port::Terminal(term).flat(self.params.h());
+            let buffer = &mut self.routers[router].inputs[port].vcs[0].buffer;
+            if buffer.free_space() == 0 {
+                continue;
+            }
+            let packet = self.packets.get_mut(head);
+            let is_head = source.head_phits_sent == 0;
+            if is_head {
+                packet.inject_cycle = cycle;
+            }
+            buffer.receive_phit(head, packet.size, is_head);
+            source.head_phits_sent += 1;
+            activity = true;
+            if source.head_phits_sent == packet.size {
+                source.pending.pop_front();
+                source.head_phits_sent = 0;
+            }
+        }
+        activity
+    }
+
+    // ------------------------------------------------------------------
+    // Phase C: routing and output-VC allocation.
+    // ------------------------------------------------------------------
+    fn phase_routing(&mut self, cycle: u64) {
+        let ports = self.params.ports_per_router();
+        let h = self.params.h();
+        let num_routers = self.routers.len();
+        let mut decisions: Vec<(usize, usize, PacketId, RouteChoice)> = Vec::new();
+        for r in 0..num_routers {
+            decisions.clear();
+            {
+                let router = &self.routers[r];
+                let group = self.params.group_of_router(router.id).index();
+                let view = RouterView {
+                    router: router.id,
+                    outputs: &router.outputs,
+                    params: &self.params,
+                    config: &self.config,
+                    global_congested: Some(self.pb_board.group(group)),
+                };
+                let ctx = RouteCtx {
+                    cycle,
+                    params: &self.params,
+                    config: &self.config,
+                };
+                // Rotate the service order of input ports for long-term fairness.
+                let offset = router.rr_alloc;
+                for i in 0..ports {
+                    let ip = (i + offset) % ports;
+                    let input_port = &router.inputs[ip];
+                    for (ivc, input) in input_port.vcs.iter().enumerate() {
+                        if input.route.is_some() {
+                            continue;
+                        }
+                        let Some(slot) = input.buffer.head() else {
+                            continue;
+                        };
+                        let packet = self.packets.get(slot.packet);
+                        if let Some(choice) =
+                            self.routing.route(&ctx, packet, &view, &mut self.rng)
+                        {
+                            decisions.push((ip, ivc, slot.packet, choice));
+                        }
+                    }
+                }
+            }
+            if decisions.is_empty() {
+                continue;
+            }
+            let router = &mut self.routers[r];
+            router.rr_alloc = (router.rr_alloc + 1) % ports;
+            for &(ip, ivc, pid, choice) in decisions.iter() {
+                let flat = choice.port.flat(h);
+                let needed = self
+                    .config
+                    .flow_control
+                    .claim_phits(self.packets.get(pid).size_phits());
+                let out = &mut router.outputs[flat].vcs[choice.vc as usize];
+                if out.owner.is_some() || out.credits < needed {
+                    continue;
+                }
+                out.owner = Some((ip as u16, ivc as u8));
+                router.inputs[ip].vcs[ivc].route = Some((flat as u16, choice.vc));
+                apply_grant(
+                    self.packets.get_mut(pid),
+                    &choice,
+                    &self.params,
+                    router.id,
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase D: switch traversal and link transmission (one phit per output port).
+    // ------------------------------------------------------------------
+    fn phase_switch(&mut self, cycle: u64) -> bool {
+        let ports = self.params.ports_per_router();
+        let flow_control = self.config.flow_control;
+        let mut activity = false;
+        for r in 0..self.routers.len() {
+            for op in 0..ports {
+                let vcs = self.routers[r].outputs[op].vcs.len();
+                let start = self.routers[r].outputs[op].rr_next;
+                let mut chosen: Option<usize> = None;
+                for k in 0..vcs {
+                    let vc = (start + k) % vcs;
+                    let Some((ip, ivc)) = self.routers[r].outputs[op].vcs[vc].owner else {
+                        continue;
+                    };
+                    let out = &self.routers[r].outputs[op].vcs[vc];
+                    if out.credits == 0 {
+                        continue;
+                    }
+                    let buffer = &self.routers[r].inputs[ip as usize].vcs[ivc as usize].buffer;
+                    let Some(head) = buffer.head() else { continue };
+                    if !head.has_phit() {
+                        continue;
+                    }
+                    // At a flit boundary, wormhole needs space for the whole flit.
+                    let size = head.size as usize;
+                    let fl = flow_control.flit_phits(size);
+                    if fl > 1 && (head.phits_sent as usize) % fl == 0 {
+                        let remaining = size - head.phits_sent as usize;
+                        if out.credits < fl.min(remaining) {
+                            continue;
+                        }
+                    }
+                    chosen = Some(vc);
+                    break;
+                }
+                let Some(vc) = chosen else { continue };
+                activity = true;
+                let (ip, ivc) = self.routers[r].outputs[op].vcs[vc].owner.unwrap();
+                let (ip, ivc) = (ip as usize, ivc as usize);
+                let router = &mut self.routers[r];
+                let sent_before = router.inputs[ip].vcs[ivc].buffer.head().unwrap().phits_sent;
+                let size = router.inputs[ip].vcs[ivc].buffer.head().unwrap().size;
+                let (pid, is_tail) = router.inputs[ip].vcs[ivc].buffer.send_phit();
+                let out = &mut router.outputs[op].vcs[vc];
+                out.credits -= 1;
+                out.rr_owner_advance(is_tail);
+                if is_tail {
+                    router.inputs[ip].vcs[ivc].route = None;
+                }
+                router.outputs[op].rr_next = (vc + 1) % vcs;
+                self.link_phits[r * ports + op] += 1;
+                self.links[r * ports + op].send_phit(
+                    cycle,
+                    PhitInFlight {
+                        arrive: 0,
+                        packet: pid,
+                        vc: vc as u8,
+                        is_head: sent_before == 0,
+                        is_tail,
+                        size,
+                    },
+                );
+                // Return a credit to the upstream transmitter of the input buffer that
+                // just freed one phit (injection ports have no upstream link).
+                let upstream = self.incoming_link[r * ports + ip];
+                if upstream != usize::MAX {
+                    self.links[upstream].send_credit(cycle, ivc as u8);
+                }
+            }
+        }
+        activity
+    }
+
+    // ------------------------------------------------------------------
+    // Phase E: statistics, piggybacking board and the deadlock watchdog.
+    // ------------------------------------------------------------------
+    fn phase_bookkeeping(&mut self, cycle: u64, activity: bool) {
+        self.stats.tick(cycle);
+        self.update_pb_board();
+        if activity {
+            self.last_activity = cycle;
+        } else if self.packets.live() > 0
+            && cycle - self.last_activity > self.config.deadlock_threshold
+        {
+            self.deadlock_detected = true;
+        }
+    }
+
+    fn update_pb_board(&mut self) {
+        let channels = self.params.global_channels_per_group();
+        let per_group_routers = self.params.routers_per_group();
+        let h = self.params.h();
+        let threshold = self.config.pb_congestion_threshold;
+        for g in 0..self.params.groups() {
+            for d in 0..channels {
+                let (ridx, gport) = self.params.global_channel_owner(d);
+                let router = g * per_group_routers + ridx;
+                let flat = Port::Global(gport).flat(h);
+                let out = &self.routers[router].outputs[flat];
+                let occupancy = out.total_occupancy() as f64;
+                let capacity = out.total_capacity() as f64;
+                self.pb_board.set(g, d, occupancy > threshold * capacity);
+            }
+        }
+    }
+}
+
+impl crate::router::OutputVc {
+    /// Release ownership when the tail phit has been sent.
+    #[inline]
+    fn rr_owner_advance(&mut self, is_tail: bool) {
+        if is_tail {
+            self.owner = None;
+        }
+    }
+}
+
+/// Apply a granted routing decision to the packet state.
+fn apply_grant(
+    packet: &mut crate::packet::Packet,
+    choice: &RouteChoice,
+    params: &DragonflyParams,
+    current_router: RouterId,
+) {
+    let up = &choice.update;
+    if let Some(g) = up.set_intermediate_group {
+        packet.route.intermediate_group = Some(g);
+    }
+    if up.mark_global_misroute {
+        packet.route.global_misrouted = true;
+    }
+    if up.mark_source_decision {
+        packet.route.source_decision_taken = true;
+    }
+    match choice.port {
+        Port::Local(_) => {
+            packet.route.local_hops_in_group += 1;
+            packet.route.total_hops = packet.route.total_hops.saturating_add(1);
+            if up.mark_local_misroute {
+                packet.route.local_misrouted_in_group = true;
+                packet.route.local_misrouted_ever = true;
+            }
+            packet.route.last_local_class = up.local_link_class;
+            packet.route.vc = choice.vc;
+        }
+        Port::Global(p) => {
+            packet.route.global_hops += 1;
+            packet.route.total_hops = packet.route.total_hops.saturating_add(1);
+            packet.route.enter_new_group();
+            packet.route.vc = choice.vc;
+            let (remote, _) = params.global_neighbor(current_router, p);
+            if Some(params.group_of_router(remote)) == packet.route.intermediate_group {
+                packet.route.reached_intermediate = true;
+            }
+        }
+        Port::Terminal(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing_iface::BaselineMinimal;
+    use dragonfly_traffic::Uniform;
+
+    fn tiny_network() -> Network {
+        let config = SimConfig::paper_vct(2).with_seed(7);
+        Network::new(config, Box::new(BaselineMinimal::new()), Box::new(Uniform::new()))
+    }
+
+    #[test]
+    fn construction_counts() {
+        let net = tiny_network();
+        assert_eq!(net.routers.len(), 36);
+        assert_eq!(net.sources.len(), 72);
+        assert_eq!(net.links.len(), 36 * 7);
+        assert_eq!(net.routing_name(), "Minimal");
+        assert_eq!(net.traffic_name(), "UN");
+        assert!(net.is_drained());
+    }
+
+    #[test]
+    fn incoming_link_map_is_consistent() {
+        let net = tiny_network();
+        let ports = net.params.ports_per_router();
+        for r in 0..net.routers.len() {
+            for p in 0..ports {
+                let port = Port::from_flat(p, net.params.h());
+                let li = net.incoming_link[r * ports + p];
+                match port.kind() {
+                    PortKind::Terminal => assert_eq!(li, usize::MAX),
+                    _ => {
+                        assert_ne!(li, usize::MAX, "network port without an incoming link");
+                        match net.links[li].to {
+                            LinkEnd::Router { router, port } => {
+                                assert_eq!(router, r);
+                                assert_eq!(port, p);
+                            }
+                            _ => panic!("incoming link of a network port ends at a node"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_network_steps_without_activity() {
+        let mut net = tiny_network();
+        net.run(100);
+        assert_eq!(net.cycle, 100);
+        assert!(net.is_drained());
+        assert!(!net.deadlock_detected);
+        assert_eq!(net.stats.total_generated, 0);
+    }
+
+    #[test]
+    fn single_packet_is_delivered_minimally() {
+        let mut net = tiny_network();
+        // Send one packet from node 0 to a node in another group.
+        let src = NodeId(0);
+        let dst = NodeId((net.params.num_nodes() - 1) as u32);
+        let id = net.packets.alloc(src, dst, 8, 0);
+        net.packets.get_mut(id).measured = true;
+        net.stats.begin_measurement(0);
+        net.sources[0].pending.push_back(id);
+        net.stats.record_generated(8, 0);
+        net.run(1_000);
+        assert!(net.is_drained(), "packet should be delivered");
+        assert_eq!(net.stats.total_delivered, 1);
+        assert_eq!(net.stats.measured_delivered, 1);
+        // Latency at least the physical path: two local links + one global link plus
+        // serialization of 8 phits.
+        let latency = net.stats.latency.mean();
+        assert!(latency >= 100.0, "latency {latency} too small");
+        assert!(latency <= 400.0, "latency {latency} too large for an idle network");
+        let hops = net.stats.hops.mean();
+        assert!((1.0..=3.0).contains(&hops), "hops {hops}");
+    }
+
+    #[test]
+    fn same_router_packet_needs_no_network_hop() {
+        let mut net = tiny_network();
+        // Nodes 0 and 1 share router 0 when h = 2.
+        let id = net.packets.alloc(NodeId(0), NodeId(1), 8, 0);
+        net.packets.get_mut(id).measured = true;
+        net.stats.begin_measurement(0);
+        net.sources[0].pending.push_back(id);
+        net.stats.record_generated(8, 0);
+        net.run(200);
+        assert!(net.is_drained());
+        assert_eq!(net.stats.hops.mean(), 0.0);
+        assert!(net.stats.latency.mean() < 50.0);
+    }
+
+    #[test]
+    fn burst_preload_counts() {
+        let mut net = tiny_network();
+        net.preload_burst(3);
+        assert_eq!(net.stats.total_generated as usize, 3 * net.params.num_nodes());
+        assert!(!net.is_drained());
+    }
+
+    #[test]
+    fn uniform_load_conserves_packets() {
+        let mut net = tiny_network();
+        net.set_injection(Some(BernoulliInjection::new(0.1, 8)));
+        net.run(2_000);
+        net.set_injection(None);
+        net.run(3_000);
+        assert!(
+            net.is_drained(),
+            "all generated packets must eventually be delivered: {} in flight",
+            net.stats.in_flight()
+        );
+        assert_eq!(net.stats.total_generated, net.stats.total_delivered);
+        assert!(net.stats.total_delivered > 100);
+        assert!(!net.deadlock_detected);
+        assert_eq!(net.stored_phits(), 0);
+    }
+
+    #[test]
+    fn link_phit_accounting_matches_deliveries() {
+        let mut net = tiny_network();
+        net.set_injection(Some(BernoulliInjection::new(0.1, 8)));
+        net.run(1_500);
+        net.set_injection(None);
+        net.run(3_000);
+        assert!(net.is_drained());
+        // Every delivered packet crossed exactly one ejection (terminal) link with all
+        // of its phits, so the terminal link totals must equal delivered phits.
+        let mut terminal_phits = 0u64;
+        for r in 0..net.routers.len() {
+            for p in 0..net.params.ports_per_router() {
+                if Port::from_flat(p, net.params.h()).is_terminal() {
+                    terminal_phits += net.link_phits(r, p);
+                }
+            }
+        }
+        assert_eq!(terminal_phits, net.stats.total_delivered * 8);
+        // Utilization numbers are well-formed.
+        let (max_local, mean_local) = net.link_utilization_summary(PortKind::Local);
+        assert!(max_local >= mean_local);
+        assert!(max_local <= 1.0 + 1e-9);
+        let (max_term, _) = net.link_utilization_summary(PortKind::Terminal);
+        assert!(max_term > 0.0);
+    }
+
+    #[test]
+    fn credits_return_to_full_after_drain() {
+        let mut net = tiny_network();
+        net.set_injection(Some(BernoulliInjection::new(0.2, 8)));
+        net.run(1_000);
+        net.set_injection(None);
+        net.run(4_000);
+        assert!(net.is_drained());
+        for router in &net.routers {
+            for (flat, out) in router.outputs.iter().enumerate() {
+                let port = Port::from_flat(flat, net.params.h());
+                if port.is_terminal() {
+                    continue;
+                }
+                for vc in &out.vcs {
+                    assert_eq!(
+                        vc.credits, vc.downstream_capacity,
+                        "credits must return to capacity once the network drains"
+                    );
+                    assert!(vc.owner.is_none());
+                }
+            }
+        }
+    }
+}

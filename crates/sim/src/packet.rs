@@ -1,0 +1,252 @@
+//! Packets and the per-packet adaptive routing state.
+
+use dragonfly_topology::{GroupId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a packet in the simulation's packet arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The raw arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Adaptive routing state carried by every packet and updated on each granted hop.
+///
+/// The fields mirror the decisions the paper's mechanisms must remember:
+/// whether the packet has committed to a Valiant (global misroute) path, which
+/// intermediate group it chose, how many local hops it has taken in the current group,
+/// whether it has already misrouted locally in this group, the parity-sign class of
+/// its last local hop (for RLM) and the virtual channel it currently occupies.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RouteState {
+    /// Virtual channel the packet currently occupies (index within its port class).
+    pub vc: u8,
+    /// Chosen intermediate group for Valiant/global misrouting, if any.
+    pub intermediate_group: Option<GroupId>,
+    /// True once the packet has entered its intermediate group (or finished phase 1).
+    pub reached_intermediate: bool,
+    /// Number of global hops taken so far (0..=2).
+    pub global_hops: u8,
+    /// Number of local hops taken in the current group.
+    pub local_hops_in_group: u8,
+    /// Total router-to-router hops taken.
+    pub total_hops: u8,
+    /// True if the packet committed to a non-minimal global path.
+    pub global_misrouted: bool,
+    /// True if the packet has already misrouted locally within the current group.
+    pub local_misrouted_in_group: bool,
+    /// True if the packet misrouted locally anywhere along its path.
+    pub local_misrouted_ever: bool,
+    /// True once a source-routed decision (Piggybacking/Valiant) has been taken.
+    pub source_decision_taken: bool,
+    /// Parity-sign class of the last local hop taken in the current group (RLM).
+    pub last_local_class: Option<u8>,
+}
+
+impl RouteState {
+    /// Reset the per-group fields after crossing a global link.
+    pub fn enter_new_group(&mut self) {
+        self.local_hops_in_group = 0;
+        self.local_misrouted_in_group = false;
+        self.last_local_class = None;
+    }
+}
+
+/// A packet in flight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Packet {
+    /// Arena identifier.
+    pub id: PacketId,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Packet size in phits.
+    pub size: u16,
+    /// Cycle at which the source generated the packet (start of latency measurement).
+    pub gen_cycle: u64,
+    /// Cycle at which the first phit entered the injection queue.
+    pub inject_cycle: u64,
+    /// Whether the packet was generated inside the measurement window.
+    pub measured: bool,
+    /// Adaptive routing state.
+    pub route: RouteState,
+}
+
+impl Packet {
+    /// Create a fresh packet.
+    pub fn new(id: PacketId, src: NodeId, dst: NodeId, size: u16, gen_cycle: u64) -> Self {
+        Self {
+            id,
+            src,
+            dst,
+            size,
+            gen_cycle,
+            inject_cycle: gen_cycle,
+            measured: false,
+            route: RouteState::default(),
+        }
+    }
+
+    /// Packet size in phits as `usize`.
+    #[inline]
+    pub fn size_phits(&self) -> usize {
+        self.size as usize
+    }
+}
+
+/// Arena of packets with slot reuse, so long runs do not grow memory unboundedly.
+#[derive(Debug, Default)]
+pub struct PacketArena {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+    live: usize,
+    allocated_total: u64,
+}
+
+impl PacketArena {
+    /// Create an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a new packet and return its id.
+    pub fn alloc(&mut self, src: NodeId, dst: NodeId, size: u16, gen_cycle: u64) -> PacketId {
+        self.allocated_total += 1;
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            let id = PacketId(idx);
+            self.slots[idx as usize] = Some(Packet::new(id, src, dst, size, gen_cycle));
+            id
+        } else {
+            let id = PacketId(self.slots.len() as u32);
+            self.slots.push(Some(Packet::new(id, src, dst, size, gen_cycle)));
+            id
+        }
+    }
+
+    /// Immutable access to a live packet.
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        self.slots[id.index()]
+            .as_ref()
+            .expect("access to a freed packet")
+    }
+
+    /// Mutable access to a live packet.
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        self.slots[id.index()]
+            .as_mut()
+            .expect("access to a freed packet")
+    }
+
+    /// Free a delivered packet's slot for reuse.
+    pub fn free(&mut self, id: PacketId) {
+        let slot = &mut self.slots[id.index()];
+        assert!(slot.is_some(), "double free of packet {id:?}");
+        *slot = None;
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    /// Number of live (allocated, not yet freed) packets.
+    #[inline]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Total packets ever allocated.
+    #[inline]
+    pub fn allocated_total(&self) -> u64 {
+        self.allocated_total
+    }
+
+    /// Capacity of the underlying slot vector (diagnostic).
+    pub fn capacity_slots(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_state_group_reset() {
+        let mut rs = RouteState {
+            local_hops_in_group: 2,
+            local_misrouted_in_group: true,
+            last_local_class: Some(3),
+            global_hops: 1,
+            total_hops: 3,
+            ..RouteState::default()
+        };
+        rs.enter_new_group();
+        assert_eq!(rs.local_hops_in_group, 0);
+        assert!(!rs.local_misrouted_in_group);
+        assert!(rs.last_local_class.is_none());
+        // Global state is preserved.
+        assert_eq!(rs.global_hops, 1);
+        assert_eq!(rs.total_hops, 3);
+    }
+
+    #[test]
+    fn arena_alloc_get_free() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(NodeId(0), NodeId(5), 8, 100);
+        let b = arena.alloc(NodeId(1), NodeId(6), 8, 101);
+        assert_eq!(arena.live(), 2);
+        assert_eq!(arena.get(a).src, NodeId(0));
+        assert_eq!(arena.get(b).dst, NodeId(6));
+        arena.get_mut(a).route.global_hops = 2;
+        assert_eq!(arena.get(a).route.global_hops, 2);
+        arena.free(a);
+        assert_eq!(arena.live(), 1);
+        assert_eq!(arena.allocated_total(), 2);
+    }
+
+    #[test]
+    fn arena_reuses_slots() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(NodeId(0), NodeId(1), 8, 0);
+        arena.free(a);
+        let b = arena.alloc(NodeId(2), NodeId(3), 8, 1);
+        assert_eq!(a.0, b.0, "freed slot should be reused");
+        assert_eq!(arena.capacity_slots(), 1);
+        assert_eq!(arena.get(b).src, NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "freed packet")]
+    fn arena_rejects_use_after_free() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(NodeId(0), NodeId(1), 8, 0);
+        arena.free(a);
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn arena_rejects_double_free() {
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(NodeId(0), NodeId(1), 8, 0);
+        arena.free(a);
+        arena.free(a);
+    }
+
+    #[test]
+    fn packet_constructor_defaults() {
+        let p = Packet::new(PacketId(3), NodeId(1), NodeId(2), 8, 42);
+        assert_eq!(p.gen_cycle, 42);
+        assert_eq!(p.inject_cycle, 42);
+        assert!(!p.measured);
+        assert_eq!(p.route.total_hops, 0);
+        assert_eq!(p.size_phits(), 8);
+    }
+}

@@ -1,0 +1,204 @@
+//! Input-buffered virtual-channel routers.
+
+use crate::buffer::VcBuffer;
+use crate::config::SimConfig;
+use dragonfly_topology::{Port, RouterId};
+
+/// One input virtual channel: its FIFO plus the output (port, VC) currently granted to
+/// the packet at its head, if any.
+#[derive(Debug)]
+pub struct InputVc {
+    /// The phit FIFO.
+    pub buffer: VcBuffer,
+    /// Output assignment of the head packet: `(flat output port, output VC)`.
+    pub route: Option<(u16, u8)>,
+}
+
+/// An input port: one [`InputVc`] per virtual channel.
+#[derive(Debug)]
+pub struct InputPort {
+    /// Virtual channels of this input port.
+    pub vcs: Vec<InputVc>,
+}
+
+/// One output virtual channel: the credit count of the downstream buffer and the input
+/// VC that currently owns it (a packet in transfer holds the VC from head to tail).
+#[derive(Debug, Clone)]
+pub struct OutputVc {
+    /// Free phits currently available in the downstream input VC buffer.
+    pub credits: usize,
+    /// Capacity of the downstream buffer in phits.
+    pub downstream_capacity: usize,
+    /// Input `(flat port, VC)` whose head packet currently owns this output VC.
+    pub owner: Option<(u16, u8)>,
+}
+
+impl OutputVc {
+    /// Occupancy of the downstream buffer as seen through the credit counter.
+    #[inline]
+    pub fn occupancy(&self) -> usize {
+        self.downstream_capacity - self.credits
+    }
+
+    /// True when the VC is not currently assigned to a packet.
+    #[inline]
+    pub fn is_free(&self) -> bool {
+        self.owner.is_none()
+    }
+}
+
+/// An output port: its VCs plus a round-robin pointer for fair link scheduling.
+#[derive(Debug)]
+pub struct OutputPort {
+    /// Virtual channels of this output port.
+    pub vcs: Vec<OutputVc>,
+    /// Round-robin pointer over VCs for the switch/link allocation stage.
+    pub rr_next: usize,
+}
+
+impl OutputPort {
+    /// Total occupancy of the downstream buffers over all VCs of this port.
+    pub fn total_occupancy(&self) -> usize {
+        self.vcs.iter().map(|v| v.occupancy()).sum()
+    }
+
+    /// Total downstream capacity over all VCs of this port.
+    pub fn total_capacity(&self) -> usize {
+        self.vcs.iter().map(|v| v.downstream_capacity).sum()
+    }
+}
+
+/// One router: input units, output units and allocation round-robin state.
+#[derive(Debug)]
+pub struct Router {
+    /// Router identifier.
+    pub id: RouterId,
+    /// Input ports, indexed by flat port index.
+    pub inputs: Vec<InputPort>,
+    /// Output ports, indexed by flat port index.
+    pub outputs: Vec<OutputPort>,
+    /// Rotating offset used to vary the order in which input VCs are served.
+    pub rr_alloc: usize,
+}
+
+impl Router {
+    /// Build a router with the buffer geometry dictated by `config`.
+    ///
+    /// `downstream_capacity` must give, for every flat output port, the per-VC capacity
+    /// of the input buffer at the far end of that port's link.
+    pub fn new(id: RouterId, config: &SimConfig, downstream_capacity: &[usize]) -> Self {
+        let h = config.params.h();
+        let ports = config.params.ports_per_router();
+        assert_eq!(downstream_capacity.len(), ports);
+        let mut inputs = Vec::with_capacity(ports);
+        let mut outputs = Vec::with_capacity(ports);
+        for flat in 0..ports {
+            let port = Port::from_flat(flat, h);
+            let vcs = config.vcs_for(port.kind());
+            let in_capacity = config.buffer_for(port.kind());
+            inputs.push(InputPort {
+                vcs: (0..vcs)
+                    .map(|_| InputVc {
+                        buffer: VcBuffer::new(in_capacity),
+                        route: None,
+                    })
+                    .collect(),
+            });
+            let down = downstream_capacity[flat];
+            outputs.push(OutputPort {
+                vcs: (0..vcs)
+                    .map(|_| OutputVc {
+                        credits: down,
+                        downstream_capacity: down,
+                        owner: None,
+                    })
+                    .collect(),
+                rr_next: 0,
+            });
+        }
+        Self {
+            id,
+            inputs,
+            outputs,
+            rr_alloc: 0,
+        }
+    }
+
+    /// Total phits stored across all input buffers (diagnostics / conservation tests).
+    pub fn stored_phits(&self) -> usize {
+        self.inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|vc| vc.buffer.occupancy())
+            .sum()
+    }
+
+    /// True when every input buffer is empty and every output VC is free.
+    pub fn is_idle(&self) -> bool {
+        self.inputs
+            .iter()
+            .all(|p| p.vcs.iter().all(|vc| vc.buffer.is_empty() && vc.route.is_none()))
+            && self.outputs.iter().all(|p| p.vcs.iter().all(|vc| vc.owner.is_none()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_topology::PortKind;
+
+    fn test_config() -> SimConfig {
+        SimConfig::paper_vct(2)
+    }
+
+    fn downstream(config: &SimConfig) -> Vec<usize> {
+        let h = config.params.h();
+        (0..config.params.ports_per_router())
+            .map(|flat| match Port::from_flat(flat, h).kind() {
+                PortKind::Local => config.local_buffer,
+                PortKind::Global => config.global_buffer,
+                PortKind::Terminal => 1024,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn router_construction_geometry() {
+        let config = test_config();
+        let r = Router::new(RouterId(3), &config, &downstream(&config));
+        assert_eq!(r.inputs.len(), config.params.ports_per_router());
+        assert_eq!(r.outputs.len(), config.params.ports_per_router());
+        // Local ports have 3 VCs of 32 phits; global ports 2 VCs of 256 phits.
+        let local = &r.inputs[Port::Local(0).flat(2)];
+        assert_eq!(local.vcs.len(), 3);
+        assert_eq!(local.vcs[0].buffer.capacity(), 32);
+        let global = &r.inputs[Port::Global(0).flat(2)];
+        assert_eq!(global.vcs.len(), 2);
+        assert_eq!(global.vcs[0].buffer.capacity(), 256);
+        // Output credits start at the downstream capacity.
+        let gout = &r.outputs[Port::Global(1).flat(2)];
+        assert_eq!(gout.vcs[0].credits, config.global_buffer);
+        assert_eq!(gout.vcs[0].occupancy(), 0);
+        assert!(gout.vcs[0].is_free());
+    }
+
+    #[test]
+    fn fresh_router_is_idle() {
+        let config = test_config();
+        let r = Router::new(RouterId(0), &config, &downstream(&config));
+        assert!(r.is_idle());
+        assert_eq!(r.stored_phits(), 0);
+    }
+
+    #[test]
+    fn output_port_aggregates() {
+        let config = test_config();
+        let mut r = Router::new(RouterId(0), &config, &downstream(&config));
+        let flat = Port::Local(1).flat(2);
+        r.outputs[flat].vcs[0].credits -= 5;
+        r.outputs[flat].vcs[1].credits -= 2;
+        assert_eq!(r.outputs[flat].total_occupancy(), 7);
+        assert_eq!(r.outputs[flat].total_capacity(), 3 * config.local_buffer);
+        assert!(!r.is_idle() || r.stored_phits() == 0);
+    }
+}

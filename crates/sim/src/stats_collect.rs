@@ -1,0 +1,181 @@
+//! In-simulation statistics collection.
+
+use crate::packet::Packet;
+use dragonfly_stats::{Histogram, RunningStats, ThroughputMeter};
+
+/// Collects per-packet and per-window statistics during a run.
+///
+/// Latency, hop and misroute statistics only consider packets *generated inside the
+/// measurement window* (standard steady-state methodology); throughput counts every
+/// delivery that happens inside the window.
+#[derive(Debug)]
+pub struct StatsCollector {
+    /// Latency of measured packets, in cycles.
+    pub latency: RunningStats,
+    /// Latency histogram (1-cycle bins) of measured packets.
+    pub latency_hist: Histogram,
+    /// Router-to-router hop count of measured packets.
+    pub hops: RunningStats,
+    /// Measured packets that took a global misroute.
+    pub delivered_global_misrouted: u64,
+    /// Measured packets that took at least one local misroute.
+    pub delivered_local_misrouted: u64,
+    /// Measured packets delivered so far.
+    pub measured_delivered: u64,
+    /// All packets ever generated.
+    pub total_generated: u64,
+    /// All packets ever delivered.
+    pub total_delivered: u64,
+    /// Throughput meter over the measurement window.
+    pub meter: ThroughputMeter,
+    /// Whether the measurement window is currently open.
+    pub measuring: bool,
+}
+
+impl StatsCollector {
+    /// Create an empty collector.
+    pub fn new(max_latency_bins: usize) -> Self {
+        Self {
+            latency: RunningStats::new(),
+            latency_hist: Histogram::for_latency(max_latency_bins),
+            hops: RunningStats::new(),
+            delivered_global_misrouted: 0,
+            delivered_local_misrouted: 0,
+            measured_delivered: 0,
+            total_generated: 0,
+            total_delivered: 0,
+            meter: ThroughputMeter::new(0),
+            measuring: false,
+        }
+    }
+
+    /// Open the measurement window at `cycle`.
+    pub fn begin_measurement(&mut self, cycle: u64) {
+        self.meter = ThroughputMeter::new(cycle);
+        self.measuring = true;
+    }
+
+    /// Close the measurement window at `cycle`.
+    pub fn end_measurement(&mut self, cycle: u64) {
+        self.meter.tick(cycle.saturating_sub(1));
+        self.measuring = false;
+    }
+
+    /// Advance the throughput window (call once per cycle while measuring).
+    pub fn tick(&mut self, cycle: u64) {
+        if self.measuring {
+            self.meter.tick(cycle);
+        }
+    }
+
+    /// Record the generation of a packet of `size` phits.
+    pub fn record_generated(&mut self, size: usize, cycle: u64) {
+        self.total_generated += 1;
+        if self.measuring {
+            self.meter.record_injection(size as u64, cycle);
+        }
+    }
+
+    /// Record the delivery of `packet` at `cycle`.
+    pub fn record_delivery(&mut self, packet: &Packet, cycle: u64) {
+        self.total_delivered += 1;
+        if self.measuring {
+            self.meter.record_delivery(packet.size as u64, cycle);
+        }
+        if packet.measured {
+            self.measured_delivered += 1;
+            let latency = (cycle - packet.gen_cycle) as f64;
+            self.latency.push(latency);
+            self.latency_hist.record(latency);
+            self.hops.push(packet.route.total_hops as f64);
+            if packet.route.global_misrouted {
+                self.delivered_global_misrouted += 1;
+            }
+            if packet.route.local_misrouted_ever {
+                self.delivered_local_misrouted += 1;
+            }
+        }
+    }
+
+    /// Fraction of measured packets that took a global misroute.
+    pub fn global_misroute_fraction(&self) -> f64 {
+        if self.measured_delivered == 0 {
+            0.0
+        } else {
+            self.delivered_global_misrouted as f64 / self.measured_delivered as f64
+        }
+    }
+
+    /// Fraction of measured packets that took a local misroute.
+    pub fn local_misroute_fraction(&self) -> f64 {
+        if self.measured_delivered == 0 {
+            0.0
+        } else {
+            self.delivered_local_misrouted as f64 / self.measured_delivered as f64
+        }
+    }
+
+    /// Packets generated but not yet delivered.
+    pub fn in_flight(&self) -> u64 {
+        self.total_generated - self.total_delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, PacketId};
+    use dragonfly_topology::NodeId;
+
+    fn delivered_packet(measured: bool, gen: u64, hops: u8, global: bool, local: bool) -> Packet {
+        let mut p = Packet::new(PacketId(0), NodeId(0), NodeId(9), 8, gen);
+        p.measured = measured;
+        p.route.total_hops = hops;
+        p.route.global_misrouted = global;
+        p.route.local_misrouted_ever = local;
+        p
+    }
+
+    #[test]
+    fn measurement_window_controls_throughput() {
+        let mut s = StatsCollector::new(1000);
+        // Before the window: counted as totals only.
+        s.record_generated(8, 10);
+        s.record_delivery(&delivered_packet(false, 0, 3, false, false), 50);
+        assert_eq!(s.meter.phits_delivered, 0);
+        s.begin_measurement(100);
+        s.record_generated(8, 120);
+        s.record_delivery(&delivered_packet(false, 10, 3, false, false), 150);
+        s.end_measurement(200);
+        assert_eq!(s.meter.phits_delivered, 8);
+        assert_eq!(s.meter.phits_injected, 8);
+        assert_eq!(s.total_generated, 2);
+        assert_eq!(s.total_delivered, 2);
+        assert_eq!(s.in_flight(), 0);
+        // Window length covers [100, 200).
+        assert_eq!(s.meter.window_cycles(), 100);
+    }
+
+    #[test]
+    fn measured_packets_feed_latency_and_misroute_stats() {
+        let mut s = StatsCollector::new(1000);
+        s.begin_measurement(0);
+        s.record_delivery(&delivered_packet(true, 100, 3, true, false), 250);
+        s.record_delivery(&delivered_packet(true, 100, 5, false, true), 300);
+        s.record_delivery(&delivered_packet(false, 100, 8, true, true), 400);
+        assert_eq!(s.measured_delivered, 2);
+        assert!((s.latency.mean() - 175.0).abs() < 1e-9);
+        assert!((s.hops.mean() - 4.0).abs() < 1e-9);
+        assert!((s.global_misroute_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.local_misroute_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(s.latency_hist.total(), 2);
+    }
+
+    #[test]
+    fn fractions_zero_when_nothing_measured() {
+        let s = StatsCollector::new(10);
+        assert_eq!(s.global_misroute_fraction(), 0.0);
+        assert_eq!(s.local_misroute_fraction(), 0.0);
+        assert_eq!(s.in_flight(), 0);
+    }
+}

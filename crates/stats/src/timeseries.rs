@@ -1,0 +1,139 @@
+//! Periodic sampling of a scalar quantity over simulated time.
+
+use serde::{Deserialize, Serialize};
+
+/// A time series sampled every `period` cycles.
+///
+/// Used by the harness to track e.g. accepted load over time, which lets tests verify
+/// that a run has actually reached steady state before the measurement window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    period: u64,
+    samples: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Create a series sampled every `period` cycles (`period ≥ 1`).
+    pub fn new(period: u64) -> Self {
+        assert!(period >= 1, "sampling period must be at least 1 cycle");
+        Self {
+            period,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Sampling period in cycles.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// Append a sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean of the most recent `n` samples (or all of them if fewer exist).
+    pub fn recent_mean(&self, n: usize) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let start = self.samples.len().saturating_sub(n);
+        let slice = &self.samples[start..];
+        slice.iter().sum::<f64>() / slice.len() as f64
+    }
+
+    /// Relative change between the mean of the first and second half of the most
+    /// recent `window` samples.  Values close to zero indicate steady state.
+    pub fn drift(&self, window: usize) -> f64 {
+        let n = window.min(self.samples.len());
+        if n < 4 {
+            return f64::INFINITY;
+        }
+        let start = self.samples.len() - n;
+        let half = n / 2;
+        let first: f64 = self.samples[start..start + half].iter().sum::<f64>() / half as f64;
+        let second: f64 =
+            self.samples[start + half..].iter().sum::<f64>() / (n - half) as f64;
+        if first.abs() < 1e-12 && second.abs() < 1e-12 {
+            return 0.0;
+        }
+        let base = first.abs().max(second.abs());
+        (second - first).abs() / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut ts = TimeSeries::new(100);
+        assert!(ts.is_empty());
+        ts.push(1.0);
+        ts.push(2.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.samples(), &[1.0, 2.0]);
+        assert_eq!(ts.period(), 100);
+    }
+
+    #[test]
+    fn recent_mean_uses_tail() {
+        let mut ts = TimeSeries::new(1);
+        for x in [10.0, 10.0, 2.0, 4.0] {
+            ts.push(x);
+        }
+        assert!((ts.recent_mean(2) - 3.0).abs() < 1e-12);
+        assert!((ts.recent_mean(100) - 6.5).abs() < 1e-12);
+        assert_eq!(TimeSeries::new(1).recent_mean(10), 0.0);
+    }
+
+    #[test]
+    fn drift_detects_steady_state() {
+        let mut steady = TimeSeries::new(1);
+        let mut ramping = TimeSeries::new(1);
+        for i in 0..100 {
+            steady.push(5.0 + (i % 2) as f64 * 0.01);
+            ramping.push(i as f64);
+        }
+        assert!(steady.drift(50) < 0.01);
+        assert!(ramping.drift(50) > 0.1);
+    }
+
+    #[test]
+    fn drift_on_short_series_is_infinite() {
+        let mut ts = TimeSeries::new(1);
+        ts.push(1.0);
+        assert!(ts.drift(10).is_infinite());
+    }
+
+    #[test]
+    fn drift_all_zero_is_zero() {
+        let mut ts = TimeSeries::new(1);
+        for _ in 0..20 {
+            ts.push(0.0);
+        }
+        assert_eq!(ts.drift(20), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_period_rejected() {
+        TimeSeries::new(0);
+    }
+}

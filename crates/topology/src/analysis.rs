@@ -1,0 +1,217 @@
+//! Analytical throughput bounds and link-load analysis.
+//!
+//! The paper (and its predecessors) reason about three hard limits of a balanced
+//! Dragonfly under adversarial traffic:
+//!
+//! * **ADVG+N with minimal routing** — all `2h²` nodes of a group share the single
+//!   global channel toward the target group, so accepted load is capped at
+//!   `1/(2h²+1)` ≈ `1/(nodes per group)` phits/(node·cycle) (Section II),
+//! * **ADVL+N with minimal routing** — all `h` nodes of a router share one local
+//!   link, capping accepted load at `1/h`,
+//! * **ADVG+h with Valiant/global misrouting** — in (almost) every intermediate group
+//!   the relayed traffic needs one specific local hop, concentrating on the "+1 ring"
+//!   local links and capping accepted load at `1/h` (the pathology that motivates
+//!   local misrouting).
+//!
+//! This module computes those bounds exactly from the topology, plus a static
+//! link-load analysis that counts, for a given traffic pattern's group-level flows,
+//! how many Valiant flows would cross each local link of an intermediate group.  The
+//! simulator tests cross-check measured saturation throughput against these numbers.
+
+use crate::ids::GroupId;
+use crate::params::DragonflyParams;
+
+/// Analytical saturation bounds for the paper's traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputBounds {
+    /// Minimal routing under ADVG+N: `1/(2h²+1)` phits/(node·cycle).
+    pub advg_minimal: f64,
+    /// Minimal routing under ADVL+N: `1/h` phits/(node·cycle).
+    pub advl_minimal: f64,
+    /// Valiant (global misrouting only) under ADVG+h: `1/h` phits/(node·cycle),
+    /// caused by the intermediate-group local-link pathology.
+    pub advg_h_valiant: f64,
+    /// Valiant routing upper bound under any admissible traffic: `1/2` (every packet
+    /// consumes two global channel traversals).
+    pub valiant_global: f64,
+}
+
+impl DragonflyParams {
+    /// The analytical throughput bounds for this network size.
+    pub fn throughput_bounds(&self) -> ThroughputBounds {
+        ThroughputBounds {
+            advg_minimal: 1.0 / self.groups() as f64,
+            advl_minimal: 1.0 / self.h() as f64,
+            advg_h_valiant: 1.0 / self.h() as f64,
+            valiant_global: 0.5,
+        }
+    }
+
+    /// For ADVG+`offset` traffic routed through Valiant paths, count how many
+    /// source-group flows need a local hop inside intermediate group `group`, broken
+    /// down per local link `(entry router, exit router)`.
+    ///
+    /// Returns a matrix `loads[entry][exit]` of flow counts (diagonal entries are
+    /// flows that need no local hop).  For `offset = h` the mass concentrates on the
+    /// `exit = entry + 1` links, which is the pathology that caps Valiant at `1/h`.
+    pub fn valiant_intermediate_link_loads(&self, group: GroupId, offset: usize) -> Vec<Vec<u32>> {
+        let routers = self.routers_per_group();
+        let groups = self.groups();
+        let mut loads = vec![vec![0u32; routers]; routers];
+        for src in 0..groups {
+            let src_group = GroupId(src as u32);
+            let dst_group = GroupId(((src + offset) % groups) as u32);
+            if src_group == group || dst_group == group || src_group == dst_group {
+                continue;
+            }
+            // Entry router: far end of the src -> group channel.
+            let (src_exit, gport) = self.global_exit(src_group, group);
+            let (entry, _) = self.global_neighbor(src_exit, gport);
+            let entry_idx = self.router_index_in_group(entry);
+            // Exit router: owner of the group -> dst channel.
+            let (exit, _) = self.global_exit(group, dst_group);
+            let exit_idx = self.router_index_in_group(exit);
+            loads[entry_idx][exit_idx] += 1;
+        }
+        loads
+    }
+
+    /// The maximum number of Valiant flows sharing one intra-group local link in any
+    /// intermediate group, for ADVG+`offset`.  A value close to the number of source
+    /// groups divided by `2h` signals the ADVG+h pathology; a value close to zero
+    /// signals the benign ADVG+1 case.
+    pub fn valiant_intermediate_max_link_load(&self, offset: usize) -> u32 {
+        let mut max = 0;
+        for g in 0..self.groups() {
+            let loads = self.valiant_intermediate_link_loads(GroupId(g as u32), offset);
+            for (entry, row) in loads.iter().enumerate() {
+                for (exit, &count) in row.iter().enumerate() {
+                    if entry != exit {
+                        max = max.max(count);
+                    }
+                }
+            }
+        }
+        max
+    }
+
+    /// Fraction of intermediate groups (averaged over all source groups) in which an
+    /// ADVG+`offset` Valiant path needs **no** local hop (entry router == exit
+    /// router).  Close to 1 for ADVG+1, close to 0 for ADVG+h.
+    pub fn valiant_no_local_hop_fraction(&self, offset: usize) -> f64 {
+        let groups = self.groups();
+        let mut total = 0u64;
+        let mut no_hop = 0u64;
+        for src in 0..groups {
+            let src_group = GroupId(src as u32);
+            let dst_group = GroupId(((src + offset) % groups) as u32);
+            if src_group == dst_group {
+                continue;
+            }
+            for inter in 0..groups {
+                let ig = GroupId(inter as u32);
+                if ig == src_group || ig == dst_group {
+                    continue;
+                }
+                total += 1;
+                let (src_exit, gport) = self.global_exit(src_group, ig);
+                let (entry, _) = self.global_neighbor(src_exit, gport);
+                let (exit, _) = self.global_exit(ig, dst_group);
+                if entry == exit {
+                    no_hop += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            no_hop as f64 / total as f64
+        }
+    }
+
+    /// Number of distinct paths of length at most 2 between two routers of the same
+    /// group (1 direct + `2h − 2` two-hop detours) — the path diversity local
+    /// misrouting can exploit.
+    pub fn local_path_diversity(&self) -> usize {
+        1 + (self.routers_per_group() - 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_match_paper_formulas() {
+        let p = DragonflyParams::new(8);
+        let b = p.throughput_bounds();
+        assert!((b.advg_minimal - 1.0 / 129.0).abs() < 1e-12);
+        assert!((b.advl_minimal - 0.125).abs() < 1e-12);
+        assert!((b.advg_h_valiant - 0.125).abs() < 1e-12);
+        assert!((b.valiant_global - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advg1_rarely_needs_intermediate_local_hops() {
+        for h in [4usize, 8] {
+            let p = DragonflyParams::new(h);
+            let frac = p.valiant_no_local_hop_fraction(1);
+            assert!(
+                frac > 0.7,
+                "h={h}: ADVG+1 should mostly skip the intermediate local hop, got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn advg_h_almost_always_needs_intermediate_local_hops() {
+        for h in [4usize, 8] {
+            let p = DragonflyParams::new(h);
+            let frac = p.valiant_no_local_hop_fraction(h);
+            assert!(
+                frac < 0.25,
+                "h={h}: ADVG+h should almost always need the intermediate local hop, got {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn advg_h_concentrates_load_on_few_links() {
+        let h = 8;
+        let p = DragonflyParams::new(h);
+        let pathological = p.valiant_intermediate_max_link_load(h);
+        let benign = p.valiant_intermediate_max_link_load(1);
+        // Under ADVG+h roughly `h` source groups share each (r, r+1) link of an
+        // intermediate group; under ADVG+1 local links are barely used.
+        assert!(
+            pathological >= (h as u32) - 2,
+            "ADVG+h max link load {pathological} should be near h={h}"
+        );
+        assert!(
+            pathological >= benign * 2,
+            "ADVG+h ({pathological}) should be far more concentrated than ADVG+1 ({benign})"
+        );
+    }
+
+    #[test]
+    fn intermediate_link_load_conserves_flows() {
+        let h = 4;
+        let p = DragonflyParams::new(h);
+        let group = GroupId(5);
+        let loads = p.valiant_intermediate_link_loads(group, h);
+        let total: u32 = loads.iter().flatten().sum();
+        // Every source group except `group` itself and the one whose destination is
+        // `group` contributes exactly one flow.
+        let expected = p.groups() as u32 - 2;
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn local_path_diversity_matches_h() {
+        let p = DragonflyParams::new(8);
+        // 1 direct + 14 detours = 15; the parity-sign restriction keeps at least h-1=7
+        // of the detours, still enough for the h=8 injectors.
+        assert_eq!(p.local_path_diversity(), 15);
+        assert_eq!(DragonflyParams::new(2).local_path_diversity(), 3);
+    }
+}

@@ -1,0 +1,46 @@
+//! Dragonfly topology mathematics.
+//!
+//! This crate models the *maximum-size well-balanced* Dragonfly of Kim et al. (ISCA
+//! 2008), the configuration used by the paper under reproduction: an integer parameter
+//! `h` fully determines the network.
+//!
+//! * every router has `h` terminal (injection/ejection) ports, `h` global ports and
+//!   `2h − 1` local ports (radix `4h − 1`),
+//! * a group ("supernode") contains `2h` routers connected as a complete graph
+//!   `K_{2h}`,
+//! * the system contains `2h² + 1` groups connected as a complete graph `K_{2h²+1}`
+//!   (exactly one global link between every pair of groups).
+//!
+//! Everything the simulator and the routing mechanisms need is provided as pure
+//! functions of `h`: identifier arithmetic, local port maps, the global link
+//! arrangement, generic neighbour lookup and minimal-path computation.
+//!
+//! # Example
+//!
+//! ```
+//! use dragonfly_topology::{DragonflyParams, NodeId};
+//!
+//! let p = DragonflyParams::new(4);
+//! assert_eq!(p.groups(), 33);
+//! assert_eq!(p.num_routers(), 264);
+//! assert_eq!(p.num_nodes(), 1056);
+//!
+//! // Minimal paths never exceed three hops: local - global - local.
+//! let hops = p.minimal_hop_count(NodeId(0), NodeId(p.num_nodes() as u32 - 1));
+//! assert!(hops <= 3);
+//! ```
+
+mod analysis;
+mod ids;
+mod params;
+mod ports;
+mod routes;
+
+pub use analysis::ThroughputBounds;
+pub use ids::{GroupId, NodeId, RouterId};
+pub use params::DragonflyParams;
+pub use ports::{Port, PortKind};
+pub use routes::MinimalHop;
+
+#[cfg(test)]
+mod proptests;

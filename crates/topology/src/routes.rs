@@ -1,0 +1,224 @@
+//! Minimal-path helpers shared by every routing mechanism.
+//!
+//! Minimal routing in a Dragonfly needs at most three hops, `local – global – local`:
+//! reach the router of the source group owning the global channel to the destination
+//! group, cross it, then one local hop inside the destination group.  These helpers
+//! compute, from any *current* router, the next minimal port toward a destination node
+//! or toward a target group, plus hop-count utilities used by tests and statistics.
+
+use crate::ids::{GroupId, NodeId, RouterId};
+use crate::params::DragonflyParams;
+use crate::ports::Port;
+
+/// One hop of a minimal route, for route enumeration and validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimalHop {
+    /// Router at which the hop is taken.
+    pub at: RouterId,
+    /// Output port used.
+    pub port: Port,
+}
+
+impl DragonflyParams {
+    /// The next port on a minimal route from `current` toward `dest` (a node).
+    ///
+    /// Returns a terminal port when the destination node is attached to `current`.
+    pub fn minimal_port(&self, current: RouterId, dest: NodeId) -> Port {
+        let dest_router = self.router_of_node(dest);
+        if dest_router == current {
+            return Port::Terminal(self.node_index_in_router(dest));
+        }
+        let cur_group = self.group_of_router(current);
+        let dest_group = self.group_of_router(dest_router);
+        if cur_group == dest_group {
+            let from = self.router_index_in_group(current);
+            let to = self.router_index_in_group(dest_router);
+            return Port::Local(self.local_port_to(from, to));
+        }
+        self.port_toward_group(current, dest_group)
+    }
+
+    /// The next port on a minimal route from `current` toward any router of `target`
+    /// group.  `target` must differ from the current group.
+    pub fn port_toward_group(&self, current: RouterId, target: GroupId) -> Port {
+        let cur_group = self.group_of_router(current);
+        assert_ne!(cur_group, target, "already in the target group");
+        let (exit_router, gport) = self.global_exit(cur_group, target);
+        if exit_router == current {
+            Port::Global(gport)
+        } else {
+            let from = self.router_index_in_group(current);
+            let to = self.router_index_in_group(exit_router);
+            Port::Local(self.local_port_to(from, to))
+        }
+    }
+
+    /// Number of router-to-router hops of the minimal path between the routers of two
+    /// nodes (0 if both nodes share a router; at most 3).
+    pub fn minimal_hop_count(&self, src: NodeId, dst: NodeId) -> usize {
+        self.minimal_route(src, dst).len()
+    }
+
+    /// Enumerate the full minimal route (router-to-router hops only, the final
+    /// ejection hop is not included) from `src` to `dst`.
+    pub fn minimal_route(&self, src: NodeId, dst: NodeId) -> Vec<MinimalHop> {
+        let mut hops = Vec::with_capacity(3);
+        let mut current = self.router_of_node(src);
+        let dest_router = self.router_of_node(dst);
+        while current != dest_router {
+            let port = self.minimal_port(current, dst);
+            debug_assert!(!port.is_terminal());
+            hops.push(MinimalHop { at: current, port });
+            let (next, _) = self.neighbor(current, port);
+            current = next;
+            assert!(hops.len() <= 3, "minimal route longer than the diameter");
+        }
+        hops
+    }
+
+    /// Length (in router hops) of a Valiant route through `intermediate` group:
+    /// minimal to the intermediate group plus minimal from the entry router to the
+    /// destination.  Used by tests and by analytical latency estimates.
+    pub fn valiant_hop_count(&self, src: NodeId, dst: NodeId, intermediate: GroupId) -> usize {
+        let src_router = self.router_of_node(src);
+        let src_group = self.group_of_router(src_router);
+        assert_ne!(intermediate, src_group, "intermediate group must differ from source");
+        assert_ne!(
+            intermediate,
+            self.group_of_node(dst),
+            "intermediate group must differ from destination"
+        );
+        // Phase 1: reach the intermediate group.
+        let mut hops = 0usize;
+        let mut current = src_router;
+        while self.group_of_router(current) != intermediate {
+            let port = self.port_toward_group(current, intermediate);
+            let (next, _) = self.neighbor(current, port);
+            current = next;
+            hops += 1;
+            assert!(hops <= 2, "reaching the intermediate group takes at most 2 hops");
+        }
+        // Phase 2: minimal to the destination router.
+        let dest_router = self.router_of_node(dst);
+        while current != dest_router {
+            let port = self.minimal_port(current, dst);
+            let (next, _) = self.neighbor(current, port);
+            current = next;
+            hops += 1;
+            assert!(hops <= 5, "valiant route longer than 5 hops");
+        }
+        hops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_router_is_terminal() {
+        let p = DragonflyParams::new(4);
+        let src = NodeId(1);
+        let dst = NodeId(2); // nodes 0..3 share router 0 when h = 4
+        assert_eq!(p.router_of_node(src), p.router_of_node(dst));
+        let port = p.minimal_port(p.router_of_node(src), dst);
+        assert_eq!(port, Port::Terminal(2));
+    }
+
+    #[test]
+    fn same_group_is_single_local_hop() {
+        let p = DragonflyParams::new(4);
+        // Router 0 and router 3 are in group 0.
+        let dst = p.node_of_router(RouterId(3), 0);
+        let port = p.minimal_port(RouterId(0), dst);
+        assert!(port.is_local());
+        let (next, _) = p.neighbor(RouterId(0), port);
+        assert_eq!(next, RouterId(3));
+    }
+
+    #[test]
+    fn minimal_route_at_most_three_hops_everywhere() {
+        let p = DragonflyParams::new(2);
+        for s in 0..p.num_nodes() {
+            for d in 0..p.num_nodes() {
+                let hops = p.minimal_hop_count(NodeId(s as u32), NodeId(d as u32));
+                assert!(hops <= 3, "minimal route {s}->{d} took {hops} hops");
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_route_structure_is_lgl() {
+        let p = DragonflyParams::new(4);
+        // Pick nodes in different groups with different routers at both ends.
+        let src = NodeId(0);
+        let dst = NodeId((p.num_nodes() - 1) as u32);
+        let route = p.minimal_route(src, dst);
+        assert!(!route.is_empty());
+        // Exactly one global hop on any inter-group minimal route.
+        let globals = route.iter().filter(|hop| hop.port.is_global()).count();
+        assert_eq!(globals, 1);
+        // Local hops never follow the global hop by more than one.
+        assert!(route.len() <= 3);
+    }
+
+    #[test]
+    fn minimal_route_ends_at_destination_router() {
+        let p = DragonflyParams::new(3);
+        let src = NodeId(5);
+        let dst = NodeId((p.num_nodes() / 2) as u32);
+        let route = p.minimal_route(src, dst);
+        let mut current = p.router_of_node(src);
+        for hop in &route {
+            assert_eq!(hop.at, current);
+            let (next, _) = p.neighbor(current, hop.port);
+            current = next;
+        }
+        assert_eq!(current, p.router_of_node(dst));
+    }
+
+    #[test]
+    fn valiant_route_at_most_five_hops() {
+        let p = DragonflyParams::new(3);
+        let src = NodeId(0);
+        let dst = NodeId((p.num_nodes() - 1) as u32);
+        let src_g = p.group_of_node(src);
+        let dst_g = p.group_of_node(dst);
+        for inter in 0..p.groups() {
+            let ig = GroupId(inter as u32);
+            if ig == src_g || ig == dst_g {
+                continue;
+            }
+            let hops = p.valiant_hop_count(src, dst, ig);
+            assert!(hops <= 5, "valiant via {ig} took {hops} hops");
+            assert!(hops >= 2);
+        }
+    }
+
+    #[test]
+    fn port_toward_group_reaches_group_within_two_hops() {
+        let p = DragonflyParams::new(3);
+        for r in 0..p.routers_per_group() {
+            let router = p.router_in_group(GroupId(0), r);
+            for g in 1..p.groups() {
+                let target = GroupId(g as u32);
+                let mut current = router;
+                let mut hops = 0;
+                while p.group_of_router(current) != target {
+                    let port = p.port_toward_group(current, target);
+                    let (next, _) = p.neighbor(current, port);
+                    current = next;
+                    hops += 1;
+                    assert!(hops <= 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the target group")]
+    fn port_toward_own_group_rejected() {
+        let p = DragonflyParams::new(2);
+        p.port_toward_group(RouterId(0), GroupId(0));
+    }
+}

@@ -1,0 +1,227 @@
+//! Additional synthetic patterns commonly used in interconnection-network studies.
+//!
+//! These are not part of the paper's evaluation but are standard companions (bit
+//! complement, node shift, hotspot) that downstream users expect from a traffic
+//! library, and they are useful for regression-testing the simulator on workloads
+//! with very different locality properties.
+
+use crate::{TrafficPattern, Uniform};
+use dragonfly_rng::Rng;
+use dragonfly_topology::{DragonflyParams, NodeId};
+
+/// Bit-complement traffic: node `i` always sends to node `N − 1 − i`.
+///
+/// In a Dragonfly this pairs the first and last groups, the second and second-to-last
+/// and so on, which loads global channels very unevenly — a harsher variant of
+/// adversarial-global traffic with a fixed permutation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitComplement;
+
+impl BitComplement {
+    /// Create the pattern.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TrafficPattern for BitComplement {
+    fn name(&self) -> String {
+        "BITCOMP".to_string()
+    }
+
+    fn destination(&self, src: NodeId, params: &DragonflyParams, rng: &mut Rng) -> NodeId {
+        let n = params.num_nodes() as u32;
+        let dst = n - 1 - src.0;
+        if dst == src.0 {
+            // The middle node of an odd-sized network maps to itself; fall back to a
+            // uniform destination for that single node.
+            Uniform.destination(src, params, rng)
+        } else {
+            NodeId(dst)
+        }
+    }
+}
+
+/// Node-shift traffic: node `i` sends to node `i + offset (mod N)`.
+///
+/// With an offset equal to the number of nodes per group this becomes a whole-group
+/// shift (similar to ADVG+1 but with deterministic per-node destinations); with a
+/// small offset it is mostly router- and group-local.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeShift {
+    offset: usize,
+}
+
+impl NodeShift {
+    /// Create a shift by `offset` nodes (must be at least 1).
+    pub fn new(offset: usize) -> Self {
+        assert!(offset >= 1, "node shift offset must be at least 1");
+        Self { offset }
+    }
+
+    /// The shift amount.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl TrafficPattern for NodeShift {
+    fn name(&self) -> String {
+        format!("SHIFT+{}", self.offset)
+    }
+
+    fn destination(&self, src: NodeId, params: &DragonflyParams, rng: &mut Rng) -> NodeId {
+        let n = params.num_nodes();
+        let dst = (src.index() + self.offset) % n;
+        if dst == src.index() {
+            Uniform.destination(src, params, rng)
+        } else {
+            NodeId(dst as u32)
+        }
+    }
+}
+
+/// Hotspot traffic: with probability `hot_fraction` the packet goes to the single hot
+/// node, otherwise to a uniformly random node.
+///
+/// Hotspots saturate the ejection bandwidth of one router and are a classic stress
+/// test for adaptive routing: misrouting cannot help because the bottleneck is the
+/// destination itself, so a good mechanism should not waste bandwidth trying.
+#[derive(Debug, Clone, Copy)]
+pub struct Hotspot {
+    hot_node: NodeId,
+    hot_fraction: f64,
+}
+
+impl Hotspot {
+    /// Create a hotspot pattern: `hot_fraction` of the packets (clamped to `[0, 1]`)
+    /// target `hot_node`.
+    pub fn new(hot_node: NodeId, hot_fraction: f64) -> Self {
+        Self {
+            hot_node,
+            hot_fraction: hot_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The hot destination.
+    pub fn hot_node(&self) -> NodeId {
+        self.hot_node
+    }
+
+    /// The fraction of packets aimed at the hot destination.
+    pub fn hot_fraction(&self) -> f64 {
+        self.hot_fraction
+    }
+}
+
+impl TrafficPattern for Hotspot {
+    fn name(&self) -> String {
+        format!("HOT{}%@{}", (self.hot_fraction * 100.0).round() as u32, self.hot_node)
+    }
+
+    fn destination(&self, src: NodeId, params: &DragonflyParams, rng: &mut Rng) -> NodeId {
+        if src != self.hot_node && rng.bernoulli(self.hot_fraction) {
+            self.hot_node
+        } else {
+            Uniform.destination(src, params, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> DragonflyParams {
+        DragonflyParams::new(2)
+    }
+
+    #[test]
+    fn bit_complement_is_an_involution() {
+        let p = params();
+        let mut rng = Rng::seed_from(1);
+        let n = p.num_nodes() as u32;
+        for i in 0..n {
+            let src = NodeId(i);
+            let dst = BitComplement::new().destination(src, &p, &mut rng);
+            assert_ne!(dst, src);
+            if dst.0 == n - 1 - i {
+                let back = BitComplement::new().destination(dst, &p, &mut rng);
+                assert_eq!(back, src, "bit complement must be symmetric");
+            }
+        }
+        assert_eq!(BitComplement::new().name(), "BITCOMP");
+    }
+
+    #[test]
+    fn node_shift_wraps_and_avoids_self() {
+        let p = params();
+        let mut rng = Rng::seed_from(2);
+        let shift = NodeShift::new(5);
+        assert_eq!(shift.offset(), 5);
+        let n = p.num_nodes();
+        for i in 0..n {
+            let src = NodeId(i as u32);
+            let dst = shift.destination(src, &p, &mut rng);
+            assert_ne!(dst, src);
+            assert_eq!(dst.index(), (i + 5) % n);
+        }
+        assert_eq!(shift.name(), "SHIFT+5");
+    }
+
+    #[test]
+    fn node_shift_degenerate_offset_falls_back() {
+        let p = params();
+        let mut rng = Rng::seed_from(3);
+        let shift = NodeShift::new(p.num_nodes());
+        for i in 0..p.num_nodes() {
+            let src = NodeId(i as u32);
+            assert_ne!(shift.destination(src, &p, &mut rng), src);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn node_shift_zero_rejected() {
+        NodeShift::new(0);
+    }
+
+    #[test]
+    fn hotspot_fraction_is_respected() {
+        let p = params();
+        let mut rng = Rng::seed_from(4);
+        let hot = Hotspot::new(NodeId(10), 0.25);
+        assert_eq!(hot.hot_node(), NodeId(10));
+        let samples = 40_000;
+        let mut to_hot = 0usize;
+        for _ in 0..samples {
+            let d = hot.destination(NodeId(0), &p, &mut rng);
+            assert_ne!(d, NodeId(0));
+            if d == NodeId(10) {
+                to_hot += 1;
+            }
+        }
+        let fraction = to_hot as f64 / samples as f64;
+        // 25% direct hits plus the uniform share that happens to land on node 10.
+        assert!(fraction > 0.24 && fraction < 0.30, "hot fraction {fraction}");
+    }
+
+    #[test]
+    fn hotspot_source_never_targets_itself() {
+        let p = params();
+        let mut rng = Rng::seed_from(5);
+        let hot = Hotspot::new(NodeId(3), 1.0);
+        for _ in 0..100 {
+            assert_ne!(hot.destination(NodeId(3), &p, &mut rng), NodeId(3));
+        }
+        assert!(hot.name().starts_with("HOT100%"));
+    }
+
+    #[test]
+    fn hotspot_fraction_clamped() {
+        let hot = Hotspot::new(NodeId(0), 7.0);
+        assert_eq!(hot.hot_fraction(), 1.0);
+        let cold = Hotspot::new(NodeId(0), -1.0);
+        assert_eq!(cold.hot_fraction(), 0.0);
+    }
+}

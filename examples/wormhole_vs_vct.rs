@@ -1,0 +1,47 @@
+//! Flow-control comparison: Virtual Cut-Through versus Wormhole with RLM.
+//!
+//! ```text
+//! cargo run --release --example wormhole_vs_vct
+//! ```
+//!
+//! The paper evaluates its mechanisms under two setups: small 8-phit packets with VCT
+//! (Cray Cascade-like) and large 80-phit packets split into 10-phit flits with
+//! Wormhole (IBM PERCS-like).  RLM works under both; this example runs the same
+//! adversarial workload under each and shows the latency and saturation differences.
+
+use dragonfly::core::{ExperimentBuilder, FlowControlKind, RoutingKind, TrafficKind};
+
+fn main() {
+    let h = 3;
+    println!("RLM under ADVG+1, h = {h}: Virtual Cut-Through vs. Wormhole\n");
+    println!(
+        "{:<10} {:>8} {:>10} {:>14} {:>10}",
+        "flow ctl", "offered", "accepted", "avg latency", "gmis%"
+    );
+    for flow in [FlowControlKind::Vct, FlowControlKind::Wormhole] {
+        for offered in [0.1, 0.3, 0.5] {
+            let report = ExperimentBuilder::new(h)
+                .routing(RoutingKind::Rlm)
+                .traffic(TrafficKind::AdversarialGlobal(1))
+                .flow_control(flow)
+                .offered_load(offered)
+                .seed(13)
+                .warmup_cycles(3_000)
+                .measure_cycles(4_000)
+                .run();
+            println!(
+                "{:<10} {:>8.2} {:>10.3} {:>14.1} {:>9.1}%",
+                flow.name(),
+                offered,
+                report.accepted_load,
+                report.avg_latency_cycles,
+                report.global_misroute_fraction * 100.0
+            );
+            assert!(!report.deadlock_detected, "RLM must be deadlock-free under {flow:?}");
+        }
+    }
+    println!(
+        "\nWormhole latencies are higher because 80-phit packets serialize over every link;\n\
+         OLM is absent here because it requires whole-packet (VCT) buffering."
+    );
+}

@@ -1,0 +1,52 @@
+//! # dragonfly
+//!
+//! Umbrella crate for the reproduction of *"Efficient Routing Mechanisms for Dragonfly
+//! Networks"* (García, Vallejo, Beivide, Odriozola, Valero — ICPP 2013).
+//!
+//! The workspace implements, from scratch:
+//!
+//! * the balanced maximum-size Dragonfly topology ([`topology`]),
+//! * a cycle-accurate phit-level network simulator with Virtual Cut-Through and
+//!   Wormhole flow control ([`sim`]),
+//! * the six routing mechanisms evaluated in the paper — Minimal, Valiant,
+//!   Piggybacking, PAR-6/2, Restricted Local Misrouting (RLM) and Opportunistic Local
+//!   Misrouting (OLM) ([`routing`]),
+//! * the synthetic traffic patterns of the evaluation ([`traffic`]),
+//! * and a high-level experiment harness that regenerates every figure and table of
+//!   the paper ([`core`]).
+//!
+//! Most users should start from [`core::ExperimentBuilder`] or from the examples in
+//! `examples/`.
+//!
+//! ```
+//! use dragonfly::core::{ExperimentBuilder, RoutingKind, TrafficKind};
+//!
+//! let report = ExperimentBuilder::new(2)          // h = 2: a tiny 72-node Dragonfly
+//!     .routing(RoutingKind::Olm)
+//!     .traffic(TrafficKind::Uniform)
+//!     .offered_load(0.2)
+//!     .warmup_cycles(2_000)
+//!     .measure_cycles(3_000)
+//!     .run();
+//! assert!(report.accepted_load > 0.1);
+//! assert!(report.avg_latency_cycles > 0.0);
+//! ```
+
+pub use dragonfly_core as core;
+pub use dragonfly_rng as rng;
+pub use dragonfly_routing as routing;
+pub use dragonfly_sim as sim;
+pub use dragonfly_stats as stats;
+pub use dragonfly_topology as topology;
+pub use dragonfly_traffic as traffic;
+
+/// Workspace version, mirrored from Cargo metadata.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

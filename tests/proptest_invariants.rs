@@ -1,0 +1,99 @@
+//! Workspace-level property-based tests over cross-crate invariants.
+
+use dragonfly::routing::{LinkClass, ParitySignTable, RoutingKind};
+use dragonfly::sim::{BaselineMinimal, Packet, PacketId, RouteCtx, RouterView};
+use dragonfly::sim::{Network, SimConfig};
+use dragonfly::topology::{DragonflyParams, NodeId};
+use dragonfly::traffic::{AdversarialGlobal, AdversarialLocal, TrafficPattern, Uniform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every traffic pattern produces valid, non-self destinations for any source.
+    #[test]
+    fn traffic_destinations_are_always_valid(h in 2usize..=5, src_raw in 0u32..100_000, seed in 0u64..1_000) {
+        let params = DragonflyParams::new(h);
+        let src = NodeId(src_raw % params.num_nodes() as u32);
+        let mut rng = dragonfly::rng::Rng::seed_from(seed);
+        let patterns: Vec<Box<dyn TrafficPattern>> = vec![
+            Box::new(Uniform::new()),
+            Box::new(AdversarialGlobal::new(1)),
+            Box::new(AdversarialGlobal::new(h)),
+            Box::new(AdversarialLocal::new(1)),
+        ];
+        for p in &patterns {
+            let dst = p.destination(src, &params, &mut rng);
+            prop_assert!(dst.index() < params.num_nodes());
+            prop_assert_ne!(dst, src);
+        }
+    }
+
+    /// The parity-sign table never removes all detours: every router pair of every
+    /// group size keeps at least h-1 two-hop alternatives.
+    #[test]
+    fn parity_sign_detour_guarantee(h in 2usize..=8, from in 0usize..16, to in 0usize..16) {
+        let params = DragonflyParams::new(h);
+        let routers = params.routers_per_group();
+        let from = from % routers;
+        let to = to % routers;
+        if from == to {
+            return Ok(());
+        }
+        let table = ParitySignTable::new();
+        let detours = table.allowed_intermediates(from, to, routers);
+        prop_assert!(detours.len() >= h - 1, "{from}->{to}: {detours:?}");
+        // Every allowed detour really avoids the forbidden combinations.
+        for k in detours {
+            prop_assert!(table.allowed(
+                LinkClass::of_hop(from, k),
+                LinkClass::of_hop(k, to),
+            ));
+        }
+    }
+
+    /// For a freshly-built (idle) network, every mechanism's first routing decision for
+    /// any packet is the minimal port: with empty queues there is never a reason to
+    /// misroute.
+    #[test]
+    fn idle_network_first_decision_is_minimal(seed in 0u64..500, src_raw in 0u32..100_000, dst_raw in 0u32..100_000) {
+        let params = DragonflyParams::new(2);
+        let src = NodeId(src_raw % params.num_nodes() as u32);
+        let dst = NodeId(dst_raw % params.num_nodes() as u32);
+        if src == dst {
+            return Ok(());
+        }
+        let config = SimConfig::paper_vct(2).with_local_vcs(6);
+        let network = Network::new(
+            config.clone(),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        );
+        let src_router = params.router_of_node(src);
+        let minimal = params.minimal_port(src_router, dst);
+        let packet = Packet::new(PacketId(0), src, dst, 8, 0);
+        let view = RouterView {
+            router: src_router,
+            outputs: &network.routers[src_router.index()].outputs,
+            params: &params,
+            config: &config,
+            global_congested: None,
+        };
+        let ctx = RouteCtx { cycle: 0, params: &params, config: &config };
+        let mut rng = dragonfly::rng::Rng::seed_from(seed);
+        for kind in RoutingKind::ALL {
+            if kind == RoutingKind::Valiant {
+                // Valiant is oblivious: it always detours through a random group.
+                continue;
+            }
+            let mechanism = kind.build();
+            let choice = mechanism
+                .route(&ctx, &packet, &view, &mut rng)
+                .expect("idle network must always produce a decision");
+            prop_assert_eq!(
+                choice.port, minimal,
+                "{} did not choose the minimal port on an idle network", kind.name()
+            );
+        }
+    }
+}
