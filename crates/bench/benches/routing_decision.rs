@@ -21,14 +21,19 @@ fn bench_routing_mechanisms(c: &mut Criterion) {
         spec.traffic = TrafficKind::AdversarialGlobal(1);
         spec.offered_load = 0.4;
         let mut sim = spec.build_simulation();
-        sim.network_mut().set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
-            0.4,
-            spec.flow_control.packet_size(),
-        )));
+        sim.network_mut()
+            .set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+                0.4,
+                spec.flow_control.packet_size(),
+            )));
         sim.run_cycles(1_500);
-        group.bench_with_input(BenchmarkId::new("run_100_cycles", kind.name()), &(), |b, _| {
-            b.iter(|| sim.run_cycles(100));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("run_100_cycles", kind.name()),
+            &(),
+            |b, _| {
+                b.iter(|| sim.run_cycles(100));
+            },
+        );
     }
     group.finish();
 }

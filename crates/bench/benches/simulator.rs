@@ -6,6 +6,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use dragonfly_routing::{AdaptiveParams, Olm};
+use dragonfly_sim::Simulation;
 use std::time::Duration;
 
 fn prepared_simulation(flow: FlowControlKind, load: f64) -> dragonfly_sim::Simulation {
@@ -20,10 +22,11 @@ fn prepared_simulation(flow: FlowControlKind, load: f64) -> dragonfly_sim::Simul
     spec.offered_load = load;
     let mut sim = spec.build_simulation();
     // Warm the network up so the benchmark measures loaded steady-state cycles.
-    sim.network_mut().set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
-        load,
-        spec.flow_control.packet_size(),
-    )));
+    sim.network_mut()
+        .set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+            load,
+            spec.flow_control.packet_size(),
+        )));
     sim.run_cycles(2_000);
     sim
 }
@@ -47,5 +50,69 @@ fn bench_cycle_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cycle_rate);
+/// Head-to-head of the monomorphized engine (`Simulation<Olm>`) against the
+/// type-erased engine (`Simulation<Box<dyn RoutingAlgorithm>>`) on the same OLM
+/// low-load configuration — the case where active-set scheduling and static
+/// dispatch matter most, since almost every router and link is idle each cycle.
+fn bench_dispatch_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_path_cycle_rate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let low_load_spec = || {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = TrafficKind::Uniform;
+        spec.offered_load = 0.05;
+        spec
+    };
+    fn warm<R: dragonfly_sim::RoutingAlgorithm>(
+        sim: &mut Simulation<R>,
+        load: f64,
+        packet_size: usize,
+    ) {
+        sim.network_mut()
+            .set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+                load,
+                packet_size,
+            )));
+        sim.run_cycles(2_000);
+    }
+
+    let spec = low_load_spec();
+    let mut static_sim = Simulation::with_routing(
+        spec.sim_config(),
+        Olm::new(AdaptiveParams::with_threshold(spec.threshold)),
+        spec.traffic.build(),
+    );
+    warm(
+        &mut static_sim,
+        spec.offered_load,
+        spec.flow_control.packet_size(),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "static_olm_load0.05"),
+        &(),
+        |b, _| b.iter(|| static_sim.run_cycles(100)),
+    );
+
+    let spec = low_load_spec();
+    let mut dyn_sim = spec.build_simulation();
+    warm(
+        &mut dyn_sim,
+        spec.offered_load,
+        spec.flow_control.packet_size(),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "dyn_olm_load0.05"),
+        &(),
+        |b, _| b.iter(|| dyn_sim.run_cycles(100)),
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_rate, bench_dispatch_paths);
 criterion_main!(benches);

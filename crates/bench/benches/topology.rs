@@ -25,7 +25,9 @@ fn bench_topology_queries(c: &mut Criterion) {
             for i in 0..1_000u32 {
                 let router = RouterId((i * 7919) % routers);
                 let dest = NodeId((i * 104729) % nodes);
-                acc += params.minimal_port(black_box(router), black_box(dest)).class_index();
+                acc += params
+                    .minimal_port(black_box(router), black_box(dest))
+                    .class_index();
             }
             acc
         });

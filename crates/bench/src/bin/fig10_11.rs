@@ -3,7 +3,7 @@
 //! uniform traffic, Figure 11 under ADVG+1; the paper picks 45 % as the trade-off.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin fig10_11
+//! cargo run --release -p dragonfly_bench --bin fig10_11
 //! ```
 
 use dragonfly_bench::{progress, HarnessArgs};
@@ -18,14 +18,25 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
     base.traffic = traffic;
     let sweep = ThresholdSweep {
         base,
-        thresholds: if args.quick { vec![0.30, 0.45, 0.60] } else { paper_thresholds() },
+        thresholds: if args.quick {
+            vec![0.30, 0.45, 0.60]
+        } else {
+            paper_thresholds()
+        },
         loads: args.loads.clone(),
     };
     let specs = threshold_sweep(&sweep);
-    eprintln!("figure {figure}: {} simulations (RLM, VCT, h = {})", specs.len(), args.h);
+    eprintln!(
+        "figure {figure}: {} simulations (RLM, VCT, h = {})",
+        specs.len(),
+        args.h
+    );
     let reports = run_parallel(&specs, args.threads, progress);
 
-    println!("\n== Figure {figure}: RLM threshold sweep ({}) ==", specs[0].traffic.name());
+    println!(
+        "\n== Figure {figure}: RLM threshold sweep ({}) ==",
+        specs[0].traffic.name()
+    );
     println!(
         "{:<10} {:>8} {:>10} {:>12}",
         "threshold", "offered", "accepted", "avg_lat"
@@ -56,7 +67,12 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
 
 fn main() {
     let args = HarnessArgs::from_env();
-    run_figure(&args, TrafficKind::Uniform, "10", "fig10_rlm_threshold_un.csv");
+    run_figure(
+        &args,
+        TrafficKind::Uniform,
+        "10",
+        "fig10_rlm_threshold_un.csv",
+    );
     run_figure(
         &args,
         TrafficKind::AdversarialGlobal(1),

@@ -3,7 +3,7 @@
 //! uniform (UN), ADVG+1 and ADVG+h traffic.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin fig4_5 -- --pattern all
+//! cargo run --release -p dragonfly_bench --bin fig4_5 -- --pattern all
 //! ```
 //!
 //! One CSV per traffic pattern is written to the output directory

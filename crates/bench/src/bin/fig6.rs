@@ -7,7 +7,7 @@
 //!   network.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin fig6
+//! cargo run --release -p dragonfly_bench --bin fig6
 //! ```
 
 use dragonfly_bench::{progress, HarnessArgs};
@@ -29,14 +29,22 @@ fn main() {
     let sweep = MixSweep {
         base,
         mechanisms,
-        global_percentages: if args.quick { vec![0, 50, 100] } else { paper_mix_percentages() },
+        global_percentages: if args.quick {
+            vec![0, 50, 100]
+        } else {
+            paper_mix_percentages()
+        },
         global_offset: args.h,
         local_offset: 1,
     };
     let specs = mix_sweep(&sweep);
 
     // Figure 6a: steady-state throughput of the mix.
-    eprintln!("figure 6a: {} simulations (h = {}, VCT)", specs.len(), args.h);
+    eprintln!(
+        "figure 6a: {} simulations (h = {}, VCT)",
+        specs.len(),
+        args.h
+    );
     let reports = run_parallel(&specs, args.threads, progress);
     println!("\n== Figure 6a: throughput vs. % of global traffic (VCT) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
@@ -45,12 +53,15 @@ fn main() {
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(reports.iter()) {
         let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed { global_fraction, .. } => {
-                (global_fraction * 100.0).round() as u32
-            }
+            dragonfly_core::TrafficKind::Mixed {
+                global_fraction, ..
+            } => (global_fraction * 100.0).round() as u32,
             _ => unreachable!("mix sweep produces mixed traffic only"),
         };
-        println!("{:<10} {:>10} {:>12.4}", report.routing, pct, report.accepted_load);
+        println!(
+            "{:<10} {:>10} {:>12.4}",
+            report.routing, pct, report.accepted_load
+        );
         csv.fields([
             report.routing.clone(),
             pct.to_string(),
@@ -64,7 +75,11 @@ fn main() {
 
     // Figure 6b: burst consumption time.  The paper sends 1000 packets per node at
     // h = 8; scale the burst with the network size so smaller models stay comparable.
-    let packets_per_node: u64 = if args.quick { 20 } else { 1000 / (8 / args.h.min(8)) as u64 };
+    let packets_per_node: u64 = if args.quick {
+        20
+    } else {
+        1000 / (8 / args.h.min(8)) as u64
+    };
     let max_cycles = 4_000_000;
     eprintln!(
         "figure 6b: burst of {packets_per_node} packets/node, {} simulations",
@@ -79,9 +94,9 @@ fn main() {
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(batch_reports.iter()) {
         let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed { global_fraction, .. } => {
-                (global_fraction * 100.0).round() as u32
-            }
+            dragonfly_core::TrafficKind::Mixed {
+                global_fraction, ..
+            } => (global_fraction * 100.0).round() as u32,
             _ => unreachable!(),
         };
         println!(

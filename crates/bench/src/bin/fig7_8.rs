@@ -4,7 +4,7 @@
 //! requires Virtual Cut-Through.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin fig7_8 -- --pattern all
+//! cargo run --release -p dragonfly_bench --bin fig7_8 -- --pattern all
 //! ```
 
 use dragonfly_bench::{print_series, progress, HarnessArgs};

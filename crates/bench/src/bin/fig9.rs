@@ -4,7 +4,7 @@
 //! Figure 6b; the burst size here is scaled the same way.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin fig9
+//! cargo run --release -p dragonfly_bench --bin fig9
 //! ```
 
 use dragonfly_bench::{progress, HarnessArgs};
@@ -16,20 +16,32 @@ use dragonfly_core::{
 fn main() {
     let args = HarnessArgs::from_env();
     // OLM is omitted: it requires VCT (the sweep would drop it anyway).
-    let mechanisms = vec![RoutingKind::Par62, RoutingKind::Rlm, RoutingKind::Piggybacking];
+    let mechanisms = vec![
+        RoutingKind::Par62,
+        RoutingKind::Rlm,
+        RoutingKind::Piggybacking,
+    ];
     let mut base = args.base_spec(FlowControlKind::Wormhole);
     base.offered_load = 1.0;
     let sweep = MixSweep {
         base,
         mechanisms,
-        global_percentages: if args.quick { vec![0, 50, 100] } else { paper_mix_percentages() },
+        global_percentages: if args.quick {
+            vec![0, 50, 100]
+        } else {
+            paper_mix_percentages()
+        },
         global_offset: args.h,
         local_offset: 1,
     };
     let specs = mix_sweep(&sweep);
 
     // Figure 9a.
-    eprintln!("figure 9a: {} simulations (h = {}, Wormhole)", specs.len(), args.h);
+    eprintln!(
+        "figure 9a: {} simulations (h = {}, Wormhole)",
+        specs.len(),
+        args.h
+    );
     let reports = run_parallel(&specs, args.threads, progress);
     println!("\n== Figure 9a: throughput vs. % of global traffic (Wormhole) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
@@ -38,12 +50,15 @@ fn main() {
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(reports.iter()) {
         let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed { global_fraction, .. } => {
-                (global_fraction * 100.0).round() as u32
-            }
+            dragonfly_core::TrafficKind::Mixed {
+                global_fraction, ..
+            } => (global_fraction * 100.0).round() as u32,
             _ => unreachable!(),
         };
-        println!("{:<10} {:>10} {:>12.4}", report.routing, pct, report.accepted_load);
+        println!(
+            "{:<10} {:>10} {:>12.4}",
+            report.routing, pct, report.accepted_load
+        );
         csv.fields([
             report.routing.clone(),
             pct.to_string(),
@@ -57,7 +72,11 @@ fn main() {
 
     // Figure 9b: equivalent payload to the VCT burst (1000 × 8 phits → ~100 × 80
     // phits at paper scale), scaled down with h.
-    let vct_packets: u64 = if args.quick { 20 } else { 1000 / (8 / args.h.min(8)) as u64 };
+    let vct_packets: u64 = if args.quick {
+        20
+    } else {
+        1000 / (8 / args.h.min(8)) as u64
+    };
     let packets_per_node = ((vct_packets * 8) as f64 / 80.0).round().max(1.0) as u64;
     let max_cycles = 4_000_000;
     eprintln!(
@@ -73,9 +92,9 @@ fn main() {
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(batch_reports.iter()) {
         let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed { global_fraction, .. } => {
-                (global_fraction * 100.0).round() as u32
-            }
+            dragonfly_core::TrafficKind::Mixed {
+                global_fraction, ..
+            } => (global_fraction * 100.0).round() as u32,
             _ => unreachable!(),
         };
         println!(

@@ -2,10 +2,10 @@
 //! parity-sign restriction used by RLM.
 //!
 //! ```text
-//! cargo run --release -p dragonfly-bench --bin table1
+//! cargo run --release -p dragonfly_bench --bin table1
 //! ```
 
-use dragonfly_routing::{ParitySignTable, LinkClass};
+use dragonfly_routing::{LinkClass, ParitySignTable};
 use dragonfly_topology::DragonflyParams;
 
 fn main() {

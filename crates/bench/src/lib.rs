@@ -81,19 +81,30 @@ impl HarnessArgs {
             match args[i].as_str() {
                 "--h" => out.h = value(&mut i)?.parse().map_err(|e| format!("--h: {e}"))?,
                 "--warmup" => {
-                    out.warmup = value(&mut i)?.parse().map_err(|e| format!("--warmup: {e}"))?
+                    out.warmup = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?
                 }
                 "--measure" => {
-                    out.measure = value(&mut i)?.parse().map_err(|e| format!("--measure: {e}"))?;
+                    out.measure = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--measure: {e}"))?;
                     out.drain = out.measure;
                 }
                 "--drain" => {
-                    out.drain = value(&mut i)?.parse().map_err(|e| format!("--drain: {e}"))?
+                    out.drain = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--drain: {e}"))?
                 }
-                "--seed" => out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--seed" => {
+                    out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?
+                }
                 "--threads" => {
-                    out.threads =
-                        Some(value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?)
+                    out.threads = Some(
+                        value(&mut i)?
+                            .parse()
+                            .map_err(|e| format!("--threads: {e}"))?,
+                    )
                 }
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
                 "--pattern" => out.pattern = value(&mut i)?,
@@ -206,8 +217,22 @@ mod tests {
     #[test]
     fn parse_overrides() {
         let args = HarnessArgs::parse_from([
-            "--h", "3", "--warmup", "100", "--measure", "200", "--seed", "9", "--threads", "2",
-            "--out", "/tmp/x", "--loads", "0.1,0.2", "--pattern", "advg1",
+            "--h",
+            "3",
+            "--warmup",
+            "100",
+            "--measure",
+            "200",
+            "--seed",
+            "9",
+            "--threads",
+            "2",
+            "--out",
+            "/tmp/x",
+            "--loads",
+            "0.1,0.2",
+            "--pattern",
+            "advg1",
         ])
         .unwrap();
         assert_eq!(args.h, 3);
@@ -241,8 +266,8 @@ mod tests {
 
     #[test]
     fn base_spec_reflects_args() {
-        let args = HarnessArgs::parse_from(["--h", "2", "--warmup", "10", "--measure", "20"])
-            .unwrap();
+        let args =
+            HarnessArgs::parse_from(["--h", "2", "--warmup", "10", "--measure", "20"]).unwrap();
         let spec = args.base_spec(FlowControlKind::Wormhole);
         assert_eq!(spec.h, 2);
         assert_eq!(spec.warmup, 10);

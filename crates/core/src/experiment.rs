@@ -1,7 +1,7 @@
 //! Single-experiment specification and execution.
 
-use dragonfly_routing::{AdaptiveParams, RoutingKind};
-use dragonfly_sim::{SimConfig, Simulation};
+use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
+use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
 use dragonfly_stats::{BatchReport, SimReport};
 use dragonfly_traffic::{
     AdversarialGlobal, AdversarialLocal, BurstSpec, MixedGlobalLocal, TrafficPattern, Uniform,
@@ -72,7 +72,11 @@ impl TrafficKind {
                 global_fraction,
                 global_offset,
                 local_offset,
-            } => Box::new(MixedGlobalLocal::new(global_fraction, global_offset, local_offset)),
+            } => Box::new(MixedGlobalLocal::new(
+                global_fraction,
+                global_offset,
+                local_offset,
+            )),
         }
     }
 
@@ -120,6 +124,9 @@ pub struct ExperimentSpec {
     pub drain: u64,
 }
 
+// Referenced only by the `#[serde(default = "...")]` attribute above; the offline
+// serde stand-in expands derives to nothing, leaving it unused in that build.
+#[allow(dead_code)]
 fn default_routing() -> RoutingKind {
     RoutingKind::Minimal
 }
@@ -147,10 +154,14 @@ impl ExperimentSpec {
             FlowControlKind::Vct => SimConfig::paper_vct(self.h),
             FlowControlKind::Wormhole => SimConfig::paper_wormhole(self.h),
         };
-        base.with_local_vcs(self.routing.local_vcs()).with_seed(self.seed)
+        base.with_local_vcs(self.routing.local_vcs())
+            .with_seed(self.seed)
     }
 
-    /// Build the simulation (network + routing + traffic) for this specification.
+    /// Build the type-erased simulation (network + boxed routing + traffic) for this
+    /// specification.  Kept for custom experiments that need to own a `Simulation`
+    /// without naming the mechanism type; the `run*` methods below use the
+    /// monomorphized engine instead.
     pub fn build_simulation(&self) -> Simulation {
         let routing = self
             .routing
@@ -159,17 +170,74 @@ impl ExperimentSpec {
     }
 
     /// Run the steady-state protocol and return the report.
+    ///
+    /// Dispatches to a simulation monomorphized over the concrete routing mechanism;
+    /// the result is bit-identical to the dynamic path ([`ExperimentSpec::run_dyn`]).
     pub fn run(&self) -> SimReport {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            SteadyStateRun(self),
+        )
+    }
+
+    /// Run the steady-state protocol through the type-erased engine.  Same seed ⇒
+    /// same report as [`ExperimentSpec::run`]; exists for comparison benchmarks and
+    /// the equivalence tests.
+    pub fn run_dyn(&self) -> SimReport {
         let mut sim = self.build_simulation();
         sim.run_steady_state(self.offered_load, self.warmup, self.measure, self.drain)
     }
 
     /// Run the burst-consumption protocol: `packets_per_node` packets per node, with a
-    /// safety limit of `max_cycles`.
+    /// safety limit of `max_cycles`.  Statically dispatched like [`ExperimentSpec::run`].
     pub fn run_batch(&self, packets_per_node: u64, max_cycles: u64) -> BatchReport {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            BatchRun {
+                spec: self,
+                packets_per_node,
+                max_cycles,
+            },
+        )
+    }
+
+    /// Run the burst-consumption protocol through the type-erased engine (see
+    /// [`ExperimentSpec::run_dyn`]).
+    pub fn run_batch_dyn(&self, packets_per_node: u64, max_cycles: u64) -> BatchReport {
         let mut sim = self.build_simulation();
         let burst = BurstSpec::new(packets_per_node, self.flow_control.packet_size());
         sim.run_batch(burst, max_cycles)
+    }
+}
+
+/// Visitor running the steady-state protocol on a monomorphized simulation.
+struct SteadyStateRun<'a>(&'a ExperimentSpec);
+
+impl RoutingVisitor for SteadyStateRun<'_> {
+    type Output = SimReport;
+
+    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> SimReport {
+        let spec = self.0;
+        let mut sim = Simulation::with_routing(spec.sim_config(), routing, spec.traffic.build());
+        sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+    }
+}
+
+/// Visitor running the burst-consumption protocol on a monomorphized simulation.
+struct BatchRun<'a> {
+    spec: &'a ExperimentSpec,
+    packets_per_node: u64,
+    max_cycles: u64,
+}
+
+impl RoutingVisitor for BatchRun<'_> {
+    type Output = BatchReport;
+
+    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> BatchReport {
+        let spec = self.spec;
+        let mut sim = Simulation::with_routing(spec.sim_config(), routing, spec.traffic.build());
+        let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
+        sim.run_batch(burst, self.max_cycles)
     }
 }
 

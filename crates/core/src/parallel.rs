@@ -1,15 +1,14 @@
 //! Parallel execution of independent simulations.
 //!
 //! Each simulation is single-threaded and deterministic; a sweep of tens of points is
-//! embarrassingly parallel.  The executor uses a crossbeam channel as a work queue,
-//! one worker per hardware thread (or an explicit count), and a `parking_lot`-guarded
-//! progress counter that callers can observe through a callback.
+//! embarrassingly parallel.  The executor uses scoped threads pulling job indices from
+//! a shared atomic counter (a lock-free work queue over `0..jobs`), with a mutex-guarded
+//! result buffer and a progress callback invoked after every finished run.
 
 use crate::experiment::ExperimentSpec;
-use crossbeam::channel;
 use dragonfly_stats::{BatchReport, SimReport};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Number of worker threads to use when the caller passes `None`.
 fn default_threads() -> usize {
@@ -23,32 +22,31 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.unwrap_or_else(default_threads).clamp(1, jobs.max(1));
-    let (job_tx, job_rx) = channel::unbounded::<usize>();
-    for i in 0..jobs {
-        job_tx.send(i).expect("filling the job queue cannot fail");
-    }
-    drop(job_tx);
+    let threads = threads
+        .unwrap_or_else(default_threads)
+        .clamp(1, jobs.max(1));
+    let next_job = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..jobs).map(|_| None).collect());
 
-    let results: Arc<Mutex<Vec<Option<T>>>> =
-        Arc::new(Mutex::new((0..jobs).map(|_| None).collect()));
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let job_rx = job_rx.clone();
-            let results = Arc::clone(&results);
+            let next_job = &next_job;
+            let results = &results;
             let work = &work;
-            scope.spawn(move || {
-                while let Ok(index) = job_rx.recv() {
-                    let value = work(index);
-                    results.lock()[index] = Some(value);
+            scope.spawn(move || loop {
+                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                if index >= jobs {
+                    break;
                 }
+                let value = work(index);
+                results.lock().expect("result buffer poisoned")[index] = Some(value);
             });
         }
     });
 
-    Arc::try_unwrap(results)
-        .unwrap_or_else(|_| panic!("workers still hold the result buffer"))
+    results
         .into_inner()
+        .expect("result buffer poisoned")
         .into_iter()
         .map(|slot| slot.expect("every job must produce a result"))
         .collect()
@@ -63,11 +61,11 @@ pub fn run_parallel(
     threads: Option<usize>,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<SimReport> {
-    let done = Arc::new(Mutex::new(0usize));
+    let done = Mutex::new(0usize);
     let total = specs.len();
     run_indexed(specs.len(), threads, |i| {
         let report = specs[i].run();
-        let mut d = done.lock();
+        let mut d = done.lock().expect("progress counter poisoned");
         *d += 1;
         progress(*d, total);
         report
@@ -83,11 +81,11 @@ pub fn run_batches_parallel(
     threads: Option<usize>,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<BatchReport> {
-    let done = Arc::new(Mutex::new(0usize));
+    let done = Mutex::new(0usize);
     let total = specs.len();
     run_indexed(specs.len(), threads, |i| {
         let report = specs[i].run_batch(packets_per_node, max_cycles);
-        let mut d = done.lock();
+        let mut d = done.lock().expect("progress counter poisoned");
         *d += 1;
         progress(*d, total);
         report

@@ -78,7 +78,10 @@ mod tests {
         // xoshiro must never be seeded with the all-zero state.
         for seed in 0..64u64 {
             let st = SplitMix64::new(seed).next_state4();
-            assert!(st.iter().any(|&w| w != 0), "seed {seed} produced zero state");
+            assert!(
+                st.iter().any(|&w| w != 0),
+                "seed {seed} produced zero state"
+            );
         }
     }
 }

@@ -26,7 +26,10 @@ impl Xoshiro256 {
 
     /// Construct from a full 256-bit state.  The state must not be all zero.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro state must not be all zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro state must not be all zero"
+        );
         Self { s }
     }
 

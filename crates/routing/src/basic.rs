@@ -150,7 +150,11 @@ mod tests {
         );
         let report = sim.run_steady_state(0.15, 2_000, 3_000, 4_000);
         assert!(!report.deadlock_detected);
-        assert!((report.accepted_load - 0.15).abs() < 0.04, "{}", report.accepted_load);
+        assert!(
+            (report.accepted_load - 0.15).abs() < 0.04,
+            "{}",
+            report.accepted_load
+        );
         assert!(report.avg_hops <= 3.0);
         assert_eq!(report.global_misroute_fraction, 0.0);
         assert_eq!(report.local_misroute_fraction, 0.0);
@@ -166,7 +170,11 @@ mod tests {
         let report = sim.run_steady_state(0.1, 2_000, 3_000, 4_000);
         assert!(!report.deadlock_detected);
         // Essentially every packet is globally misrouted under Valiant.
-        assert!(report.global_misroute_fraction > 0.9, "{}", report.global_misroute_fraction);
+        assert!(
+            report.global_misroute_fraction > 0.9,
+            "{}",
+            report.global_misroute_fraction
+        );
         assert!(report.avg_hops > 2.0, "{}", report.avg_hops);
         assert!((report.accepted_load - 0.1).abs() < 0.04);
     }

@@ -130,7 +130,11 @@ pub fn ladder_vc_6_2(port: Port, packet: &Packet) -> u8 {
 /// Whether the packet may still commit to a global misroute (Valiant path) here: only
 /// in the source group, with at most one minimal local hop already taken (PAR rule),
 /// and only once.
-pub fn global_misroute_eligible(params: &DragonflyParams, view_group: GroupId, packet: &Packet) -> bool {
+pub fn global_misroute_eligible(
+    params: &DragonflyParams,
+    view_group: GroupId,
+    packet: &Packet,
+) -> bool {
     if packet.route.global_misrouted || packet.route.global_hops != 0 {
         return false;
     }
@@ -328,18 +332,48 @@ mod tests {
         // Remote traffic in the source group: not eligible (that is global misrouting's
         // job).
         let p = packet(&params, 0, (params.num_nodes() - 1) as u32);
-        assert!(!local_misroute_eligible(&params, src_group, Port::Local(0), &p));
+        assert!(!local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Local(0),
+            &p
+        ));
         // After a global hop (intermediate/destination group) it becomes eligible.
         let mut q = packet(&params, 0, (params.num_nodes() - 1) as u32);
         q.route.global_hops = 1;
-        assert!(local_misroute_eligible(&params, src_group, Port::Local(0), &q));
+        assert!(local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Local(0),
+            &q
+        ));
         q.route.local_misrouted_in_group = true;
-        assert!(!local_misroute_eligible(&params, src_group, Port::Local(0), &q));
+        assert!(!local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Local(0),
+            &q
+        ));
         // Group-local traffic is eligible straight away, but only for local next hops.
         let r = packet(&params, 0, 2);
-        assert!(local_misroute_eligible(&params, src_group, Port::Local(0), &r));
-        assert!(!local_misroute_eligible(&params, src_group, Port::Global(0), &r));
-        assert!(!local_misroute_eligible(&params, src_group, Port::Terminal(0), &r));
+        assert!(local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Local(0),
+            &r
+        ));
+        assert!(!local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Global(0),
+            &r
+        ));
+        assert!(!local_misroute_eligible(
+            &params,
+            src_group,
+            Port::Terminal(0),
+            &r
+        ));
     }
 
     #[test]

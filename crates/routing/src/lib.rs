@@ -36,6 +36,20 @@ pub use rlm::Rlm;
 
 use dragonfly_sim::RoutingAlgorithm;
 
+/// A generic visitor over the concrete mechanism type behind a [`RoutingKind`].
+///
+/// [`RoutingKind::dispatch`] turns a runtime mechanism selection into a call of
+/// [`RoutingVisitor::visit`] with the *concrete* mechanism type, so callers can build
+/// monomorphized engines (`Network<Olm>`, `Simulation<Rlm>`, ...) from a runtime
+/// `RoutingKind` without going through `Box<dyn RoutingAlgorithm>`.
+pub trait RoutingVisitor {
+    /// Result produced by the visit.
+    type Output;
+
+    /// Called with the instantiated concrete mechanism.
+    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> Self::Output;
+}
+
 /// Enumeration of every routing mechanism in the crate, used by the experiment
 /// harness and the figure-regeneration binaries to select mechanisms by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,6 +139,24 @@ impl RoutingKind {
             RoutingKind::Par62 => Box::new(Par62::new(params)),
             RoutingKind::Rlm => Box::new(Rlm::new(params)),
             RoutingKind::Olm => Box::new(Olm::new(params)),
+        }
+    }
+
+    /// Instantiate the mechanism as its *concrete* type and hand it to `visitor`.
+    ///
+    /// This is the monomorphic counterpart of [`RoutingKind::build_with`]: instead of
+    /// a `Box<dyn RoutingAlgorithm>`, the visitor's generic `visit` is called with
+    /// the concrete mechanism, letting the simulation engine statically dispatch the
+    /// per-cycle routing call.
+    pub fn dispatch<V: RoutingVisitor>(self, params: AdaptiveParams, visitor: V) -> V::Output {
+        match self {
+            RoutingKind::Minimal => visitor.visit(MinimalRouting::new()),
+            RoutingKind::Valiant => visitor.visit(ValiantRouting::new()),
+            RoutingKind::Piggybacking => visitor.visit(Piggybacking::new()),
+            RoutingKind::Par => visitor.visit(Par::new(params)),
+            RoutingKind::Par62 => visitor.visit(Par62::new(params)),
+            RoutingKind::Rlm => visitor.visit(Rlm::new(params)),
+            RoutingKind::Olm => visitor.visit(Olm::new(params)),
         }
     }
 }

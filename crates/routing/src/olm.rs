@@ -17,8 +17,7 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_3_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams,
-    MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
 };
 use dragonfly_rng::Rng;
 use dragonfly_sim::{
@@ -66,11 +65,7 @@ impl Olm {
     /// Ladder position of the *first hop of the escape path* a packet would have after
     /// moving to `at`: its minimal continuation (toward the committed intermediate
     /// group if not yet reached, the destination otherwise) in ascending-ladder VCs.
-    fn escape_first_hop_position(
-        view: &RouterView<'_>,
-        packet: &Packet,
-        at: RouterId,
-    ) -> u8 {
+    fn escape_first_hop_position(view: &RouterView<'_>, packet: &Packet, at: RouterId) -> u8 {
         let port = next_productive_port(view.params, at, packet);
         let vc = ladder_vc_3_2(port, packet);
         Self::ladder_position(port, vc)
@@ -82,9 +77,7 @@ impl Olm {
         let escape = Self::escape_first_hop_position(view, packet, at);
         let max_local = (view.config.local_vcs - 1) as u8;
         // lVC_j has ladder position 2j; it must stay strictly below the escape hop.
-        (0..=max_local)
-            .rev()
-            .find(|&j| 2 * j < escape)
+        (0..=max_local).rev().find(|&j| 2 * j < escape)
     }
 }
 
@@ -169,9 +162,13 @@ impl RoutingAlgorithm for Olm {
         //    opportunistic rule as a local misroute.
         if global_misroute_eligible(params, group, packet) {
             let dst_group = params.group_of_node(packet.dst);
-            for ig in
-                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
-            {
+            for ig in sample_intermediate_groups(
+                params,
+                group,
+                dst_group,
+                self.params.global_candidates,
+                rng,
+            ) {
                 let port = params.port_toward_group(view.router, ig);
                 let choice = match port {
                     Port::Global(_) => {
@@ -271,10 +268,17 @@ mod tests {
 
     #[test]
     fn uniform_traffic_vct() {
-        let mut sim = olm_sim(SimConfig::paper_vct(2).with_seed(3), Box::new(Uniform::new()));
+        let mut sim = olm_sim(
+            SimConfig::paper_vct(2).with_seed(3),
+            Box::new(Uniform::new()),
+        );
         let report = sim.run_steady_state(0.3, 2_000, 3_000, 4_000);
         assert!(!report.deadlock_detected);
-        assert!((report.accepted_load - 0.3).abs() < 0.06, "{}", report.accepted_load);
+        assert!(
+            (report.accepted_load - 0.3).abs() < 0.06,
+            "{}",
+            report.accepted_load
+        );
         assert!(report.avg_hops <= 8.0);
     }
 
@@ -286,7 +290,7 @@ mod tests {
             sim.run_steady_state(0.5, 3_000, 4_000, 2_000)
         };
         let minimal = run(Box::new(MinimalRouting::new()));
-        let olm = run(Box::new(Olm::default()));
+        let olm = run(Box::<Olm>::default());
         assert!(
             olm.accepted_load > minimal.accepted_load * 1.5,
             "OLM {} vs minimal {}",
@@ -343,7 +347,7 @@ mod tests {
             let mut sim = Simulation::new(SimConfig::paper_vct(2).with_seed(31), routing, mix());
             sim.run_steady_state(0.9, 3_000, 4_000, 2_000)
         };
-        let olm = run(Box::new(Olm::default()));
+        let olm = run(Box::<Olm>::default());
         let pb = run(Box::new(Piggybacking::new()));
         assert!(
             olm.accepted_load > pb.accepted_load,
@@ -363,7 +367,10 @@ mod tests {
             Box::new(AdversarialGlobal::new(2)),
         );
         let report = sim.run_steady_state(1.0, 4_000, 6_000, 2_000);
-        assert!(!report.deadlock_detected, "OLM must not deadlock at saturation");
+        assert!(
+            !report.deadlock_detected,
+            "OLM must not deadlock at saturation"
+        );
         assert!(report.accepted_load > 0.1);
     }
 }

@@ -104,9 +104,13 @@ impl RoutingAlgorithm for Par {
         // local hop of the source group) — PAR never misroutes locally.
         if global_misroute_eligible(params, group, packet) {
             let dst_group = params.group_of_node(packet.dst);
-            for ig in
-                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
-            {
+            for ig in sample_intermediate_groups(
+                params,
+                group,
+                dst_group,
+                self.params.global_candidates,
+                rng,
+            ) {
                 let port = params.port_toward_group(view.router, ig);
                 let vc = Self::ladder_vc(port, packet);
                 if view.can_claim(port, vc as usize, packet)
@@ -208,7 +212,10 @@ mod tests {
         );
         let report = sim.run_steady_state(0.9, 3_000, 4_000, 2_000);
         assert!(!report.deadlock_detected);
-        assert_eq!(report.local_misroute_fraction, 0.0, "PAR must never misroute locally");
+        assert_eq!(
+            report.local_misroute_fraction, 0.0,
+            "PAR must never misroute locally"
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_6_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams,
-    MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
 };
 use dragonfly_rng::Rng;
 use dragonfly_sim::{Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm};
@@ -113,9 +112,13 @@ impl RoutingAlgorithm for Par62 {
         // 2. Global misrouting in the source group (PAR style).
         if global_misroute_eligible(params, group, packet) {
             let dst_group = params.group_of_node(packet.dst);
-            for ig in
-                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
-            {
+            for ig in sample_intermediate_groups(
+                params,
+                group,
+                dst_group,
+                self.params.global_candidates,
+                rng,
+            ) {
                 let port = params.port_toward_group(view.router, ig);
                 let vc = ladder_vc_6_2(port, packet);
                 if view.can_claim(port, vc as usize, packet)
@@ -183,7 +186,11 @@ mod tests {
         let mut sim = par_sim(2, 3, Box::new(Uniform::new()));
         let report = sim.run_steady_state(0.3, 2_000, 3_000, 4_000);
         assert!(!report.deadlock_detected);
-        assert!((report.accepted_load - 0.3).abs() < 0.06, "{}", report.accepted_load);
+        assert!(
+            (report.accepted_load - 0.3).abs() < 0.06,
+            "{}",
+            report.accepted_load
+        );
         assert!(report.avg_hops <= 8.0);
     }
 

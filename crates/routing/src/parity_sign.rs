@@ -115,15 +115,15 @@ impl ParitySignTable {
         for t in order {
             let ti = t.code() as usize;
             // Blank pairs starting with `t` become allowed...
-            for second in 0..4 {
-                if cells[ti][second].is_none() {
-                    cells[ti][second] = Some(true);
+            for cell in &mut cells[ti] {
+                if cell.is_none() {
+                    *cell = Some(true);
                 }
             }
             // ...and remaining blank pairs ending with `t` become forbidden.
-            for first in 0..4 {
-                if cells[first][ti].is_none() {
-                    cells[first][ti] = Some(false);
+            for row in &mut cells {
+                if row[ti].is_none() {
+                    row[ti] = Some(false);
                 }
             }
         }
@@ -338,7 +338,10 @@ mod tests {
                 detours += 1;
             }
         }
-        assert_eq!(detours, 0, "sign-only leaves 0->1 without non-minimal routes");
+        assert_eq!(
+            detours, 0,
+            "sign-only leaves 0->1 without non-minimal routes"
+        );
     }
 
     #[test]

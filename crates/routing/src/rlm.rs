@@ -9,8 +9,7 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_3_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams,
-    MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
 };
 use crate::parity_sign::{LinkClass, ParitySignTable};
 use dragonfly_rng::Rng;
@@ -56,9 +55,10 @@ impl Rlm {
     fn pair_ok(&self, packet: &Packet, from_idx: usize, to_idx: usize) -> bool {
         match packet.route.last_local_class {
             None => true,
-            Some(code) => self
-                .table
-                .allowed(LinkClass::from_code(code), LinkClass::of_hop(from_idx, to_idx)),
+            Some(code) => self.table.allowed(
+                LinkClass::from_code(code),
+                LinkClass::of_hop(from_idx, to_idx),
+            ),
         }
     }
 }
@@ -163,9 +163,13 @@ impl RoutingAlgorithm for Rlm {
         // this group and must respect the parity-sign restriction too.
         if global_misroute_eligible(params, group, packet) {
             let dst_group = params.group_of_node(packet.dst);
-            for ig in
-                sample_intermediate_groups(params, group, dst_group, self.params.global_candidates, rng)
-            {
+            for ig in sample_intermediate_groups(
+                params,
+                group,
+                dst_group,
+                self.params.global_candidates,
+                rng,
+            ) {
                 let port = params.port_toward_group(view.router, ig);
                 let class = match port {
                     Port::Local(p) => {
@@ -249,10 +253,17 @@ mod tests {
 
     #[test]
     fn uniform_traffic_vct() {
-        let mut sim = rlm_sim(SimConfig::paper_vct(2).with_seed(3), Box::new(Uniform::new()));
+        let mut sim = rlm_sim(
+            SimConfig::paper_vct(2).with_seed(3),
+            Box::new(Uniform::new()),
+        );
         let report = sim.run_steady_state(0.3, 2_000, 3_000, 4_000);
         assert!(!report.deadlock_detected);
-        assert!((report.accepted_load - 0.3).abs() < 0.06, "{}", report.accepted_load);
+        assert!(
+            (report.accepted_load - 0.3).abs() < 0.06,
+            "{}",
+            report.accepted_load
+        );
     }
 
     #[test]
@@ -263,7 +274,7 @@ mod tests {
             sim.run_steady_state(0.5, 3_000, 4_000, 2_000)
         };
         let minimal = run(Box::new(MinimalRouting::new()));
-        let rlm = run(Box::new(Rlm::default()));
+        let rlm = run(Box::<Rlm>::default());
         assert!(
             rlm.accepted_load > minimal.accepted_load * 1.5,
             "RLM {} vs minimal {}",
@@ -318,7 +329,10 @@ mod tests {
             Box::new(AdversarialGlobal::new(1)),
         );
         let report = sim.run_steady_state(0.3, 3_000, 4_000, 6_000);
-        assert!(!report.deadlock_detected, "RLM must never deadlock under WH");
+        assert!(
+            !report.deadlock_detected,
+            "RLM must never deadlock under WH"
+        );
         assert!(report.packets_measured > 20);
     }
 
@@ -332,7 +346,7 @@ mod tests {
             );
             sim.run_steady_state(0.4, 2_000, 3_000, 3_000)
         };
-        let rlm = run(Box::new(Rlm::default()));
+        let rlm = run(Box::<Rlm>::default());
         let pb = run(Box::new(Piggybacking::new()));
         // Under uniform traffic at moderate load both should accept close to the
         // offered load; RLM must not collapse.

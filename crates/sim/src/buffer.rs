@@ -129,7 +129,10 @@ impl VcBuffer {
                 slot.packet, packet,
                 "phits of different packets interleaved within one VC"
             );
-            assert!(slot.phits_received < slot.size, "received more phits than packet size");
+            assert!(
+                slot.phits_received < slot.size,
+                "received more phits than packet size"
+            );
             slot.phits_received += 1;
         }
         self.occupancy += 1;
@@ -140,7 +143,10 @@ impl VcBuffer {
     /// Returns the packet id and whether the forwarded phit was the tail (last) phit;
     /// when it is, the slot is popped.  Panics if no phit is available.
     pub fn send_phit(&mut self) -> (PacketId, bool) {
-        let slot = self.slots.front_mut().expect("send from an empty VC buffer");
+        let slot = self
+            .slots
+            .front_mut()
+            .expect("send from an empty VC buffer");
         assert!(slot.has_phit(), "no phit of the head packet is present yet");
         slot.phits_sent += 1;
         self.occupancy -= 1;

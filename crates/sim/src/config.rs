@@ -174,7 +174,10 @@ impl SimConfig {
     /// inconsistent (e.g. VCT with buffers smaller than a packet).
     pub fn validate(&self) {
         assert!(self.packet_size >= 1, "packet size must be positive");
-        assert!(self.local_vcs >= 1 && self.global_vcs >= 1, "need at least one VC");
+        assert!(
+            self.local_vcs >= 1 && self.global_vcs >= 1,
+            "need at least one VC"
+        );
         if self.flow_control.is_vct() {
             assert!(
                 self.local_buffer >= self.packet_size,
@@ -197,7 +200,7 @@ impl SimConfig {
                 "WH requires local buffers to hold at least one flit"
             );
             assert!(
-                self.packet_size % flit_size == 0,
+                self.packet_size.is_multiple_of(flit_size),
                 "packet size must be a whole number of flits"
             );
         }

@@ -7,30 +7,42 @@ use dragonfly_stats::{BatchReport, SimReport};
 use dragonfly_traffic::{BernoulliInjection, BurstSpec, TrafficPattern};
 
 /// A complete simulation: a [`Network`] plus the measurement protocol of the paper.
-pub struct Simulation {
-    net: Network,
+///
+/// Like [`Network`], the simulation is generic over the routing mechanism: a plain
+/// `Simulation` is the type-erased `Simulation<Box<dyn RoutingAlgorithm>>`, while
+/// [`Simulation::with_routing`] monomorphizes the whole engine over a concrete
+/// mechanism for statically dispatched (inlinable) routing.
+pub struct Simulation<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
+    net: Network<R>,
 }
 
 impl Simulation {
-    /// Build a simulation from a configuration, a routing mechanism and a traffic
-    /// pattern.
+    /// Build a simulation from a configuration, a boxed routing mechanism and a
+    /// traffic pattern (dynamic dispatch).
     pub fn new(
         config: SimConfig,
         routing: Box<dyn RoutingAlgorithm>,
         traffic: Box<dyn TrafficPattern>,
     ) -> Self {
+        Self::with_routing(config, routing, traffic)
+    }
+}
+
+impl<R: RoutingAlgorithm> Simulation<R> {
+    /// Build a simulation with a statically known routing mechanism.
+    pub fn with_routing(config: SimConfig, routing: R, traffic: Box<dyn TrafficPattern>) -> Self {
         Self {
-            net: Network::new(config, routing, traffic),
+            net: Network::with_routing(config, routing, traffic),
         }
     }
 
     /// Read access to the underlying network.
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &Network<R> {
         &self.net
     }
 
     /// Mutable access to the underlying network (tests and custom experiments).
-    pub fn network_mut(&mut self) -> &mut Network {
+    pub fn network_mut(&mut self) -> &mut Network<R> {
         &mut self.net
     }
 
@@ -176,8 +188,16 @@ mod tests {
         );
         assert!(report.injected_load > 0.05);
         // Latency is bounded below by the physical path and above by sanity.
-        assert!(report.avg_latency_cycles > 50.0, "{}", report.avg_latency_cycles);
-        assert!(report.avg_latency_cycles < 400.0, "{}", report.avg_latency_cycles);
+        assert!(
+            report.avg_latency_cycles > 50.0,
+            "{}",
+            report.avg_latency_cycles
+        );
+        assert!(
+            report.avg_latency_cycles < 400.0,
+            "{}",
+            report.avg_latency_cycles
+        );
         assert!(report.p99_latency_cycles >= report.avg_latency_cycles);
         assert!(report.packets_measured > 100);
         assert_eq!(report.routing, "Minimal");
@@ -246,7 +266,11 @@ mod tests {
         let report = sim.run_steady_state(0.1, 2_000, 3_000, 6_000);
         assert!(!report.deadlock_detected);
         assert!(report.packets_measured > 20);
-        assert!((report.accepted_load - 0.1).abs() < 0.04, "{}", report.accepted_load);
+        assert!(
+            (report.accepted_load - 0.1).abs() < 0.04,
+            "{}",
+            report.accepted_load
+        );
         // 80-phit packets over a ~120-cycle path: latency well above the VCT case.
         assert!(report.avg_latency_cycles > 150.0);
     }

@@ -78,7 +78,10 @@ impl Link {
     pub fn send_phit(&mut self, now: u64, mut phit: PhitInFlight) {
         phit.arrive = now + self.latency;
         debug_assert!(
-            self.phits.back().map(|p| p.arrive <= phit.arrive).unwrap_or(true),
+            self.phits
+                .back()
+                .map(|p| p.arrive <= phit.arrive)
+                .unwrap_or(true),
             "phits must be launched in non-decreasing time order"
         );
         self.phits.push_back(phit);
@@ -106,7 +109,12 @@ impl Link {
     /// Pop the next credit that has arrived by cycle `now`, if any.
     #[inline]
     pub fn pop_arrived_credit(&mut self, now: u64) -> Option<CreditInFlight> {
-        if self.credits.front().map(|c| c.arrive <= now).unwrap_or(false) {
+        if self
+            .credits
+            .front()
+            .map(|c| c.arrive <= now)
+            .unwrap_or(false)
+        {
             self.credits.pop_front()
         } else {
             None

@@ -54,7 +54,13 @@ impl GlobalStatusBoard {
 }
 
 /// The simulated network and all of its per-cycle state.
-pub struct Network {
+///
+/// The engine is generic over the routing mechanism `R`, so the per-cycle `route()`
+/// call in [`Network::phase_routing`] is statically dispatched (and inlinable) when a
+/// concrete mechanism type is used.  The default parameter keeps the type-erased
+/// path: a plain `Network` is `Network<Box<dyn RoutingAlgorithm>>`, built through
+/// [`Network::new`] from e.g. `RoutingKind::build()`.
+pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     /// Configuration of this run.
     pub config: SimConfig,
     params: DragonflyParams,
@@ -73,7 +79,7 @@ pub struct Network {
     /// Current cycle.
     pub cycle: u64,
     rng: Rng,
-    routing: Box<dyn RoutingAlgorithm>,
+    routing: R,
     traffic: Box<dyn TrafficPattern>,
     injection: Option<BernoulliInjection>,
     /// Statistics collector.
@@ -84,15 +90,40 @@ pub struct Network {
     pub deadlock_detected: bool,
     /// Whether newly generated packets are tagged as measured.
     pub tag_measured: bool,
+    // --- Active-set scheduling state -------------------------------------------
+    // At low load almost every link and router is idle; the per-cycle phases only
+    // visit members of these sets instead of scanning the whole network.
+    /// Links with phits or credits currently in flight, in activation order.
+    active_links: Vec<usize>,
+    /// Membership flags for `active_links` (indexed like `links`).
+    link_active: Vec<bool>,
+    /// Routers with at least one phit buffered in an input VC, in activation order.
+    active_routers: Vec<usize>,
+    /// Membership flags for `active_routers`.
+    router_active: Vec<bool>,
+    /// Phits currently stored in each router's input buffers.
+    buffered_phits: Vec<u32>,
+    /// Reused scratch buffer for the per-router routing decisions (avoids a per-cycle
+    /// allocation in `phase_routing`).
+    route_scratch: Vec<(usize, usize, PacketId, RouteChoice)>,
 }
 
+/// Type-erased construction path, kept so `RoutingKind::build()` and the experiment
+/// harness keep working unchanged.
 impl Network {
-    /// Build an idle network.
+    /// Build an idle network from a boxed routing mechanism (dynamic dispatch).
     pub fn new(
         config: SimConfig,
         routing: Box<dyn RoutingAlgorithm>,
         traffic: Box<dyn TrafficPattern>,
     ) -> Self {
+        Self::with_routing(config, routing, traffic)
+    }
+}
+
+impl<R: RoutingAlgorithm> Network<R> {
+    /// Build an idle network with a statically known routing mechanism.
+    pub fn with_routing(config: SimConfig, routing: R, traffic: Box<dyn TrafficPattern>) -> Self {
         config.validate();
         assert!(
             config.local_vcs >= routing.required_local_vcs(),
@@ -160,11 +191,14 @@ impl Network {
             }
         }
 
-        let sources = (0..params.num_nodes()).map(|_| SourceQueue::default()).collect();
+        let sources = (0..params.num_nodes())
+            .map(|_| SourceQueue::default())
+            .collect();
         let stats = StatsCollector::new(64 * 1024);
         let pb_board = GlobalStatusBoard::new(params.groups(), params.global_channels_per_group());
 
         let link_phits = vec![0u64; links.len()];
+        let num_links = links.len();
         Self {
             rng: Rng::seed_from(config.seed),
             config,
@@ -184,6 +218,30 @@ impl Network {
             last_activity: 0,
             deadlock_detected: false,
             tag_measured: false,
+            active_links: Vec::new(),
+            link_active: vec![false; num_links],
+            active_routers: Vec::new(),
+            router_active: vec![false; num_routers],
+            buffered_phits: vec![0; num_routers],
+            route_scratch: Vec::new(),
+        }
+    }
+
+    /// Add a link to the active set (idempotent).
+    #[inline]
+    fn mark_link_active(&mut self, li: usize) {
+        if !self.link_active[li] {
+            self.link_active[li] = true;
+            self.active_links.push(li);
+        }
+    }
+
+    /// Add a router to the active set (idempotent).
+    #[inline]
+    fn mark_router_active(&mut self, r: usize) {
+        if !self.router_active[r] {
+            self.router_active[r] = true;
+            self.active_routers.push(r);
         }
     }
 
@@ -219,7 +277,8 @@ impl Network {
                     .alloc(src, dst, self.config.packet_size as u16, self.cycle);
                 self.packets.get_mut(id).measured = true;
                 self.sources[n].pending.push_back(id);
-                self.stats.record_generated(self.config.packet_size, self.cycle);
+                self.stats
+                    .record_generated(self.config.packet_size, self.cycle);
             }
         }
     }
@@ -288,15 +347,24 @@ impl Network {
     // ------------------------------------------------------------------
     // Phase A: link and credit arrivals.
     // ------------------------------------------------------------------
+    //
+    // Only links with phits or credits in flight are visited; a link leaves the
+    // active set as soon as both of its pipelines are empty.
     fn phase_arrivals(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
         let mut activity = false;
-        for li in 0..self.links.len() {
+        let mut active = std::mem::take(&mut self.active_links);
+        active.retain(|&li| {
             // Credits back to the transmitter (owner of this link).
             while let Some(credit) = self.links[li].pop_arrived_credit(cycle) {
                 let router = li / ports;
                 let port = li % ports;
-                self.routers[router].outputs[port].vcs[credit.vc as usize].credits += 1;
+                let out = &mut self.routers[router].outputs[port].vcs[credit.vc as usize];
+                out.credits += 1;
+                debug_assert!(
+                    out.credits <= out.downstream_capacity,
+                    "credits above downstream capacity: credit accounting is broken"
+                );
             }
             // Phits forward to the receiver.
             let to = self.links[li].to;
@@ -307,6 +375,8 @@ impl Network {
                         self.routers[router].inputs[port].vcs[phit.vc as usize]
                             .buffer
                             .receive_phit(phit.packet, phit.size, phit.is_head);
+                        self.buffered_phits[router] += 1;
+                        self.mark_router_active(router);
                     }
                     LinkEnd::Node { node: _ } => {
                         // Ejection: the node consumes the phit immediately and returns
@@ -320,7 +390,15 @@ impl Network {
                     }
                 }
             }
-        }
+            let still_active = !self.links[li].is_idle();
+            if !still_active {
+                self.link_active[li] = false;
+            }
+            still_active
+        });
+        // Nothing activates new links during arrivals, so the swap cannot lose marks.
+        debug_assert!(self.active_links.is_empty());
+        self.active_links = active;
         activity
     }
 
@@ -369,6 +447,8 @@ impl Network {
                 source.pending.pop_front();
                 source.head_phits_sent = 0;
             }
+            self.buffered_phits[router] += 1;
+            self.mark_router_active(router);
         }
         activity
     }
@@ -376,12 +456,15 @@ impl Network {
     // ------------------------------------------------------------------
     // Phase C: routing and output-VC allocation.
     // ------------------------------------------------------------------
+    // Only routers with buffered phits can have a head packet to route; the walk is
+    // restricted to the active set and the decision buffer is a reused scratch
+    // allocation owned by the network.
     fn phase_routing(&mut self, cycle: u64) {
         let ports = self.params.ports_per_router();
         let h = self.params.h();
-        let num_routers = self.routers.len();
-        let mut decisions: Vec<(usize, usize, PacketId, RouteChoice)> = Vec::new();
-        for r in 0..num_routers {
+        let active = std::mem::take(&mut self.active_routers);
+        let mut decisions = std::mem::take(&mut self.route_scratch);
+        for &r in &active {
             decisions.clear();
             {
                 let router = &self.routers[r];
@@ -411,8 +494,7 @@ impl Network {
                             continue;
                         };
                         let packet = self.packets.get(slot.packet);
-                        if let Some(choice) =
-                            self.routing.route(&ctx, packet, &view, &mut self.rng)
+                        if let Some(choice) = self.routing.route(&ctx, packet, &view, &mut self.rng)
                         {
                             decisions.push((ip, ivc, slot.packet, choice));
                         }
@@ -436,24 +518,27 @@ impl Network {
                 }
                 out.owner = Some((ip as u16, ivc as u8));
                 router.inputs[ip].vcs[ivc].route = Some((flat as u16, choice.vc));
-                apply_grant(
-                    self.packets.get_mut(pid),
-                    &choice,
-                    &self.params,
-                    router.id,
-                );
+                apply_grant(self.packets.get_mut(pid), &choice, &self.params, router.id);
             }
         }
+        decisions.clear();
+        self.route_scratch = decisions;
+        debug_assert!(self.active_routers.is_empty());
+        self.active_routers = active;
     }
 
     // ------------------------------------------------------------------
     // Phase D: switch traversal and link transmission (one phit per output port).
     // ------------------------------------------------------------------
+    // The switch only needs routers holding buffered phits; routers whose buffers
+    // drain during the sweep leave the active set (and re-enter it from the arrival
+    // or injection phases when a new phit shows up).
     fn phase_switch(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
         let flow_control = self.config.flow_control;
         let mut activity = false;
-        for r in 0..self.routers.len() {
+        let mut active = std::mem::take(&mut self.active_routers);
+        active.retain(|&r| {
             for op in 0..ports {
                 let vcs = self.routers[r].outputs[op].vcs.len();
                 let start = self.routers[r].outputs[op].rr_next;
@@ -475,7 +560,7 @@ impl Network {
                     // At a flit boundary, wormhole needs space for the whole flit.
                     let size = head.size as usize;
                     let fl = flow_control.flit_phits(size);
-                    if fl > 1 && (head.phits_sent as usize) % fl == 0 {
+                    if fl > 1 && (head.phits_sent as usize).is_multiple_of(fl) {
                         let remaining = size - head.phits_sent as usize;
                         if out.credits < fl.min(remaining) {
                             continue;
@@ -486,6 +571,7 @@ impl Network {
                 }
                 let Some(vc) = chosen else { continue };
                 activity = true;
+                self.buffered_phits[r] -= 1;
                 let (ip, ivc) = self.routers[r].outputs[op].vcs[vc].owner.unwrap();
                 let (ip, ivc) = (ip as usize, ivc as usize);
                 let router = &mut self.routers[r];
@@ -511,14 +597,24 @@ impl Network {
                         size,
                     },
                 );
+                self.mark_link_active(r * ports + op);
                 // Return a credit to the upstream transmitter of the input buffer that
                 // just freed one phit (injection ports have no upstream link).
                 let upstream = self.incoming_link[r * ports + ip];
                 if upstream != usize::MAX {
                     self.links[upstream].send_credit(cycle, ivc as u8);
+                    self.mark_link_active(upstream);
                 }
             }
-        }
+            let still_active = self.buffered_phits[r] > 0;
+            if !still_active {
+                self.router_active[r] = false;
+            }
+            still_active
+        });
+        // Phits launched here arrive through links, so no router activates mid-sweep.
+        debug_assert!(self.active_routers.is_empty());
+        self.active_routers = active;
         activity
     }
 
@@ -616,7 +712,11 @@ mod tests {
 
     fn tiny_network() -> Network {
         let config = SimConfig::paper_vct(2).with_seed(7);
-        Network::new(config, Box::new(BaselineMinimal::new()), Box::new(Uniform::new()))
+        Network::new(
+            config,
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        )
     }
 
     #[test]
@@ -684,7 +784,10 @@ mod tests {
         // serialization of 8 phits.
         let latency = net.stats.latency.mean();
         assert!(latency >= 100.0, "latency {latency} too small");
-        assert!(latency <= 400.0, "latency {latency} too large for an idle network");
+        assert!(
+            latency <= 400.0,
+            "latency {latency} too large for an idle network"
+        );
         let hops = net.stats.hops.mean();
         assert!((1.0..=3.0).contains(&hops), "hops {hops}");
     }
@@ -708,7 +811,10 @@ mod tests {
     fn burst_preload_counts() {
         let mut net = tiny_network();
         net.preload_burst(3);
-        assert_eq!(net.stats.total_generated as usize, 3 * net.params.num_nodes());
+        assert_eq!(
+            net.stats.total_generated as usize,
+            3 * net.params.num_nodes()
+        );
         assert!(!net.is_drained());
     }
 

@@ -125,7 +125,8 @@ impl PacketArena {
             id
         } else {
             let id = PacketId(self.slots.len() as u32);
-            self.slots.push(Some(Packet::new(id, src, dst, size, gen_cycle)));
+            self.slots
+                .push(Some(Packet::new(id, src, dst, size, gen_cycle)));
             id
         }
     }

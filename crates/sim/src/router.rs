@@ -92,7 +92,7 @@ impl Router {
         assert_eq!(downstream_capacity.len(), ports);
         let mut inputs = Vec::with_capacity(ports);
         let mut outputs = Vec::with_capacity(ports);
-        for flat in 0..ports {
+        for (flat, &down) in downstream_capacity.iter().enumerate() {
             let port = Port::from_flat(flat, h);
             let vcs = config.vcs_for(port.kind());
             let in_capacity = config.buffer_for(port.kind());
@@ -104,7 +104,6 @@ impl Router {
                     })
                     .collect(),
             });
-            let down = downstream_capacity[flat];
             outputs.push(OutputPort {
                 vcs: (0..vcs)
                     .map(|_| OutputVc {
@@ -135,10 +134,14 @@ impl Router {
 
     /// True when every input buffer is empty and every output VC is free.
     pub fn is_idle(&self) -> bool {
-        self.inputs
+        self.inputs.iter().all(|p| {
+            p.vcs
+                .iter()
+                .all(|vc| vc.buffer.is_empty() && vc.route.is_none())
+        }) && self
+            .outputs
             .iter()
-            .all(|p| p.vcs.iter().all(|vc| vc.buffer.is_empty() && vc.route.is_none()))
-            && self.outputs.iter().all(|p| p.vcs.iter().all(|vc| vc.owner.is_none()))
+            .all(|p| p.vcs.iter().all(|vc| vc.owner.is_none()))
     }
 }
 

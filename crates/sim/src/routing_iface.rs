@@ -156,6 +156,40 @@ pub trait RoutingAlgorithm: Send {
     ) -> Option<RouteChoice>;
 }
 
+/// Forwarding impl so `Box<dyn RoutingAlgorithm>` (and any boxed concrete mechanism)
+/// is itself a [`RoutingAlgorithm`].  This is what lets the monomorphized
+/// [`Network<R>`](crate::network::Network) keep a type-erased construction path:
+/// `Network<Box<dyn RoutingAlgorithm>>` is the dynamic-dispatch engine, while
+/// `Network<ConcreteMechanism>` statically dispatches and inlines the per-cycle
+/// `route()` call.
+impl<T: RoutingAlgorithm + ?Sized> RoutingAlgorithm for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn required_local_vcs(&self) -> usize {
+        (**self).required_local_vcs()
+    }
+
+    fn required_global_vcs(&self) -> usize {
+        (**self).required_global_vcs()
+    }
+
+    fn supports_flow_control(&self, fc: FlowControl) -> bool {
+        (**self).supports_flow_control(fc)
+    }
+
+    fn route(
+        &self,
+        ctx: &RouteCtx<'_>,
+        packet: &Packet,
+        view: &RouterView<'_>,
+        rng: &mut Rng,
+    ) -> Option<RouteChoice> {
+        (**self).route(ctx, packet, view, rng)
+    }
+}
+
 /// Minimal routing with an ascending VC ladder.
 ///
 /// This is the baseline mechanism of the paper (and doubles as the simulator's

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// This is the unit of data behind every latency/throughput point of the paper's
 /// Figures 4, 5, 7, 8, 10 and 11.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Human-readable routing mechanism name (e.g. `"OLM"`).
     pub routing: String,
@@ -78,7 +78,7 @@ impl SimReport {
 /// of packets and the network runs until all of them are delivered.
 ///
 /// This is the unit of data behind Figures 6b and 9b.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BatchReport {
     /// Routing mechanism name.
     pub routing: String,

@@ -210,6 +210,10 @@ mod tests {
             s.push(offset + (i % 7) as f64);
         }
         // Variance of (i % 7) over many samples is 4.0.
-        assert!((s.variance() - 4.0).abs() < 0.01, "variance {}", s.variance());
+        assert!(
+            (s.variance() - 4.0).abs() < 0.01,
+            "variance {}",
+            s.variance()
+        );
     }
 }

@@ -67,8 +67,7 @@ impl TimeSeries {
         let start = self.samples.len() - n;
         let half = n / 2;
         let first: f64 = self.samples[start..start + half].iter().sum::<f64>() / half as f64;
-        let second: f64 =
-            self.samples[start + half..].iter().sum::<f64>() / (n - half) as f64;
+        let second: f64 = self.samples[start + half..].iter().sum::<f64>() / (n - half) as f64;
         if first.abs() < 1e-12 && second.abs() < 1e-12 {
             return 0.0;
         }

@@ -237,7 +237,10 @@ impl DragonflyParams {
         let remote_group = self.global_channel_target(g, channel);
         let remote_channel = self.global_channels_per_group() - 1 - channel;
         let (remote_ridx, remote_gport) = self.global_channel_owner(remote_channel);
-        (self.router_in_group(remote_group, remote_ridx), remote_gport)
+        (
+            self.router_in_group(remote_group, remote_ridx),
+            remote_gport,
+        )
     }
 
     /// Generic neighbour lookup: the router (or node) on the other side of `port` of
@@ -251,10 +254,8 @@ impl DragonflyParams {
         match port {
             Port::Local(p) => {
                 let n = self.local_neighbor(r, p);
-                let back = self.local_port_to(
-                    self.router_index_in_group(n),
-                    self.router_index_in_group(r),
-                );
+                let back = self
+                    .local_port_to(self.router_index_in_group(n), self.router_index_in_group(r));
                 (n, Port::Local(back))
             }
             Port::Global(p) => {
@@ -365,7 +366,10 @@ mod tests {
                 if dst == src {
                     assert_eq!(*count, 0, "group must not link to itself");
                 } else {
-                    assert_eq!(*count, 1, "groups {src}->{dst} must have exactly one channel");
+                    assert_eq!(
+                        *count, 1,
+                        "groups {src}->{dst} must have exactly one channel"
+                    );
                 }
             }
         }

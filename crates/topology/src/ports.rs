@@ -82,7 +82,10 @@ impl Port {
         } else if flat < locals + h {
             Port::Global(flat - locals)
         } else {
-            debug_assert!(flat < locals + 2 * h, "flat port {flat} out of range for h={h}");
+            debug_assert!(
+                flat < locals + 2 * h,
+                "flat port {flat} out of range for h={h}"
+            );
             Port::Terminal(flat - locals - h)
         }
     }
@@ -158,9 +161,15 @@ mod tests {
         let kinds: Vec<PortKind> = (0..ports_per_router(h))
             .map(|f| Port::from_flat(f, h).kind())
             .collect();
-        assert_eq!(kinds.iter().filter(|k| **k == PortKind::Local).count(), 2 * h - 1);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == PortKind::Local).count(),
+            2 * h - 1
+        );
         assert_eq!(kinds.iter().filter(|k| **k == PortKind::Global).count(), h);
-        assert_eq!(kinds.iter().filter(|k| **k == PortKind::Terminal).count(), h);
+        assert_eq!(
+            kinds.iter().filter(|k| **k == PortKind::Terminal).count(),
+            h
+        );
     }
 
     #[test]

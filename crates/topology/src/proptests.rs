@@ -1,96 +1,122 @@
-//! Property-based tests over the topology invariants.
+//! Randomized tests over the topology invariants.
+//!
+//! These were originally `proptest` properties; the build environment has no
+//! registry access, so they are driven by the workspace's own deterministic RNG
+//! instead: every property is checked over a fixed number of seeded random cases
+//! covering the same input domains.
 
 use crate::{DragonflyParams, GroupId, NodeId, Port, RouterId};
-use proptest::prelude::*;
+use dragonfly_rng::Rng;
 
-fn params_strategy() -> impl Strategy<Value = DragonflyParams> {
-    (1usize..=6).prop_map(DragonflyParams::new)
-}
+const CASES: u64 = 64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Node -> (router, terminal index) -> node is the identity.
-    #[test]
-    fn node_round_trip(h in 1usize..=6, raw in 0u32..1_000_000) {
+/// Node -> (router, terminal index) -> node is the identity.
+#[test]
+fn node_round_trip() {
+    let mut rng = Rng::seed_from(0xA11CE);
+    for _ in 0..CASES {
+        let h = 1 + (rng.next_u64() % 6) as usize;
         let p = DragonflyParams::new(h);
-        let node = NodeId(raw % p.num_nodes() as u32);
+        let node = NodeId((rng.next_u64() % p.num_nodes() as u64) as u32);
         let router = p.router_of_node(node);
         let idx = p.node_index_in_router(node);
-        prop_assert_eq!(p.node_of_router(router, idx), node);
+        assert_eq!(p.node_of_router(router, idx), node);
     }
+}
 
-    /// Every local link is bidirectional and the back-port maps back to the origin.
-    #[test]
-    fn local_neighbor_symmetry(p in params_strategy(), seed in 0u32..10_000) {
-        let r = RouterId(seed % p.num_routers() as u32);
+/// Every local link is bidirectional and the back-port maps back to the origin.
+#[test]
+fn local_neighbor_symmetry() {
+    let mut rng = Rng::seed_from(0xB0B);
+    for _ in 0..CASES {
+        let h = 1 + (rng.next_u64() % 6) as usize;
+        let p = DragonflyParams::new(h);
+        let r = RouterId((rng.next_u64() % p.num_routers() as u64) as u32);
         for port in 0..p.local_ports() {
             let (nbr, back) = p.neighbor(r, Port::Local(port));
             let (orig, orig_port) = p.neighbor(nbr, back);
-            prop_assert_eq!(orig, r);
-            prop_assert_eq!(orig_port, Port::Local(port));
-            prop_assert_eq!(p.group_of_router(nbr), p.group_of_router(r));
+            assert_eq!(orig, r);
+            assert_eq!(orig_port, Port::Local(port));
+            assert_eq!(p.group_of_router(nbr), p.group_of_router(r));
         }
     }
+}
 
-    /// Every global link is bidirectional and crosses to a different group.
-    #[test]
-    fn global_neighbor_symmetry(p in params_strategy(), seed in 0u32..10_000) {
-        let r = RouterId(seed % p.num_routers() as u32);
+/// Every global link is bidirectional and crosses to a different group.
+#[test]
+fn global_neighbor_symmetry() {
+    let mut rng = Rng::seed_from(0xC0FFEE);
+    for _ in 0..CASES {
+        let h = 1 + (rng.next_u64() % 6) as usize;
+        let p = DragonflyParams::new(h);
+        let r = RouterId((rng.next_u64() % p.num_routers() as u64) as u32);
         for port in 0..p.global_ports() {
             let (nbr, back) = p.global_neighbor(r, port);
             let (orig, orig_port) = p.global_neighbor(nbr, back);
-            prop_assert_eq!(orig, r);
-            prop_assert_eq!(orig_port, port);
-            prop_assert_ne!(p.group_of_router(nbr), p.group_of_router(r));
+            assert_eq!(orig, r);
+            assert_eq!(orig_port, port);
+            assert_ne!(p.group_of_router(nbr), p.group_of_router(r));
         }
     }
+}
 
-    /// Minimal routes respect the Dragonfly diameter of three and terminate at the
-    /// destination router.
-    #[test]
-    fn minimal_route_valid(p in params_strategy(), a in 0u32..1_000_000, b in 0u32..1_000_000) {
-        let src = NodeId(a % p.num_nodes() as u32);
-        let dst = NodeId(b % p.num_nodes() as u32);
+/// Minimal routes respect the Dragonfly diameter of three and terminate at the
+/// destination router.
+#[test]
+fn minimal_route_valid() {
+    let mut rng = Rng::seed_from(0xD1CE);
+    for _ in 0..CASES {
+        let h = 1 + (rng.next_u64() % 6) as usize;
+        let p = DragonflyParams::new(h);
+        let src = NodeId((rng.next_u64() % p.num_nodes() as u64) as u32);
+        let dst = NodeId((rng.next_u64() % p.num_nodes() as u64) as u32);
         let route = p.minimal_route(src, dst);
-        prop_assert!(route.len() <= 3);
+        assert!(route.len() <= 3);
         let globals = route.iter().filter(|hop| hop.port.is_global()).count();
         if p.group_of_node(src) == p.group_of_node(dst) {
-            prop_assert_eq!(globals, 0);
-            prop_assert!(route.len() <= 1);
+            assert_eq!(globals, 0);
+            assert!(route.len() <= 1);
         } else {
-            prop_assert_eq!(globals, 1);
+            assert_eq!(globals, 1);
         }
         let mut current = p.router_of_node(src);
         for hop in &route {
-            prop_assert_eq!(hop.at, current);
+            assert_eq!(hop.at, current);
             let (next, _) = p.neighbor(current, hop.port);
             current = next;
         }
-        prop_assert_eq!(current, p.router_of_node(dst));
+        assert_eq!(current, p.router_of_node(dst));
     }
+}
 
-    /// The exit router toward a destination group is unique and owns a channel that
-    /// really lands in that group.
-    #[test]
-    fn global_exit_consistency(p in params_strategy(), a in 0u32..10_000, b in 0u32..10_000) {
-        let src = GroupId(a % p.groups() as u32);
-        let dst = GroupId(b % p.groups() as u32);
+/// The exit router toward a destination group is unique and owns a channel that
+/// really lands in that group.
+#[test]
+fn global_exit_consistency() {
+    let mut rng = Rng::seed_from(0xE51);
+    for _ in 0..CASES {
+        let h = 1 + (rng.next_u64() % 6) as usize;
+        let p = DragonflyParams::new(h);
+        let src = GroupId((rng.next_u64() % p.groups() as u64) as u32);
+        let dst = GroupId((rng.next_u64() % p.groups() as u64) as u32);
         if src == dst {
-            return Ok(());
+            continue;
         }
         let (router, gport) = p.global_exit(src, dst);
-        prop_assert_eq!(p.group_of_router(router), src);
+        assert_eq!(p.group_of_router(router), src);
         let (remote, _) = p.global_neighbor(router, gport);
-        prop_assert_eq!(p.group_of_router(remote), dst);
+        assert_eq!(p.group_of_router(remote), dst);
     }
+}
 
-    /// Flat port indices round trip through the typed representation.
-    #[test]
-    fn flat_port_round_trip(h in 1usize..=8, flat in 0usize..64) {
+/// Flat port indices round trip through the typed representation — exhaustive.
+#[test]
+fn flat_port_round_trip() {
+    for h in 1usize..=8 {
         let ports = 4 * h - 1;
-        let flat = flat % ports;
-        let typed = Port::from_flat(flat, h);
-        prop_assert_eq!(typed.flat(h), flat);
+        for flat in 0..ports {
+            let typed = Port::from_flat(flat, h);
+            assert_eq!(typed.flat(h), flat);
+        }
     }
 }

@@ -82,7 +82,10 @@ impl DragonflyParams {
     pub fn valiant_hop_count(&self, src: NodeId, dst: NodeId, intermediate: GroupId) -> usize {
         let src_router = self.router_of_node(src);
         let src_group = self.group_of_router(src_router);
-        assert_ne!(intermediate, src_group, "intermediate group must differ from source");
+        assert_ne!(
+            intermediate, src_group,
+            "intermediate group must differ from source"
+        );
         assert_ne!(
             intermediate,
             self.group_of_node(dst),
@@ -96,7 +99,10 @@ impl DragonflyParams {
             let (next, _) = self.neighbor(current, port);
             current = next;
             hops += 1;
-            assert!(hops <= 2, "reaching the intermediate group takes at most 2 hops");
+            assert!(
+                hops <= 2,
+                "reaching the intermediate group takes at most 2 hops"
+            );
         }
         // Phase 2: minimal to the destination router.
         let dest_router = self.router_of_node(dst);

@@ -58,7 +58,10 @@ pub struct BurstSpec {
 impl BurstSpec {
     /// Every node sends `packets_per_node` packets of `packet_size` phits.
     pub fn new(packets_per_node: u64, packet_size: usize) -> Self {
-        assert!(packets_per_node >= 1, "burst needs at least one packet per node");
+        assert!(
+            packets_per_node >= 1,
+            "burst needs at least one packet per node"
+        );
         assert!(packet_size >= 1, "packet size must be at least one phit");
         Self {
             packets_per_node,

@@ -20,9 +20,7 @@ mod patterns;
 mod patterns_extra;
 
 pub use injection::{BernoulliInjection, BurstSpec};
-pub use patterns::{
-    AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, Permutation, Uniform,
-};
+pub use patterns::{AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, Permutation, Uniform};
 pub use patterns_extra::{BitComplement, Hotspot, NodeShift};
 
 use dragonfly_rng::Rng;

@@ -316,8 +316,7 @@ mod tests {
                 let d = pattern.destination(src, &p, &mut rng);
                 let dst_router = p.router_of_node(d);
                 assert_eq!(p.group_of_router(dst_router), src_group);
-                let expect_idx =
-                    (p.router_index_in_group(src_router) + 1) % p.routers_per_group();
+                let expect_idx = (p.router_index_in_group(src_router) + 1) % p.routers_per_group();
                 assert_eq!(p.router_index_in_group(dst_router), expect_idx);
             }
         }
@@ -352,8 +351,14 @@ mod tests {
         let src = NodeId(42);
         let src_group = p.group_of_node(src);
         for _ in 0..200 {
-            assert_eq!(p.group_of_node(all_local.destination(src, &p, &mut rng)), src_group);
-            assert_ne!(p.group_of_node(all_global.destination(src, &p, &mut rng)), src_group);
+            assert_eq!(
+                p.group_of_node(all_local.destination(src, &p, &mut rng)),
+                src_group
+            );
+            assert_ne!(
+                p.group_of_node(all_global.destination(src, &p, &mut rng)),
+                src_group
+            );
         }
     }
 

@@ -116,7 +116,11 @@ impl Hotspot {
 
 impl TrafficPattern for Hotspot {
     fn name(&self) -> String {
-        format!("HOT{}%@{}", (self.hot_fraction * 100.0).round() as u32, self.hot_node)
+        format!(
+            "HOT{}%@{}",
+            (self.hot_fraction * 100.0).round() as u32,
+            self.hot_node
+        )
     }
 
     fn destination(&self, src: NodeId, params: &DragonflyParams, rng: &mut Rng) -> NodeId {
@@ -203,7 +207,10 @@ mod tests {
         }
         let fraction = to_hot as f64 / samples as f64;
         // 25% direct hits plus the uniform share that happens to land on node 10.
-        assert!(fraction > 0.24 && fraction < 0.30, "hot fraction {fraction}");
+        assert!(
+            fraction > 0.24 && fraction < 0.30,
+            "hot fraction {fraction}"
+        );
     }
 
     #[test]

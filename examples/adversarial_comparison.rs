@@ -11,9 +11,7 @@
 //! `1/h`.  Only mechanisms with *local* misrouting (PAR-6/2, RLM, OLM) escape both
 //! pathologies.  This example reproduces the comparison on a small network.
 
-use dragonfly::core::{
-    run_parallel, ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind,
-};
+use dragonfly::core::{run_parallel, ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
 
 fn main() {
     let h = 3;
@@ -27,8 +25,14 @@ fn main() {
         RoutingKind::Olm,
     ];
     for (label, traffic) in [
-        ("ADVG+1 (mild adversarial-global)", TrafficKind::AdversarialGlobal(1)),
-        ("ADVG+h (pathological offset)", TrafficKind::AdversarialGlobal(h)),
+        (
+            "ADVG+1 (mild adversarial-global)",
+            TrafficKind::AdversarialGlobal(1),
+        ),
+        (
+            "ADVG+h (pathological offset)",
+            TrafficKind::AdversarialGlobal(h),
+        ),
     ] {
         let specs: Vec<ExperimentSpec> = mechanisms
             .iter()

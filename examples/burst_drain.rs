@@ -56,5 +56,7 @@ fn main() {
         assert!(!r.deadlock_detected);
         assert!(!r.timed_out);
     }
-    println!("\n(100% = Piggybacking; the paper reports ~36% for OLM and ~42.5% for RLM at h = 8.)");
+    println!(
+        "\n(100% = Piggybacking; the paper reports ~36% for OLM and ~42.5% for RLM at h = 8.)"
+    );
 }

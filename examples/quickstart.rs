@@ -26,10 +26,22 @@ fn main() {
     println!("\n--- steady-state report ---");
     println!("routing mechanism     : {}", report.routing);
     println!("traffic pattern       : {}", report.traffic);
-    println!("offered load          : {:.3} phits/(node*cycle)", report.offered_load);
-    println!("accepted load         : {:.3} phits/(node*cycle)", report.accepted_load);
-    println!("average latency       : {:.1} cycles", report.avg_latency_cycles);
-    println!("99th percentile       : {:.1} cycles", report.p99_latency_cycles);
+    println!(
+        "offered load          : {:.3} phits/(node*cycle)",
+        report.offered_load
+    );
+    println!(
+        "accepted load         : {:.3} phits/(node*cycle)",
+        report.accepted_load
+    );
+    println!(
+        "average latency       : {:.1} cycles",
+        report.avg_latency_cycles
+    );
+    println!(
+        "99th percentile       : {:.1} cycles",
+        report.p99_latency_cycles
+    );
     println!("average hops          : {:.2}", report.avg_hops);
     println!(
         "misrouted packets     : {:.1}% global, {:.1}% local",

@@ -17,7 +17,11 @@ fn main() {
     let thresholds = [0.30, 0.40, 0.45, 0.50, 0.60];
     for (label, traffic, load) in [
         ("uniform traffic (UN)", TrafficKind::Uniform, 0.5),
-        ("adversarial-global (ADVG+1)", TrafficKind::AdversarialGlobal(1), 0.5),
+        (
+            "adversarial-global (ADVG+1)",
+            TrafficKind::AdversarialGlobal(1),
+            0.5,
+        ),
     ] {
         let specs: Vec<ExperimentSpec> = thresholds
             .iter()

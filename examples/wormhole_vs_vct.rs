@@ -37,7 +37,10 @@ fn main() {
                 report.avg_latency_cycles,
                 report.global_misroute_fraction * 100.0
             );
-            assert!(!report.deadlock_detected, "RLM must be deadlock-free under {flow:?}");
+            assert!(
+                !report.deadlock_detected,
+                "RLM must be deadlock-free under {flow:?}"
+            );
         }
     }
     println!(

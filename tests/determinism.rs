@@ -23,7 +23,10 @@ fn same_seed_is_bit_identical() {
     assert_eq!(a.packets_delivered, b.packets_delivered);
     assert_eq!(a.packets_measured, b.packets_measured);
     assert_eq!(a.accepted_load.to_bits(), b.accepted_load.to_bits());
-    assert_eq!(a.avg_latency_cycles.to_bits(), b.avg_latency_cycles.to_bits());
+    assert_eq!(
+        a.avg_latency_cycles.to_bits(),
+        b.avg_latency_cycles.to_bits()
+    );
     assert_eq!(a.avg_hops.to_bits(), b.avg_hops.to_bits());
 }
 
@@ -49,6 +52,9 @@ fn parallel_execution_matches_sequential() {
     for (s, p) in sequential.iter().zip(parallel.iter()) {
         assert_eq!(s.packets_delivered, p.packets_delivered);
         assert_eq!(s.accepted_load.to_bits(), p.accepted_load.to_bits());
-        assert_eq!(s.avg_latency_cycles.to_bits(), p.avg_latency_cycles.to_bits());
+        assert_eq!(
+            s.avg_latency_cycles.to_bits(),
+            p.avg_latency_cycles.to_bits()
+        );
     }
 }

@@ -53,8 +53,16 @@ fn wormhole_capable_mechanisms_deliver_under_wormhole() {
         }
         let report = quick_spec(kind, TrafficKind::Uniform, FlowControlKind::Wormhole, 0.1).run();
         assert!(!report.deadlock_detected, "{kind:?} deadlocked under WH");
-        assert!(report.packets_measured > 10, "{kind:?}: {}", report.packets_measured);
-        assert!((report.accepted_load - 0.1).abs() < 0.06, "{kind:?}: {}", report.accepted_load);
+        assert!(
+            report.packets_measured > 10,
+            "{kind:?}: {}",
+            report.packets_measured
+        );
+        assert!(
+            (report.accepted_load - 0.1).abs() < 0.06,
+            "{kind:?}: {}",
+            report.accepted_load
+        );
     }
 }
 
@@ -63,8 +71,17 @@ fn adaptive_mechanisms_survive_adversarial_saturation() {
     // Offered load of 1.0 under ADVG+h is far beyond what any mechanism can accept;
     // the point is that the adaptive mechanisms neither deadlock nor stop delivering.
     for kind in [RoutingKind::Par62, RoutingKind::Rlm, RoutingKind::Olm] {
-        let report = quick_spec(kind, TrafficKind::AdversarialGlobal(2), FlowControlKind::Vct, 1.0).run();
-        assert!(!report.deadlock_detected, "{kind:?} deadlocked at saturation");
+        let report = quick_spec(
+            kind,
+            TrafficKind::AdversarialGlobal(2),
+            FlowControlKind::Vct,
+            1.0,
+        )
+        .run();
+        assert!(
+            !report.deadlock_detected,
+            "{kind:?} deadlocked at saturation"
+        );
         assert!(
             report.accepted_load > 0.08,
             "{kind:?} collapsed under ADVG+h: {}",
@@ -76,9 +93,17 @@ fn adaptive_mechanisms_survive_adversarial_saturation() {
 #[test]
 fn adversarial_local_traffic_is_survived_by_all_mechanisms() {
     for kind in RoutingKind::ALL {
-        let report =
-            quick_spec(kind, TrafficKind::AdversarialLocal(1), FlowControlKind::Vct, 0.4).run();
-        assert!(!report.deadlock_detected, "{kind:?} deadlocked under ADVL+1");
+        let report = quick_spec(
+            kind,
+            TrafficKind::AdversarialLocal(1),
+            FlowControlKind::Vct,
+            0.4,
+        )
+        .run();
+        assert!(
+            !report.deadlock_detected,
+            "{kind:?} deadlocked under ADVL+1"
+        );
         assert!(report.packets_measured > 50, "{kind:?}");
     }
 }
@@ -97,7 +122,10 @@ fn burst_mode_delivers_every_packet_for_every_mechanism() {
             1.0,
         );
         let report = spec.run_batch(3, 300_000);
-        assert!(!report.deadlock_detected, "{kind:?} deadlocked in burst mode");
+        assert!(
+            !report.deadlock_detected,
+            "{kind:?} deadlocked in burst mode"
+        );
         assert!(!report.timed_out, "{kind:?} timed out in burst mode");
         assert_eq!(
             report.packets_delivered, report.packets_total,

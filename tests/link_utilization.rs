@@ -16,9 +16,8 @@ fn run_and_summarize(routing: RoutingKind, h: usize) -> (f64, f64, f64) {
     spec.offered_load = 0.8;
     spec.seed = 3;
     let mut sim = spec.build_simulation();
-    sim.network_mut().set_injection(Some(dragonfly::traffic::BernoulliInjection::new(
-        0.8, 8,
-    )));
+    sim.network_mut()
+        .set_injection(Some(dragonfly::traffic::BernoulliInjection::new(0.8, 8)));
     sim.run_cycles(6_000);
     let (max_local, mean_local) = sim.network().link_utilization_summary(PortKind::Local);
     let (_, mean_global) = sim.network().link_utilization_summary(PortKind::Global);
@@ -42,7 +41,10 @@ fn advg_h_concentrates_local_load_under_valiant_but_not_under_olm() {
         "Valiant under ADVG+h should concentrate local load: max {valiant_max:.3} vs mean {valiant_mean:.3}"
     );
     // Global links are busy in both cases (this is global-heavy traffic).
-    assert!(valiant_global > 0.05, "global links should carry load, got {valiant_global:.3}");
+    assert!(
+        valiant_global > 0.05,
+        "global links should carry load, got {valiant_global:.3}"
+    );
     // OLM spreads the local load: its concentration ratio does not exceed Valiant's.
     let valiant_ratio = valiant_max / valiant_mean.max(1e-9);
     let olm_ratio = olm_max / olm_mean.max(1e-9);

@@ -25,13 +25,24 @@ fn spec(h: usize, routing: RoutingKind, traffic: TrafficKind, load: f64) -> Expe
 fn advg_minimal_saturates_while_adaptive_mechanisms_do_not() {
     let h = 2;
     let bound = 1.0 / (2.0 * (h * h) as f64 + 1.0);
-    let minimal = spec(h, RoutingKind::Minimal, TrafficKind::AdversarialGlobal(1), 0.5).run();
+    let minimal = spec(
+        h,
+        RoutingKind::Minimal,
+        TrafficKind::AdversarialGlobal(1),
+        0.5,
+    )
+    .run();
     assert!(
         minimal.accepted_load < bound * 1.8,
         "minimal accepted {} should be near the {bound:.3} bound",
         minimal.accepted_load
     );
-    for kind in [RoutingKind::Valiant, RoutingKind::Olm, RoutingKind::Rlm, RoutingKind::Par62] {
+    for kind in [
+        RoutingKind::Valiant,
+        RoutingKind::Olm,
+        RoutingKind::Rlm,
+        RoutingKind::Par62,
+    ] {
         let report = spec(h, kind, TrafficKind::AdversarialGlobal(1), 0.5).run();
         assert!(
             report.accepted_load > minimal.accepted_load * 2.0,
@@ -49,7 +60,12 @@ fn advg_minimal_saturates_while_adaptive_mechanisms_do_not() {
 fn uniform_adaptive_mechanisms_track_minimal() {
     let h = 2;
     let minimal = spec(h, RoutingKind::Minimal, TrafficKind::Uniform, 0.4).run();
-    for kind in [RoutingKind::Olm, RoutingKind::Rlm, RoutingKind::Par62, RoutingKind::Piggybacking] {
+    for kind in [
+        RoutingKind::Olm,
+        RoutingKind::Rlm,
+        RoutingKind::Par62,
+        RoutingKind::Piggybacking,
+    ] {
         let report = spec(h, kind, TrafficKind::Uniform, 0.4).run();
         assert!(
             report.accepted_load > minimal.accepted_load * 0.85,
@@ -67,7 +83,13 @@ fn uniform_adaptive_mechanisms_track_minimal() {
 fn advl_local_misrouting_mechanisms_beat_the_one_over_h_bound() {
     let h = 2;
     let one_over_h = 1.0 / h as f64;
-    let minimal = spec(h, RoutingKind::Minimal, TrafficKind::AdversarialLocal(1), 0.9).run();
+    let minimal = spec(
+        h,
+        RoutingKind::Minimal,
+        TrafficKind::AdversarialLocal(1),
+        0.9,
+    )
+    .run();
     assert!(
         minimal.accepted_load < one_over_h * 1.25,
         "minimal under ADVL+1 should be capped near 1/h, got {}",

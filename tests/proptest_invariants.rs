@@ -1,21 +1,25 @@
-//! Workspace-level property-based tests over cross-crate invariants.
+//! Workspace-level randomized tests over cross-crate invariants.
+//!
+//! Originally `proptest` properties; the build environment has no registry access,
+//! so each property is checked over seeded random cases drawn from the workspace's
+//! own deterministic RNG, covering the same input domains.
 
+use dragonfly::rng::Rng;
 use dragonfly::routing::{LinkClass, ParitySignTable, RoutingKind};
 use dragonfly::sim::{BaselineMinimal, Packet, PacketId, RouteCtx, RouterView};
 use dragonfly::sim::{Network, SimConfig};
 use dragonfly::topology::{DragonflyParams, NodeId};
 use dragonfly::traffic::{AdversarialGlobal, AdversarialLocal, TrafficPattern, Uniform};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every traffic pattern produces valid, non-self destinations for any source.
-    #[test]
-    fn traffic_destinations_are_always_valid(h in 2usize..=5, src_raw in 0u32..100_000, seed in 0u64..1_000) {
+/// Every traffic pattern produces valid, non-self destinations for any source.
+#[test]
+fn traffic_destinations_are_always_valid() {
+    let mut meta = Rng::seed_from(48);
+    for _ in 0..48 {
+        let h = 2 + (meta.next_u64() % 4) as usize;
         let params = DragonflyParams::new(h);
-        let src = NodeId(src_raw % params.num_nodes() as u32);
-        let mut rng = dragonfly::rng::Rng::seed_from(seed);
+        let src = NodeId((meta.next_u64() % params.num_nodes() as u64) as u32);
+        let mut rng = Rng::seed_from(meta.next_u64() % 1_000);
         let patterns: Vec<Box<dyn TrafficPattern>> = vec![
             Box::new(Uniform::new()),
             Box::new(AdversarialGlobal::new(1)),
@@ -24,51 +28,55 @@ proptest! {
         ];
         for p in &patterns {
             let dst = p.destination(src, &params, &mut rng);
-            prop_assert!(dst.index() < params.num_nodes());
-            prop_assert_ne!(dst, src);
+            assert!(dst.index() < params.num_nodes());
+            assert_ne!(dst, src);
         }
     }
+}
 
-    /// The parity-sign table never removes all detours: every router pair of every
-    /// group size keeps at least h-1 two-hop alternatives.
-    #[test]
-    fn parity_sign_detour_guarantee(h in 2usize..=8, from in 0usize..16, to in 0usize..16) {
+/// The parity-sign table never removes all detours: every router pair of every
+/// group size keeps at least h-1 two-hop alternatives.
+#[test]
+fn parity_sign_detour_guarantee() {
+    let mut meta = Rng::seed_from(1337);
+    for _ in 0..48 {
+        let h = 2 + (meta.next_u64() % 7) as usize;
         let params = DragonflyParams::new(h);
         let routers = params.routers_per_group();
-        let from = from % routers;
-        let to = to % routers;
+        let from = (meta.next_u64() % routers as u64) as usize;
+        let to = (meta.next_u64() % routers as u64) as usize;
         if from == to {
-            return Ok(());
+            continue;
         }
         let table = ParitySignTable::new();
         let detours = table.allowed_intermediates(from, to, routers);
-        prop_assert!(detours.len() >= h - 1, "{from}->{to}: {detours:?}");
+        assert!(detours.len() >= h - 1, "{from}->{to}: {detours:?}");
         // Every allowed detour really avoids the forbidden combinations.
         for k in detours {
-            prop_assert!(table.allowed(
-                LinkClass::of_hop(from, k),
-                LinkClass::of_hop(k, to),
-            ));
+            assert!(table.allowed(LinkClass::of_hop(from, k), LinkClass::of_hop(k, to)));
         }
     }
+}
 
-    /// For a freshly-built (idle) network, every mechanism's first routing decision for
-    /// any packet is the minimal port: with empty queues there is never a reason to
-    /// misroute.
-    #[test]
-    fn idle_network_first_decision_is_minimal(seed in 0u64..500, src_raw in 0u32..100_000, dst_raw in 0u32..100_000) {
-        let params = DragonflyParams::new(2);
-        let src = NodeId(src_raw % params.num_nodes() as u32);
-        let dst = NodeId(dst_raw % params.num_nodes() as u32);
+/// For a freshly-built (idle) network, every mechanism's first routing decision for
+/// any packet is the minimal port: with empty queues there is never a reason to
+/// misroute.
+#[test]
+fn idle_network_first_decision_is_minimal() {
+    let mut meta = Rng::seed_from(500);
+    let params = DragonflyParams::new(2);
+    let config = SimConfig::paper_vct(2).with_local_vcs(6);
+    let network = Network::new(
+        config.clone(),
+        Box::new(BaselineMinimal::new()),
+        Box::new(Uniform::new()),
+    );
+    for _ in 0..48 {
+        let src = NodeId((meta.next_u64() % params.num_nodes() as u64) as u32);
+        let dst = NodeId((meta.next_u64() % params.num_nodes() as u64) as u32);
         if src == dst {
-            return Ok(());
+            continue;
         }
-        let config = SimConfig::paper_vct(2).with_local_vcs(6);
-        let network = Network::new(
-            config.clone(),
-            Box::new(BaselineMinimal::new()),
-            Box::new(Uniform::new()),
-        );
         let src_router = params.router_of_node(src);
         let minimal = params.minimal_port(src_router, dst);
         let packet = Packet::new(PacketId(0), src, dst, 8, 0);
@@ -79,8 +87,12 @@ proptest! {
             config: &config,
             global_congested: None,
         };
-        let ctx = RouteCtx { cycle: 0, params: &params, config: &config };
-        let mut rng = dragonfly::rng::Rng::seed_from(seed);
+        let ctx = RouteCtx {
+            cycle: 0,
+            params: &params,
+            config: &config,
+        };
+        let mut rng = Rng::seed_from(meta.next_u64());
         for kind in RoutingKind::ALL {
             if kind == RoutingKind::Valiant {
                 // Valiant is oblivious: it always detours through a random group.
@@ -90,9 +102,11 @@ proptest! {
             let choice = mechanism
                 .route(&ctx, &packet, &view, &mut rng)
                 .expect("idle network must always produce a decision");
-            prop_assert_eq!(
-                choice.port, minimal,
-                "{} did not choose the minimal port on an idle network", kind.name()
+            assert_eq!(
+                choice.port,
+                minimal,
+                "{} did not choose the minimal port on an idle network",
+                kind.name()
             );
         }
     }

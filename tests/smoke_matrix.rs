@@ -1,0 +1,99 @@
+//! Cross-cutting smoke matrix: every routing mechanism × flow control combination
+//! must run under load without panicking or deadlocking, and the monomorphized
+//! (static-dispatch) engine must produce byte-identical reports to the type-erased
+//! (`Box<dyn RoutingAlgorithm>`) engine for the same seed.
+
+use dragonfly::core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use dragonfly::traffic::BernoulliInjection;
+
+const FLOW_CONTROLS: [FlowControlKind; 2] = [FlowControlKind::Vct, FlowControlKind::Wormhole];
+
+/// OLM requires VCT; every other (mechanism, flow control) pair is supported.
+fn supported(kind: RoutingKind, fc: FlowControlKind) -> bool {
+    kind.supports_wormhole() || fc != FlowControlKind::Wormhole
+}
+
+#[test]
+fn every_mechanism_times_flow_control_runs_under_load() {
+    for kind in RoutingKind::ALL {
+        for fc in FLOW_CONTROLS {
+            if !supported(kind, fc) {
+                continue;
+            }
+            let mut spec = ExperimentSpec::new(2);
+            spec.routing = kind;
+            spec.flow_control = fc;
+            spec.traffic = TrafficKind::Uniform;
+            spec.seed = 42;
+            let mut sim = spec.build_simulation();
+            sim.network_mut()
+                .set_injection(Some(BernoulliInjection::new(0.1, fc.packet_size())));
+            sim.run_cycles(2_000);
+            let net = sim.network();
+            assert!(
+                !net.deadlock_detected,
+                "{} under {} deadlocked",
+                kind.name(),
+                fc.name()
+            );
+            assert!(
+                net.stats.total_generated > 0,
+                "{} under {} generated no traffic",
+                kind.name(),
+                fc.name()
+            );
+            assert!(
+                net.stats.total_delivered > 0,
+                "{} under {} delivered nothing in 2k cycles",
+                kind.name(),
+                fc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_and_dyn_dispatch_produce_identical_reports() {
+    for kind in RoutingKind::ALL {
+        for fc in FLOW_CONTROLS {
+            if !supported(kind, fc) {
+                continue;
+            }
+            let mut spec = ExperimentSpec::new(2);
+            spec.routing = kind;
+            spec.flow_control = fc;
+            spec.traffic = TrafficKind::AdversarialGlobal(1);
+            spec.offered_load = 0.15;
+            spec.seed = 7;
+            spec.warmup = 400;
+            spec.measure = 800;
+            spec.drain = 800;
+            let static_report = spec.run();
+            let dyn_report = spec.run_dyn();
+            assert_eq!(
+                static_report,
+                dyn_report,
+                "static and dyn engines diverged for {} under {}",
+                kind.name(),
+                fc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn static_and_dyn_dispatch_produce_identical_batch_reports() {
+    let mut spec = ExperimentSpec::new(2);
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Mixed {
+        global_fraction: 0.5,
+        global_offset: 2,
+        local_offset: 1,
+    };
+    spec.seed = 3;
+    let static_report = spec.run_batch(2, 100_000);
+    let dyn_report = spec.run_batch_dyn(2, 100_000);
+    assert_eq!(static_report, dyn_report);
+    assert!(!static_report.deadlock_detected);
+    assert!(!static_report.timed_out);
+}

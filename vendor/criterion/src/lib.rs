@@ -1,0 +1,273 @@
+//! Offline functional stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the small API surface used by `crates/bench/benches`: benchmark
+//! groups with configurable warm-up and measurement windows, `Bencher::iter`,
+//! `black_box`, `BenchmarkId` and the `criterion_group!`/`criterion_main!` macros.
+//! Timing is real (monotonic-clock warm-up followed by a measured window); each
+//! benchmark prints one `bench:` line with the mean ns/iter, and when the
+//! `CRITERION_SHIM_JSON` environment variable names a file, a JSON line per
+//! benchmark is appended there so scripts can collect baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked work.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a displayable parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Build an id from a displayable parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    warm_up: Duration,
+    measurement: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+/// One measured benchmark: iteration count and total elapsed time.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Sample {
+    fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+impl Bencher<'_> {
+    /// Run `f` repeatedly: first for the warm-up window, then for the measurement
+    /// window, recording the mean time per iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.measurement {
+                break;
+            }
+        }
+        *self.result = Some(Sample {
+            iters,
+            elapsed: start.elapsed(),
+        });
+    }
+}
+
+/// A named collection of benchmarks sharing warm-up/measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes samples by time, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Run one benchmark under this group's settings.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.warm_up, self.measurement, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.warm_up, self.measurement, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {
+        let _ = self.criterion;
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a benchmark group with default windows (1s warm-up, 3s measurement).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_secs(1),
+            measurement: Duration::from_secs(3),
+        }
+    }
+
+    /// Run a standalone benchmark with the default windows.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        run_one(
+            &id.to_string(),
+            Duration::from_secs(1),
+            Duration::from_secs(3),
+            |b| f(b),
+        );
+        self
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher<'_>)>(
+    name: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) {
+    let mut result = None;
+    let mut bencher = Bencher {
+        warm_up,
+        measurement,
+        result: &mut result,
+    };
+    f(&mut bencher);
+    match result {
+        Some(sample) => {
+            let ns = sample.ns_per_iter();
+            println!("bench: {name}: {ns:.0} ns/iter ({} iters)", sample.iters);
+            if let Ok(path) = std::env::var("CRITERION_SHIM_JSON") {
+                if !path.is_empty() {
+                    append_json(&path, name, ns, sample.iters);
+                }
+            }
+        }
+        None => println!("bench: {name}: no measurement (closure never called iter)"),
+    }
+}
+
+fn append_json(path: &str, name: &str, ns: f64, iters: u64) {
+    use std::io::Write;
+    let line = format!(
+        "{{\"name\":\"{}\",\"ns_per_iter\":{ns:.1},\"iters\":{iters}}}\n",
+        name.replace('"', "'")
+    );
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    if let Ok(mut file) = file {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Bundle benchmark functions into a named group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, as in real criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_work() {
+        let mut result = None;
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            result: &mut result,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        let sample = result.expect("iter must record a sample");
+        assert!(sample.iters >= 1);
+        assert!(sample.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("run", "vct");
+        assert_eq!(id.to_string(), "run/vct");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

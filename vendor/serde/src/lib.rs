@@ -1,0 +1,16 @@
+//! Offline no-op stand-in for `serde` (see `vendor/README.md`).
+//!
+//! The traits are satisfied by every type via blanket impls and the derives expand
+//! to nothing, so workspace code annotated with `#[derive(Serialize, Deserialize)]`
+//! compiles without the real serde.  No serialization behaviour is provided — the
+//! workspace emits CSV/JSON through its own hand-rolled writers.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait satisfied by every type (stand-in for `serde::Serialize`).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait satisfied by every type (stand-in for `serde::Deserialize`).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! The derives expand to nothing; the companion `serde` stand-in provides blanket
+//! trait impls, so `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` helper
+//! attributes compile unchanged without generating any code.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
