@@ -85,7 +85,7 @@ fn bench_dispatch_paths(c: &mut Criterion) {
     let mut static_sim = Simulation::with_routing(
         spec.sim_config(),
         Olm::new(AdaptiveParams::with_threshold(spec.threshold)),
-        spec.traffic.build(),
+        spec.traffic.build(&spec.sim_config().params),
     );
     warm(
         &mut static_sim,

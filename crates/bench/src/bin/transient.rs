@@ -1,0 +1,70 @@
+//! Transient pattern-switch study at configurable scale: one machine-wide job flips
+//! from uniform traffic to ADVG+h halfway through the measurement window, and the
+//! per-phase breakdown exposes each mechanism's adaptation.
+//!
+//! ```text
+//! cargo run --release -p dragonfly_bench --bin transient -- --h 4
+//! ```
+//!
+//! One CSV row per (mechanism, phase); phase 0 is UN, phase 1 is ADVG+h.
+
+use dragonfly_bench::HarnessArgs;
+use dragonfly_core::{
+    CsvWriter, FlowControlKind, PhaseReport, RoutingKind, TrafficKind, WorkloadSpec,
+};
+use dragonfly_topology::DragonflyParams;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let params = DragonflyParams::new(args.h);
+    let load = 0.25;
+    let switch_cycle = args.warmup + args.measure / 2;
+    let workload = WorkloadSpec::transient(params.num_nodes(), load, switch_cycle, args.h);
+    eprintln!(
+        "transient study: {} on {} nodes (switch at cycle {switch_cycle})",
+        workload.label(),
+        params.num_nodes()
+    );
+
+    let mechanisms = [
+        RoutingKind::Minimal,
+        RoutingKind::Piggybacking,
+        RoutingKind::Par62,
+        RoutingKind::Rlm,
+        RoutingKind::Olm,
+    ];
+    let path = args.csv_path("transient.csv");
+    let header = format!("routing,{}", PhaseReport::csv_header());
+    let mut csv = CsvWriter::create(&path, &header).expect("cannot create CSV");
+
+    println!(
+        "{:<12} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "routing", "phase", "pattern", "inj_load", "acc_load", "avg_lat", "p99"
+    );
+    for routing in mechanisms {
+        let mut spec = args.base_spec(FlowControlKind::Vct);
+        spec.routing = routing;
+        spec.traffic = TrafficKind::Workload(workload.clone());
+        let report = spec.run_workload();
+        assert!(
+            !report.aggregate.deadlock_detected,
+            "{routing:?} deadlocked"
+        );
+        for phase in &report.jobs[0].phases {
+            println!(
+                "{:<12} {:>6} {:>10} {:>12.4} {:>12.4} {:>12.1} {:>10.1}",
+                report.aggregate.routing,
+                phase.phase,
+                phase.pattern,
+                phase.injected_load,
+                phase.accepted_load,
+                phase.avg_latency_cycles,
+                phase.p99_latency_cycles
+            );
+            csv.row(&format!("{},{}", report.aggregate.routing, phase.csv_row()))
+                .expect("cannot write CSV row");
+        }
+    }
+    csv.flush().expect("cannot flush CSV");
+    println!("wrote {}", path.display());
+}

@@ -2,10 +2,12 @@
 
 use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
 use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
-use dragonfly_stats::{BatchReport, SimReport};
+use dragonfly_stats::{BatchReport, SimReport, WorkloadReport};
+use dragonfly_topology::DragonflyParams;
 use dragonfly_traffic::{
     AdversarialGlobal, AdversarialLocal, BurstSpec, MixedGlobalLocal, TrafficPattern, Uniform,
 };
+use dragonfly_workload::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which of the paper's two flow-control setups to use.
@@ -36,7 +38,7 @@ impl FlowControlKind {
 }
 
 /// Which traffic pattern to drive the network with.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TrafficKind {
     /// Uniform random traffic.
     Uniform,
@@ -54,6 +56,11 @@ pub enum TrafficKind {
         /// Router offset of the local component.
         local_offset: usize,
     },
+    /// A multi-job workload: per-job placements, patterns, offered loads and phase
+    /// schedules (see [`WorkloadSpec`]).  The jobs' phases carry their own loads, so
+    /// the spec's `offered_load` field is ignored; [`ExperimentSpec::run_workload`]
+    /// additionally returns the per-job/per-phase breakdown.
+    Workload(WorkloadSpec),
 }
 
 impl TrafficKind {
@@ -62,26 +69,30 @@ impl TrafficKind {
         TrafficKind::AdversarialGlobal(h)
     }
 
-    /// Instantiate the pattern.
-    pub fn build(self) -> Box<dyn TrafficPattern> {
+    /// Instantiate the pattern against a topology.
+    ///
+    /// The paper's synthetic patterns ignore `params`; workloads compile their
+    /// node-indexed, phase-switching pattern against it.
+    pub fn build(&self, params: &DragonflyParams) -> Box<dyn TrafficPattern> {
         match self {
             TrafficKind::Uniform => Box::new(Uniform::new()),
-            TrafficKind::AdversarialGlobal(n) => Box::new(AdversarialGlobal::new(n)),
-            TrafficKind::AdversarialLocal(n) => Box::new(AdversarialLocal::new(n)),
+            TrafficKind::AdversarialGlobal(n) => Box::new(AdversarialGlobal::new(*n)),
+            TrafficKind::AdversarialLocal(n) => Box::new(AdversarialLocal::new(*n)),
             TrafficKind::Mixed {
                 global_fraction,
                 global_offset,
                 local_offset,
             } => Box::new(MixedGlobalLocal::new(
-                global_fraction,
-                global_offset,
-                local_offset,
+                *global_fraction,
+                *global_offset,
+                *local_offset,
             )),
+            TrafficKind::Workload(spec) => Box::new(spec.build_pattern(params)),
         }
     }
 
     /// Display name matching the paper's labels.
-    pub fn name(self) -> String {
+    pub fn name(&self) -> String {
         match self {
             TrafficKind::Uniform => "UN".to_string(),
             TrafficKind::AdversarialGlobal(n) => format!("ADVG+{n}"),
@@ -94,6 +105,15 @@ impl TrafficKind {
                 "MIX{}%(ADVG+{global_offset}/ADVL+{local_offset})",
                 (global_fraction * 100.0).round() as u32
             ),
+            TrafficKind::Workload(spec) => spec.label(),
+        }
+    }
+
+    /// The workload specification, when this is [`TrafficKind::Workload`].
+    pub fn workload(&self) -> Option<&WorkloadSpec> {
+        match self {
+            TrafficKind::Workload(spec) => Some(spec),
+            _ => None,
         }
     }
 }
@@ -161,18 +181,31 @@ impl ExperimentSpec {
     /// Build the type-erased simulation (network + boxed routing + traffic) for this
     /// specification.  Kept for custom experiments that need to own a `Simulation`
     /// without naming the mechanism type; the `run*` methods below use the
-    /// monomorphized engine instead.
+    /// monomorphized engine instead.  A workload traffic kind is fully installed
+    /// (patterns, injection rates and per-job statistics).
     pub fn build_simulation(&self) -> Simulation {
         let routing = self
             .routing
             .build_with(AdaptiveParams::with_threshold(self.threshold));
-        Simulation::new(self.sim_config(), routing, self.traffic.build())
+        let config = self.sim_config();
+        let params = config.params;
+        if let Some(workload) = self.traffic.workload() {
+            // install_workload compiles both the pattern and the runtime from one
+            // placement, so the construction-time pattern is a throwaway.
+            let mut sim = Simulation::new(config, routing, Box::new(Uniform::new()));
+            sim.install_workload(workload);
+            sim
+        } else {
+            Simulation::new(config, routing, self.traffic.build(&params))
+        }
     }
 
     /// Run the steady-state protocol and return the report.
     ///
     /// Dispatches to a simulation monomorphized over the concrete routing mechanism;
     /// the result is bit-identical to the dynamic path ([`ExperimentSpec::run_dyn`]).
+    /// For workload traffic this is the aggregate half of
+    /// [`ExperimentSpec::run_workload`].
     pub fn run(&self) -> SimReport {
         self.routing.dispatch(
             AdaptiveParams::with_threshold(self.threshold),
@@ -185,7 +218,42 @@ impl ExperimentSpec {
     /// the equivalence tests.
     pub fn run_dyn(&self) -> SimReport {
         let mut sim = self.build_simulation();
-        sim.run_steady_state(self.offered_load, self.warmup, self.measure, self.drain)
+        if sim.network().workload().is_some() {
+            sim.run_steady_state_workload(self.warmup, self.measure, self.drain)
+                .aggregate
+        } else {
+            sim.run_steady_state(self.offered_load, self.warmup, self.measure, self.drain)
+        }
+    }
+
+    /// Run a workload steady-state experiment and return the per-job/per-phase
+    /// breakdown alongside the aggregate report.  Statically dispatched like
+    /// [`ExperimentSpec::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the traffic kind is not [`TrafficKind::Workload`].
+    pub fn run_workload(&self) -> WorkloadReport {
+        assert!(
+            self.traffic.workload().is_some(),
+            "run_workload requires TrafficKind::Workload traffic"
+        );
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            WorkloadRun(self),
+        )
+    }
+
+    /// Run a workload experiment through the type-erased engine (see
+    /// [`ExperimentSpec::run_dyn`]).  Same seed ⇒ same report as
+    /// [`ExperimentSpec::run_workload`].
+    pub fn run_workload_dyn(&self) -> WorkloadReport {
+        assert!(
+            self.traffic.workload().is_some(),
+            "run_workload_dyn requires TrafficKind::Workload traffic"
+        );
+        let mut sim = self.build_simulation();
+        sim.run_steady_state_workload(self.warmup, self.measure, self.drain)
     }
 
     /// Run the burst-consumption protocol: `packets_per_node` packets per node, with a
@@ -210,6 +278,24 @@ impl ExperimentSpec {
     }
 }
 
+/// Build the monomorphized simulation for a spec, installing any workload.
+fn build_with_routing<R: RoutingAlgorithm + 'static>(
+    spec: &ExperimentSpec,
+    routing: R,
+) -> Simulation<R> {
+    let config = spec.sim_config();
+    let params = config.params;
+    if let Some(workload) = spec.traffic.workload() {
+        // install_workload compiles both the pattern and the runtime from one
+        // placement, so the construction-time pattern is a throwaway.
+        let mut sim = Simulation::with_routing(config, routing, Box::new(Uniform::new()));
+        sim.install_workload(workload);
+        sim
+    } else {
+        Simulation::with_routing(config, routing, spec.traffic.build(&params))
+    }
+}
+
 /// Visitor running the steady-state protocol on a monomorphized simulation.
 struct SteadyStateRun<'a>(&'a ExperimentSpec);
 
@@ -218,8 +304,26 @@ impl RoutingVisitor for SteadyStateRun<'_> {
 
     fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> SimReport {
         let spec = self.0;
-        let mut sim = Simulation::with_routing(spec.sim_config(), routing, spec.traffic.build());
-        sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+        let mut sim = build_with_routing(spec, routing);
+        if sim.network().workload().is_some() {
+            sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
+                .aggregate
+        } else {
+            sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+        }
+    }
+}
+
+/// Visitor running a workload steady-state run on a monomorphized simulation.
+struct WorkloadRun<'a>(&'a ExperimentSpec);
+
+impl RoutingVisitor for WorkloadRun<'_> {
+    type Output = WorkloadReport;
+
+    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> WorkloadReport {
+        let spec = self.0;
+        let mut sim = build_with_routing(spec, routing);
+        sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
     }
 }
 
@@ -235,7 +339,7 @@ impl RoutingVisitor for BatchRun<'_> {
 
     fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> BatchReport {
         let spec = self.spec;
-        let mut sim = Simulation::with_routing(spec.sim_config(), routing, spec.traffic.build());
+        let mut sim = build_with_routing(spec, routing);
         let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
         sim.run_batch(burst, self.max_cycles)
     }
@@ -318,6 +422,18 @@ impl ExperimentBuilder {
     pub fn run(self) -> SimReport {
         self.spec.run()
     }
+
+    /// Select a workload as the traffic (shorthand for
+    /// `.traffic(TrafficKind::Workload(spec))`).
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.spec.traffic = TrafficKind::Workload(workload);
+        self
+    }
+
+    /// Run the workload experiment with the per-job/per-phase breakdown.
+    pub fn run_workload(self) -> WorkloadReport {
+        self.spec.run_workload()
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +508,36 @@ mod tests {
         assert!(!report.deadlock_detected);
         assert!(report.accepted_load > 0.05);
         assert_eq!(report.routing, "OLM");
+    }
+
+    #[test]
+    fn workload_traffic_kind_builds_and_runs() {
+        use dragonfly_workload::WorkloadSpec;
+        let workload = WorkloadSpec::interference(72, 1, 0.4, 0.1);
+        let kind = TrafficKind::Workload(workload.clone());
+        assert!(kind.name().starts_with("WL[aggressor:ADVG+1@0.40"));
+        assert_eq!(kind.workload(), Some(&workload));
+        assert!(TrafficKind::Uniform.workload().is_none());
+
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = kind;
+        spec.warmup = 500;
+        spec.measure = 1_000;
+        spec.drain = 1_500;
+        let report = spec.run_workload();
+        assert_eq!(report.jobs.len(), 2);
+        assert!(!report.aggregate.deadlock_detected);
+        assert_eq!(report.aggregate.traffic, spec.traffic.name());
+        // The aggregate-only entry point agrees with the workload run's aggregate.
+        assert_eq!(spec.run(), report.aggregate);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires TrafficKind::Workload")]
+    fn run_workload_rejects_plain_traffic() {
+        let spec = ExperimentSpec::new(2);
+        let _ = spec.run_workload();
     }
 
     #[test]

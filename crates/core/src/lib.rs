@@ -34,4 +34,5 @@ pub use parallel::{run_batches_parallel, run_parallel};
 pub use sweep::{load_sweep, mix_sweep, threshold_sweep, LoadSweep, MixSweep, ThresholdSweep};
 
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
-pub use dragonfly_stats::{BatchReport, SimReport};
+pub use dragonfly_stats::{BatchReport, JobReport, PhaseReport, SimReport, WorkloadReport};
+pub use dragonfly_workload::{JobPattern, JobSpec, PhaseSpec, PlacementPolicy, WorkloadSpec};

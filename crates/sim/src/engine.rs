@@ -3,8 +3,11 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::routing_iface::RoutingAlgorithm;
-use dragonfly_stats::{BatchReport, SimReport};
+use dragonfly_stats::{
+    BatchReport, JobReport, PhaseReport, ScopedStats, SimReport, WorkloadReport,
+};
 use dragonfly_traffic::{BernoulliInjection, BurstSpec, TrafficPattern};
+use dragonfly_workload::WorkloadSpec;
 
 /// A complete simulation: a [`Network`] plus the measurement protocol of the paper.
 ///
@@ -73,8 +76,12 @@ impl<R: RoutingAlgorithm> Simulation<R> {
     ) -> SimReport {
         let packet_size = self.net.config.packet_size;
         let nodes = self.net.params().num_nodes();
-        self.net
-            .set_injection(Some(BernoulliInjection::new(offered_load, packet_size)));
+        // With a workload installed the per-job phase schedules own the injection
+        // rates; otherwise the single global Bernoulli process drives every node.
+        if self.net.workload().is_none() {
+            self.net
+                .set_injection(Some(BernoulliInjection::new(offered_load, packet_size)));
+        }
 
         // Warm-up.
         self.net.tag_measured = false;
@@ -122,6 +129,118 @@ impl<R: RoutingAlgorithm> Simulation<R> {
         }
     }
 
+    /// Install `workload` into the network: compiles the destination-side pattern
+    /// and the injection-side runtime against this simulation's topology and packet
+    /// size, and enables per-job statistics.
+    pub fn install_workload(&mut self, workload: &WorkloadSpec) {
+        let params = *self.net.params();
+        let (runtime, pattern) = workload.compile(&params, self.net.config.packet_size);
+        self.net.install_workload(runtime, Box::new(pattern));
+    }
+
+    /// Run the steady-state protocol of an installed workload and break the result
+    /// down per job and per phase.
+    ///
+    /// The aggregate half follows [`Simulation::run_steady_state`] exactly (the
+    /// reported `offered_load` is the workload's nominal cycle-0 aggregate).  The
+    /// per-job/per-phase breakdowns attribute every packet to the job and phase that
+    /// *generated* it; loads are normalized by the job's node count and by each
+    /// phase's overlap with the measurement window.
+    pub fn run_steady_state_workload(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        drain: u64,
+    ) -> WorkloadReport {
+        let nodes = self.net.params().num_nodes();
+        let nominal = self
+            .net
+            .workload()
+            .expect("run_steady_state_workload requires an installed workload")
+            .nominal_offered_load(nodes);
+        let aggregate = self.run_steady_state(nominal, warmup, measure, drain);
+
+        let meas_start = self.net.stats.meter.window_start;
+        let meas_end = self.net.stats.meter.window_end;
+        let meas_cycles = meas_end.saturating_sub(meas_start);
+        let runtime = self.net.workload().unwrap();
+        let scoped = self
+            .net
+            .stats
+            .scoped
+            .as_ref()
+            .expect("scoped statistics are enabled when a workload is installed");
+
+        let jobs = (0..runtime.num_jobs())
+            .map(|j| {
+                let job = runtime.job(j as u16);
+                let js = &scoped.per_job[j];
+                let phases = (0..job.phases())
+                    .map(|ph| {
+                        let ps = &scoped.per_phase[j][ph];
+                        let overlap = span_overlap(
+                            (job.phase_start(ph), job.phase_end(ph)),
+                            (meas_start, meas_end),
+                        );
+                        PhaseReport {
+                            job: job.name().to_string(),
+                            phase: ph,
+                            pattern: job.phase_pattern(ph).to_string(),
+                            offered_load: job.phase_load(ph),
+                            start_cycle: job.phase_start(ph),
+                            end_cycle: job.phase_end(ph),
+                            measured_cycles: overlap,
+                            injected_load: ScopedStats::load_over(
+                                ps.phits_injected_in_window,
+                                job.nodes(),
+                                overlap,
+                            ),
+                            accepted_load: ScopedStats::load_over(
+                                ps.phits_delivered_in_window,
+                                job.nodes(),
+                                overlap,
+                            ),
+                            avg_latency_cycles: ps.latency.mean(),
+                            p99_latency_cycles: ps.latency_hist.percentile(0.99).unwrap_or(0.0),
+                            max_latency_cycles: ps.latency.max().unwrap_or(0.0),
+                            avg_hops: ps.hops.mean(),
+                            global_misroute_fraction: ps.global_misroute_fraction(),
+                            local_misroute_fraction: ps.local_misroute_fraction(),
+                            packets_generated: ps.total_generated,
+                            packets_delivered: ps.total_delivered,
+                            packets_measured: ps.measured_delivered,
+                        }
+                    })
+                    .collect();
+                JobReport {
+                    name: job.name().to_string(),
+                    nodes: job.nodes(),
+                    injected_load: ScopedStats::load_over(
+                        js.phits_injected_in_window,
+                        job.nodes(),
+                        meas_cycles,
+                    ),
+                    accepted_load: ScopedStats::load_over(
+                        js.phits_delivered_in_window,
+                        job.nodes(),
+                        meas_cycles,
+                    ),
+                    avg_latency_cycles: js.latency.mean(),
+                    p99_latency_cycles: js.latency_hist.percentile(0.99).unwrap_or(0.0),
+                    max_latency_cycles: js.latency.max().unwrap_or(0.0),
+                    avg_hops: js.hops.mean(),
+                    global_misroute_fraction: js.global_misroute_fraction(),
+                    local_misroute_fraction: js.local_misroute_fraction(),
+                    packets_generated: js.total_generated,
+                    packets_delivered: js.total_delivered,
+                    packets_measured: js.measured_delivered,
+                    phases,
+                }
+            })
+            .collect();
+        WorkloadReport { aggregate, jobs }
+    }
+
     /// Run the paper's burst-consumption protocol: every node sends
     /// `burst.packets_per_node()` packets following the traffic pattern, and the
     /// simulation runs until all of them are delivered (or `max_cycles` is reached).
@@ -131,6 +250,9 @@ impl<R: RoutingAlgorithm> Simulation<R> {
             self.net.config.packet_size,
             "burst packet size must match the configured packet size"
         );
+        // Burst mode preloads every packet at once: stop any workload injection but
+        // keep its pattern so the burst drains against workload destinations.
+        let _ = self.net.take_workload();
         self.net.set_injection(None);
         self.net.stats.begin_measurement(self.net.cycle);
         let start = self.net.cycle;
@@ -159,6 +281,11 @@ impl<R: RoutingAlgorithm> Simulation<R> {
             deadlock_detected: self.net.deadlock_detected,
         }
     }
+}
+
+/// Cycles of the half-open span `a` that fall inside the half-open span `b`.
+fn span_overlap(a: (u64, u64), b: (u64, u64)) -> u64 {
+    a.1.min(b.1).saturating_sub(a.0.max(b.0))
 }
 
 #[cfg(test)]
@@ -254,6 +381,73 @@ mod tests {
     fn batch_rejects_mismatched_packet_size() {
         let mut sim = vct_sim(2, 1);
         let _ = sim.run_batch(BurstSpec::new(5, 16), 1_000);
+    }
+
+    #[test]
+    fn workload_run_breaks_stats_down_per_job_and_phase() {
+        use dragonfly_workload::{JobPattern, JobSpec, PlacementPolicy, WorkloadSpec};
+        let spec = WorkloadSpec::new(vec![
+            JobSpec::new(
+                "left",
+                36,
+                PlacementPolicy::Contiguous,
+                JobPattern::Uniform,
+                0.2,
+            )
+            .then_at(2_500, JobPattern::Uniform, 0.05),
+            JobSpec::new(
+                "right",
+                36,
+                PlacementPolicy::Contiguous,
+                JobPattern::Uniform,
+                0.1,
+            ),
+        ]);
+        let mut sim = vct_sim(2, 33);
+        sim.install_workload(&spec);
+        let report = sim.run_steady_state_workload(1_000, 3_000, 4_000);
+        assert!(!report.aggregate.deadlock_detected);
+        assert_eq!(report.jobs.len(), 2);
+
+        let left = report.job("left").unwrap();
+        let right = report.job("right").unwrap();
+        assert_eq!(left.nodes, 36);
+        assert_eq!(left.phases.len(), 2);
+        assert_eq!(right.phases.len(), 1);
+        // Phase spans: the switch at 2 500 splits the [1 000, 4 000) window.
+        assert_eq!(left.phases[0].measured_cycles, 1_500);
+        assert_eq!(left.phases[1].measured_cycles, 1_500);
+        assert_eq!(right.phases[0].measured_cycles, 3_000);
+        // Loads track each phase's configured rate.
+        assert!(
+            (left.phases[0].injected_load - 0.2).abs() < 0.05,
+            "{}",
+            left.phases[0].injected_load
+        );
+        assert!(
+            (left.phases[1].injected_load - 0.05).abs() < 0.03,
+            "{}",
+            left.phases[1].injected_load
+        );
+        assert!(
+            (right.injected_load - 0.1).abs() < 0.04,
+            "{}",
+            right.injected_load
+        );
+        // Per-job packet counts sum to the machine totals.
+        let net = sim.network();
+        let per_job_generated: u64 = report.jobs.iter().map(|j| j.packets_generated).sum();
+        assert_eq!(per_job_generated, net.stats.total_generated);
+        let per_job_delivered: u64 = report.jobs.iter().map(|j| j.packets_delivered).sum();
+        assert_eq!(per_job_delivered, net.stats.total_delivered);
+        let per_phase_measured: u64 = report
+            .jobs
+            .iter()
+            .flat_map(|j| j.phases.iter().map(|p| p.packets_measured))
+            .sum();
+        assert_eq!(per_phase_measured, net.stats.measured_delivered);
+        assert!(left.avg_latency_cycles > 50.0);
+        assert!(left.p99_latency_cycles >= left.avg_latency_cycles);
     }
 
     #[test]

@@ -42,9 +42,10 @@ pub mod stats_collect;
 pub use config::{FlowControl, SimConfig};
 pub use engine::Simulation;
 pub use network::{GlobalStatusBoard, Network, SourceQueue};
-pub use packet::{Packet, PacketArena, PacketId, RouteState};
+pub use packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
 pub use router::{InputPort, InputVc, OutputPort, OutputVc, Router};
 pub use routing_iface::{
     BaselineMinimal, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm,
 };
+pub use stats_collect::ScopedCollector;
 pub use stats_collect::StatsCollector;

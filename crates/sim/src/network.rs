@@ -2,13 +2,14 @@
 
 use crate::config::SimConfig;
 use crate::link::{Link, LinkEnd, PhitInFlight};
-use crate::packet::{PacketArena, PacketId};
+use crate::packet::{PacketArena, PacketId, UNTAGGED};
 use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
 use crate::stats_collect::StatsCollector;
 use dragonfly_rng::Rng;
 use dragonfly_topology::{DragonflyParams, NodeId, Port, PortKind, RouterId};
 use dragonfly_traffic::{BernoulliInjection, TrafficPattern};
+use dragonfly_workload::WorkloadRuntime;
 use std::collections::VecDeque;
 
 /// Unbounded per-node source queue feeding the router's injection port.
@@ -82,9 +83,16 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     routing: R,
     traffic: Box<dyn TrafficPattern>,
     injection: Option<BernoulliInjection>,
+    /// Injection-side workload runtime: per-job phase rates and job/phase tags.
+    workload: Option<WorkloadRuntime>,
     /// Statistics collector.
     pub stats: StatsCollector,
     pb_board: GlobalStatusBoard,
+    /// Global channels whose downstream occupancy changed since the last board
+    /// update, as flat `group * channels_per_group + channel` indices.
+    pb_dirty_list: Vec<u32>,
+    /// Membership flags for `pb_dirty_list`.
+    pb_dirty: Vec<bool>,
     last_activity: u64,
     /// Set when the deadlock watchdog fires.
     pub deadlock_detected: bool,
@@ -199,6 +207,7 @@ impl<R: RoutingAlgorithm> Network<R> {
 
         let link_phits = vec![0u64; links.len()];
         let num_links = links.len();
+        let num_global_channels = params.groups() * params.global_channels_per_group();
         Self {
             rng: Rng::seed_from(config.seed),
             config,
@@ -213,8 +222,11 @@ impl<R: RoutingAlgorithm> Network<R> {
             routing,
             traffic,
             injection: None,
+            workload: None,
             stats,
             pb_board,
+            pb_dirty_list: Vec::new(),
+            pb_dirty: vec![false; num_global_channels],
             last_activity: 0,
             deadlock_detected: false,
             tag_measured: false,
@@ -265,12 +277,39 @@ impl<R: RoutingAlgorithm> Network<R> {
         self.injection = injection;
     }
 
+    /// Install a workload: `runtime` drives per-node injection rates, job/phase tags
+    /// and the phase-boundary hook; `pattern` (usually the paired
+    /// `WorkloadSpec::build_pattern`) replaces the network's traffic pattern.
+    ///
+    /// Per-job statistics are enabled, and any global Bernoulli process is cleared —
+    /// with a workload installed each job's phases carry their own offered loads.
+    pub fn install_workload(&mut self, runtime: WorkloadRuntime, pattern: Box<dyn TrafficPattern>) {
+        self.stats.enable_scoped(&runtime.phase_counts());
+        self.traffic = pattern;
+        self.injection = None;
+        self.workload = Some(runtime);
+    }
+
+    /// The installed workload runtime, if any.
+    pub fn workload(&self) -> Option<&WorkloadRuntime> {
+        self.workload.as_ref()
+    }
+
+    /// Remove the workload runtime, stopping its injection while keeping the
+    /// (node-indexed, time-aware) traffic pattern in place.  Burst runs use this so
+    /// a preloaded burst can drain against workload destinations.
+    pub fn take_workload(&mut self) -> Option<WorkloadRuntime> {
+        self.workload.take()
+    }
+
     /// Pre-load every node's source queue with `packets_per_node` packets (burst mode).
     pub fn preload_burst(&mut self, packets_per_node: u64) {
         for n in 0..self.params.num_nodes() {
             let src = NodeId(n as u32);
             for _ in 0..packets_per_node {
-                let dst = self.traffic.destination(src, &self.params, &mut self.rng);
+                let dst = self
+                    .traffic
+                    .destination_at(self.cycle, src, &self.params, &mut self.rng);
                 debug_assert_ne!(dst, src);
                 let id = self
                     .packets
@@ -328,6 +367,11 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        // Phase-boundary hook: jobs switch pattern/load at cycle boundaries before
+        // any packet of the cycle is generated.
+        if let Some(workload) = &mut self.workload {
+            workload.advance_to(cycle);
+        }
         let mut activity = false;
         activity |= self.phase_arrivals(cycle);
         activity |= self.phase_injection(cycle);
@@ -352,6 +396,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     // active set as soon as both of its pipelines are empty.
     fn phase_arrivals(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
+        let h = self.params.h();
         let mut activity = false;
         let mut active = std::mem::take(&mut self.active_links);
         active.retain(|&li| {
@@ -365,6 +410,10 @@ impl<R: RoutingAlgorithm> Network<R> {
                     out.credits <= out.downstream_capacity,
                     "credits above downstream capacity: credit accounting is broken"
                 );
+                // A credit on a global output changes its advertised occupancy.
+                if let Port::Global(gport) = Port::from_flat(port, h) {
+                    self.mark_pb_dirty(router, gport);
+                }
             }
             // Phits forward to the receiver.
             let to = self.links[li].to;
@@ -409,18 +458,38 @@ impl<R: RoutingAlgorithm> Network<R> {
         let mut activity = false;
         let num_nodes = self.params.num_nodes();
         for n in 0..num_nodes {
-            // Generation (Bernoulli process).
-            if let Some(injection) = self.injection {
-                if injection.generate(&mut self.rng) {
-                    let src = NodeId(n as u32);
-                    let dst = self.traffic.destination(src, &self.params, &mut self.rng);
-                    let id = self
-                        .packets
-                        .alloc(src, dst, self.config.packet_size as u16, cycle);
-                    self.packets.get_mut(id).measured = self.tag_measured;
-                    self.sources[n].pending.push_back(id);
-                    self.stats.record_generated(self.config.packet_size, cycle);
+            // Generation: per-job workload rates (tagged) or the global Bernoulli
+            // process (untagged).  Idle nodes of a workload never generate.
+            let generated = if let Some(workload) = self.workload.as_ref() {
+                match workload.source(n) {
+                    Some((job, phase)) if workload.generate(job, &mut self.rng) => {
+                        Some((job, phase))
+                    }
+                    _ => None,
                 }
+            } else if let Some(injection) = self.injection {
+                injection
+                    .generate(&mut self.rng)
+                    .then_some((UNTAGGED, UNTAGGED))
+            } else {
+                None
+            };
+            if let Some((job, phase)) = generated {
+                let src = NodeId(n as u32);
+                let dst = self
+                    .traffic
+                    .destination_at(cycle, src, &self.params, &mut self.rng);
+                debug_assert_ne!(dst, src);
+                let id = self
+                    .packets
+                    .alloc(src, dst, self.config.packet_size as u16, cycle);
+                let packet = self.packets.get_mut(id);
+                packet.measured = self.tag_measured;
+                packet.job = job;
+                packet.phase = phase;
+                self.sources[n].pending.push_back(id);
+                self.stats
+                    .record_generated_tagged(self.config.packet_size, cycle, job, phase);
             }
             // Move at most one phit of the head packet into the injection buffer.
             let source = &mut self.sources[n];
@@ -535,6 +604,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     // or injection phases when a new phit shows up).
     fn phase_switch(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
+        let h = self.params.h();
         let flow_control = self.config.flow_control;
         let mut activity = false;
         let mut active = std::mem::take(&mut self.active_routers);
@@ -585,6 +655,10 @@ impl<R: RoutingAlgorithm> Network<R> {
                     router.inputs[ip].vcs[ivc].route = None;
                 }
                 router.outputs[op].rr_next = (vc + 1) % vcs;
+                // A phit leaving a global output changes its advertised occupancy.
+                if let Port::Global(gport) = Port::from_flat(op, h) {
+                    self.mark_pb_dirty(r, gport);
+                }
                 self.link_phits[r * ports + op] += 1;
                 self.links[r * ports + op].send_phit(
                     cycle,
@@ -633,7 +707,48 @@ impl<R: RoutingAlgorithm> Network<R> {
         }
     }
 
+    /// Mark the global channel behind `(router, global port)` for re-evaluation.
+    #[inline]
+    fn mark_pb_dirty(&mut self, router: usize, gport: usize) {
+        let rpg = self.params.routers_per_group();
+        let channels = self.params.global_channels_per_group();
+        let channel = self.params.global_channel_of(router % rpg, gport);
+        let flat = (router / rpg) * channels + channel;
+        if !self.pb_dirty[flat] {
+            self.pb_dirty[flat] = true;
+            self.pb_dirty_list.push(flat as u32);
+        }
+    }
+
+    // Event-driven piggybacking board: a channel's advertised congestion flag can only
+    // change when the downstream occupancy of its global output changes, i.e. when a
+    // phit is transmitted (phase D) or a credit returns (phase A).  Both places mark
+    // the channel dirty and only dirty channels are re-evaluated here, mirroring the
+    // active-set scheduling of links and routers.
     fn update_pb_board(&mut self) {
+        let channels = self.params.global_channels_per_group();
+        let per_group_routers = self.params.routers_per_group();
+        let h = self.params.h();
+        let threshold = self.config.pb_congestion_threshold;
+        while let Some(flat) = self.pb_dirty_list.pop() {
+            let flat = flat as usize;
+            self.pb_dirty[flat] = false;
+            let (g, d) = (flat / channels, flat % channels);
+            let (ridx, gport) = self.params.global_channel_owner(d);
+            let router = g * per_group_routers + ridx;
+            let out = &self.routers[router].outputs[Port::Global(gport).flat(h)];
+            let occupancy = out.total_occupancy() as f64;
+            let capacity = out.total_capacity() as f64;
+            self.pb_board.set(g, d, occupancy > threshold * capacity);
+        }
+        #[cfg(debug_assertions)]
+        self.assert_pb_board_matches_full_scan();
+    }
+
+    /// Debug-build equivalence check of the event-driven board against the full scan
+    /// it replaced.
+    #[cfg(debug_assertions)]
+    fn assert_pb_board_matches_full_scan(&self) {
         let channels = self.params.global_channels_per_group();
         let per_group_routers = self.params.routers_per_group();
         let h = self.params.h();
@@ -642,11 +757,16 @@ impl<R: RoutingAlgorithm> Network<R> {
             for d in 0..channels {
                 let (ridx, gport) = self.params.global_channel_owner(d);
                 let router = g * per_group_routers + ridx;
-                let flat = Port::Global(gport).flat(h);
-                let out = &self.routers[router].outputs[flat];
-                let occupancy = out.total_occupancy() as f64;
-                let capacity = out.total_capacity() as f64;
-                self.pb_board.set(g, d, occupancy > threshold * capacity);
+                let out = &self.routers[router].outputs[Port::Global(gport).flat(h)];
+                let expected =
+                    out.total_occupancy() as f64 > threshold * out.total_capacity() as f64;
+                assert_eq!(
+                    self.pb_board.group(g)[d],
+                    expected,
+                    "PB board diverged from the full scan at group {g} channel {d} \
+                     (cycle {})",
+                    self.cycle
+                );
             }
         }
     }

@@ -15,6 +15,9 @@ impl PacketId {
     }
 }
 
+/// Job/phase tag of packets generated outside any workload job.
+pub const UNTAGGED: u16 = u16::MAX;
+
 /// Adaptive routing state carried by every packet and updated on each granted hop.
 ///
 /// The fields mirror the decisions the paper's mechanisms must remember:
@@ -74,6 +77,10 @@ pub struct Packet {
     pub inject_cycle: u64,
     /// Whether the packet was generated inside the measurement window.
     pub measured: bool,
+    /// Workload job that generated the packet ([`UNTAGGED`] outside workloads).
+    pub job: u16,
+    /// Job phase active when the packet was generated ([`UNTAGGED`] outside workloads).
+    pub phase: u16,
     /// Adaptive routing state.
     pub route: RouteState,
 }
@@ -89,6 +96,8 @@ impl Packet {
             gen_cycle,
             inject_cycle: gen_cycle,
             measured: false,
+            job: UNTAGGED,
+            phase: UNTAGGED,
             route: RouteState::default(),
         }
     }
@@ -247,6 +256,8 @@ mod tests {
         assert_eq!(p.gen_cycle, 42);
         assert_eq!(p.inject_cycle, 42);
         assert!(!p.measured);
+        assert_eq!(p.job, UNTAGGED);
+        assert_eq!(p.phase, UNTAGGED);
         assert_eq!(p.route.total_hops, 0);
         assert_eq!(p.size_phits(), 8);
     }

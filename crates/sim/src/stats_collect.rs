@@ -1,7 +1,39 @@
 //! In-simulation statistics collection.
 
-use crate::packet::Packet;
-use dragonfly_stats::{Histogram, RunningStats, ThroughputMeter};
+use crate::packet::{Packet, UNTAGGED};
+use dragonfly_stats::{Histogram, RunningStats, ScopedStats, ThroughputMeter};
+
+/// Latency-histogram bins of the per-job/per-phase accumulators (smaller than the
+/// aggregate histogram; p99 above this many cycles saturates at the bin range).
+const SCOPED_LATENCY_BINS: usize = 32 * 1024;
+
+/// Per-job and per-(job, phase) breakdowns, enabled when a workload is installed.
+#[derive(Debug)]
+pub struct ScopedCollector {
+    /// One accumulator per job, covering the whole run.
+    pub per_job: Vec<ScopedStats>,
+    /// One accumulator per (job, phase), attributed by generation phase.
+    pub per_phase: Vec<Vec<ScopedStats>>,
+}
+
+impl ScopedCollector {
+    fn new(phase_counts: &[usize]) -> Self {
+        Self {
+            per_job: phase_counts
+                .iter()
+                .map(|_| ScopedStats::new(SCOPED_LATENCY_BINS))
+                .collect(),
+            per_phase: phase_counts
+                .iter()
+                .map(|&phases| {
+                    (0..phases)
+                        .map(|_| ScopedStats::new(SCOPED_LATENCY_BINS))
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+}
 
 /// Collects per-packet and per-window statistics during a run.
 ///
@@ -30,6 +62,8 @@ pub struct StatsCollector {
     pub meter: ThroughputMeter,
     /// Whether the measurement window is currently open.
     pub measuring: bool,
+    /// Per-job/per-phase breakdowns (present when a workload is installed).
+    pub scoped: Option<ScopedCollector>,
 }
 
 impl StatsCollector {
@@ -46,7 +80,13 @@ impl StatsCollector {
             total_delivered: 0,
             meter: ThroughputMeter::new(0),
             measuring: false,
+            scoped: None,
         }
+    }
+
+    /// Enable per-job/per-phase breakdowns for jobs with the given phase counts.
+    pub fn enable_scoped(&mut self, phase_counts: &[usize]) {
+        self.scoped = Some(ScopedCollector::new(phase_counts));
     }
 
     /// Open the measurement window at `cycle`.
@@ -76,6 +116,20 @@ impl StatsCollector {
         }
     }
 
+    /// Record the generation of a workload packet of `size` phits, attributed to
+    /// `(job, phase)` (both [`UNTAGGED`] degrades to [`StatsCollector::record_generated`]).
+    pub fn record_generated_tagged(&mut self, size: usize, cycle: u64, job: u16, phase: u16) {
+        self.record_generated(size, cycle);
+        if job == UNTAGGED {
+            return;
+        }
+        let measuring = self.measuring;
+        if let Some(scoped) = &mut self.scoped {
+            scoped.per_job[job as usize].record_generated(size, measuring);
+            scoped.per_phase[job as usize][phase as usize].record_generated(size, measuring);
+        }
+    }
+
     /// Record the delivery of `packet` at `cycle`.
     pub fn record_delivery(&mut self, packet: &Packet, cycle: u64) {
         self.total_delivered += 1;
@@ -93,6 +147,23 @@ impl StatsCollector {
             }
             if packet.route.local_misrouted_ever {
                 self.delivered_local_misrouted += 1;
+            }
+        }
+        if packet.job != UNTAGGED {
+            let measuring = self.measuring;
+            if let Some(scoped) = &mut self.scoped {
+                let measured = packet.measured.then(|| {
+                    (
+                        (cycle - packet.gen_cycle) as f64,
+                        packet.route.total_hops as f64,
+                        packet.route.global_misrouted,
+                        packet.route.local_misrouted_ever,
+                    )
+                });
+                let size = packet.size as usize;
+                scoped.per_job[packet.job as usize].record_delivered(size, measuring, measured);
+                scoped.per_phase[packet.job as usize][packet.phase as usize]
+                    .record_delivered(size, measuring, measured);
             }
         }
     }
@@ -169,6 +240,35 @@ mod tests {
         assert!((s.global_misroute_fraction() - 0.5).abs() < 1e-9);
         assert!((s.local_misroute_fraction() - 0.5).abs() < 1e-9);
         assert_eq!(s.latency_hist.total(), 2);
+    }
+
+    #[test]
+    fn tagged_records_feed_scoped_breakdowns() {
+        let mut s = StatsCollector::new(1000);
+        s.enable_scoped(&[2, 1]); // job 0 has 2 phases, job 1 has 1
+        s.begin_measurement(0);
+        s.record_generated_tagged(8, 10, 0, 0);
+        s.record_generated_tagged(8, 20, 0, 1);
+        s.record_generated_tagged(8, 30, 1, 0);
+        // Untagged generation leaves the scoped accumulators alone.
+        s.record_generated_tagged(8, 40, UNTAGGED, UNTAGGED);
+        let mut p = delivered_packet(true, 10, 3, true, false);
+        p.job = 0;
+        p.phase = 1;
+        s.record_delivery(&p, 150);
+        let scoped = s.scoped.as_ref().unwrap();
+        assert_eq!(scoped.per_job[0].total_generated, 2);
+        assert_eq!(scoped.per_job[1].total_generated, 1);
+        assert_eq!(scoped.per_phase[0][0].total_generated, 1);
+        assert_eq!(scoped.per_phase[0][1].total_generated, 1);
+        assert_eq!(scoped.per_job[0].total_delivered, 1);
+        assert_eq!(scoped.per_phase[0][1].measured_delivered, 1);
+        assert_eq!(scoped.per_phase[0][0].measured_delivered, 0);
+        assert!((scoped.per_phase[0][1].latency.mean() - 140.0).abs() < 1e-9);
+        assert_eq!(scoped.per_job[0].phits_delivered_in_window, 8);
+        // Aggregate totals include everything.
+        assert_eq!(s.total_generated, 4);
+        assert_eq!(s.total_delivered, 1);
     }
 
     #[test]

@@ -14,12 +14,16 @@
 mod histogram;
 mod report;
 mod running;
+mod scoped;
 mod timeseries;
+mod workload_report;
 
 pub use histogram::Histogram;
 pub use report::{BatchReport, SimReport};
 pub use running::RunningStats;
+pub use scoped::ScopedStats;
 pub use timeseries::TimeSeries;
+pub use workload_report::{JobReport, PhaseReport, WorkloadReport};
 
 use serde::{Deserialize, Serialize};
 

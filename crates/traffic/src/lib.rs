@@ -18,10 +18,12 @@
 mod injection;
 mod patterns;
 mod patterns_extra;
+mod workload_adapter;
 
 pub use injection::{BernoulliInjection, BurstSpec};
 pub use patterns::{AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, Permutation, Uniform};
 pub use patterns_extra::{BitComplement, Hotspot, NodeShift};
+pub use workload_adapter::{WorkloadPattern, UNASSIGNED_SLOT};
 
 use dragonfly_rng::Rng;
 use dragonfly_topology::{DragonflyParams, NodeId};
@@ -36,6 +38,24 @@ pub trait TrafficPattern: Send {
     /// Implementations must never return `src` itself (a node does not send packets to
     /// itself through the network).
     fn destination(&self, src: NodeId, params: &DragonflyParams, rng: &mut Rng) -> NodeId;
+
+    /// Time-aware variant of [`TrafficPattern::destination`]: pick the destination for
+    /// a packet generated at `src` during `cycle`.
+    ///
+    /// The synthetic patterns of the paper are stationary and ignore the cycle, which
+    /// is the default.  Composite patterns (phase schedules, workloads) override this
+    /// to switch behaviour at cycle boundaries; the simulation engine always generates
+    /// destinations through this method.
+    fn destination_at(
+        &self,
+        cycle: u64,
+        src: NodeId,
+        params: &DragonflyParams,
+        rng: &mut Rng,
+    ) -> NodeId {
+        let _ = cycle;
+        self.destination(src, params, rng)
+    }
 }
 
 /// Boxed pattern alias used throughout the workspace.

@@ -1,0 +1,35 @@
+//! Multi-job workload scenarios for the Dragonfly simulator.
+//!
+//! The paper evaluates its routing mechanisms under single, static synthetic
+//! patterns.  Real systems run several *jobs* at once, each placed on a subset of
+//! the nodes and each going through *phases* of different communication behaviour —
+//! the regime where adaptive routing matters most (workload interference, transient
+//! adaptation).  This crate models that:
+//!
+//! * a [`WorkloadSpec`] is a list of [`JobSpec`]s, placed on the machine in order by
+//!   a [`PlacementPolicy`] (contiguous nodes, round-robin over routers, or seeded
+//!   random),
+//! * each job runs a schedule of [`PhaseSpec`]s, switching its [`JobPattern`] and
+//!   offered load at absolute cycle boundaries,
+//! * job traffic stays inside the job: the job-scoped patterns (uniform,
+//!   adversarial-global, adversarial-local, mixes) pick destinations among the
+//!   job's own nodes, using the physical topology to preserve the adversarial
+//!   structure of the paper's patterns,
+//! * [`WorkloadSpec::build_pattern`] compiles the destination side into a
+//!   [`dragonfly_traffic::WorkloadPattern`] (a plain `TrafficPattern` the engine
+//!   drives unchanged), and [`WorkloadSpec::runtime`] compiles the injection side
+//!   into a [`WorkloadRuntime`] (per-job Bernoulli rates, phase tracking and the
+//!   job/phase tags the statistics layer groups by).
+//!
+//! Two headline scenarios ship as constructors: [`WorkloadSpec::interference`]
+//! (an adversarial aggressor job against a uniform victim job) and
+//! [`WorkloadSpec::transient`] (a single job switching pattern mid-run).
+
+mod job_patterns;
+mod placement;
+mod runtime;
+mod spec;
+
+pub use placement::Placement;
+pub use runtime::{JobRuntime, WorkloadRuntime};
+pub use spec::{JobPattern, JobSpec, PhaseSpec, PlacementPolicy, WorkloadSpec};

@@ -1,0 +1,221 @@
+//! Deterministic node placement of a workload's jobs.
+
+use crate::spec::{PlacementPolicy, WorkloadSpec};
+use dragonfly_rng::{derive_seed, Rng};
+use dragonfly_topology::{DragonflyParams, NodeId};
+use dragonfly_traffic::UNASSIGNED_SLOT;
+
+/// The result of placing every job of a workload: disjoint per-job node sets and the
+/// inverse node→job map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    /// For every node: the index of its job, or [`UNASSIGNED_SLOT`] if idle.
+    pub job_of_node: Vec<u16>,
+    /// For every job: its nodes in ascending order.
+    pub jobs: Vec<Vec<NodeId>>,
+}
+
+impl Placement {
+    /// Place every job of `spec` in order, each drawing from the still-free nodes.
+    pub fn compute(spec: &WorkloadSpec, params: &DragonflyParams) -> Self {
+        let num_nodes = params.num_nodes();
+        let total: usize = spec.jobs.iter().map(|j| j.size).sum();
+        assert!(
+            total <= num_nodes,
+            "workload needs {total} nodes but the machine has {num_nodes}"
+        );
+        let mut job_of_node = vec![UNASSIGNED_SLOT; num_nodes];
+        let mut free = vec![true; num_nodes];
+        let mut jobs = Vec::with_capacity(spec.jobs.len());
+        for (j, job) in spec.jobs.iter().enumerate() {
+            let mut nodes = match job.placement {
+                PlacementPolicy::Contiguous => take_contiguous(&free, job.size),
+                PlacementPolicy::RoundRobinRouters => take_round_robin(&free, job.size, params),
+                PlacementPolicy::Random { seed } => {
+                    take_random(&free, job.size, derive_seed(seed, j as u64))
+                }
+            };
+            debug_assert_eq!(nodes.len(), job.size);
+            nodes.sort_unstable();
+            for &node in &nodes {
+                debug_assert!(free[node.index()]);
+                free[node.index()] = false;
+                job_of_node[node.index()] = j as u16;
+            }
+            jobs.push(nodes);
+        }
+        Self { job_of_node, jobs }
+    }
+
+    /// Total nodes assigned to any job.
+    pub fn assigned_nodes(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Lowest-indexed free nodes first.
+fn take_contiguous(free: &[bool], size: usize) -> Vec<NodeId> {
+    free.iter()
+        .enumerate()
+        .filter(|&(_, &f)| f)
+        .take(size)
+        .map(|(n, _)| NodeId(n as u32))
+        .collect()
+}
+
+/// One free node per router per sweep, cycling over all routers.
+fn take_round_robin(free: &[bool], size: usize, params: &DragonflyParams) -> Vec<NodeId> {
+    let routers = params.num_routers();
+    let per_router = params.nodes_per_router();
+    let mut nodes = Vec::with_capacity(size);
+    // `cursor[r]` is the next terminal index of router `r` to consider, so each sweep
+    // takes at most one node per router.
+    let mut cursor = vec![0usize; routers];
+    while nodes.len() < size {
+        let mut progressed = false;
+        for (r, cur) in cursor.iter_mut().enumerate() {
+            if nodes.len() == size {
+                break;
+            }
+            // The cursor only moves forward, so every node is considered once.
+            while *cur < per_router {
+                let node = r * per_router + *cur;
+                *cur += 1;
+                if free[node] {
+                    nodes.push(NodeId(node as u32));
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        assert!(
+            progressed,
+            "not enough free nodes for round-robin placement"
+        );
+    }
+    nodes
+}
+
+/// A seeded random subset of the free nodes.
+fn take_random(free: &[bool], size: usize, seed: u64) -> Vec<NodeId> {
+    let mut candidates: Vec<u32> = free
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f)
+        .map(|(n, _)| n as u32)
+        .collect();
+    assert!(
+        candidates.len() >= size,
+        "not enough free nodes for random placement"
+    );
+    let mut rng = Rng::seed_from(seed);
+    rng.shuffle(&mut candidates);
+    candidates.truncate(size);
+    candidates.into_iter().map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobPattern, JobSpec};
+
+    fn params() -> DragonflyParams {
+        DragonflyParams::new(2)
+    }
+
+    fn job(name: &str, size: usize, placement: PlacementPolicy) -> JobSpec {
+        JobSpec::new(name, size, placement, JobPattern::Uniform, 0.1)
+    }
+
+    #[test]
+    fn contiguous_takes_lowest_nodes() {
+        let p = params();
+        let spec = WorkloadSpec::new(vec![
+            job("a", 8, PlacementPolicy::Contiguous),
+            job("b", 8, PlacementPolicy::Contiguous),
+        ]);
+        let placement = spec.place(&p);
+        assert_eq!(placement.jobs[0], (0..8).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(placement.jobs[1], (8..16).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(placement.assigned_nodes(), 16);
+    }
+
+    #[test]
+    fn round_robin_spreads_over_routers() {
+        let p = params(); // 36 routers × 2 nodes
+        let spec = WorkloadSpec::new(vec![
+            job("a", 36, PlacementPolicy::RoundRobinRouters),
+            job("b", 36, PlacementPolicy::RoundRobinRouters),
+        ]);
+        let placement = spec.place(&p);
+        // First sweep: node 0 of every router.
+        for (i, node) in placement.jobs[0].iter().enumerate() {
+            assert_eq!(node.index(), i * 2, "job a node {i}");
+        }
+        // Second job gets node 1 of every router.
+        for (i, node) in placement.jobs[1].iter().enumerate() {
+            assert_eq!(node.index(), i * 2 + 1, "job b node {i}");
+        }
+    }
+
+    #[test]
+    fn round_robin_wraps_to_second_terminal() {
+        let p = params();
+        let spec = WorkloadSpec::new(vec![job("a", 40, PlacementPolicy::RoundRobinRouters)]);
+        let placement = spec.place(&p);
+        // 36 routers: the first 36 nodes are one per router, then it wraps.
+        let per_router_counts: Vec<usize> = (0..p.num_routers())
+            .map(|r| {
+                placement.jobs[0]
+                    .iter()
+                    .filter(|n| n.index() / p.nodes_per_router() == r)
+                    .count()
+            })
+            .collect();
+        assert_eq!(per_router_counts.iter().filter(|&&c| c == 2).count(), 4);
+        assert_eq!(per_router_counts.iter().filter(|&&c| c == 1).count(), 32);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let p = params();
+        let spec = WorkloadSpec::new(vec![job("a", 20, PlacementPolicy::Random { seed: 7 })]);
+        let one = spec.place(&p);
+        let two = spec.place(&p);
+        assert_eq!(one, two);
+        let other = WorkloadSpec::new(vec![job("a", 20, PlacementPolicy::Random { seed: 8 })]);
+        assert_ne!(one.jobs[0], other.place(&p).jobs[0]);
+    }
+
+    #[test]
+    fn jobs_are_disjoint_and_inverse_map_agrees() {
+        let p = params();
+        let spec = WorkloadSpec::new(vec![
+            job("a", 10, PlacementPolicy::Random { seed: 1 }),
+            job("b", 20, PlacementPolicy::RoundRobinRouters),
+            job("c", 30, PlacementPolicy::Contiguous),
+        ]);
+        let placement = spec.place(&p);
+        let mut seen = vec![false; p.num_nodes()];
+        for (j, nodes) in placement.jobs.iter().enumerate() {
+            for node in nodes {
+                assert!(!seen[node.index()], "node {node:?} assigned twice");
+                seen[node.index()] = true;
+                assert_eq!(placement.job_of_node[node.index()], j as u16);
+            }
+        }
+        for (n, &taken) in seen.iter().enumerate() {
+            if !taken {
+                assert_eq!(placement.job_of_node[n], UNASSIGNED_SLOT);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has")]
+    fn oversubscription_rejected() {
+        let p = params();
+        let spec = WorkloadSpec::new(vec![job("a", 100, PlacementPolicy::Contiguous)]);
+        let _ = spec.place(&p);
+    }
+}

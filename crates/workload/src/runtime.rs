@@ -1,0 +1,250 @@
+//! The injection-side runtime of a compiled workload.
+//!
+//! The simulation engine owns a [`WorkloadRuntime`] next to its traffic pattern: it
+//! answers, for every node and cycle, *whether* a packet is generated (per-job,
+//! per-phase Bernoulli rates) and *which job/phase tags* the packet carries, and it
+//! exposes the phase-boundary hook ([`WorkloadRuntime::advance_to`]) plus the
+//! metadata the statistics layer needs to assemble per-job reports.
+
+use crate::spec::JobSpec;
+use dragonfly_rng::Rng;
+use dragonfly_traffic::UNASSIGNED_SLOT;
+
+/// Per-job injection state: the phase table and the cached current phase.
+#[derive(Debug, Clone)]
+pub struct JobRuntime {
+    name: String,
+    nodes: usize,
+    /// Phase start cycles (strictly increasing, first 0).
+    starts: Vec<u64>,
+    /// Per-phase packet-generation probability per node per cycle.
+    probs: Vec<f64>,
+    /// Per-phase offered load in phits/(node·cycle).
+    loads: Vec<f64>,
+    /// Per-phase pattern display names.
+    pattern_names: Vec<String>,
+    /// Phase active at the cycle last passed to `advance_to`.
+    current: usize,
+}
+
+impl JobRuntime {
+    /// Compile one job's phase table.
+    pub(crate) fn new(job: &JobSpec, nodes: usize, packet_size: usize) -> Self {
+        Self {
+            name: job.name.clone(),
+            nodes,
+            starts: job.phases.iter().map(|p| p.start_cycle).collect(),
+            probs: job
+                .phases
+                .iter()
+                .map(|p| (p.offered_load / packet_size as f64).min(1.0))
+                .collect(),
+            loads: job.phases.iter().map(|p| p.offered_load).collect(),
+            pattern_names: job.phases.iter().map(|p| p.pattern.name()).collect(),
+            current: 0,
+        }
+    }
+
+    /// Job display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes the job occupies.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of phases.
+    pub fn phases(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Start cycle of a phase.
+    pub fn phase_start(&self, phase: usize) -> u64 {
+        self.starts[phase]
+    }
+
+    /// End cycle of a phase (start of the next phase, or `u64::MAX` for the last).
+    pub fn phase_end(&self, phase: usize) -> u64 {
+        self.starts.get(phase + 1).copied().unwrap_or(u64::MAX)
+    }
+
+    /// Offered load of a phase in phits/(node·cycle).
+    pub fn phase_load(&self, phase: usize) -> f64 {
+        self.loads[phase]
+    }
+
+    /// Display name of a phase's pattern.
+    pub fn phase_pattern(&self, phase: usize) -> &str {
+        &self.pattern_names[phase]
+    }
+}
+
+/// The compiled injection side of a workload (see module docs).
+#[derive(Debug, Clone)]
+pub struct WorkloadRuntime {
+    label: String,
+    job_of_node: Vec<u16>,
+    jobs: Vec<JobRuntime>,
+}
+
+impl WorkloadRuntime {
+    pub(crate) fn new(label: String, job_of_node: Vec<u16>, jobs: Vec<JobRuntime>) -> Self {
+        debug_assert!(
+            job_of_node
+                .iter()
+                .all(|&j| j == UNASSIGNED_SLOT || (j as usize) < jobs.len()),
+            "node assigned to a job index outside the job table"
+        );
+        Self {
+            label,
+            job_of_node,
+            jobs,
+        }
+    }
+
+    /// Workload display label (matches the paired `WorkloadPattern`'s name).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of jobs.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Per-job runtime state and metadata.
+    pub fn job(&self, job: u16) -> &JobRuntime {
+        &self.jobs[job as usize]
+    }
+
+    /// Phase counts of every job, in job order (used to size the scoped stats).
+    pub fn phase_counts(&self) -> Vec<usize> {
+        self.jobs.iter().map(JobRuntime::phases).collect()
+    }
+
+    /// The phase-boundary hook: cache the phase of every job that is active at
+    /// `cycle`.  Returns `true` when any job crossed a boundary.  Must be called
+    /// with non-decreasing cycles (the engine calls it once per cycle).
+    pub fn advance_to(&mut self, cycle: u64) -> bool {
+        let mut crossed = false;
+        for job in &mut self.jobs {
+            while job.current + 1 < job.starts.len() && job.starts[job.current + 1] <= cycle {
+                job.current += 1;
+                crossed = true;
+            }
+        }
+        crossed
+    }
+
+    /// The job of a node and the job's current phase, or `None` for idle nodes.
+    #[inline]
+    pub fn source(&self, node: usize) -> Option<(u16, u16)> {
+        match self.job_of_node[node] {
+            UNASSIGNED_SLOT => None,
+            job => Some((job, self.jobs[job as usize].current as u16)),
+        }
+    }
+
+    /// Bernoulli trial: does a node of `job` generate a packet this cycle?
+    #[inline]
+    pub fn generate(&self, job: u16, rng: &mut Rng) -> bool {
+        let j = &self.jobs[job as usize];
+        rng.bernoulli(j.probs[j.current])
+    }
+
+    /// Aggregate nominal offered load at cycle 0 in phits/(node·cycle), over all
+    /// `num_nodes` nodes of the machine (idle nodes count with load 0).
+    pub fn nominal_offered_load(&self, num_nodes: usize) -> f64 {
+        if num_nodes == 0 {
+            return 0.0;
+        }
+        self.jobs
+            .iter()
+            .map(|j| j.loads[0] * j.nodes as f64)
+            .sum::<f64>()
+            / num_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{JobPattern, JobSpec, PlacementPolicy, WorkloadSpec};
+    use dragonfly_topology::DragonflyParams;
+
+    fn two_phase_runtime() -> WorkloadRuntime {
+        let p = DragonflyParams::new(2);
+        let spec = WorkloadSpec::new(vec![
+            JobSpec::new(
+                "a",
+                8,
+                PlacementPolicy::Contiguous,
+                JobPattern::Uniform,
+                0.4,
+            )
+            .then_at(1_000, JobPattern::AdversarialGlobal(1), 0.2),
+            JobSpec::new(
+                "b",
+                8,
+                PlacementPolicy::Contiguous,
+                JobPattern::Uniform,
+                0.1,
+            ),
+        ]);
+        spec.runtime(&p, 8)
+    }
+
+    #[test]
+    fn phase_metadata_round_trip() {
+        let rt = two_phase_runtime();
+        assert_eq!(rt.num_jobs(), 2);
+        assert_eq!(rt.phase_counts(), vec![2, 1]);
+        let a = rt.job(0);
+        assert_eq!(a.name(), "a");
+        assert_eq!(a.nodes(), 8);
+        assert_eq!(a.phase_start(0), 0);
+        assert_eq!(a.phase_end(0), 1_000);
+        assert_eq!(a.phase_end(1), u64::MAX);
+        assert_eq!(a.phase_pattern(1), "ADVG+1");
+        assert!((a.phase_load(0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_switches_phases_at_boundaries() {
+        let mut rt = two_phase_runtime();
+        assert_eq!(rt.source(0), Some((0, 0)));
+        assert!(!rt.advance_to(999));
+        assert_eq!(rt.source(0), Some((0, 0)));
+        assert!(rt.advance_to(1_000));
+        assert_eq!(rt.source(0), Some((0, 1)));
+        assert!(!rt.advance_to(5_000));
+        // Job b has one phase and never switches.
+        assert_eq!(rt.source(8), Some((1, 0)));
+        // Unassigned nodes are idle.
+        assert_eq!(rt.source(70), None);
+    }
+
+    #[test]
+    fn generation_rate_follows_current_phase() {
+        let mut rt = two_phase_runtime();
+        let mut rng = Rng::seed_from(3);
+        let n = 100_000;
+        let before = (0..n).filter(|_| rt.generate(0, &mut rng)).count();
+        rt.advance_to(1_000);
+        let after = (0..n).filter(|_| rt.generate(0, &mut rng)).count();
+        // 0.4/8 = 5% vs 0.2/8 = 2.5%.
+        assert!((before as f64 / n as f64 - 0.05).abs() < 0.005, "{before}");
+        assert!((after as f64 / n as f64 - 0.025).abs() < 0.004, "{after}");
+    }
+
+    #[test]
+    fn nominal_load_weighs_job_sizes() {
+        let rt = two_phase_runtime();
+        // (8·0.4 + 8·0.1) / 72
+        let want = (8.0 * 0.4 + 8.0 * 0.1) / 72.0;
+        assert!((rt.nominal_offered_load(72) - want).abs() < 1e-12);
+        assert_eq!(rt.nominal_offered_load(0), 0.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Workload specifications: jobs, placements, phases and job-scoped patterns.
+
+use crate::job_patterns::build_job_pattern;
+use crate::placement::Placement;
+use crate::runtime::{JobRuntime, WorkloadRuntime};
+use dragonfly_topology::DragonflyParams;
+use dragonfly_traffic::{BoxedPattern, WorkloadPattern, UNASSIGNED_SLOT};
+use serde::{Deserialize, Serialize};
+
+/// How a job's nodes are chosen from the machine's free nodes.
+///
+/// Jobs are placed in specification order; every policy draws only from nodes not
+/// taken by earlier jobs, so the per-job node sets are disjoint by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Lowest-indexed free nodes first: fills routers, then groups, contiguously —
+    /// the classic "contiguous groups" allocation of batch schedulers.
+    Contiguous,
+    /// One free node per router per sweep, cycling over all routers — spreads the
+    /// job across every router (and therefore every group) of the machine.
+    RoundRobinRouters,
+    /// A seeded random subset of the free nodes (deterministic for a fixed seed).
+    Random {
+        /// Seed of the placement shuffle.
+        seed: u64,
+    },
+}
+
+impl PlacementPolicy {
+    /// Short display name used in workload labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::Contiguous => "cont",
+            PlacementPolicy::RoundRobinRouters => "rr",
+            PlacementPolicy::Random { .. } => "rand",
+        }
+    }
+}
+
+/// The communication pattern of one job phase, scoped to the job's own nodes.
+///
+/// The adversarial variants mirror the paper's patterns but restricted to the job:
+/// a packet targets the job's nodes in the group (router) at the configured offset
+/// from the source's group (router); if the job has no nodes there, the packet falls
+/// back to a uniform draw over the job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JobPattern {
+    /// Uniform over the job's nodes (excluding the source).
+    Uniform,
+    /// Adversarial-global with the given group offset, restricted to the job.
+    AdversarialGlobal(usize),
+    /// Adversarial-local with the given router offset, restricted to the job.
+    AdversarialLocal(usize),
+    /// Per-packet Bernoulli mix of a job-scoped ADVG and ADVL component.
+    Mixed {
+        /// Fraction of packets following the adversarial-global component.
+        global_fraction: f64,
+        /// Group offset of the global component.
+        global_offset: usize,
+        /// Router offset of the local component.
+        local_offset: usize,
+    },
+}
+
+impl JobPattern {
+    /// Display name matching the paper's labels.
+    pub fn name(self) -> String {
+        match self {
+            JobPattern::Uniform => "UN".to_string(),
+            JobPattern::AdversarialGlobal(n) => format!("ADVG+{n}"),
+            JobPattern::AdversarialLocal(n) => format!("ADVL+{n}"),
+            JobPattern::Mixed {
+                global_fraction,
+                global_offset,
+                local_offset,
+            } => format!(
+                "MIX{}%(ADVG+{global_offset}/ADVL+{local_offset})",
+                (global_fraction * 100.0).round() as u32
+            ),
+        }
+    }
+}
+
+/// One phase of a job: a pattern and an offered load, active from `start_cycle`
+/// (an absolute simulation cycle) until the next phase starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Absolute cycle at which the phase becomes active (the first phase must use 0).
+    pub start_cycle: u64,
+    /// Traffic pattern of the phase.
+    pub pattern: JobPattern,
+    /// Offered load of the phase in phits/(node·cycle).
+    pub offered_load: f64,
+}
+
+impl PhaseSpec {
+    /// A phase starting at `start_cycle`.
+    pub fn new(start_cycle: u64, pattern: JobPattern, offered_load: f64) -> Self {
+        assert!(offered_load >= 0.0, "offered load must be non-negative");
+        Self {
+            start_cycle,
+            pattern,
+            offered_load,
+        }
+    }
+}
+
+/// One job: a name, a node count, a placement policy and a phase schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Display name (used in per-job reports).
+    pub name: String,
+    /// Number of nodes the job occupies (at least 2, so it can communicate).
+    pub size: usize,
+    /// How the job's nodes are chosen.
+    pub placement: PlacementPolicy,
+    /// Phase schedule: non-empty, strictly increasing start cycles, first at 0.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl JobSpec {
+    /// A single-phase job.
+    pub fn new(
+        name: impl Into<String>,
+        size: usize,
+        placement: PlacementPolicy,
+        pattern: JobPattern,
+        offered_load: f64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            size,
+            placement,
+            phases: vec![PhaseSpec::new(0, pattern, offered_load)],
+        }
+    }
+
+    /// Append a phase switching to `pattern`/`offered_load` at `start_cycle`.
+    pub fn then_at(mut self, start_cycle: u64, pattern: JobPattern, offered_load: f64) -> Self {
+        self.phases
+            .push(PhaseSpec::new(start_cycle, pattern, offered_load));
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.size >= 2, "job '{}' needs at least 2 nodes", self.name);
+        assert!(
+            !self.phases.is_empty(),
+            "job '{}' needs at least one phase",
+            self.name
+        );
+        assert_eq!(
+            self.phases[0].start_cycle, 0,
+            "job '{}': the first phase must start at cycle 0",
+            self.name
+        );
+        assert!(
+            self.phases
+                .windows(2)
+                .all(|w| w[0].start_cycle < w[1].start_cycle),
+            "job '{}': phase start cycles must be strictly increasing",
+            self.name
+        );
+    }
+
+    /// Compact label: `name(size,placement)=PH0→PH1…` with per-phase loads.
+    fn label(&self) -> String {
+        let phases = self
+            .phases
+            .iter()
+            .map(|p| format!("{}@{:.2}", p.pattern.name(), p.offered_load))
+            .collect::<Vec<_>>()
+            .join("→");
+        format!("{}:{}", self.name, phases)
+    }
+}
+
+/// A complete workload: a list of jobs placed on the machine in order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// The jobs, in placement order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadSpec {
+    /// A workload from an explicit job list.
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        assert!(!jobs.is_empty(), "a workload needs at least one job");
+        assert!(
+            jobs.len() < UNASSIGNED_SLOT as usize,
+            "too many jobs for the u16 job tag"
+        );
+        let spec = Self { jobs };
+        for job in &spec.jobs {
+            job.validate();
+        }
+        spec
+    }
+
+    /// The headline interference scenario: an adversarial *aggressor* job and a
+    /// uniform *victim* job, each on half of the machine, interleaved over every
+    /// router (round-robin placement) so they share local and global channels.
+    ///
+    /// The aggressor drives ADVG+`aggressor_offset` at `aggressor_load`; the victim
+    /// drives job-uniform traffic at `victim_load`.  Under minimal routing the
+    /// aggressor saturates one global channel per group and the victim's packets
+    /// queue behind it; adaptive mechanisms (OLM, PB, PAR) divert around the hot
+    /// channels and shield the victim.
+    pub fn interference(
+        num_nodes: usize,
+        aggressor_offset: usize,
+        aggressor_load: f64,
+        victim_load: f64,
+    ) -> Self {
+        let half = num_nodes / 2;
+        Self::new(vec![
+            JobSpec::new(
+                "aggressor",
+                half,
+                PlacementPolicy::RoundRobinRouters,
+                JobPattern::AdversarialGlobal(aggressor_offset),
+                aggressor_load,
+            ),
+            JobSpec::new(
+                "victim",
+                num_nodes - half,
+                PlacementPolicy::RoundRobinRouters,
+                JobPattern::Uniform,
+                victim_load,
+            ),
+        ])
+    }
+
+    /// The headline transient scenario: one job covering the whole machine that
+    /// switches from uniform traffic to ADVG+`advg_offset` at `switch_cycle`,
+    /// exposing the reaction time of adaptive routing in the per-phase breakdown.
+    pub fn transient(
+        num_nodes: usize,
+        offered_load: f64,
+        switch_cycle: u64,
+        advg_offset: usize,
+    ) -> Self {
+        Self::new(vec![JobSpec::new(
+            "app",
+            num_nodes,
+            PlacementPolicy::Contiguous,
+            JobPattern::Uniform,
+            offered_load,
+        )
+        .then_at(
+            switch_cycle,
+            JobPattern::AdversarialGlobal(advg_offset),
+            offered_load,
+        )])
+    }
+
+    /// Compact display label, e.g. `WL[aggressor:ADVG+1@0.60,victim:UN@0.10]`.
+    pub fn label(&self) -> String {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(JobSpec::label)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("WL[{jobs}]")
+    }
+
+    /// Compute the node placement of every job (deterministic).
+    pub fn place(&self, params: &DragonflyParams) -> Placement {
+        Placement::compute(self, params)
+    }
+
+    /// Compile the destination side: a node-indexed, time-aware
+    /// [`WorkloadPattern`] ready to drive the simulation engine.
+    pub fn build_pattern(&self, params: &DragonflyParams) -> WorkloadPattern {
+        self.build_pattern_with(&self.place(params), params)
+    }
+
+    /// Compile the injection side: per-job phase rates, phase tracking and tags.
+    ///
+    /// `packet_size` (phits) converts each phase's offered load into a per-cycle
+    /// Bernoulli packet probability, exactly like
+    /// [`dragonfly_traffic::BernoulliInjection`].
+    pub fn runtime(&self, params: &DragonflyParams, packet_size: usize) -> WorkloadRuntime {
+        self.runtime_with(&self.place(params), packet_size)
+    }
+
+    /// Compile both sides at once, computing the placement a single time — the
+    /// path the simulation engine uses when installing a workload.
+    pub fn compile(
+        &self,
+        params: &DragonflyParams,
+        packet_size: usize,
+    ) -> (WorkloadRuntime, WorkloadPattern) {
+        let placement = self.place(params);
+        (
+            self.runtime_with(&placement, packet_size),
+            self.build_pattern_with(&placement, params),
+        )
+    }
+
+    fn build_pattern_with(
+        &self,
+        placement: &Placement,
+        params: &DragonflyParams,
+    ) -> WorkloadPattern {
+        let schedules = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| {
+                job.phases
+                    .iter()
+                    .map(|phase| {
+                        let pattern: BoxedPattern =
+                            build_job_pattern(phase.pattern, &placement.jobs[j], params);
+                        (phase.start_cycle, pattern)
+                    })
+                    .collect()
+            })
+            .collect();
+        WorkloadPattern::new(self.label(), placement.job_of_node.clone(), schedules)
+    }
+
+    fn runtime_with(&self, placement: &Placement, packet_size: usize) -> WorkloadRuntime {
+        assert!(packet_size >= 1, "packet size must be at least one phit");
+        let jobs = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(j, job)| JobRuntime::new(job, placement.jobs[j].len(), packet_size))
+            .collect();
+        WorkloadRuntime::new(self.label(), placement.job_of_node.clone(), jobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_pattern_names() {
+        assert_eq!(JobPattern::Uniform.name(), "UN");
+        assert_eq!(JobPattern::AdversarialGlobal(3).name(), "ADVG+3");
+        assert_eq!(JobPattern::AdversarialLocal(1).name(), "ADVL+1");
+        let mix = JobPattern::Mixed {
+            global_fraction: 0.4,
+            global_offset: 2,
+            local_offset: 1,
+        };
+        assert_eq!(mix.name(), "MIX40%(ADVG+2/ADVL+1)");
+    }
+
+    #[test]
+    fn workload_label_mentions_jobs_and_phases() {
+        let spec = WorkloadSpec::transient(72, 0.15, 10_000, 2);
+        let label = spec.label();
+        assert!(label.starts_with("WL[app:UN@0.15"), "{label}");
+        assert!(label.contains("ADVG+2@0.15"), "{label}");
+    }
+
+    #[test]
+    fn interference_splits_the_machine() {
+        let spec = WorkloadSpec::interference(72, 1, 0.6, 0.1);
+        assert_eq!(spec.jobs.len(), 2);
+        assert_eq!(spec.jobs[0].size + spec.jobs[1].size, 72);
+        assert_eq!(spec.jobs[0].phases.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn tiny_job_rejected() {
+        WorkloadSpec::new(vec![JobSpec::new(
+            "solo",
+            1,
+            PlacementPolicy::Contiguous,
+            JobPattern::Uniform,
+            0.1,
+        )]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_phases_rejected() {
+        WorkloadSpec::new(vec![JobSpec::new(
+            "bad",
+            4,
+            PlacementPolicy::Contiguous,
+            JobPattern::Uniform,
+            0.1,
+        )
+        .then_at(100, JobPattern::Uniform, 0.2)
+        .then_at(100, JobPattern::Uniform, 0.3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at cycle 0")]
+    fn late_first_phase_rejected() {
+        WorkloadSpec::new(vec![JobSpec {
+            name: "bad".into(),
+            size: 4,
+            placement: PlacementPolicy::Contiguous,
+            phases: vec![PhaseSpec::new(10, JobPattern::Uniform, 0.1)],
+        }]);
+    }
+}

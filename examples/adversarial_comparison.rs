@@ -40,7 +40,7 @@ fn main() {
                 let mut spec = ExperimentSpec::new(h);
                 spec.flow_control = FlowControlKind::Vct;
                 spec.routing = routing;
-                spec.traffic = traffic;
+                spec.traffic = traffic.clone();
                 spec.offered_load = offered;
                 spec.warmup = 3_000;
                 spec.measure = 4_000;

@@ -28,7 +28,7 @@ fn main() {
             .map(|&threshold| {
                 let mut spec = ExperimentSpec::new(h);
                 spec.routing = RoutingKind::Rlm;
-                spec.traffic = traffic;
+                spec.traffic = traffic.clone();
                 spec.offered_load = load;
                 spec.threshold = threshold;
                 spec.warmup = 3_000;

@@ -39,6 +39,7 @@ pub use dragonfly_sim as sim;
 pub use dragonfly_stats as stats;
 pub use dragonfly_topology as topology;
 pub use dragonfly_traffic as traffic;
+pub use dragonfly_workload as workload;
 
 /// Workspace version, mirrored from Cargo metadata.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -135,6 +135,34 @@ fn burst_mode_delivers_every_packet_for_every_mechanism() {
     }
 }
 
+/// Paper-scale wormhole/ADVL point (ROADMAP wormhole-scenario item): the PERCS-like
+/// WH configuration at the paper's h = 8 under adversarial-local traffic, where
+/// local-misrouting mechanisms must beat the 1/h minimal bound.
+///
+/// Ignored by default — run with `cargo test --release -- --ignored wh_advl`.
+#[test]
+#[ignore = "paper scale (16k nodes); run in release mode"]
+fn wh_advl_paper_scale_point() {
+    let mut spec = ExperimentSpec::new(8);
+    spec.routing = RoutingKind::Rlm;
+    spec.flow_control = FlowControlKind::Wormhole;
+    spec.traffic = TrafficKind::AdversarialLocal(1);
+    spec.offered_load = 0.3;
+    spec.warmup = 3_000;
+    spec.measure = 4_000;
+    spec.drain = 6_000;
+    spec.seed = 29;
+    let report = spec.run();
+    assert!(!report.deadlock_detected);
+    // Minimal routing would cap at 1/h = 0.125; RLM's local misrouting must beat it.
+    assert!(
+        report.accepted_load > 0.15,
+        "RLM under WH/ADVL+1 accepted only {}",
+        report.accepted_load
+    );
+    assert!(report.local_misroute_fraction > 0.1);
+}
+
 #[test]
 fn reports_serialize_to_csv_rows() {
     let report = quick_spec(

@@ -115,9 +115,9 @@ fn mixed_traffic_local_misrouting_beats_piggybacking() {
         global_offset: h,
         local_offset: 1,
     };
-    let pb = spec(h, RoutingKind::Piggybacking, mix, 0.9).run();
+    let pb = spec(h, RoutingKind::Piggybacking, mix.clone(), 0.9).run();
     for kind in [RoutingKind::Olm, RoutingKind::Par62, RoutingKind::Rlm] {
-        let report = spec(h, kind, mix, 0.9).run();
+        let report = spec(h, kind, mix.clone(), 0.9).run();
         assert!(
             report.accepted_load > pb.accepted_load,
             "{kind:?} accepted {} should beat PB's {}",
@@ -157,10 +157,10 @@ fn burst_consumption_is_faster_with_local_misrouting() {
         global_offset: h,
         local_offset: 1,
     };
-    let pb = spec(h, RoutingKind::Piggybacking, mix, 1.0).run_batch(10, 2_000_000);
+    let pb = spec(h, RoutingKind::Piggybacking, mix.clone(), 1.0).run_batch(10, 2_000_000);
     assert!(!pb.timed_out);
     for kind in [RoutingKind::Olm, RoutingKind::Rlm] {
-        let report = spec(h, kind, mix, 1.0).run_batch(10, 2_000_000);
+        let report = spec(h, kind, mix.clone(), 1.0).run_batch(10, 2_000_000);
         assert!(!report.timed_out, "{kind:?} timed out");
         assert!(
             (report.consumption_cycles as f64) < pb.consumption_cycles as f64 * 0.95,

@@ -81,6 +81,73 @@ fn static_and_dyn_dispatch_produce_identical_reports() {
     }
 }
 
+/// Wormhole under adversarial-local and mixed traffic: every wormhole-capable
+/// mechanism keeps delivering (ROADMAP wormhole-scenario item; the original matrix
+/// only drove WH with UN/ADVG).
+#[test]
+fn wormhole_survives_advl_and_mixed_traffic() {
+    let patterns = [
+        TrafficKind::AdversarialLocal(1),
+        TrafficKind::Mixed {
+            global_fraction: 0.5,
+            global_offset: 2,
+            local_offset: 1,
+        },
+    ];
+    for kind in RoutingKind::ALL {
+        if !kind.supports_wormhole() {
+            continue;
+        }
+        for traffic in &patterns {
+            let mut spec = ExperimentSpec::new(2);
+            spec.routing = kind;
+            spec.flow_control = FlowControlKind::Wormhole;
+            spec.traffic = traffic.clone();
+            spec.offered_load = 0.2;
+            spec.seed = 17;
+            spec.warmup = 600;
+            spec.measure = 1_200;
+            spec.drain = 2_400;
+            let report = spec.run();
+            assert!(
+                !report.deadlock_detected,
+                "{} deadlocked under WH {}",
+                kind.name(),
+                traffic.name()
+            );
+            assert!(
+                report.packets_measured > 10,
+                "{} under WH {} measured only {}",
+                kind.name(),
+                traffic.name(),
+                report.packets_measured
+            );
+        }
+    }
+}
+
+/// A workload (multi-job, phase-switching) run must be byte-identical between the
+/// monomorphized and the type-erased engines, like every other traffic kind.
+#[test]
+fn workload_static_and_dyn_dispatch_agree() {
+    use dragonfly::core::WorkloadSpec;
+    for kind in [RoutingKind::Minimal, RoutingKind::Olm] {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = kind;
+        spec.traffic = TrafficKind::Workload(WorkloadSpec::interference(72, 1, 0.2, 0.05));
+        spec.seed = 23;
+        spec.warmup = 400;
+        spec.measure = 800;
+        spec.drain = 1_200;
+        assert_eq!(
+            spec.run_workload(),
+            spec.run_workload_dyn(),
+            "workload engines diverged for {}",
+            kind.name()
+        );
+    }
+}
+
 #[test]
 fn static_and_dyn_dispatch_produce_identical_batch_reports() {
     let mut spec = ExperimentSpec::new(2);
