@@ -1,0 +1,180 @@
+//! CI bench regression gate: compare a fresh `CRITERION_SHIM_JSON` run against a
+//! recorded baseline and fail when any benchmark slowed down by more than the
+//! allowed fraction.
+//!
+//! ```text
+//! CRITERION_SHIM_JSON=bench_run.jsonl cargo bench -p dragonfly_bench --bench simulator
+//! cargo run --release -p dragonfly_bench --bin bench_gate -- \
+//!     --baseline BENCH_baseline.json --current bench_run.jsonl --max-regression 0.20
+//! ```
+//!
+//! Absolute ns/iter numbers only compare meaningfully on the same machine class,
+//! so `--history BENCH_history.jsonl` switches the baseline to the *last entry of
+//! the run history* (in CI: the previous run on the same runner class, since the
+//! gate runs before the current run is appended).  While the history holds fewer
+//! than two entries — only the checked-in seed, recorded on a developer machine —
+//! the comparison is printed informationally and the gate passes, so the first CI
+//! run cannot go permanently red against foreign hardware's numbers.
+//!
+//! Benchmarks present in the baseline but missing from the current run are reported
+//! as a warning; the gate fails when a regression exceeds the limit or when *no*
+//! baseline benchmark matched at all (which would make the gate vacuous).
+
+use dragonfly_bench::parse_bench_entries;
+use std::process::ExitCode;
+
+struct GateArgs {
+    baseline: String,
+    history: Option<String>,
+    current: String,
+    max_regression: f64,
+}
+
+fn parse_args() -> Result<GateArgs, String> {
+    let mut baseline = "BENCH_baseline.json".to_string();
+    let mut history = None;
+    let mut current = "bench_run.jsonl".to_string();
+    let mut max_regression = 0.20;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--baseline" => baseline = value(&mut i)?,
+            "--history" => history = Some(value(&mut i)?),
+            "--current" => current = value(&mut i)?,
+            "--max-regression" => {
+                max_regression = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--max-regression: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument `{other}`\nusage: bench_gate [--baseline FILE] \
+                     [--history FILE] [--current FILE] [--max-regression FRAC]"
+                ))
+            }
+        }
+        i += 1;
+    }
+    Ok(GateArgs {
+        baseline,
+        history,
+        current,
+        max_regression,
+    })
+}
+
+/// Pick the baseline entries: the last history entry when `--history` is given and
+/// holds at least two runs (same-machine comparison), otherwise the `--baseline`
+/// file.  The boolean is true when the result may come from a different machine
+/// class and the gate should only inform, not fail.
+fn select_baseline(args: &GateArgs) -> (String, Vec<(String, f64)>, bool) {
+    if let Some(path) = &args.history {
+        let lines: Vec<String> = std::fs::read_to_string(path)
+            .unwrap_or_default()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(str::to_string)
+            .collect();
+        if lines.len() >= 2 {
+            let entries = parse_bench_entries(lines.last().expect("non-empty"));
+            if !entries.is_empty() {
+                return (format!("{path} (last entry)"), entries, false);
+            }
+        }
+        eprintln!(
+            "bench_gate: {path} has fewer than two usable runs; comparing informationally \
+             against {} (recorded on a different machine class)",
+            args.baseline
+        );
+        let text = std::fs::read_to_string(&args.baseline).unwrap_or_default();
+        return (args.baseline.clone(), parse_bench_entries(&text), true);
+    }
+    let text = std::fs::read_to_string(&args.baseline).unwrap_or_default();
+    (args.baseline.clone(), parse_bench_entries(&text), false)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let current_text = match std::fs::read_to_string(&args.current) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", args.current);
+            return ExitCode::from(2);
+        }
+    };
+    let current = parse_bench_entries(&current_text);
+    let (baseline_name, baseline, informational) = select_baseline(&args);
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no benchmarks found in {baseline_name}");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "bench_gate: limit +{:.0}% vs {baseline_name} ({} baseline benchmarks{})",
+        args.max_regression * 100.0,
+        baseline.len(),
+        if informational {
+            ", informational only"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<62} {:>12} {:>12} {:>8}  verdict",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    let mut matched = 0usize;
+    let mut failures = 0usize;
+    for (name, base_ns) in &baseline {
+        let Some((_, cur_ns)) = current.iter().find(|(n, _)| n == name) else {
+            println!(
+                "{name:<62} {base_ns:>12.0} {:>12} {:>8}  MISSING (warning)",
+                "-", "-"
+            );
+            continue;
+        };
+        matched += 1;
+        let ratio = cur_ns / base_ns;
+        let verdict = if ratio > 1.0 + args.max_regression {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!("{name:<62} {base_ns:>12.0} {cur_ns:>12.0} {ratio:>8.3}  {verdict}");
+    }
+
+    if informational {
+        println!(
+            "bench_gate: informational comparison only ({matched} matched, \
+             {failures} over the limit) — gate passes until same-machine history exists"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if matched == 0 {
+        eprintln!("bench_gate: no baseline benchmark matched the current run");
+        return ExitCode::FAILURE;
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed beyond +{:.0}%",
+            args.max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all {matched} matched benchmarks within the limit");
+    ExitCode::SUCCESS
+}

@@ -6,10 +6,10 @@
 //! cargo run --release -p dragonfly_bench --bin fig10_11
 //! ```
 
-use dragonfly_bench::{progress, HarnessArgs};
+use dragonfly_bench::HarnessArgs;
 use dragonfly_core::{
-    run_parallel, sweep::paper_thresholds, threshold_sweep, CsvWriter, FlowControlKind,
-    RoutingKind, ThresholdSweep, TrafficKind,
+    sweep::paper_thresholds, threshold_sweep, CsvWriter, FlowControlKind, RoutingKind,
+    ThresholdSweep, TrafficKind,
 };
 
 fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: &str) {
@@ -31,7 +31,7 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
         specs.len(),
         args.h
     );
-    let reports = run_parallel(&specs, args.threads, progress);
+    let reports = args.runner(format!("figure {figure}")).run_steady(&specs);
 
     println!(
         "\n== Figure {figure}: RLM threshold sweep ({}) ==",

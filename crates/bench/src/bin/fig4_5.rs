@@ -9,10 +9,9 @@
 //! One CSV per traffic pattern is written to the output directory
 //! (`fig4_5_<pattern>.csv`), with one row per (mechanism, offered load) point.
 
-use dragonfly_bench::{print_series, progress, HarnessArgs};
+use dragonfly_bench::{print_series, HarnessArgs};
 use dragonfly_core::{
-    load_sweep, run_parallel, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport,
-    TrafficKind,
+    load_sweep, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport, TrafficKind,
 };
 
 fn mechanisms_for(pattern: &str) -> Vec<RoutingKind> {
@@ -56,7 +55,8 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
         specs.len(),
         args.h
     );
-    run_parallel(&specs, args.threads, progress)
+    args.runner(format!("figure 4/5 [{pattern}]"))
+        .run_steady(&specs)
 }
 
 fn main() {

@@ -10,10 +10,9 @@
 //! cargo run --release -p dragonfly_bench --bin fig6
 //! ```
 
-use dragonfly_bench::{progress, HarnessArgs};
+use dragonfly_bench::HarnessArgs;
 use dragonfly_core::{
-    mix_sweep, run_batches_parallel, run_parallel, sweep::paper_mix_percentages, CsvWriter,
-    FlowControlKind, MixSweep, RoutingKind,
+    mix_sweep, sweep::paper_mix_percentages, CsvWriter, FlowControlKind, MixSweep, RoutingKind,
 };
 
 fn main() {
@@ -45,7 +44,7 @@ fn main() {
         specs.len(),
         args.h
     );
-    let reports = run_parallel(&specs, args.threads, progress);
+    let reports = args.runner("figure 6a").run_steady(&specs);
     println!("\n== Figure 6a: throughput vs. % of global traffic (VCT) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
     let path = args.csv_path("fig6a_mix_throughput.csv");
@@ -85,8 +84,9 @@ fn main() {
         "figure 6b: burst of {packets_per_node} packets/node, {} simulations",
         specs.len()
     );
-    let batch_reports =
-        run_batches_parallel(&specs, packets_per_node, max_cycles, args.threads, progress);
+    let batch_reports = args
+        .runner("figure 6b")
+        .run_batches(&specs, packets_per_node, max_cycles);
     println!("\n== Figure 6b: burst consumption time (VCT) ==");
     println!("{:<10} {:>10} {:>16}", "routing", "global%", "cycles");
     let path = args.csv_path("fig6b_burst_consumption.csv");

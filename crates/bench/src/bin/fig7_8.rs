@@ -7,10 +7,9 @@
 //! cargo run --release -p dragonfly_bench --bin fig7_8 -- --pattern all
 //! ```
 
-use dragonfly_bench::{print_series, progress, HarnessArgs};
+use dragonfly_bench::{print_series, HarnessArgs};
 use dragonfly_core::{
-    load_sweep, run_parallel, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport,
-    TrafficKind,
+    load_sweep, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport, TrafficKind,
 };
 
 fn mechanisms_for(pattern: &str) -> Vec<RoutingKind> {
@@ -51,7 +50,8 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
         specs.len(),
         args.h
     );
-    run_parallel(&specs, args.threads, progress)
+    args.runner(format!("figure 7/8 [{pattern}]"))
+        .run_steady(&specs)
 }
 
 fn main() {

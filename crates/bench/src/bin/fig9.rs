@@ -7,10 +7,9 @@
 //! cargo run --release -p dragonfly_bench --bin fig9
 //! ```
 
-use dragonfly_bench::{progress, HarnessArgs};
+use dragonfly_bench::HarnessArgs;
 use dragonfly_core::{
-    mix_sweep, run_batches_parallel, run_parallel, sweep::paper_mix_percentages, CsvWriter,
-    FlowControlKind, MixSweep, RoutingKind,
+    mix_sweep, sweep::paper_mix_percentages, CsvWriter, FlowControlKind, MixSweep, RoutingKind,
 };
 
 fn main() {
@@ -42,7 +41,7 @@ fn main() {
         specs.len(),
         args.h
     );
-    let reports = run_parallel(&specs, args.threads, progress);
+    let reports = args.runner("figure 9a").run_steady(&specs);
     println!("\n== Figure 9a: throughput vs. % of global traffic (Wormhole) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
     let path = args.csv_path("fig9a_mix_throughput_wh.csv");
@@ -83,8 +82,9 @@ fn main() {
         "figure 9b: burst of {packets_per_node} packets/node (80 phits each), {} simulations",
         specs.len()
     );
-    let batch_reports =
-        run_batches_parallel(&specs, packets_per_node, max_cycles, args.threads, progress);
+    let batch_reports = args
+        .runner("figure 9b")
+        .run_batches(&specs, packets_per_node, max_cycles);
     println!("\n== Figure 9b: burst consumption time (Wormhole) ==");
     println!("{:<10} {:>10} {:>16}", "routing", "global%", "cycles");
     let path = args.csv_path("fig9b_burst_consumption_wh.csv");

@@ -8,12 +8,12 @@
 //!
 //! The aggressor drives each group's +1 global channel at ~96 % of its saturation
 //! point, so minimal routing starves the victim while the adaptive mechanisms
-//! divert around the hot channels.  One CSV row per (mechanism, job, phase).
+//! divert around the hot channels.  The per-mechanism points are independent and run
+//! in parallel through the sweep runner (`--jobs N`, `--sequential`).  One CSV row
+//! per (mechanism, job, phase).
 
-use dragonfly_bench::HarnessArgs;
-use dragonfly_core::{
-    CsvWriter, FlowControlKind, PhaseReport, RoutingKind, TrafficKind, WorkloadSpec,
-};
+use dragonfly_bench::{write_workload_phase_csv, HarnessArgs};
+use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind, WorkloadSpec};
 use dragonfly_topology::DragonflyParams;
 
 fn main() {
@@ -38,22 +38,26 @@ fn main() {
         RoutingKind::Rlm,
         RoutingKind::Olm,
     ];
-    let path = args.csv_path("interference.csv");
-    let header = format!("routing,{}", PhaseReport::csv_header());
-    let mut csv = CsvWriter::create(&path, &header).expect("cannot create CSV");
+    let specs: Vec<ExperimentSpec> = mechanisms
+        .iter()
+        .map(|&routing| {
+            let mut spec = args.base_spec(FlowControlKind::Vct);
+            spec.routing = routing;
+            spec.traffic = TrafficKind::Workload(workload.clone());
+            spec
+        })
+        .collect();
+    let reports = args.runner("interference").run_workloads(&specs);
 
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>12} {:>12}",
         "routing", "job", "avg_lat", "p99_lat", "acc_load", "inj_load"
     );
-    for routing in mechanisms {
-        let mut spec = args.base_spec(FlowControlKind::Vct);
-        spec.routing = routing;
-        spec.traffic = TrafficKind::Workload(workload.clone());
-        let report = spec.run_workload();
+    for report in &reports {
         assert!(
             !report.aggregate.deadlock_detected,
-            "{routing:?} deadlocked"
+            "{} deadlocked",
+            report.aggregate.routing
         );
         for job in &report.jobs {
             println!(
@@ -65,12 +69,14 @@ fn main() {
                 job.accepted_load,
                 job.injected_load
             );
-            for phase in &job.phases {
-                csv.row(&format!("{},{}", report.aggregate.routing, phase.csv_row()))
-                    .expect("cannot write CSV row");
-            }
         }
     }
-    csv.flush().expect("cannot flush CSV");
+
+    let path = args.csv_path("interference.csv");
+    let entries: Vec<(String, &dragonfly_core::WorkloadReport)> = reports
+        .iter()
+        .map(|r| (r.aggregate.routing.clone(), r))
+        .collect();
+    write_workload_phase_csv(&path, "routing", &entries).expect("cannot write CSV");
     println!("wrote {}", path.display());
 }

@@ -4,15 +4,25 @@
 //! ```text
 //! cargo run --release -p dragonfly_bench --bin table1
 //! ```
+//!
+//! The table is a closed-form property of the parity-sign rule, not a sweep, so this
+//! is the one harness binary with no simulation points; it accepts the common flags
+//! (`--out DIR`) and writes `table1_parity_sign.csv` next to the figure CSVs.
 
+use dragonfly_bench::HarnessArgs;
+use dragonfly_core::CsvWriter;
 use dragonfly_routing::{LinkClass, ParitySignTable};
 use dragonfly_topology::DragonflyParams;
 
 fn main() {
+    let args = HarnessArgs::from_env();
     let table = ParitySignTable::new();
     println!("Table I: possible hop combinations for local misrouting within supernodes");
     println!("{:<12} {:<12} {:<10}", "first hop", "second hop", "allowed");
     println!("{}", "-".repeat(36));
+    let path = args.csv_path("table1_parity_sign.csv");
+    let mut csv =
+        CsvWriter::create(&path, "first_hop,second_hop,allowed").expect("cannot create CSV");
     for (first, second, allowed) in table.rows() {
         println!(
             "{:<12} {:<12} {:<10}",
@@ -20,7 +30,14 @@ fn main() {
             second.label(),
             if allowed { "YES" } else { "NO" }
         );
+        csv.fields([
+            first.label(),
+            second.label(),
+            if allowed { "yes" } else { "no" },
+        ])
+        .expect("cannot write CSV row");
     }
+    csv.flush().expect("cannot flush CSV");
 
     // The capacity argument of the paper: at least h-1 two-hop detours for any pair.
     println!();
@@ -42,4 +59,5 @@ fn main() {
         LinkClass::of_hop(5, 1).label(),
         LinkClass::of_hop(1, 0).label()
     );
+    println!("wrote {}", path.display());
 }

@@ -6,12 +6,12 @@
 //! cargo run --release -p dragonfly_bench --bin transient -- --h 4
 //! ```
 //!
-//! One CSV row per (mechanism, phase); phase 0 is UN, phase 1 is ADVG+h.
+//! The per-mechanism points are independent and run in parallel through the sweep
+//! runner (`--jobs N`, `--sequential`).  One CSV row per (mechanism, phase);
+//! phase 0 is UN, phase 1 is ADVG+h.
 
-use dragonfly_bench::HarnessArgs;
-use dragonfly_core::{
-    CsvWriter, FlowControlKind, PhaseReport, RoutingKind, TrafficKind, WorkloadSpec,
-};
+use dragonfly_bench::{write_workload_phase_csv, HarnessArgs};
+use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind, WorkloadSpec};
 use dragonfly_topology::DragonflyParams;
 
 fn main() {
@@ -33,22 +33,26 @@ fn main() {
         RoutingKind::Rlm,
         RoutingKind::Olm,
     ];
-    let path = args.csv_path("transient.csv");
-    let header = format!("routing,{}", PhaseReport::csv_header());
-    let mut csv = CsvWriter::create(&path, &header).expect("cannot create CSV");
+    let specs: Vec<ExperimentSpec> = mechanisms
+        .iter()
+        .map(|&routing| {
+            let mut spec = args.base_spec(FlowControlKind::Vct);
+            spec.routing = routing;
+            spec.traffic = TrafficKind::Workload(workload.clone());
+            spec
+        })
+        .collect();
+    let reports = args.runner("transient").run_workloads(&specs);
 
     println!(
         "{:<12} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "routing", "phase", "pattern", "inj_load", "acc_load", "avg_lat", "p99"
     );
-    for routing in mechanisms {
-        let mut spec = args.base_spec(FlowControlKind::Vct);
-        spec.routing = routing;
-        spec.traffic = TrafficKind::Workload(workload.clone());
-        let report = spec.run_workload();
+    for report in &reports {
         assert!(
             !report.aggregate.deadlock_detected,
-            "{routing:?} deadlocked"
+            "{} deadlocked",
+            report.aggregate.routing
         );
         for phase in &report.jobs[0].phases {
             println!(
@@ -61,10 +65,14 @@ fn main() {
                 phase.avg_latency_cycles,
                 phase.p99_latency_cycles
             );
-            csv.row(&format!("{},{}", report.aggregate.routing, phase.csv_row()))
-                .expect("cannot write CSV row");
         }
     }
-    csv.flush().expect("cannot flush CSV");
+
+    let path = args.csv_path("transient.csv");
+    let entries: Vec<(String, &dragonfly_core::WorkloadReport)> = reports
+        .iter()
+        .map(|r| (r.aggregate.routing.clone(), r))
+        .collect();
+    write_workload_phase_csv(&path, "routing", &entries).expect("cannot write CSV");
     println!("wrote {}", path.display());
 }

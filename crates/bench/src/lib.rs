@@ -10,14 +10,21 @@
 //! --warmup <N>     warm-up cycles
 //! --measure <N>    measurement cycles
 //! --seed <N>       base random seed
-//! --threads <N>    worker threads for the sweep (default: all cores)
+//! --jobs <N>       worker threads for the sweep (default: all cores; --threads is
+//!                  an alias)
+//! --sequential     run the sweep points in order on one thread (same results)
 //! --out <DIR>      directory for CSV output (default: results/)
 //! --loads a,b,c    explicit offered-load points
 //! --pattern <P>    traffic pattern selector where applicable (un, advg1, advgh, all)
 //! ```
+//!
+//! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
+//! [`HarnessArgs::runner`]): the points run on a worker pool with deterministic
+//! result ordering and a progress/ETA line on stderr; `--sequential` falls back to
+//! a plain in-order loop that produces byte-identical CSVs.
 
-use dragonfly_core::{ExperimentSpec, FlowControlKind, SimReport};
-use std::path::PathBuf;
+use dragonfly_core::{ExperimentSpec, FlowControlKind, SimReport, SweepRunner, WorkloadReport};
+use std::path::{Path, PathBuf};
 
 /// Parsed command-line arguments shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -34,6 +41,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Run sweep points sequentially on the calling thread.
+    pub sequential: bool,
     /// Output directory for CSV files.
     pub out_dir: PathBuf,
     /// Offered-load points (figures 4/5/7/8/10/11).
@@ -53,6 +62,7 @@ impl Default for HarnessArgs {
             drain: 8_000,
             seed: 1,
             threads: None,
+            sequential: false,
             out_dir: PathBuf::from("results"),
             loads: dragonfly_core::sweep::default_loads(),
             pattern: "all".to_string(),
@@ -99,13 +109,10 @@ impl HarnessArgs {
                 "--seed" => {
                     out.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?
                 }
-                "--threads" => {
-                    out.threads = Some(
-                        value(&mut i)?
-                            .parse()
-                            .map_err(|e| format!("--threads: {e}"))?,
-                    )
+                "--jobs" | "--threads" => {
+                    out.threads = Some(value(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?)
                 }
+                "--sequential" => out.sequential = true,
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
                 "--pattern" => out.pattern = value(&mut i)?,
                 "--loads" => {
@@ -163,12 +170,69 @@ impl HarnessArgs {
         std::fs::create_dir_all(&self.out_dir).expect("cannot create the output directory");
         self.out_dir.join(name)
     }
+
+    /// The sweep runner implied by these arguments: `--jobs` workers (all cores by
+    /// default) or the `--sequential` in-order loop, with progress/ETA on stderr.
+    pub fn runner(&self, label: impl Into<String>) -> SweepRunner {
+        SweepRunner::new(label)
+            .jobs(self.threads)
+            .sequential(self.sequential)
+    }
 }
 
 fn usage() -> String {
     "usage: <figure-binary> [--h N] [--full] [--quick] [--warmup N] [--measure N] \
-     [--drain N] [--seed N] [--threads N] [--out DIR] [--loads a,b,c] [--pattern P]"
+     [--drain N] [--seed N] [--jobs N] [--sequential] [--out DIR] [--loads a,b,c] \
+     [--pattern P]"
         .to_string()
+}
+
+/// Extract `(name, ns_per_iter)` pairs from bench JSON: either the pretty-printed
+/// `BENCH_baseline.json` (a `benchmarks` array of objects) or the one-object-per-line
+/// `CRITERION_SHIM_JSON` output of the vendored criterion shim.
+///
+/// The workspace has no JSON dependency (the vendored serde is a no-op), so this is
+/// a small scanner over the two known shapes: every `"name"` key is paired with the
+/// `"ns_per_iter"` key that follows it before the next `"name"`.
+pub fn parse_bench_entries(text: &str) -> Vec<(String, f64)> {
+    const NAME_KEY: &str = "\"name\"";
+    const NS_KEY: &str = "\"ns_per_iter\"";
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(NAME_KEY) {
+        rest = &rest[pos + NAME_KEY.len()..];
+        let Some((name, after_name)) = json_string_value(rest) else {
+            break;
+        };
+        rest = after_name;
+        let scope_end = rest.find(NAME_KEY).unwrap_or(rest.len());
+        let Some(key) = rest[..scope_end].find(NS_KEY) else {
+            continue;
+        };
+        if let Some((value, _)) = json_number_value(&rest[key + NS_KEY.len()..]) {
+            out.push((name, value));
+        }
+        rest = &rest[key + NS_KEY.len()..];
+    }
+    out
+}
+
+/// Parse `: "value"` after a JSON key, returning the value and the remaining text.
+fn json_string_value(s: &str) -> Option<(String, &str)> {
+    let s = s[s.find(':')? + 1..].trim_start();
+    let s = s.strip_prefix('"')?;
+    let end = s.find('"')?;
+    Some((s[..end].to_string(), &s[end + 1..]))
+}
+
+/// Parse `: number` after a JSON key, returning the value and the remaining text.
+fn json_number_value(s: &str) -> Option<(f64, &str)> {
+    let s = s[s.find(':')? + 1..].trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(s.len());
+    let value = s[..end].parse().ok()?;
+    Some((value, &s[end..]))
 }
 
 /// Pretty-print a set of steady-state reports as the latency/throughput series of a
@@ -194,12 +258,31 @@ pub fn print_series(title: &str, reports: &[SimReport]) {
     }
 }
 
-/// Simple progress callback printing to stderr.
-pub fn progress(done: usize, total: usize) {
-    eprint!("\r  [{done}/{total}] simulations finished");
-    if done == total {
-        eprintln!();
+/// Write the per-phase CSV shared by the workload binaries: one row per
+/// (entry, job, phase), each prefixed with the entry's own columns (at least the
+/// routing name; sweep grids add placement/load columns).
+///
+/// `prefix_header` names the prefix columns (e.g. `"routing"` or
+/// `"routing,placement,aggressor_load"`); each entry pairs the matching prefix
+/// values with its report.  Returns the number of data rows written.
+pub fn write_workload_phase_csv(
+    path: &Path,
+    prefix_header: &str,
+    entries: &[(String, &WorkloadReport)],
+) -> std::io::Result<usize> {
+    use dragonfly_core::CsvWriter;
+    let header = format!(
+        "{prefix_header},{}",
+        dragonfly_core::PhaseReport::csv_header()
+    );
+    let mut csv = CsvWriter::create(path, &header)?;
+    for (prefix, report) in entries {
+        for row in report.phase_csv_rows() {
+            csv.row(&format!("{prefix},{row}"))?;
+        }
     }
+    csv.flush()?;
+    Ok(csv.rows_written())
 }
 
 #[cfg(test)]
@@ -258,10 +341,74 @@ mod tests {
     }
 
     #[test]
+    fn parse_jobs_and_sequential() {
+        let args = HarnessArgs::parse_from(["--jobs", "3", "--sequential"]).unwrap();
+        assert_eq!(args.threads, Some(3));
+        assert!(args.sequential);
+        // --threads stays as an alias for scripts written against the old flag.
+        let args = HarnessArgs::parse_from(["--threads", "5"]).unwrap();
+        assert_eq!(args.threads, Some(5));
+        assert!(!args.sequential);
+    }
+
+    #[test]
+    fn workload_phase_csv_prefixes_rows() {
+        use dragonfly_core::{RoutingKind, TrafficKind, WorkloadSpec};
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = TrafficKind::Workload(WorkloadSpec::interference(72, 1, 0.3, 0.1));
+        spec.warmup = 300;
+        spec.measure = 600;
+        spec.drain = 600;
+        let report = spec.run_workload();
+        let dir = std::env::temp_dir().join("dragonfly_bench_phase_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phases.csv");
+        let rows = write_workload_phase_csv(
+            &path,
+            "routing",
+            &[(report.aggregate.routing.clone(), &report)],
+        )
+        .unwrap();
+        assert_eq!(rows, 2, "one row per (job, phase)");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("routing,job,phase,"));
+        assert!(content.lines().skip(1).all(|l| l.starts_with("OLM,")));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn parse_rejects_unknown_and_missing() {
         assert!(HarnessArgs::parse_from(["--nope"]).is_err());
         assert!(HarnessArgs::parse_from(["--h"]).is_err());
         assert!(HarnessArgs::parse_from(["--h", "abc"]).is_err());
+    }
+
+    #[test]
+    fn parse_bench_entries_reads_both_shapes() {
+        // One-object-per-line shim output.
+        let jsonl = "{\"name\":\"a/b\",\"ns_per_iter\":1500.0,\"iters\":10}\n\
+                     {\"name\":\"c/d\",\"ns_per_iter\":2e3,\"iters\":20}\n";
+        let entries = parse_bench_entries(jsonl);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a/b");
+        assert!((entries[0].1 - 1500.0).abs() < 1e-9);
+        assert!((entries[1].1 - 2000.0).abs() < 1e-9);
+
+        // Pretty-printed baseline with unrelated top-level keys.
+        let baseline = r#"{
+          "recorded": "2026-01-01",
+          "notes": "name dropping in prose is fine",
+          "benchmarks": [
+            { "name": "x/y", "ns_per_iter": 42, "iters": 7 }
+          ]
+        }"#;
+        let entries = parse_bench_entries(baseline);
+        assert_eq!(entries, vec![("x/y".to_string(), 42.0)]);
+
+        // An entry without ns_per_iter is skipped, later entries still parse.
+        let partial = r#"{"name":"no_ns"} {"name":"ok","ns_per_iter":5}"#;
+        assert_eq!(parse_bench_entries(partial), vec![("ok".to_string(), 5.0)]);
     }
 
     #[test]

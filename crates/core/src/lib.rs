@@ -4,9 +4,13 @@
 //! into the experiment protocols of the paper:
 //!
 //! * [`ExperimentSpec`] / [`ExperimentBuilder`] — one steady-state or burst run,
-//! * [`sweep`] — the load, threshold and traffic-mix sweeps behind each figure,
-//! * [`parallel`] — a work-stealing parallel executor that runs independent
-//!   simulations on multiple threads (each simulation itself stays single-threaded and
+//! * [`sweep`] — the load, threshold, traffic-mix and workload-interference sweeps
+//!   behind each figure,
+//! * [`runner`] — [`SweepRunner`], the orchestration layer every figure/workload
+//!   binary routes its sweep through: worker pool, deterministic ordering,
+//!   progress/ETA reporting and a sequential escape hatch,
+//! * [`parallel`] — the underlying work-stealing executor that runs independent
+//!   simulations on scoped threads (each simulation itself stays single-threaded and
 //!   deterministic),
 //! * [`csv`] — small CSV emission helpers used by the figure binaries.
 //!
@@ -23,15 +27,22 @@
 //! assert!(report.accepted_load > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod csv;
 pub mod experiment;
 pub mod parallel;
+pub mod runner;
 pub mod sweep;
 
 pub use csv::CsvWriter;
 pub use experiment::{ExperimentBuilder, ExperimentSpec, FlowControlKind, TrafficKind};
-pub use parallel::{run_batches_parallel, run_parallel};
-pub use sweep::{load_sweep, mix_sweep, threshold_sweep, LoadSweep, MixSweep, ThresholdSweep};
+pub use parallel::{run_batches_parallel, run_parallel, run_workloads_parallel};
+pub use runner::SweepRunner;
+pub use sweep::{
+    interference_sweep, load_sweep, mix_sweep, threshold_sweep, InterferenceSweep, LoadSweep,
+    MixSweep, ThresholdSweep,
+};
 
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
 pub use dragonfly_stats::{BatchReport, JobReport, PhaseReport, SimReport, WorkloadReport};

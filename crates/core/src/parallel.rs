@@ -6,7 +6,7 @@
 //! result buffer and a progress callback invoked after every finished run.
 
 use crate::experiment::ExperimentSpec;
-use dragonfly_stats::{BatchReport, SimReport};
+use dragonfly_stats::{BatchReport, SimReport, WorkloadReport};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -17,7 +17,9 @@ fn default_threads() -> usize {
         .unwrap_or(4)
 }
 
-fn run_indexed<T, F>(jobs: usize, threads: Option<usize>, work: F) -> Vec<T>
+/// Run `jobs` independent work items on scoped threads, preserving index order.
+/// Shared by the `run_*_parallel` entry points and [`crate::SweepRunner`].
+pub(crate) fn run_indexed<T, F>(jobs: usize, threads: Option<usize>, work: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -52,6 +54,29 @@ where
         .collect()
 }
 
+/// Run `total` work items through [`run_indexed`], invoking `progress` with
+/// `(finished, total)` under a shared counter after each one.  The single body
+/// behind every `run_*_parallel` entry point.
+fn run_with_progress<T, F>(
+    total: usize,
+    threads: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+    work: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let done = Mutex::new(0usize);
+    run_indexed(total, threads, |i| {
+        let value = work(i);
+        let mut d = done.lock().expect("progress counter poisoned");
+        *d += 1;
+        progress(*d, total);
+        value
+    })
+}
+
 /// Run every steady-state specification, possibly in parallel, preserving order.
 ///
 /// `threads = None` uses all available hardware threads.  `progress` is called after
@@ -61,15 +86,20 @@ pub fn run_parallel(
     threads: Option<usize>,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<SimReport> {
-    let done = Mutex::new(0usize);
-    let total = specs.len();
-    run_indexed(specs.len(), threads, |i| {
-        let report = specs[i].run();
-        let mut d = done.lock().expect("progress counter poisoned");
-        *d += 1;
-        progress(*d, total);
-        report
-    })
+    run_with_progress(specs.len(), threads, progress, |i| specs[i].run())
+}
+
+/// Run every workload specification, possibly in parallel, preserving order and
+/// returning the full per-job/per-phase breakdowns.
+///
+/// The workload-aware sibling of [`run_parallel`]: each spec must carry
+/// [`crate::TrafficKind::Workload`] traffic (see [`ExperimentSpec::run_workload`]).
+pub fn run_workloads_parallel(
+    specs: &[ExperimentSpec],
+    threads: Option<usize>,
+    progress: impl Fn(usize, usize) + Sync,
+) -> Vec<WorkloadReport> {
+    run_with_progress(specs.len(), threads, progress, |i| specs[i].run_workload())
 }
 
 /// Run every specification in burst-consumption mode, possibly in parallel,
@@ -81,14 +111,8 @@ pub fn run_batches_parallel(
     threads: Option<usize>,
     progress: impl Fn(usize, usize) + Sync,
 ) -> Vec<BatchReport> {
-    let done = Mutex::new(0usize);
-    let total = specs.len();
-    run_indexed(specs.len(), threads, |i| {
-        let report = specs[i].run_batch(packets_per_node, max_cycles);
-        let mut d = done.lock().expect("progress counter poisoned");
-        *d += 1;
-        progress(*d, total);
-        report
+    run_with_progress(specs.len(), threads, progress, |i| {
+        specs[i].run_batch(packets_per_node, max_cycles)
     })
 }
 
@@ -149,6 +173,26 @@ mod tests {
         let specs = vec![quick_spec(RoutingKind::Minimal, 0.05, 4)];
         let reports = run_parallel(&specs, Some(1), |_, _| {});
         assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    fn workload_parallel_returns_breakdowns_in_order() {
+        use dragonfly_workload::WorkloadSpec;
+        let workload = WorkloadSpec::interference(72, 1, 0.3, 0.1);
+        let specs: Vec<ExperimentSpec> = [RoutingKind::Minimal, RoutingKind::Olm]
+            .into_iter()
+            .map(|routing| {
+                let mut spec = quick_spec(routing, 0.0, 5);
+                spec.traffic = TrafficKind::Workload(workload.clone());
+                spec
+            })
+            .collect();
+        let reports = run_workloads_parallel(&specs, Some(2), |_, _| {});
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].aggregate.routing, "Minimal");
+        assert_eq!(reports[1].aggregate.routing, "OLM");
+        // Parallel execution matches a plain sequential call, per spec.
+        assert_eq!(reports[1], specs[1].run_workload());
     }
 
     #[test]

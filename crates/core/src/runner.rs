@@ -1,0 +1,293 @@
+//! Sweep orchestration: one entry point for every figure/workload sweep.
+//!
+//! A [`SweepRunner`] takes any list of [`ExperimentSpec`] points — a load sweep, a
+//! mechanism × pattern grid, a placement × aggressor-load workload grid — and
+//! executes them through the scoped-thread executor of [`crate::parallel`] with
+//!
+//! * a configurable worker count ([`SweepRunner::jobs`], `None` = all cores),
+//! * a `--sequential` escape hatch that runs the same points in a plain in-order
+//!   loop on the calling thread ([`SweepRunner::sequential`]),
+//! * deterministic result ordering (results always come back in spec order,
+//!   regardless of which worker finished first), and
+//! * a progress/ETA line (points done, points/sec, estimated time remaining)
+//!   printed to stderr from a dedicated collector thread fed by a channel, so
+//!   reporting never contends with the workers beyond one `send` per point.
+//!
+//! Every simulation point is single-threaded and deterministic, so the parallel
+//! and sequential paths produce byte-identical reports for the same specs (pinned
+//! by `tests/sweep_equivalence.rs`).
+//!
+//! ```
+//! use dragonfly_core::{ExperimentSpec, SweepRunner};
+//!
+//! let mut spec = ExperimentSpec::new(2);
+//! spec.warmup = 200;
+//! spec.measure = 400;
+//! spec.drain = 400;
+//! let specs = vec![spec.clone(), spec];
+//! let reports = SweepRunner::new("doc sweep").quiet().run_steady(&specs);
+//! assert_eq!(reports.len(), 2);
+//! assert_eq!(reports[0], reports[1]);
+//! ```
+
+use crate::experiment::ExperimentSpec;
+use crate::parallel;
+use dragonfly_stats::{BatchReport, SimReport, WorkloadReport};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// Orchestrates a set of independent simulation points (see the module docs).
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    /// Label prefixed to progress lines (e.g. `"figure 4/5 [un]"`).
+    label: String,
+    /// Worker-thread count; `None` uses every hardware thread.
+    jobs: Option<usize>,
+    /// Run the points in a plain in-order loop on the calling thread.
+    sequential: bool,
+    /// Emit the progress/ETA line on stderr.
+    progress: bool,
+}
+
+impl SweepRunner {
+    /// A runner with the default configuration: all cores, progress enabled.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            jobs: None,
+            sequential: false,
+            progress: true,
+        }
+    }
+
+    /// Set the worker-thread count (`None` = all hardware threads).
+    pub fn jobs(mut self, jobs: Option<usize>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Run sequentially on the calling thread (the `--sequential` escape hatch).
+    /// Results are identical to the parallel path, just slower.
+    pub fn sequential(mut self, sequential: bool) -> Self {
+        self.sequential = sequential;
+        self
+    }
+
+    /// Disable the progress/ETA line (tests, machine-read output).
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self
+    }
+
+    /// Run every steady-state point (see [`ExperimentSpec::run`]), in spec order.
+    pub fn run_steady(&self, specs: &[ExperimentSpec]) -> Vec<SimReport> {
+        self.execute(specs.len(), |i| specs[i].run())
+    }
+
+    /// Run every workload point (see [`ExperimentSpec::run_workload`]), in spec
+    /// order, returning the per-job/per-phase breakdowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any spec's traffic is not [`crate::TrafficKind::Workload`].
+    pub fn run_workloads(&self, specs: &[ExperimentSpec]) -> Vec<WorkloadReport> {
+        assert!(
+            specs.iter().all(|s| s.traffic.workload().is_some()),
+            "run_workloads requires TrafficKind::Workload traffic on every spec"
+        );
+        self.execute(specs.len(), |i| specs[i].run_workload())
+    }
+
+    /// Run every point in burst-consumption mode (see [`ExperimentSpec::run_batch`]),
+    /// in spec order.
+    pub fn run_batches(
+        &self,
+        specs: &[ExperimentSpec],
+        packets_per_node: u64,
+        max_cycles: u64,
+    ) -> Vec<BatchReport> {
+        self.execute(specs.len(), |i| {
+            specs[i].run_batch(packets_per_node, max_cycles)
+        })
+    }
+
+    /// Execute `total` independent points, preserving index order.
+    ///
+    /// The collector thread owns the progress state; workers (or the sequential
+    /// loop) send one unit message per finished point.
+    fn execute<T, F>(&self, total: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let (sender, collector) = if self.progress && total > 0 {
+            let (tx, rx) = mpsc::channel::<()>();
+            let label = self.label.clone();
+            let handle = std::thread::spawn(move || collect_progress(&label, total, &rx));
+            (Some(tx), Some(handle))
+        } else {
+            (None, None)
+        };
+
+        let notify = || {
+            if let Some(tx) = &sender {
+                // The collector may already have exited; a failed send is harmless.
+                let _ = tx.send(());
+            }
+        };
+
+        let results: Vec<T> = if self.sequential {
+            (0..total)
+                .map(|i| {
+                    let value = work(i);
+                    notify();
+                    value
+                })
+                .collect()
+        } else {
+            parallel::run_indexed(total, self.jobs, |i| {
+                let value = work(i);
+                notify();
+                value
+            })
+        };
+
+        drop(sender);
+        if let Some(handle) = collector {
+            let _ = handle.join();
+        }
+        results
+    }
+}
+
+/// Progress loop of the dedicated collector thread: one line per finished point
+/// with points done, points/sec and the estimated time remaining.
+fn collect_progress(label: &str, total: usize, rx: &mpsc::Receiver<()>) {
+    let start = Instant::now();
+    let mut done = 0usize;
+    while rx.recv().is_ok() {
+        done += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta = if rate > 0.0 {
+            format_eta((total - done) as f64 / rate)
+        } else {
+            "?".to_string()
+        };
+        eprint!("\r  {label}: {done}/{total} points \u{b7} {rate:.1} pts/s \u{b7} ETA {eta} ");
+        if done == total {
+            break;
+        }
+    }
+    eprintln!();
+}
+
+/// Format a duration in seconds as `Ns` / `MmSSs` / `HhMMm` for the ETA column.
+fn format_eta(seconds: f64) -> String {
+    let s = seconds.round().max(0.0) as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::TrafficKind;
+    use dragonfly_routing::RoutingKind;
+    use dragonfly_workload::WorkloadSpec;
+
+    fn quick_spec(routing: RoutingKind, load: f64, seed: u64) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = routing;
+        spec.offered_load = load;
+        spec.warmup = 300;
+        spec.measure = 600;
+        spec.drain = 600;
+        spec.seed = seed;
+        spec
+    }
+
+    #[test]
+    fn parallel_and_sequential_steady_agree() {
+        let specs = vec![
+            quick_spec(RoutingKind::Minimal, 0.1, 1),
+            quick_spec(RoutingKind::Olm, 0.2, 2),
+            quick_spec(RoutingKind::Piggybacking, 0.3, 3),
+        ];
+        let par = SweepRunner::new("t")
+            .quiet()
+            .jobs(Some(3))
+            .run_steady(&specs);
+        let seq = SweepRunner::new("t")
+            .quiet()
+            .sequential(true)
+            .run_steady(&specs);
+        assert_eq!(par, seq);
+        assert_eq!(par[1].routing, "OLM");
+    }
+
+    #[test]
+    fn workload_points_return_breakdowns_in_order() {
+        let workload = WorkloadSpec::interference(72, 1, 0.3, 0.1);
+        let specs: Vec<ExperimentSpec> = [RoutingKind::Minimal, RoutingKind::Olm]
+            .into_iter()
+            .map(|routing| {
+                let mut spec = quick_spec(routing, 0.0, 5);
+                spec.traffic = TrafficKind::Workload(workload.clone());
+                spec
+            })
+            .collect();
+        let reports = SweepRunner::new("t").quiet().run_workloads(&specs);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].aggregate.routing, "Minimal");
+        assert_eq!(reports[1].aggregate.routing, "OLM");
+        assert_eq!(reports[0].jobs.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires TrafficKind::Workload")]
+    fn run_workloads_rejects_plain_traffic() {
+        let specs = vec![quick_spec(RoutingKind::Minimal, 0.1, 1)];
+        let _ = SweepRunner::new("t").quiet().run_workloads(&specs);
+    }
+
+    #[test]
+    fn batches_run_through_the_runner() {
+        let specs = vec![
+            quick_spec(RoutingKind::Olm, 1.0, 7),
+            quick_spec(RoutingKind::Rlm, 1.0, 8),
+        ];
+        let par = SweepRunner::new("t")
+            .quiet()
+            .run_batches(&specs, 2, 100_000);
+        let seq = SweepRunner::new("t")
+            .quiet()
+            .sequential(true)
+            .run_batches(&specs, 2, 100_000);
+        assert_eq!(par, seq);
+        assert!(par.iter().all(|r| !r.timed_out));
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let reports = SweepRunner::new("t").run_steady(&[]);
+        assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn eta_formatting() {
+        assert_eq!(format_eta(0.2), "0s");
+        assert_eq!(format_eta(59.4), "59s");
+        assert_eq!(format_eta(61.0), "1m01s");
+        assert_eq!(format_eta(3_720.0), "1h02m");
+    }
+}

@@ -2,6 +2,8 @@
 
 use crate::experiment::{ExperimentSpec, FlowControlKind, TrafficKind};
 use dragonfly_routing::RoutingKind;
+use dragonfly_topology::DragonflyParams;
+use dragonfly_workload::{PlacementPolicy, WorkloadSpec};
 
 /// A sweep over offered load for a fixed set of mechanisms (Figures 4, 5, 7, 8).
 #[derive(Debug, Clone)]
@@ -89,6 +91,53 @@ pub fn mix_sweep(sweep: &MixSweep) -> Vec<ExperimentSpec> {
                 local_offset: sweep.local_offset,
             };
             specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// A caminos-style workload-interference grid: mechanism × placement policy ×
+/// aggressor load, each point an aggressor/victim workload (see
+/// [`WorkloadSpec::interference_placed`]).
+#[derive(Debug, Clone)]
+pub struct InterferenceSweep {
+    /// Base specification (h, flow control, cycles, seed).
+    pub base: ExperimentSpec,
+    /// Mechanisms to compare.
+    pub mechanisms: Vec<RoutingKind>,
+    /// Placement policies applied to both jobs.
+    pub placements: Vec<PlacementPolicy>,
+    /// Aggressor offered loads in phits/(node·cycle).
+    pub aggressor_loads: Vec<f64>,
+    /// Group offset of the aggressor's ADVG pattern.
+    pub aggressor_offset: usize,
+    /// Victim offered load in phits/(node·cycle).
+    pub victim_load: f64,
+}
+
+/// Build the interference-grid specification list, row-major (mechanism outer,
+/// placement middle, aggressor load inner).  Every spec carries
+/// [`TrafficKind::Workload`] traffic, so the points run through
+/// [`crate::SweepRunner::run_workloads`].
+pub fn interference_sweep(sweep: &InterferenceSweep) -> Vec<ExperimentSpec> {
+    let num_nodes = DragonflyParams::new(sweep.base.h).num_nodes();
+    let mut specs = Vec::with_capacity(
+        sweep.mechanisms.len() * sweep.placements.len() * sweep.aggressor_loads.len(),
+    );
+    for &mechanism in &sweep.mechanisms {
+        for &placement in &sweep.placements {
+            for &load in &sweep.aggressor_loads {
+                let mut spec = sweep.base.clone();
+                spec.routing = mechanism;
+                spec.traffic = TrafficKind::Workload(WorkloadSpec::interference_placed(
+                    num_nodes,
+                    sweep.aggressor_offset,
+                    load,
+                    sweep.victim_load,
+                    placement,
+                ));
+                specs.push(spec);
+            }
         }
     }
     specs
@@ -183,6 +232,33 @@ mod tests {
             }
             _ => panic!("expected mixed traffic"),
         }
+    }
+
+    #[test]
+    fn interference_sweep_builds_workload_grid() {
+        let sweep = InterferenceSweep {
+            base: base(),
+            mechanisms: vec![RoutingKind::Minimal, RoutingKind::Olm],
+            placements: vec![
+                PlacementPolicy::Contiguous,
+                PlacementPolicy::RoundRobinRouters,
+            ],
+            aggressor_loads: vec![0.1, 0.3, 0.5],
+            aggressor_offset: 1,
+            victim_load: 0.1,
+        };
+        let specs = interference_sweep(&sweep);
+        assert_eq!(specs.len(), 12);
+        assert_eq!(specs[0].routing, RoutingKind::Minimal);
+        assert_eq!(specs[11].routing, RoutingKind::Olm);
+        let workload = specs[3].traffic.workload().expect("workload traffic");
+        assert_eq!(
+            workload.jobs[0].placement,
+            PlacementPolicy::RoundRobinRouters
+        );
+        assert!((workload.jobs[0].phases[0].offered_load - 0.1).abs() < 1e-12);
+        let last = specs[11].traffic.workload().expect("workload traffic");
+        assert!((last.jobs[0].phases[0].offered_load - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -57,7 +57,7 @@ impl GlobalStatusBoard {
 /// The simulated network and all of its per-cycle state.
 ///
 /// The engine is generic over the routing mechanism `R`, so the per-cycle `route()`
-/// call in [`Network::phase_routing`] is statically dispatched (and inlinable) when a
+/// call in the routing phase of [`Network::step`] is statically dispatched (and inlinable) when a
 /// concrete mechanism type is used.  The default parameter keeps the type-erased
 /// path: a plain `Network` is `Network<Box<dyn RoutingAlgorithm>>`, built through
 /// [`Network::new`] from e.g. `RoutingKind::build()`.

@@ -11,6 +11,8 @@
 //! consumption") run produces a [`BatchReport`].  Both serialize with `serde` and can
 //! be written as CSV rows by the experiment harness.
 
+#![warn(missing_docs)]
+
 mod histogram;
 mod report;
 mod running;

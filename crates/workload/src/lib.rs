@@ -25,6 +25,8 @@
 //! (an adversarial aggressor job against a uniform victim job) and
 //! [`WorkloadSpec::transient`] (a single job switching pattern mid-run).
 
+#![warn(missing_docs)]
+
 mod job_patterns;
 mod placement;
 mod runtime;

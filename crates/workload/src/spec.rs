@@ -212,19 +212,40 @@ impl WorkloadSpec {
         aggressor_load: f64,
         victim_load: f64,
     ) -> Self {
+        Self::interference_placed(
+            num_nodes,
+            aggressor_offset,
+            aggressor_load,
+            victim_load,
+            PlacementPolicy::RoundRobinRouters,
+        )
+    }
+
+    /// The interference scenario with an explicit placement policy for both jobs —
+    /// the knob behind placement × aggressor-load interference sweeps.  Contiguous
+    /// placement isolates the jobs into separate groups (victim traffic rarely
+    /// crosses the aggressor's hot channels); round-robin placement interleaves
+    /// them over every router, maximizing the shared channels.
+    pub fn interference_placed(
+        num_nodes: usize,
+        aggressor_offset: usize,
+        aggressor_load: f64,
+        victim_load: f64,
+        placement: PlacementPolicy,
+    ) -> Self {
         let half = num_nodes / 2;
         Self::new(vec![
             JobSpec::new(
                 "aggressor",
                 half,
-                PlacementPolicy::RoundRobinRouters,
+                placement,
                 JobPattern::AdversarialGlobal(aggressor_offset),
                 aggressor_load,
             ),
             JobSpec::new(
                 "victim",
                 num_nodes - half,
-                PlacementPolicy::RoundRobinRouters,
+                placement,
                 JobPattern::Uniform,
                 victim_load,
             ),

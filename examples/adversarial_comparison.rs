@@ -11,7 +11,7 @@
 //! `1/h`.  Only mechanisms with *local* misrouting (PAR-6/2, RLM, OLM) escape both
 //! pathologies.  This example reproduces the comparison on a small network.
 
-use dragonfly::core::{run_parallel, ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use dragonfly::core::{ExperimentSpec, FlowControlKind, RoutingKind, SweepRunner, TrafficKind};
 
 fn main() {
     let h = 3;
@@ -49,7 +49,7 @@ fn main() {
                 spec
             })
             .collect();
-        let reports = run_parallel(&specs, None, |_, _| {});
+        let reports = SweepRunner::new(label).quiet().run_steady(&specs);
 
         println!("\n=== {label}, offered load {offered} phits/(node*cycle), h = {h} ===");
         println!(

@@ -12,7 +12,7 @@
 //! behind it; adaptive mechanisms (PB, OLM) divert around the hot channels and
 //! shield the victim.  The per-job breakdown quantifies exactly that.
 
-use dragonfly::core::{ExperimentSpec, RoutingKind, TrafficKind, WorkloadSpec};
+use dragonfly::core::{ExperimentSpec, RoutingKind, SweepRunner, TrafficKind, WorkloadSpec};
 
 fn main() {
     let h = 2;
@@ -45,15 +45,24 @@ fn main() {
         "routing", "victim avg", "victim p99", "victim load", "aggr load", "aggr p99"
     );
 
-    for routing in [
+    let specs: Vec<ExperimentSpec> = [
         RoutingKind::Minimal,
         RoutingKind::Piggybacking,
         RoutingKind::Olm,
-    ] {
+    ]
+    .into_iter()
+    .map(|routing| {
         let mut wspec = spec.clone();
         wspec.routing = routing;
         wspec.traffic = TrafficKind::Workload(workload.clone());
-        let report = wspec.run_workload();
+        wspec
+    })
+    .collect();
+    // The three mechanism points are independent; run them in parallel.
+    let reports = SweepRunner::new("interference study")
+        .quiet()
+        .run_workloads(&specs);
+    for report in &reports {
         let victim = report.job("victim").expect("victim job");
         let aggressor = report.job("aggressor").expect("aggressor job");
         println!(

@@ -10,7 +10,7 @@
 //! is conservative.  The example sweeps the threshold for RLM under both uniform and
 //! adversarial traffic and prints the trade-off the paper resolves at 45 %.
 
-use dragonfly::core::{run_parallel, ExperimentSpec, RoutingKind, TrafficKind};
+use dragonfly::core::{ExperimentSpec, RoutingKind, SweepRunner, TrafficKind};
 
 fn main() {
     let h = 3;
@@ -38,7 +38,7 @@ fn main() {
                 spec
             })
             .collect();
-        let reports = run_parallel(&specs, None, |_, _| {});
+        let reports = SweepRunner::new(label).quiet().run_steady(&specs);
 
         println!("\n=== RLM threshold sweep under {label}, offered load {load} ===");
         println!(

@@ -11,7 +11,7 @@
 //! saturates minimal routing but stays deliverable for the adaptive mechanisms.
 //! Comparing the per-phase latencies of one run quantifies the transient cost.
 
-use dragonfly::core::{ExperimentSpec, RoutingKind, TrafficKind, WorkloadSpec};
+use dragonfly::core::{ExperimentSpec, RoutingKind, SweepRunner, TrafficKind, WorkloadSpec};
 
 fn main() {
     let h = 2;
@@ -38,15 +38,24 @@ fn main() {
         "routing", "phase", "pattern", "inj load", "acc load", "avg lat", "p99"
     );
 
-    for routing in [
+    let specs: Vec<ExperimentSpec> = [
         RoutingKind::Minimal,
         RoutingKind::Piggybacking,
         RoutingKind::Olm,
-    ] {
+    ]
+    .into_iter()
+    .map(|routing| {
         let mut wspec = spec.clone();
         wspec.routing = routing;
         wspec.traffic = TrafficKind::Workload(workload.clone());
-        let report = wspec.run_workload();
+        wspec
+    })
+    .collect();
+    // The three mechanism points are independent; run them in parallel.
+    let reports = SweepRunner::new("transient switch")
+        .quiet()
+        .run_workloads(&specs);
+    for report in &reports {
         let job = &report.jobs[0];
         for phase in &job.phases {
             println!(
