@@ -18,6 +18,7 @@ use dragonfly_topology::DragonflyParams;
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.reject_json("interference");
     let params = DragonflyParams::new(args.h);
     // Saturation of the +1 channel: nodes_per_group/2 aggressor nodes share one
     // global link, so load ≈ 0.96 · 2/nodes_per_group saturates it.

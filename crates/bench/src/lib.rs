@@ -16,6 +16,7 @@
 //! --out <DIR>      directory for CSV output (default: results/)
 //! --loads a,b,c    explicit offered-load points
 //! --pattern <P>    traffic pattern selector where applicable (un, advg1, advgh, all)
+//! --json <FILE>    structured JSON output (churn_sweep only, needs the `json` feature)
 //! ```
 //!
 //! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
@@ -47,10 +48,14 @@ pub struct HarnessArgs {
     pub out_dir: PathBuf,
     /// Offered-load points (figures 4/5/7/8/10/11).
     pub loads: Vec<f64>,
+    /// Whether `--loads` was passed explicitly (presets must not clobber it).
+    pub loads_explicit: bool,
     /// Traffic-pattern selector (figures 4/5/7/8): `un`, `advg1`, `advgh` or `all`.
     pub pattern: String,
     /// Quick mode (CI smoke runs).
     pub quick: bool,
+    /// Structured JSON output file (binaries built with the `json` feature).
+    pub json_out: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -65,8 +70,10 @@ impl Default for HarnessArgs {
             sequential: false,
             out_dir: PathBuf::from("results"),
             loads: dragonfly_core::sweep::default_loads(),
+            loads_explicit: false,
             pattern: "all".to_string(),
             quick: false,
+            json_out: None,
         }
     }
 }
@@ -114,12 +121,14 @@ impl HarnessArgs {
                 }
                 "--sequential" => out.sequential = true,
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
+                "--json" => out.json_out = Some(PathBuf::from(value(&mut i)?)),
                 "--pattern" => out.pattern = value(&mut i)?,
                 "--loads" => {
                     out.loads = value(&mut i)?
                         .split(',')
                         .map(|s| s.trim().parse::<f64>().map_err(|e| format!("--loads: {e}")))
-                        .collect::<Result<Vec<_>, _>>()?
+                        .collect::<Result<Vec<_>, _>>()?;
+                    out.loads_explicit = true;
                 }
                 "--full" => {
                     out.h = 8;
@@ -133,7 +142,9 @@ impl HarnessArgs {
                     out.warmup = 1_000;
                     out.measure = 2_000;
                     out.drain = 2_000;
-                    out.loads = vec![0.1, 0.3, 0.5, 0.8];
+                    if !out.loads_explicit {
+                        out.loads = vec![0.1, 0.3, 0.5, 0.8];
+                    }
                 }
                 "--help" | "-h" => return Err(usage()),
                 other => return Err(format!("unknown argument `{other}`\n{}", usage())),
@@ -178,12 +189,22 @@ impl HarnessArgs {
             .jobs(self.threads)
             .sequential(self.sequential)
     }
+
+    /// Exit with usage status when `--json` was passed: binaries with no
+    /// structured output call this right after parsing, so the flag fails fast
+    /// instead of being silently ignored.
+    pub fn reject_json(&self, binary: &str) {
+        if self.json_out.is_some() {
+            eprintln!("--json is not supported by {binary} (only churn_sweep emits JSON)");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn usage() -> String {
     "usage: <figure-binary> [--h N] [--full] [--quick] [--warmup N] [--measure N] \
      [--drain N] [--seed N] [--jobs N] [--sequential] [--out DIR] [--loads a,b,c] \
-     [--pattern P]"
+     [--pattern P] [--json FILE (churn_sweep only)]"
         .to_string()
 }
 
@@ -270,14 +291,46 @@ pub fn write_workload_phase_csv(
     prefix_header: &str,
     entries: &[(String, &WorkloadReport)],
 ) -> std::io::Result<usize> {
+    write_prefixed_csv(
+        path,
+        prefix_header,
+        dragonfly_core::PhaseReport::csv_header(),
+        entries,
+        WorkloadReport::phase_csv_rows,
+    )
+}
+
+/// Write the per-job CSV of the churn binaries: one row per (entry, job), each
+/// prefixed with the entry's own columns and carrying the lifecycle columns
+/// (arrival/placed/completion/wait/slowdown).  The job-level sibling of
+/// [`write_workload_phase_csv`]; returns the number of data rows written.
+pub fn write_workload_job_csv(
+    path: &Path,
+    prefix_header: &str,
+    entries: &[(String, &WorkloadReport)],
+) -> std::io::Result<usize> {
+    write_prefixed_csv(
+        path,
+        prefix_header,
+        dragonfly_core::JobReport::csv_header(),
+        entries,
+        WorkloadReport::job_csv_rows,
+    )
+}
+
+/// Shared body of the workload CSV writers: each entry's rows, prefixed with the
+/// entry's own columns.
+fn write_prefixed_csv(
+    path: &Path,
+    prefix_header: &str,
+    row_header: &str,
+    entries: &[(String, &WorkloadReport)],
+    rows: impl Fn(&WorkloadReport) -> Vec<String>,
+) -> std::io::Result<usize> {
     use dragonfly_core::CsvWriter;
-    let header = format!(
-        "{prefix_header},{}",
-        dragonfly_core::PhaseReport::csv_header()
-    );
-    let mut csv = CsvWriter::create(path, &header)?;
+    let mut csv = CsvWriter::create(path, &format!("{prefix_header},{row_header}"))?;
     for (prefix, report) in entries {
-        for row in report.phase_csv_rows() {
+        for row in rows(report) {
             csv.row(&format!("{prefix},{row}"))?;
         }
     }
@@ -338,6 +391,16 @@ mod tests {
         assert_eq!(quick.h, 2);
         assert!(quick.quick);
         assert!(quick.loads.len() <= 5);
+        assert!(!quick.loads_explicit);
+        // An explicit --loads survives the --quick preset, in either order.
+        for argv in [
+            ["--quick", "--loads", "0.3,0.9"],
+            ["--loads", "0.3,0.9", "--quick"],
+        ] {
+            let args = HarnessArgs::parse_from(argv).unwrap();
+            assert_eq!(args.loads, vec![0.3, 0.9]);
+            assert!(args.loads_explicit);
+        }
     }
 
     #[test]

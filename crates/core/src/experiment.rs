@@ -1,6 +1,7 @@
 //! Single-experiment specification and execution.
 
 use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
+use dragonfly_sched::Trace;
 use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
 use dragonfly_stats::{BatchReport, SimReport, WorkloadReport};
 use dragonfly_topology::DragonflyParams;
@@ -61,6 +62,12 @@ pub enum TrafficKind {
     /// the spec's `offered_load` field is ignored; [`ExperimentSpec::run_workload`]
     /// additionally returns the per-job/per-phase breakdown.
     Workload(WorkloadSpec),
+    /// A dynamic job schedule: trace-driven arrivals/departures with re-placement
+    /// of freed nodes (see [`Trace`]).  Like workloads, the jobs carry their own
+    /// loads; the run protocol is `Simulation::run_trace` with the spec's
+    /// `measure` as the horizon and `drain` as the drain budget (`warmup` and
+    /// `offered_load` are ignored — churn runs measure from cycle 0).
+    Churn(Trace),
 }
 
 impl TrafficKind {
@@ -73,6 +80,13 @@ impl TrafficKind {
     ///
     /// The paper's synthetic patterns ignore `params`; workloads compile their
     /// node-indexed, phase-switching pattern against it.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TrafficKind::Churn`]: a churn schedule owns its destination
+    /// side (the scheduler's dynamic per-job patterns), so there is no
+    /// standalone pattern to build — install the trace with
+    /// `Simulation::install_schedule` (as [`ExperimentSpec::run_workload`] does).
     pub fn build(&self, params: &DragonflyParams) -> Box<dyn TrafficPattern> {
         match self {
             TrafficKind::Uniform => Box::new(Uniform::new()),
@@ -88,6 +102,10 @@ impl TrafficKind {
                 *local_offset,
             )),
             TrafficKind::Workload(spec) => Box::new(spec.build_pattern(params)),
+            TrafficKind::Churn(_) => panic!(
+                "TrafficKind::Churn has no standalone traffic pattern; install the \
+                 trace with Simulation::install_schedule instead"
+            ),
         }
     }
 
@@ -106,6 +124,7 @@ impl TrafficKind {
                 (global_fraction * 100.0).round() as u32
             ),
             TrafficKind::Workload(spec) => spec.label(),
+            TrafficKind::Churn(trace) => trace.label(),
         }
     }
 
@@ -115,6 +134,20 @@ impl TrafficKind {
             TrafficKind::Workload(spec) => Some(spec),
             _ => None,
         }
+    }
+
+    /// The job-arrival trace, when this is [`TrafficKind::Churn`].
+    pub fn churn(&self) -> Option<&Trace> {
+        match self {
+            TrafficKind::Churn(trace) => Some(trace),
+            _ => None,
+        }
+    }
+
+    /// Whether this traffic kind produces per-job breakdowns
+    /// ([`TrafficKind::Workload`] or [`TrafficKind::Churn`]).
+    pub fn has_jobs(&self) -> bool {
+        matches!(self, TrafficKind::Workload(_) | TrafficKind::Churn(_))
     }
 }
 
@@ -187,17 +220,7 @@ impl ExperimentSpec {
         let routing = self
             .routing
             .build_with(AdaptiveParams::with_threshold(self.threshold));
-        let config = self.sim_config();
-        let params = config.params;
-        if let Some(workload) = self.traffic.workload() {
-            // install_workload compiles both the pattern and the runtime from one
-            // placement, so the construction-time pattern is a throwaway.
-            let mut sim = Simulation::new(config, routing, Box::new(Uniform::new()));
-            sim.install_workload(workload);
-            sim
-        } else {
-            Simulation::new(config, routing, self.traffic.build(&params))
-        }
+        build_with_routing(self, routing)
     }
 
     /// Run the steady-state protocol and return the report.
@@ -218,25 +241,27 @@ impl ExperimentSpec {
     /// the equivalence tests.
     pub fn run_dyn(&self) -> SimReport {
         let mut sim = self.build_simulation();
-        if sim.network().workload().is_some() {
-            sim.run_steady_state_workload(self.warmup, self.measure, self.drain)
-                .aggregate
+        if sim.network().workload().is_some() || sim.network().schedule().is_some() {
+            run_jobs_with(&mut sim, self).aggregate
         } else {
             sim.run_steady_state(self.offered_load, self.warmup, self.measure, self.drain)
         }
     }
 
-    /// Run a workload steady-state experiment and return the per-job/per-phase
-    /// breakdown alongside the aggregate report.  Statically dispatched like
-    /// [`ExperimentSpec::run`].
+    /// Run a workload or churn experiment and return the per-job (and, for static
+    /// workloads, per-phase) breakdown alongside the aggregate report.  Statically
+    /// dispatched like [`ExperimentSpec::run`].  Churn specs run the trace
+    /// protocol: jobs arrive, wait, run and depart; their reports carry lifecycle
+    /// columns (wait, completion, slowdown).
     ///
     /// # Panics
     ///
-    /// Panics when the traffic kind is not [`TrafficKind::Workload`].
+    /// Panics when the traffic kind is neither [`TrafficKind::Workload`] nor
+    /// [`TrafficKind::Churn`].
     pub fn run_workload(&self) -> WorkloadReport {
         assert!(
-            self.traffic.workload().is_some(),
-            "run_workload requires TrafficKind::Workload traffic"
+            self.traffic.has_jobs(),
+            "run_workload requires TrafficKind::Workload or TrafficKind::Churn traffic"
         );
         self.routing.dispatch(
             AdaptiveParams::with_threshold(self.threshold),
@@ -244,16 +269,16 @@ impl ExperimentSpec {
         )
     }
 
-    /// Run a workload experiment through the type-erased engine (see
+    /// Run a workload or churn experiment through the type-erased engine (see
     /// [`ExperimentSpec::run_dyn`]).  Same seed ⇒ same report as
     /// [`ExperimentSpec::run_workload`].
     pub fn run_workload_dyn(&self) -> WorkloadReport {
         assert!(
-            self.traffic.workload().is_some(),
-            "run_workload_dyn requires TrafficKind::Workload traffic"
+            self.traffic.has_jobs(),
+            "run_workload_dyn requires TrafficKind::Workload or TrafficKind::Churn traffic"
         );
         let mut sim = self.build_simulation();
-        sim.run_steady_state_workload(self.warmup, self.measure, self.drain)
+        run_jobs_with(&mut sim, self)
     }
 
     /// Run the burst-consumption protocol: `packets_per_node` packets per node, with a
@@ -278,7 +303,8 @@ impl ExperimentSpec {
     }
 }
 
-/// Build the monomorphized simulation for a spec, installing any workload.
+/// Build the monomorphized simulation for a spec, installing any workload or
+/// churn schedule.
 fn build_with_routing<R: RoutingAlgorithm + 'static>(
     spec: &ExperimentSpec,
     routing: R,
@@ -291,8 +317,26 @@ fn build_with_routing<R: RoutingAlgorithm + 'static>(
         let mut sim = Simulation::with_routing(config, routing, Box::new(Uniform::new()));
         sim.install_workload(workload);
         sim
+    } else if let Some(trace) = spec.traffic.churn() {
+        // The schedule owns its destination side; the pattern is a throwaway too.
+        let mut sim = Simulation::with_routing(config, routing, Box::new(Uniform::new()));
+        sim.install_schedule(trace);
+        sim
     } else {
         Simulation::with_routing(config, routing, spec.traffic.build(&params))
+    }
+}
+
+/// Run the per-job protocol an installed spec implies: the trace protocol for
+/// churn specs, the steady-state workload protocol otherwise.
+fn run_jobs_with<R: RoutingAlgorithm>(
+    sim: &mut Simulation<R>,
+    spec: &ExperimentSpec,
+) -> WorkloadReport {
+    if sim.network().schedule().is_some() {
+        sim.run_trace(spec.measure, spec.drain)
+    } else {
+        sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
     }
 }
 
@@ -305,16 +349,15 @@ impl RoutingVisitor for SteadyStateRun<'_> {
     fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> SimReport {
         let spec = self.0;
         let mut sim = build_with_routing(spec, routing);
-        if sim.network().workload().is_some() {
-            sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
-                .aggregate
+        if sim.network().workload().is_some() || sim.network().schedule().is_some() {
+            run_jobs_with(&mut sim, spec).aggregate
         } else {
             sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
         }
     }
 }
 
-/// Visitor running a workload steady-state run on a monomorphized simulation.
+/// Visitor running a workload or churn run on a monomorphized simulation.
 struct WorkloadRun<'a>(&'a ExperimentSpec);
 
 impl RoutingVisitor for WorkloadRun<'_> {
@@ -323,7 +366,7 @@ impl RoutingVisitor for WorkloadRun<'_> {
     fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> WorkloadReport {
         let spec = self.0;
         let mut sim = build_with_routing(spec, routing);
-        sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
+        run_jobs_with(&mut sim, spec)
     }
 }
 
@@ -427,6 +470,13 @@ impl ExperimentBuilder {
     /// `.traffic(TrafficKind::Workload(spec))`).
     pub fn workload(mut self, workload: WorkloadSpec) -> Self {
         self.spec.traffic = TrafficKind::Workload(workload);
+        self
+    }
+
+    /// Select a churn trace as the traffic (shorthand for
+    /// `.traffic(TrafficKind::Churn(trace))`).
+    pub fn churn(mut self, trace: Trace) -> Self {
+        self.spec.traffic = TrafficKind::Churn(trace);
         self
     }
 
@@ -538,6 +588,57 @@ mod tests {
     fn run_workload_rejects_plain_traffic() {
         let spec = ExperimentSpec::new(2);
         let _ = spec.run_workload();
+    }
+
+    #[test]
+    fn churn_traffic_kind_builds_and_runs() {
+        use dragonfly_sched::{Completion, Trace, TraceJob};
+        use dragonfly_workload::{JobPattern, PlacementPolicy};
+        let trace = Trace::new(
+            "mini",
+            vec![
+                TraceJob {
+                    name: "a".into(),
+                    arrival: 0,
+                    size: 24,
+                    placement: PlacementPolicy::Contiguous,
+                    pattern: JobPattern::AllToAll,
+                    offered_load: 0.15,
+                    completion: Completion::Duration(1_500),
+                },
+                TraceJob {
+                    name: "b".into(),
+                    arrival: 700,
+                    size: 24,
+                    placement: PlacementPolicy::Random { seed: 5 },
+                    pattern: JobPattern::Uniform,
+                    offered_load: 0.1,
+                    completion: Completion::Duration(1_000),
+                },
+            ],
+        );
+        let kind = TrafficKind::Churn(trace.clone());
+        assert_eq!(kind.name(), "CHURN[mini:2jobs]");
+        assert_eq!(kind.churn(), Some(&trace));
+        assert!(kind.has_jobs());
+        assert!(TrafficKind::Uniform.churn().is_none());
+
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = kind;
+        spec.measure = 6_000; // the horizon of a churn run
+        spec.drain = 2_000;
+        let report = spec.run_workload();
+        assert_eq!(report.jobs.len(), 2);
+        assert!(!report.aggregate.deadlock_detected);
+        assert_eq!(report.aggregate.traffic, spec.traffic.name());
+        let b = report.job("b").unwrap().lifecycle.unwrap();
+        assert_eq!(b.arrival_cycle, 700);
+        assert_eq!(b.placed_cycle, Some(700));
+        // Static and dyn paths agree, and run() returns the same aggregate.
+        assert_eq!(spec.run_workload_dyn(), report);
+        assert_eq!(spec.run(), report.aggregate);
+        assert_eq!(spec.run_dyn(), report.aggregate);
     }
 
     #[test]

@@ -40,10 +40,13 @@ pub use experiment::{ExperimentBuilder, ExperimentSpec, FlowControlKind, Traffic
 pub use parallel::{run_batches_parallel, run_parallel, run_workloads_parallel};
 pub use runner::SweepRunner;
 pub use sweep::{
-    interference_sweep, load_sweep, mix_sweep, threshold_sweep, InterferenceSweep, LoadSweep,
-    MixSweep, ThresholdSweep,
+    churn_sweep, interference_sweep, load_sweep, mix_sweep, threshold_sweep, ChurnSweep,
+    InterferenceSweep, LoadSweep, MixSweep, ThresholdSweep,
 };
 
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
-pub use dragonfly_stats::{BatchReport, JobReport, PhaseReport, SimReport, WorkloadReport};
+pub use dragonfly_sched::{Completion, SyntheticTrace, Trace, TraceJob};
+pub use dragonfly_stats::{
+    BatchReport, JobLifecycleReport, JobReport, PhaseReport, SimReport, WorkloadReport,
+};
 pub use dragonfly_workload::{JobPattern, JobSpec, PhaseSpec, PlacementPolicy, WorkloadSpec};

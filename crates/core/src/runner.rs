@@ -84,16 +84,18 @@ impl SweepRunner {
         self.execute(specs.len(), |i| specs[i].run())
     }
 
-    /// Run every workload point (see [`ExperimentSpec::run_workload`]), in spec
-    /// order, returning the per-job/per-phase breakdowns.
+    /// Run every workload or churn point (see [`ExperimentSpec::run_workload`]),
+    /// in spec order, returning the per-job breakdowns.
     ///
     /// # Panics
     ///
-    /// Panics when any spec's traffic is not [`crate::TrafficKind::Workload`].
+    /// Panics when any spec's traffic is neither [`crate::TrafficKind::Workload`]
+    /// nor [`crate::TrafficKind::Churn`].
     pub fn run_workloads(&self, specs: &[ExperimentSpec]) -> Vec<WorkloadReport> {
         assert!(
-            specs.iter().all(|s| s.traffic.workload().is_some()),
-            "run_workloads requires TrafficKind::Workload traffic on every spec"
+            specs.iter().all(|s| s.traffic.has_jobs()),
+            "run_workloads requires TrafficKind::Workload or TrafficKind::Churn \
+             traffic on every spec"
         );
         self.execute(specs.len(), |i| specs[i].run_workload())
     }

@@ -2,6 +2,7 @@
 
 use crate::experiment::{ExperimentSpec, FlowControlKind, TrafficKind};
 use dragonfly_routing::RoutingKind;
+use dragonfly_sched::Trace;
 use dragonfly_topology::DragonflyParams;
 use dragonfly_workload::{PlacementPolicy, WorkloadSpec};
 
@@ -143,6 +144,38 @@ pub fn interference_sweep(sweep: &InterferenceSweep) -> Vec<ExperimentSpec> {
     specs
 }
 
+/// A churn grid: mechanism × job-arrival trace, each point a full dynamic-schedule
+/// run through `Simulation::run_trace`.  The traces are typically scenario
+/// variants (e.g. [`dragonfly_sched::scenarios::fragmentation_trace`] at several
+/// aggressor loads, fragmented and fresh), so a row compares how each routing
+/// mechanism copes with the same churn history.
+#[derive(Debug, Clone)]
+pub struct ChurnSweep {
+    /// Base specification (h, flow control, seed; `measure` is the run horizon and
+    /// `drain` the post-horizon drain budget).
+    pub base: ExperimentSpec,
+    /// Mechanisms to compare.
+    pub mechanisms: Vec<RoutingKind>,
+    /// Job-arrival traces (scenario variants), labelled by [`Trace::name`].
+    pub traces: Vec<Trace>,
+}
+
+/// Build the churn-grid specification list, row-major (mechanism outer, trace
+/// inner).  Every spec carries [`TrafficKind::Churn`] traffic, so the points run
+/// through [`crate::SweepRunner::run_workloads`].
+pub fn churn_sweep(sweep: &ChurnSweep) -> Vec<ExperimentSpec> {
+    let mut specs = Vec::with_capacity(sweep.mechanisms.len() * sweep.traces.len());
+    for &mechanism in &sweep.mechanisms {
+        for trace in &sweep.traces {
+            let mut spec = sweep.base.clone();
+            spec.routing = mechanism;
+            spec.traffic = TrafficKind::Churn(trace.clone());
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
 /// The offered-load points used by the figure binaries when none are given.
 pub fn default_loads() -> Vec<f64> {
     vec![0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
@@ -259,6 +292,28 @@ mod tests {
         assert!((workload.jobs[0].phases[0].offered_load - 0.1).abs() < 1e-12);
         let last = specs[11].traffic.workload().expect("workload traffic");
         assert!((last.jobs[0].phases[0].offered_load - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn churn_sweep_builds_trace_grid() {
+        use dragonfly_sched::scenarios::fragmentation_trace;
+        let p = DragonflyParams::new(2);
+        let traces = vec![
+            fragmentation_trace(&p, false, 0.5, 0.1, 1_000, 4_000, 1),
+            fragmentation_trace(&p, true, 0.5, 0.1, 1_000, 4_000, 1),
+        ];
+        let sweep = ChurnSweep {
+            base: base(),
+            mechanisms: vec![RoutingKind::Minimal, RoutingKind::Olm],
+            traces,
+        };
+        let specs = churn_sweep(&sweep);
+        assert_eq!(specs.len(), 4);
+        assert_eq!(specs[0].routing, RoutingKind::Minimal);
+        assert_eq!(specs[0].traffic.churn().unwrap().name, "fresh");
+        assert_eq!(specs[1].traffic.churn().unwrap().name, "frag");
+        assert_eq!(specs[3].routing, RoutingKind::Olm);
+        assert!(specs.iter().all(|s| s.traffic.has_jobs()));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Dynamic job scheduling for the Dragonfly simulator.
+//!
+//! The static `dragonfly_workload` subsystem fixes the job set at cycle 0.  Real
+//! machines *churn*: jobs arrive over time, wait for nodes, run, and leave — and the
+//! fragmentation this produces (new jobs scattered into the holes left by
+//! departures) is exactly what couples the jobs' traffic onto shared channels and
+//! makes adaptive routing matter.  This crate models that lifecycle:
+//!
+//! * a [`Trace`] is a list of [`TraceJob`] arrivals — parsed from a small text
+//!   format ([`Trace::parse`] / [`Trace::to_text`] round-trip) or generated from
+//!   seeded synthetic distributions ([`SyntheticTrace`]),
+//! * each job names its size, a [`PlacementPolicy`] (now allocating from the
+//!   *current* free set via [`dragonfly_workload::FreePool`]), a
+//!   [`JobPattern`] — including the collective-style patterns `A2A`, `RING` and
+//!   `PERM` — an offered load, and a completion condition ([`Completion`]:
+//!   run for a duration, or until a delivered packet volume),
+//! * a [`ScheduleRuntime`] compiled from the trace drives the simulation engine:
+//!   its `advance_to` hook (called at the top of every `Network::step`) admits
+//!   arrivals, places them FIFO into free nodes, retires finished jobs and
+//!   re-places waiting ones onto the freed nodes; destinations flow through a
+//!   [`dragonfly_traffic::DynamicSlots`] adapter whose per-job patterns are
+//!   installed and torn down as jobs come and go,
+//! * [`scenarios::fragmentation_trace`] builds the headline churn scenario: a
+//!   machine fragmented by departures places a fresh aggressor/victim pair into
+//!   the holes, degrading the victim's tail latency versus a contiguous placement
+//!   on a fresh machine.
+//!
+//! [`PlacementPolicy`]: dragonfly_workload::PlacementPolicy
+//! [`JobPattern`]: dragonfly_workload::JobPattern
+
+#![warn(missing_docs)]
+
+mod runtime;
+pub mod scenarios;
+mod trace;
+
+pub use runtime::{JobLifetime, ScheduleRuntime};
+pub use trace::{Completion, SyntheticTrace, Trace, TraceJob};

@@ -1,0 +1,484 @@
+//! The compiled, event-driven lifecycle engine a [`Trace`] turns into.
+//!
+//! A [`ScheduleRuntime`] lives inside the simulation network (next to the static
+//! `WorkloadRuntime`) and owns all dynamic-job state: the wait queue, the free-node
+//! pool, the per-job destination patterns (through a
+//! [`dragonfly_traffic::DynamicSlots`] adapter) and the lifecycle records the
+//! statistics layer turns into per-job wait/completion/slowdown numbers.
+//!
+//! The engine calls [`ScheduleRuntime::advance_to`] at the top of every cycle:
+//! arrivals whose cycle has come join the wait queue, finished jobs retire (their
+//! nodes return to the pool, their pattern is torn down), and waiting jobs are
+//! placed FIFO — head-of-line blocking, no backfilling — onto whatever free nodes
+//! the machine has, however fragmented.  Deliveries are fed back through
+//! [`ScheduleRuntime::note_delivered`] so volume-bound jobs know when they are done.
+
+use crate::trace::{Completion, Trace, TraceJob};
+use dragonfly_rng::Rng;
+use dragonfly_topology::{DragonflyParams, NodeId};
+use dragonfly_traffic::DynamicSlots;
+use dragonfly_workload::{build_job_pattern, FreePool};
+use std::collections::VecDeque;
+
+/// Arrival/placement/completion record of one job (cycles are absolute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLifetime {
+    /// Cycle the job arrived (entered the wait queue).
+    pub arrival: u64,
+    /// Cycle the job was placed, if it ever was.
+    pub placed: Option<u64>,
+    /// Cycle the job completed, if it did.
+    pub completed: Option<u64>,
+}
+
+impl JobLifetime {
+    /// Cycles spent waiting for nodes (`None` until placed).
+    pub fn wait_cycles(&self) -> Option<u64> {
+        self.placed.map(|p| p - self.arrival)
+    }
+
+    /// Cycles between placement and completion (`None` until completed).
+    pub fn service_cycles(&self) -> Option<u64> {
+        match (self.placed, self.completed) {
+            (Some(p), Some(c)) => Some(c - p),
+            _ => None,
+        }
+    }
+}
+
+/// Per-job state inside the runtime.
+#[derive(Debug)]
+struct JobState {
+    spec: TraceJob,
+    /// Per-node, per-cycle packet-generation probability while running.
+    prob: f64,
+    lifetime: JobLifetime,
+    /// Nodes the job occupies while running (empty before placement and after
+    /// retirement — the lifecycle keeps the counts).
+    nodes: Vec<NodeId>,
+    /// Packets of this job delivered so far (drives [`Completion::Volume`]).
+    delivered_packets: u64,
+}
+
+impl JobState {
+    /// Whether the job is finished at the top of `cycle`.
+    fn is_complete(&self, cycle: u64) -> bool {
+        let Some(placed) = self.lifetime.placed else {
+            return false;
+        };
+        match self.spec.completion {
+            Completion::Duration(cycles) => placed + cycles <= cycle,
+            Completion::Volume(packets) => self.delivered_packets >= packets,
+        }
+    }
+}
+
+/// The compiled lifecycle engine of a trace (see the module docs).
+pub struct ScheduleRuntime {
+    label: String,
+    params: DragonflyParams,
+    jobs: Vec<JobState>,
+    /// Jobs arrived but not yet placed, FIFO (indices into `jobs`).
+    waiting: VecDeque<usize>,
+    /// Next not-yet-arrived index into `jobs` (trace order = arrival order).
+    next_arrival: usize,
+    /// Currently running jobs, in placement order (indices into `jobs`).
+    running: Vec<usize>,
+    pool: FreePool,
+    slots: DynamicSlots,
+    /// Jobs retired so far (so the per-cycle `all_complete` check is O(1)).
+    completed_count: usize,
+    /// Set once generation and admission stop (horizon reached; drain phase).
+    halted: bool,
+}
+
+impl ScheduleRuntime {
+    /// Compile `trace` against a topology and packet size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any job is larger than the machine (it could never be placed).
+    pub fn new(trace: &Trace, params: DragonflyParams, packet_size: usize) -> Self {
+        assert!(packet_size >= 1, "packet size must be at least one phit");
+        let num_nodes = params.num_nodes();
+        for job in &trace.jobs {
+            assert!(
+                job.size <= num_nodes,
+                "job `{}` needs {} nodes but the machine has {num_nodes}",
+                job.name,
+                job.size
+            );
+        }
+        let jobs = trace
+            .jobs
+            .iter()
+            .map(|spec| JobState {
+                prob: (spec.offered_load / packet_size as f64).min(1.0),
+                lifetime: JobLifetime {
+                    arrival: spec.arrival,
+                    placed: None,
+                    completed: None,
+                },
+                nodes: Vec::new(),
+                delivered_packets: 0,
+                spec: spec.clone(),
+            })
+            .collect::<Vec<_>>();
+        Self {
+            label: trace.label(),
+            params,
+            slots: DynamicSlots::new(num_nodes, jobs.len()),
+            pool: FreePool::all_free(num_nodes),
+            waiting: VecDeque::new(),
+            next_arrival: 0,
+            running: Vec::new(),
+            jobs,
+            completed_count: 0,
+            halted: false,
+        }
+    }
+
+    /// Display label (`CHURN[<trace>:<n>jobs]`), used as the traffic name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Number of jobs in the trace.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Display name of a job.
+    pub fn job_name(&self, job: u16) -> &str {
+        &self.jobs[job as usize].spec.name
+    }
+
+    /// The trace entry behind a job.
+    pub fn job_spec(&self, job: u16) -> &TraceJob {
+        &self.jobs[job as usize].spec
+    }
+
+    /// Lifecycle record of a job.
+    pub fn lifetime(&self, job: u16) -> JobLifetime {
+        self.jobs[job as usize].lifetime
+    }
+
+    /// The job's ideal (uncontended) service time in cycles: the configured
+    /// duration, or — for volume-bound jobs — the injection-limited time to push
+    /// the volume at the offered load.  The denominator of the slowdown metric.
+    pub fn ideal_service_cycles(&self, job: u16, packet_size: usize) -> u64 {
+        let spec = &self.jobs[job as usize].spec;
+        match spec.completion {
+            Completion::Duration(cycles) => cycles,
+            Completion::Volume(packets) => {
+                let phits = packets as f64 * packet_size as f64;
+                let rate = spec.offered_load * spec.size as f64;
+                if rate > 0.0 {
+                    (phits / rate).ceil() as u64
+                } else {
+                    u64::MAX
+                }
+            }
+        }
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_nodes(&self) -> usize {
+        self.pool.free_count()
+    }
+
+    /// Aggregate nominal demand in phits/(node·cycle) as if every job of the
+    /// trace were resident at once (see [`Trace::nominal_offered_load`]).
+    pub fn nominal_offered_load(&self, num_nodes: usize) -> f64 {
+        crate::trace::nominal_load_of(self.jobs.iter().map(|j| &j.spec), num_nodes)
+    }
+
+    /// Number of currently running jobs.
+    pub fn running_jobs(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Number of jobs waiting for nodes.
+    pub fn waiting_jobs(&self) -> usize {
+        self.waiting.len()
+    }
+
+    /// Whether every job of the trace has completed.
+    pub fn all_complete(&self) -> bool {
+        self.completed_count == self.jobs.len()
+    }
+
+    /// Stop generating packets and freeze the lifecycle (drain phase after the
+    /// horizon): no further arrivals, placements or retirements, so a job still
+    /// running at the horizon reports `completed = None` regardless of how long
+    /// the drain budget is.
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    /// The lifecycle hook, called at the top of every cycle: enqueue arrivals,
+    /// retire finished jobs (returning their nodes and tearing their pattern down),
+    /// then place waiting jobs FIFO onto the free set.  Returns `true` when any job
+    /// was placed or retired.  A no-op once [`ScheduleRuntime::halt`] has run.
+    pub fn advance_to(&mut self, cycle: u64) -> bool {
+        if self.halted {
+            return false;
+        }
+        let mut changed = false;
+        // Arrivals join the wait queue in trace order.
+        let mut arrived = false;
+        while self.next_arrival < self.jobs.len()
+            && self.jobs[self.next_arrival].lifetime.arrival <= cycle
+        {
+            self.waiting.push_back(self.next_arrival);
+            self.next_arrival += 1;
+            arrived = true;
+        }
+        // Retire finished jobs first, so their nodes are re-placeable this cycle.
+        let mut idx = 0;
+        while idx < self.running.len() {
+            let j = self.running[idx];
+            if self.jobs[j].is_complete(cycle) {
+                self.running.remove(idx);
+                let job = &mut self.jobs[j];
+                job.lifetime.completed = Some(cycle);
+                let nodes = std::mem::take(&mut job.nodes);
+                self.pool.release(&nodes);
+                self.slots.clear(j as u16, &nodes);
+                self.completed_count += 1;
+                changed = true;
+            } else {
+                idx += 1;
+            }
+        }
+        // Placement is deterministic in the free set, so a blocked queue head can
+        // only unblock after a retirement (arrivals just extend the queue): skip
+        // the pool scan on the many cycles where neither happened.
+        if !arrived && !changed {
+            return false;
+        }
+        // Place waiting jobs FIFO (head-of-line blocking: no backfill, so a large
+        // job cannot be starved by later small ones).
+        while let Some(&j) = self.waiting.front() {
+            let spec = &self.jobs[j].spec;
+            let Some(nodes) = self
+                .pool
+                .allocate(spec.placement, spec.size, &self.params, j as u64)
+            else {
+                break;
+            };
+            let pattern = build_job_pattern(spec.pattern, &nodes, &self.params);
+            self.slots.install(j as u16, &nodes, pattern);
+            let job = &mut self.jobs[j];
+            job.lifetime.placed = Some(cycle);
+            job.nodes = nodes;
+            self.waiting.pop_front();
+            self.running.push(j);
+            changed = true;
+        }
+        changed
+    }
+
+    /// The running job of a node, if any (idle and waiting jobs never inject).
+    #[inline]
+    pub fn source(&self, node: usize) -> Option<u16> {
+        self.slots.slot_of(NodeId(node as u32))
+    }
+
+    /// Bernoulli trial: does a node of `job` generate a packet this cycle?
+    #[inline]
+    pub fn generate(&self, job: u16, rng: &mut Rng) -> bool {
+        !self.halted && rng.bernoulli(self.jobs[job as usize].prob)
+    }
+
+    /// Destination of a packet generated at `src` during `cycle` (the installed
+    /// pattern of the source's job).
+    #[inline]
+    pub fn destination(
+        &self,
+        cycle: u64,
+        src: NodeId,
+        params: &DragonflyParams,
+        rng: &mut Rng,
+    ) -> NodeId {
+        self.slots.destination(cycle, src, params, rng)
+    }
+
+    /// Delivery feedback: a packet of `job` reached its destination (drives
+    /// volume-bound completion).
+    #[inline]
+    pub fn note_delivered(&mut self, job: u16) {
+        self.jobs[job as usize].delivered_packets += 1;
+    }
+
+    /// Check the node-disjointness invariant: every node belongs to at most one
+    /// running job, running jobs own exactly their placed node count, and the free
+    /// pool agrees.  Cheap enough for tests to call mid-run.
+    pub fn assert_disjoint(&self) {
+        let num_nodes = self.params.num_nodes();
+        let mut owner = vec![None; num_nodes];
+        for &j in &self.running {
+            let job = &self.jobs[j];
+            assert_eq!(job.nodes.len(), job.spec.size, "job `{}`", job.spec.name);
+            for &node in &job.nodes {
+                assert!(
+                    self.slots.slot_of(node) == Some(j as u16),
+                    "slot map out of sync at {node:?}"
+                );
+                assert!(
+                    !self.pool.is_free(node),
+                    "running job `{}` owns free node {node:?}",
+                    job.spec.name
+                );
+                assert!(
+                    owner[node.index()].replace(j).is_none(),
+                    "node {node:?} owned by two jobs"
+                );
+            }
+        }
+        let owned = owner.iter().filter(|o| o.is_some()).count();
+        assert_eq!(owned + self.pool.free_count(), num_nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_workload::{JobPattern, PlacementPolicy};
+
+    fn params() -> DragonflyParams {
+        DragonflyParams::new(2)
+    }
+
+    fn job(name: &str, arrival: u64, size: usize, completion: Completion) -> TraceJob {
+        TraceJob {
+            name: name.into(),
+            arrival,
+            size,
+            placement: PlacementPolicy::Contiguous,
+            pattern: JobPattern::Uniform,
+            offered_load: 0.2,
+            completion,
+        }
+    }
+
+    #[test]
+    fn jobs_wait_when_the_machine_is_full_and_replace_freed_nodes() {
+        let p = params(); // 72 nodes
+        let trace = Trace::new(
+            "t",
+            vec![
+                job("big", 0, 60, Completion::Duration(1_000)),
+                job("late", 100, 30, Completion::Duration(500)),
+            ],
+        );
+        let mut rt = ScheduleRuntime::new(&trace, p, 8);
+        assert_eq!(rt.label(), "CHURN[t:2jobs]");
+
+        rt.advance_to(0);
+        assert_eq!(rt.running_jobs(), 1);
+        assert_eq!(rt.free_nodes(), 12);
+        assert_eq!(rt.source(0), Some(0));
+        assert_eq!(rt.source(65), None);
+        rt.assert_disjoint();
+
+        // `late` arrives but 30 > 12 free: it waits.
+        rt.advance_to(100);
+        assert_eq!(rt.waiting_jobs(), 1);
+        assert_eq!(rt.running_jobs(), 1);
+        assert_eq!(rt.lifetime(1).placed, None);
+
+        // At 1 000 `big` retires; `late` is placed the same cycle.
+        rt.advance_to(1_000);
+        assert_eq!(rt.running_jobs(), 1);
+        assert_eq!(rt.waiting_jobs(), 0);
+        assert_eq!(rt.lifetime(0).completed, Some(1_000));
+        assert_eq!(rt.lifetime(1).placed, Some(1_000));
+        assert_eq!(rt.lifetime(1).wait_cycles(), Some(900));
+        assert_eq!(rt.free_nodes(), 42);
+        assert_eq!(rt.source(0), Some(1));
+        rt.assert_disjoint();
+        assert!(!rt.all_complete());
+
+        rt.advance_to(1_500);
+        assert!(rt.all_complete());
+        assert_eq!(rt.free_nodes(), 72);
+        assert_eq!(rt.lifetime(1).service_cycles(), Some(500));
+    }
+
+    #[test]
+    fn volume_jobs_complete_on_delivery_feedback() {
+        let p = params();
+        let trace = Trace::new("t", vec![job("v", 0, 8, Completion::Volume(10))]);
+        let mut rt = ScheduleRuntime::new(&trace, p, 8);
+        rt.advance_to(0);
+        for _ in 0..9 {
+            rt.note_delivered(0);
+        }
+        rt.advance_to(50);
+        assert!(!rt.all_complete());
+        rt.note_delivered(0);
+        rt.advance_to(51);
+        assert!(rt.all_complete());
+        assert_eq!(rt.lifetime(0).completed, Some(51));
+        // Ideal service of 10 packets × 8 phits at 0.2 × 8 nodes = 50 cycles.
+        assert_eq!(rt.ideal_service_cycles(0, 8), 50);
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocks_later_jobs() {
+        let p = params();
+        let trace = Trace::new(
+            "t",
+            vec![
+                job("a", 0, 40, Completion::Duration(2_000)),
+                job("blocked", 10, 40, Completion::Duration(100)),
+                job("small", 20, 8, Completion::Duration(100)),
+            ],
+        );
+        let mut rt = ScheduleRuntime::new(&trace, p, 8);
+        rt.advance_to(0);
+        rt.advance_to(20);
+        // `small` would fit (32 free) but FIFO order keeps it behind `blocked`.
+        assert_eq!(rt.running_jobs(), 1);
+        assert_eq!(rt.waiting_jobs(), 2);
+        rt.advance_to(2_000);
+        // `a` retires; `blocked` then `small` are placed together.
+        assert_eq!(rt.running_jobs(), 2);
+        assert_eq!(rt.lifetime(1).placed, Some(2_000));
+        assert_eq!(rt.lifetime(2).placed, Some(2_000));
+        rt.assert_disjoint();
+    }
+
+    #[test]
+    fn halt_stops_generation_and_admission() {
+        let p = params();
+        let trace = Trace::new(
+            "t",
+            vec![
+                job("a", 0, 8, Completion::Duration(100)),
+                job("b", 500, 8, Completion::Duration(100)),
+            ],
+        );
+        let mut rt = ScheduleRuntime::new(&trace, p, 8);
+        rt.advance_to(0);
+        let mut rng = Rng::seed_from(1);
+        assert!((0..1_000).any(|_| rt.generate(0, &mut rng)));
+        rt.halt();
+        assert!((0..1_000).all(|_| !rt.generate(0, &mut rng)));
+        // The lifecycle is frozen: `a` is not retired even past its duration (so
+        // its report is independent of the drain budget), and `b`, arriving after
+        // the halt, is never placed.
+        assert!(!rt.advance_to(500));
+        assert_eq!(rt.running_jobs(), 1);
+        assert_eq!(rt.lifetime(0).completed, None);
+        assert_eq!(rt.lifetime(1).placed, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "machine has")]
+    fn oversized_job_rejected_at_compile() {
+        let trace = Trace::new("t", vec![job("huge", 0, 100, Completion::Duration(10))]);
+        let _ = ScheduleRuntime::new(&trace, params(), 8);
+    }
+}

@@ -3,8 +3,9 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::routing_iface::RoutingAlgorithm;
+use dragonfly_sched::{ScheduleRuntime, Trace};
 use dragonfly_stats::{
-    BatchReport, JobReport, PhaseReport, ScopedStats, SimReport, WorkloadReport,
+    BatchReport, JobLifecycleReport, JobReport, PhaseReport, ScopedStats, SimReport, WorkloadReport,
 };
 use dragonfly_traffic::{BernoulliInjection, BurstSpec, TrafficPattern};
 use dragonfly_workload::WorkloadSpec;
@@ -174,68 +175,167 @@ impl<R: RoutingAlgorithm> Simulation<R> {
         let jobs = (0..runtime.num_jobs())
             .map(|j| {
                 let job = runtime.job(j as u16);
-                let js = &scoped.per_job[j];
                 let phases = (0..job.phases())
                     .map(|ph| {
-                        let ps = &scoped.per_phase[j][ph];
                         let overlap = span_overlap(
                             (job.phase_start(ph), job.phase_end(ph)),
                             (meas_start, meas_end),
                         );
-                        PhaseReport {
-                            job: job.name().to_string(),
-                            phase: ph,
-                            pattern: job.phase_pattern(ph).to_string(),
-                            offered_load: job.phase_load(ph),
-                            start_cycle: job.phase_start(ph),
-                            end_cycle: job.phase_end(ph),
-                            measured_cycles: overlap,
-                            injected_load: ScopedStats::load_over(
-                                ps.phits_injected_in_window,
-                                job.nodes(),
-                                overlap,
-                            ),
-                            accepted_load: ScopedStats::load_over(
-                                ps.phits_delivered_in_window,
-                                job.nodes(),
-                                overlap,
-                            ),
-                            avg_latency_cycles: ps.latency.mean(),
-                            p99_latency_cycles: ps.latency_hist.percentile(0.99).unwrap_or(0.0),
-                            max_latency_cycles: ps.latency.max().unwrap_or(0.0),
-                            avg_hops: ps.hops.mean(),
-                            global_misroute_fraction: ps.global_misroute_fraction(),
-                            local_misroute_fraction: ps.local_misroute_fraction(),
-                            packets_generated: ps.total_generated,
-                            packets_delivered: ps.total_delivered,
-                            packets_measured: ps.measured_delivered,
-                        }
+                        phase_report(
+                            PhaseIdentity {
+                                job: job.name().to_string(),
+                                phase: ph,
+                                pattern: job.phase_pattern(ph).to_string(),
+                                offered_load: job.phase_load(ph),
+                                start_cycle: job.phase_start(ph),
+                                end_cycle: job.phase_end(ph),
+                            },
+                            &scoped.per_phase[j][ph],
+                            job.nodes(),
+                            overlap,
+                        )
                     })
                     .collect();
-                JobReport {
-                    name: job.name().to_string(),
-                    nodes: job.nodes(),
-                    injected_load: ScopedStats::load_over(
-                        js.phits_injected_in_window,
-                        job.nodes(),
-                        meas_cycles,
-                    ),
-                    accepted_load: ScopedStats::load_over(
-                        js.phits_delivered_in_window,
-                        job.nodes(),
-                        meas_cycles,
-                    ),
-                    avg_latency_cycles: js.latency.mean(),
-                    p99_latency_cycles: js.latency_hist.percentile(0.99).unwrap_or(0.0),
-                    max_latency_cycles: js.latency.max().unwrap_or(0.0),
-                    avg_hops: js.hops.mean(),
-                    global_misroute_fraction: js.global_misroute_fraction(),
-                    local_misroute_fraction: js.local_misroute_fraction(),
-                    packets_generated: js.total_generated,
-                    packets_delivered: js.total_delivered,
-                    packets_measured: js.measured_delivered,
+                job_report(
+                    job.name().to_string(),
+                    &scoped.per_job[j],
+                    job.nodes(),
+                    meas_cycles,
+                    None,
                     phases,
-                }
+                )
+            })
+            .collect();
+        WorkloadReport { aggregate, jobs }
+    }
+
+    /// Install a dynamic job schedule: compiles `trace` into a
+    /// [`ScheduleRuntime`] against this simulation's topology and packet size.
+    pub fn install_schedule(&mut self, trace: &Trace) {
+        let params = *self.net.params();
+        let runtime = ScheduleRuntime::new(trace, params, self.net.config.packet_size);
+        self.net.install_schedule(runtime);
+    }
+
+    /// Run an installed job schedule to completion (or `horizon` cycles, whichever
+    /// comes first) and report per-job statistics and lifecycles.
+    ///
+    /// Churn runs have no steady state, so the whole run is the measurement
+    /// window: measurement starts at cycle 0 and ends when every trace job has
+    /// completed and the network has drained, or at `horizon`.  After the window
+    /// closes, generation and admission halt and the simulation drains for up to
+    /// `drain` extra cycles so in-flight latency samples are not truncated.
+    ///
+    /// In the report, each job carries a single phase spanning its residency
+    /// (placement to completion) — loads are normalized by that span — plus a
+    /// [`JobLifecycleReport`] with its wait time, completion cycle and slowdown.
+    ///
+    /// # Panics
+    ///
+    /// Panics without an installed schedule, or if the simulation has already
+    /// stepped (the trace owns absolute cycles from 0).
+    pub fn run_trace(&mut self, horizon: u64, drain: u64) -> WorkloadReport {
+        assert!(
+            self.net.schedule().is_some(),
+            "run_trace requires an installed schedule"
+        );
+        assert_eq!(self.net.cycle, 0, "run_trace requires a fresh simulation");
+        let nodes = self.net.params().num_nodes();
+        let packet_size = self.net.config.packet_size;
+
+        self.net.stats.begin_measurement(0);
+        self.net.tag_measured = true;
+        while self.net.cycle < horizon && !self.net.deadlock_detected {
+            self.net.step();
+            let complete = self
+                .net
+                .schedule()
+                .is_some_and(ScheduleRuntime::all_complete);
+            if complete && self.net.is_drained() {
+                break;
+            }
+        }
+        let end = self.net.cycle;
+        self.net.stats.end_measurement(end);
+        self.net.tag_measured = false;
+
+        // Halt generation and admissions, then let in-flight packets finish.
+        if let Some(sched) = self.net.schedule_mut() {
+            sched.halt();
+        }
+        let mut drained = 0;
+        while drained < drain && !self.net.is_drained() && !self.net.deadlock_detected {
+            self.net.step();
+            drained += 1;
+        }
+
+        let stats = &self.net.stats;
+        let runtime = self.net.schedule().unwrap();
+        let aggregate = SimReport {
+            routing: self.net.routing_name().to_string(),
+            traffic: runtime.label().to_string(),
+            offered_load: runtime.nominal_offered_load(nodes),
+            injected_load: stats.meter.injected_load(nodes),
+            accepted_load: stats.meter.accepted_load(nodes),
+            avg_latency_cycles: stats.latency.mean(),
+            p99_latency_cycles: stats.latency_hist.percentile(0.99).unwrap_or(0.0),
+            max_latency_cycles: stats.latency.max().unwrap_or(0.0),
+            avg_hops: stats.hops.mean(),
+            global_misroute_fraction: stats.global_misroute_fraction(),
+            local_misroute_fraction: stats.local_misroute_fraction(),
+            packets_delivered: stats.meter.packets_delivered,
+            packets_measured: stats.measured_delivered,
+            warmup_cycles: 0,
+            measure_cycles: end,
+            deadlock_detected: self.net.deadlock_detected,
+        };
+        let scoped = stats
+            .scoped
+            .as_ref()
+            .expect("scoped statistics are enabled when a schedule is installed");
+
+        let jobs = (0..runtime.num_jobs() as u16)
+            .map(|j| {
+                let spec = runtime.job_spec(j);
+                let lifetime = runtime.lifetime(j);
+                // Residency span: placement to completion, clamped to the window.
+                let start = lifetime.placed.unwrap_or(end);
+                let stop = lifetime.completed.unwrap_or(end);
+                let resident = span_overlap((start, stop), (0, end));
+                let slowdown = match (lifetime.wait_cycles(), lifetime.service_cycles()) {
+                    (Some(wait), Some(service)) => {
+                        let ideal = runtime.ideal_service_cycles(j, packet_size);
+                        Some((wait + service) as f64 / ideal.max(1) as f64)
+                    }
+                    _ => None,
+                };
+                let phase = phase_report(
+                    PhaseIdentity {
+                        job: spec.name.clone(),
+                        phase: 0,
+                        pattern: spec.pattern.name(),
+                        offered_load: spec.offered_load,
+                        start_cycle: start,
+                        end_cycle: stop,
+                    },
+                    &scoped.per_phase[j as usize][0],
+                    spec.size,
+                    resident,
+                );
+                job_report(
+                    spec.name.clone(),
+                    &scoped.per_job[j as usize],
+                    spec.size,
+                    resident,
+                    Some(JobLifecycleReport {
+                        arrival_cycle: lifetime.arrival,
+                        placed_cycle: lifetime.placed,
+                        completion_cycle: lifetime.completed,
+                        wait_cycles: lifetime.wait_cycles(),
+                        slowdown,
+                    }),
+                    vec![phase],
+                )
             })
             .collect();
         WorkloadReport { aggregate, jobs }
@@ -249,6 +349,10 @@ impl<R: RoutingAlgorithm> Simulation<R> {
             burst.packet_size(),
             self.net.config.packet_size,
             "burst packet size must match the configured packet size"
+        );
+        assert!(
+            self.net.schedule().is_none(),
+            "burst runs do not support dynamic schedules"
         );
         // Burst mode preloads every packet at once: stop any workload injection but
         // keep its pattern so the burst drains against workload destinations.
@@ -286,6 +390,71 @@ impl<R: RoutingAlgorithm> Simulation<R> {
 /// Cycles of the half-open span `a` that fall inside the half-open span `b`.
 fn span_overlap(a: (u64, u64), b: (u64, u64)) -> u64 {
     a.1.min(b.1).saturating_sub(a.0.max(b.0))
+}
+
+/// Identity of one phase row — everything in a [`PhaseReport`] that is not
+/// derived from its [`ScopedStats`] entry.
+struct PhaseIdentity {
+    job: String,
+    phase: usize,
+    pattern: String,
+    offered_load: f64,
+    start_cycle: u64,
+    end_cycle: u64,
+}
+
+/// Build a [`PhaseReport`] from a scoped-stats entry: loads normalized over
+/// `nodes × cycles`, plus the latency/hops/misroute/packet fields.  Shared by
+/// the workload and trace protocols so the stats mapping cannot diverge.
+fn phase_report(id: PhaseIdentity, s: &ScopedStats, nodes: usize, cycles: u64) -> PhaseReport {
+    PhaseReport {
+        job: id.job,
+        phase: id.phase,
+        pattern: id.pattern,
+        offered_load: id.offered_load,
+        start_cycle: id.start_cycle,
+        end_cycle: id.end_cycle,
+        measured_cycles: cycles,
+        injected_load: ScopedStats::load_over(s.phits_injected_in_window, nodes, cycles),
+        accepted_load: ScopedStats::load_over(s.phits_delivered_in_window, nodes, cycles),
+        avg_latency_cycles: s.latency.mean(),
+        p99_latency_cycles: s.latency_hist.percentile(0.99).unwrap_or(0.0),
+        max_latency_cycles: s.latency.max().unwrap_or(0.0),
+        avg_hops: s.hops.mean(),
+        global_misroute_fraction: s.global_misroute_fraction(),
+        local_misroute_fraction: s.local_misroute_fraction(),
+        packets_generated: s.total_generated,
+        packets_delivered: s.total_delivered,
+        packets_measured: s.measured_delivered,
+    }
+}
+
+/// The job-level sibling of [`phase_report`].
+fn job_report(
+    name: String,
+    s: &ScopedStats,
+    nodes: usize,
+    cycles: u64,
+    lifecycle: Option<JobLifecycleReport>,
+    phases: Vec<PhaseReport>,
+) -> JobReport {
+    JobReport {
+        name,
+        nodes,
+        injected_load: ScopedStats::load_over(s.phits_injected_in_window, nodes, cycles),
+        accepted_load: ScopedStats::load_over(s.phits_delivered_in_window, nodes, cycles),
+        avg_latency_cycles: s.latency.mean(),
+        p99_latency_cycles: s.latency_hist.percentile(0.99).unwrap_or(0.0),
+        max_latency_cycles: s.latency.max().unwrap_or(0.0),
+        avg_hops: s.hops.mean(),
+        global_misroute_fraction: s.global_misroute_fraction(),
+        local_misroute_fraction: s.local_misroute_fraction(),
+        packets_generated: s.total_generated,
+        packets_delivered: s.total_delivered,
+        packets_measured: s.measured_delivered,
+        lifecycle,
+        phases,
+    }
 }
 
 #[cfg(test)]
@@ -448,6 +617,148 @@ mod tests {
         assert_eq!(per_phase_measured, net.stats.measured_delivered);
         assert!(left.avg_latency_cycles > 50.0);
         assert!(left.p99_latency_cycles >= left.avg_latency_cycles);
+    }
+
+    #[test]
+    fn trace_run_reports_lifecycles_and_per_job_loads() {
+        use dragonfly_sched::{Completion, Trace, TraceJob};
+        use dragonfly_workload::{JobPattern, PlacementPolicy};
+        let job = |name: &str, arrival, size, pattern, completion| TraceJob {
+            name: name.into(),
+            arrival,
+            size,
+            placement: PlacementPolicy::Contiguous,
+            pattern,
+            offered_load: 0.2,
+            completion,
+        };
+        let trace = Trace::new(
+            "t",
+            vec![
+                // `first` holds 68 of the 72 nodes; `second` must wait for it.
+                job(
+                    "first",
+                    0,
+                    68,
+                    JobPattern::Uniform,
+                    Completion::Duration(2_000),
+                ),
+                job(
+                    "second",
+                    500,
+                    16,
+                    JobPattern::RingExchange,
+                    Completion::Volume(400),
+                ),
+            ],
+        );
+        let mut sim = vct_sim(2, 77);
+        sim.install_schedule(&trace);
+        let report = sim.run_trace(40_000, 5_000);
+        assert!(!report.aggregate.deadlock_detected);
+        assert_eq!(report.aggregate.traffic, "CHURN[t:2jobs]");
+        assert_eq!(report.jobs.len(), 2);
+
+        let first = report.job("first").unwrap();
+        let lc = first.lifecycle.unwrap();
+        assert_eq!(lc.placed_cycle, Some(0));
+        assert_eq!(lc.completion_cycle, Some(2_000));
+        assert_eq!(lc.wait_cycles, Some(0));
+        assert!((lc.slowdown.unwrap() - 1.0).abs() < 1e-9);
+        // Injected load over the residency tracks the configured rate.
+        assert!(
+            (first.injected_load - 0.2).abs() < 0.05,
+            "{}",
+            first.injected_load
+        );
+        assert_eq!(first.phases[0].start_cycle, 0);
+        assert_eq!(first.phases[0].end_cycle, 2_000);
+
+        let second = report.job("second").unwrap();
+        let lc = second.lifecycle.unwrap();
+        // Placed only when `first` freed its nodes, despite arriving at 500.
+        assert_eq!(lc.placed_cycle, Some(2_000));
+        assert_eq!(lc.wait_cycles, Some(1_500));
+        let completed = lc.completion_cycle.expect("volume job must finish");
+        assert!(completed > 2_000);
+        // Volume-bound completion delivered exactly the requested packets (plus
+        // whatever was still in flight when the threshold was crossed).
+        assert!(
+            second.packets_delivered >= 400,
+            "{}",
+            second.packets_delivered
+        );
+        // Slowdown folds the wait into the ideal-service ratio: ideal is
+        // 400 packets × 8 phits / (16 nodes × 0.2) = 1 000 cycles, wait alone
+        // adds 1.5× of that.
+        assert!(lc.slowdown.unwrap() > 2.0, "{}", lc.slowdown.unwrap());
+
+        // Per-job totals still sum to the machine totals.
+        let generated: u64 = report.jobs.iter().map(|j| j.packets_generated).sum();
+        assert_eq!(generated, sim.network().stats.total_generated);
+        // The run ended when everything completed and drained, before the horizon.
+        assert!(report.aggregate.measure_cycles < 40_000);
+        assert!(sim.network().is_drained());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an installed schedule")]
+    fn run_trace_requires_schedule() {
+        let mut sim = vct_sim(2, 1);
+        let _ = sim.run_trace(1_000, 100);
+    }
+
+    #[test]
+    fn install_workload_clears_a_previous_schedule() {
+        use dragonfly_sched::{Completion, Trace, TraceJob};
+        use dragonfly_workload::{JobPattern, PlacementPolicy, WorkloadSpec};
+        let trace = Trace::new(
+            "t",
+            vec![TraceJob {
+                name: "a".into(),
+                arrival: 0,
+                size: 4,
+                placement: PlacementPolicy::Contiguous,
+                pattern: JobPattern::Uniform,
+                offered_load: 0.1,
+                completion: Completion::Duration(100),
+            }],
+        );
+        let mut sim = vct_sim(2, 1);
+        sim.install_schedule(&trace);
+        assert!(sim.network().schedule().is_some());
+        sim.install_workload(&WorkloadSpec::transient(72, 0.1, 1_000, 2));
+        assert!(sim.network().schedule().is_none());
+        assert!(sim.network().workload().is_some());
+    }
+
+    #[test]
+    fn horizon_truncated_jobs_stay_incomplete_regardless_of_drain() {
+        use dragonfly_sched::{Completion, Trace, TraceJob};
+        use dragonfly_workload::{JobPattern, PlacementPolicy};
+        // The job's duration extends past the horizon: the lifecycle freezes at
+        // halt(), so no drain budget can make it report a completion.
+        let trace = Trace::new(
+            "long",
+            vec![TraceJob {
+                name: "spans".into(),
+                arrival: 0,
+                size: 8,
+                placement: PlacementPolicy::Contiguous,
+                pattern: JobPattern::Uniform,
+                offered_load: 0.1,
+                completion: Completion::Duration(5_000),
+            }],
+        );
+        for drain in [100, 20_000] {
+            let mut sim = vct_sim(2, 7);
+            sim.install_schedule(&trace);
+            let report = sim.run_trace(2_000, drain);
+            let lc = report.job("spans").unwrap().lifecycle.unwrap();
+            assert_eq!(lc.placed_cycle, Some(0));
+            assert_eq!(lc.completion_cycle, None, "drain = {drain}");
+            assert_eq!(lc.slowdown, None);
+        }
     }
 
     #[test]

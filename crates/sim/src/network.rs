@@ -7,6 +7,7 @@ use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
 use crate::stats_collect::StatsCollector;
 use dragonfly_rng::Rng;
+use dragonfly_sched::ScheduleRuntime;
 use dragonfly_topology::{DragonflyParams, NodeId, Port, PortKind, RouterId};
 use dragonfly_traffic::{BernoulliInjection, TrafficPattern};
 use dragonfly_workload::WorkloadRuntime;
@@ -85,6 +86,8 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     injection: Option<BernoulliInjection>,
     /// Injection-side workload runtime: per-job phase rates and job/phase tags.
     workload: Option<WorkloadRuntime>,
+    /// Dynamic job scheduler: trace-driven arrivals/departures with re-placement.
+    sched: Option<ScheduleRuntime>,
     /// Statistics collector.
     pub stats: StatsCollector,
     pb_board: GlobalStatusBoard,
@@ -223,6 +226,7 @@ impl<R: RoutingAlgorithm> Network<R> {
             traffic,
             injection: None,
             workload: None,
+            sched: None,
             stats,
             pb_board,
             pb_dirty_list: Vec::new(),
@@ -281,12 +285,14 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// and the phase-boundary hook; `pattern` (usually the paired
     /// `WorkloadSpec::build_pattern`) replaces the network's traffic pattern.
     ///
-    /// Per-job statistics are enabled, and any global Bernoulli process is cleared —
-    /// with a workload installed each job's phases carry their own offered loads.
+    /// Per-job statistics are enabled, and any global Bernoulli process or dynamic
+    /// schedule is cleared — with a workload installed each job's phases carry
+    /// their own offered loads.
     pub fn install_workload(&mut self, runtime: WorkloadRuntime, pattern: Box<dyn TrafficPattern>) {
         self.stats.enable_scoped(&runtime.phase_counts());
         self.traffic = pattern;
         self.injection = None;
+        self.sched = None;
         self.workload = Some(runtime);
     }
 
@@ -300,6 +306,32 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// a preloaded burst can drain against workload destinations.
     pub fn take_workload(&mut self) -> Option<WorkloadRuntime> {
         self.workload.take()
+    }
+
+    /// Install a dynamic job schedule: `runtime` owns the whole lifecycle — the
+    /// per-cycle install/teardown hook at the top of [`Network::step`], per-node
+    /// injection rates and job tags, and (unlike a static workload) the
+    /// destination side too, through its internal
+    /// [`dragonfly_traffic::DynamicSlots`] adapter.
+    ///
+    /// Per-job statistics are enabled (one phase per job), and any Bernoulli
+    /// process or static workload is cleared.
+    pub fn install_schedule(&mut self, runtime: ScheduleRuntime) {
+        self.stats.enable_scoped(&vec![1; runtime.num_jobs()]);
+        self.injection = None;
+        self.workload = None;
+        self.sched = Some(runtime);
+    }
+
+    /// The installed dynamic schedule, if any.
+    pub fn schedule(&self) -> Option<&ScheduleRuntime> {
+        self.sched.as_ref()
+    }
+
+    /// Mutable access to the installed dynamic schedule (the engine uses it to
+    /// halt generation at the measurement horizon).
+    pub fn schedule_mut(&mut self) -> Option<&mut ScheduleRuntime> {
+        self.sched.as_mut()
     }
 
     /// Pre-load every node's source queue with `packets_per_node` packets (burst mode).
@@ -367,6 +399,12 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
         let cycle = self.cycle;
+        // Lifecycle hook: the dynamic scheduler admits arrivals, retires finished
+        // jobs and re-places waiting ones before any packet of the cycle is
+        // generated (a job placed at cycle N injects from cycle N on).
+        if let Some(sched) = &mut self.sched {
+            sched.advance_to(cycle);
+        }
         // Phase-boundary hook: jobs switch pattern/load at cycle boundaries before
         // any packet of the cycle is generated.
         if let Some(workload) = &mut self.workload {
@@ -433,6 +471,12 @@ impl<R: RoutingAlgorithm> Network<R> {
                         self.links[li].send_credit(cycle, phit.vc);
                         if phit.is_tail {
                             let packet = self.packets.get(phit.packet).clone();
+                            // Delivery feedback for volume-bound scheduled jobs.
+                            if packet.job != UNTAGGED {
+                                if let Some(sched) = self.sched.as_mut() {
+                                    sched.note_delivered(packet.job);
+                                }
+                            }
                             self.stats.record_delivery(&packet, cycle);
                             self.packets.free(phit.packet);
                         }
@@ -458,9 +502,15 @@ impl<R: RoutingAlgorithm> Network<R> {
         let mut activity = false;
         let num_nodes = self.params.num_nodes();
         for n in 0..num_nodes {
-            // Generation: per-job workload rates (tagged) or the global Bernoulli
-            // process (untagged).  Idle nodes of a workload never generate.
-            let generated = if let Some(workload) = self.workload.as_ref() {
+            // Generation: per-job scheduler or workload rates (tagged) or the
+            // global Bernoulli process (untagged).  Idle nodes never generate.
+            let generated = if let Some(sched) = self.sched.as_ref() {
+                match sched.source(n) {
+                    // Scheduled jobs have a single phase (index 0).
+                    Some(job) if sched.generate(job, &mut self.rng) => Some((job, 0)),
+                    _ => None,
+                }
+            } else if let Some(workload) = self.workload.as_ref() {
                 match workload.source(n) {
                     Some((job, phase)) if workload.generate(job, &mut self.rng) => {
                         Some((job, phase))
@@ -476,9 +526,14 @@ impl<R: RoutingAlgorithm> Network<R> {
             };
             if let Some((job, phase)) = generated {
                 let src = NodeId(n as u32);
-                let dst = self
-                    .traffic
-                    .destination_at(cycle, src, &self.params, &mut self.rng);
+                // Destinations: the scheduler's dynamic per-job patterns, or the
+                // network's (static, possibly time-aware) traffic pattern.
+                let dst = if let Some(sched) = self.sched.as_ref() {
+                    sched.destination(cycle, src, &self.params, &mut self.rng)
+                } else {
+                    self.traffic
+                        .destination_at(cycle, src, &self.params, &mut self.rng)
+                };
                 debug_assert_ne!(dst, src);
                 let id = self
                     .packets

@@ -1,0 +1,247 @@
+//! Structured JSON emission of the report types (behind the `json` feature).
+//!
+//! The workspace's default build uses the no-op `vendor/serde` stand-in, so the
+//! `#[derive(Serialize)]` annotations generate nothing and reports can only leave
+//! the process as hand-formatted CSV.  With the `json` feature enabled, these
+//! hand-written [`ToJson`] impls emit the same structures as real machine-readable
+//! JSON (correct escaping, `null` for absent values) through the functional
+//! vendored `serde_json` stand-in — and swap transparently for the real
+//! `serde_json` when building with network access.
+
+use crate::{BatchReport, JobLifecycleReport, JobReport, PhaseReport, SimReport, WorkloadReport};
+use serde_json::{ToJson, Value};
+
+impl ToJson for SimReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("routing", self.routing.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("offered_load", self.offered_load.to_json()),
+            ("injected_load", self.injected_load.to_json()),
+            ("accepted_load", self.accepted_load.to_json()),
+            ("avg_latency_cycles", self.avg_latency_cycles.to_json()),
+            ("p99_latency_cycles", self.p99_latency_cycles.to_json()),
+            ("max_latency_cycles", self.max_latency_cycles.to_json()),
+            ("avg_hops", self.avg_hops.to_json()),
+            (
+                "global_misroute_fraction",
+                self.global_misroute_fraction.to_json(),
+            ),
+            (
+                "local_misroute_fraction",
+                self.local_misroute_fraction.to_json(),
+            ),
+            ("packets_delivered", self.packets_delivered.to_json()),
+            ("packets_measured", self.packets_measured.to_json()),
+            ("warmup_cycles", self.warmup_cycles.to_json()),
+            ("measure_cycles", self.measure_cycles.to_json()),
+            ("deadlock_detected", self.deadlock_detected.to_json()),
+        ])
+    }
+}
+
+impl ToJson for BatchReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("routing", self.routing.to_json()),
+            ("traffic", self.traffic.to_json()),
+            ("packets_per_node", self.packets_per_node.to_json()),
+            ("packets_total", self.packets_total.to_json()),
+            ("packets_delivered", self.packets_delivered.to_json()),
+            ("consumption_cycles", self.consumption_cycles.to_json()),
+            ("avg_latency_cycles", self.avg_latency_cycles.to_json()),
+            ("timed_out", self.timed_out.to_json()),
+            ("deadlock_detected", self.deadlock_detected.to_json()),
+        ])
+    }
+}
+
+impl ToJson for PhaseReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("job", self.job.to_json()),
+            ("phase", self.phase.to_json()),
+            ("pattern", self.pattern.to_json()),
+            ("offered_load", self.offered_load.to_json()),
+            ("start_cycle", self.start_cycle.to_json()),
+            // u64::MAX means "runs to the end of the simulation".
+            (
+                "end_cycle",
+                if self.end_cycle == u64::MAX {
+                    Value::Null
+                } else {
+                    self.end_cycle.to_json()
+                },
+            ),
+            ("measured_cycles", self.measured_cycles.to_json()),
+            ("injected_load", self.injected_load.to_json()),
+            ("accepted_load", self.accepted_load.to_json()),
+            ("avg_latency_cycles", self.avg_latency_cycles.to_json()),
+            ("p99_latency_cycles", self.p99_latency_cycles.to_json()),
+            ("max_latency_cycles", self.max_latency_cycles.to_json()),
+            ("avg_hops", self.avg_hops.to_json()),
+            (
+                "global_misroute_fraction",
+                self.global_misroute_fraction.to_json(),
+            ),
+            (
+                "local_misroute_fraction",
+                self.local_misroute_fraction.to_json(),
+            ),
+            ("packets_generated", self.packets_generated.to_json()),
+            ("packets_delivered", self.packets_delivered.to_json()),
+            ("packets_measured", self.packets_measured.to_json()),
+        ])
+    }
+}
+
+impl ToJson for JobLifecycleReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("arrival_cycle", self.arrival_cycle.to_json()),
+            ("placed_cycle", self.placed_cycle.to_json()),
+            ("completion_cycle", self.completion_cycle.to_json()),
+            ("wait_cycles", self.wait_cycles.to_json()),
+            ("slowdown", self.slowdown.to_json()),
+        ])
+    }
+}
+
+impl ToJson for JobReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("name", self.name.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("injected_load", self.injected_load.to_json()),
+            ("accepted_load", self.accepted_load.to_json()),
+            ("avg_latency_cycles", self.avg_latency_cycles.to_json()),
+            ("p99_latency_cycles", self.p99_latency_cycles.to_json()),
+            ("max_latency_cycles", self.max_latency_cycles.to_json()),
+            ("avg_hops", self.avg_hops.to_json()),
+            (
+                "global_misroute_fraction",
+                self.global_misroute_fraction.to_json(),
+            ),
+            (
+                "local_misroute_fraction",
+                self.local_misroute_fraction.to_json(),
+            ),
+            ("packets_generated", self.packets_generated.to_json()),
+            ("packets_delivered", self.packets_delivered.to_json()),
+            ("packets_measured", self.packets_measured.to_json()),
+            ("lifecycle", self.lifecycle.to_json()),
+            ("phases", self.phases.to_json()),
+        ])
+    }
+}
+
+impl ToJson for WorkloadReport {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("aggregate", self.aggregate.to_json()),
+            ("jobs", self.jobs.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_report() -> SimReport {
+        SimReport {
+            routing: "OLM".into(),
+            traffic: "WL[\"x\"]".into(),
+            offered_load: 0.3,
+            injected_load: 0.29,
+            accepted_load: 0.28,
+            avg_latency_cycles: 200.0,
+            p99_latency_cycles: 400.0,
+            max_latency_cycles: 500.0,
+            avg_hops: 2.0,
+            global_misroute_fraction: 0.2,
+            local_misroute_fraction: 0.1,
+            packets_delivered: 1000,
+            packets_measured: 900,
+            warmup_cycles: 1000,
+            measure_cycles: 2000,
+            deadlock_detected: false,
+        }
+    }
+
+    #[test]
+    fn sim_report_emits_every_field_with_escaping() {
+        let text = serde_json::to_string(&sim_report());
+        assert!(text.starts_with("{\"routing\":\"OLM\""));
+        // The quote inside the traffic label is escaped.
+        assert!(text.contains(r#""traffic":"WL[\"x\"]""#), "{text}");
+        assert!(text.contains("\"deadlock_detected\":false"));
+        assert!(text.contains("\"accepted_load\":0.28"));
+        assert_eq!(
+            text.matches(['{', '[']).count(),
+            text.matches(['}', ']']).count()
+        );
+    }
+
+    #[test]
+    fn workload_report_nests_jobs_phases_and_lifecycle() {
+        let report = WorkloadReport {
+            aggregate: sim_report(),
+            jobs: vec![JobReport {
+                name: "victim".into(),
+                nodes: 16,
+                injected_load: 0.1,
+                accepted_load: 0.1,
+                avg_latency_cycles: 150.0,
+                p99_latency_cycles: 300.0,
+                max_latency_cycles: 350.0,
+                avg_hops: 2.0,
+                global_misroute_fraction: 0.0,
+                local_misroute_fraction: 0.0,
+                packets_generated: 100,
+                packets_delivered: 100,
+                packets_measured: 90,
+                lifecycle: Some(JobLifecycleReport {
+                    arrival_cycle: 500,
+                    placed_cycle: Some(700),
+                    completion_cycle: None,
+                    wait_cycles: Some(200),
+                    slowdown: None,
+                }),
+                phases: vec![PhaseReport {
+                    job: "victim".into(),
+                    phase: 0,
+                    pattern: "UN".into(),
+                    offered_load: 0.1,
+                    start_cycle: 700,
+                    end_cycle: u64::MAX,
+                    measured_cycles: 4_000,
+                    injected_load: 0.1,
+                    accepted_load: 0.1,
+                    avg_latency_cycles: 150.0,
+                    p99_latency_cycles: 300.0,
+                    max_latency_cycles: 350.0,
+                    avg_hops: 2.0,
+                    global_misroute_fraction: 0.0,
+                    local_misroute_fraction: 0.0,
+                    packets_generated: 100,
+                    packets_delivered: 100,
+                    packets_measured: 90,
+                }],
+            }],
+        };
+        let text = serde_json::to_string(&report);
+        assert!(text.contains("\"jobs\":[{\"name\":\"victim\""));
+        // Absent lifecycle values and the open-ended phase print as null.
+        assert!(text.contains("\"completion_cycle\":null"));
+        assert!(text.contains("\"end_cycle\":null"));
+        assert!(text.contains("\"placed_cycle\":700"));
+        // Pretty output is the same tree, indented.
+        let pretty = serde_json::to_string_pretty(&report);
+        assert!(pretty.contains("\n  \"aggregate\": {"));
+        assert_eq!(
+            pretty.matches(['{', '[']).count(),
+            pretty.matches(['}', ']']).count()
+        );
+    }
+}

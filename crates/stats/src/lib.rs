@@ -14,6 +14,8 @@
 #![warn(missing_docs)]
 
 mod histogram;
+#[cfg(feature = "json")]
+mod json;
 mod report;
 mod running;
 mod scoped;
@@ -25,7 +27,7 @@ pub use report::{BatchReport, SimReport};
 pub use running::RunningStats;
 pub use scoped::ScopedStats;
 pub use timeseries::TimeSeries;
-pub use workload_report::{JobReport, PhaseReport, WorkloadReport};
+pub use workload_report::{JobLifecycleReport, JobReport, PhaseReport, WorkloadReport};
 
 use serde::{Deserialize, Serialize};
 

@@ -88,6 +88,45 @@ impl PhaseReport {
     }
 }
 
+/// Lifecycle of one dynamically scheduled job: when it arrived, when the scheduler
+/// could place it, and when it finished.
+///
+/// Produced only by trace-driven (churn) runs; jobs of a static workload have no
+/// lifecycle (they occupy their nodes for the whole run).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobLifecycleReport {
+    /// Absolute cycle at which the job arrived (entered the wait queue).
+    pub arrival_cycle: u64,
+    /// Cycle at which the job was placed onto free nodes (`None` = never placed).
+    pub placed_cycle: Option<u64>,
+    /// Cycle at which the job completed (`None` = still running at the horizon).
+    pub completion_cycle: Option<u64>,
+    /// Cycles spent waiting for nodes (`placed - arrival`; `None` = never placed).
+    pub wait_cycles: Option<u64>,
+    /// (wait + service) / ideal service time, where the ideal is the configured
+    /// duration for duration-bound jobs and the injection-limited time
+    /// `volume_phits / (nodes · offered_load)` for volume-bound jobs.  1.0 means
+    /// the job neither waited nor was slowed by congestion; `None` = incomplete.
+    pub slowdown: Option<f64>,
+}
+
+impl JobLifecycleReport {
+    /// CSV fragment matching [`JobReport::csv_row`]'s lifecycle columns
+    /// (`arrival,placed,completion,wait,slowdown`; `na` for absent values).
+    fn csv_fragment(&self) -> String {
+        let opt = |v: Option<u64>| v.map_or("na".to_string(), |c| c.to_string());
+        format!(
+            "{},{},{},{},{}",
+            self.arrival_cycle,
+            opt(self.placed_cycle),
+            opt(self.completion_cycle),
+            opt(self.wait_cycles),
+            self.slowdown
+                .map_or("na".to_string(), |s| format!("{s:.3}"))
+        )
+    }
+}
+
 /// Statistics of one job over the whole measurement window, plus its phases.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobReport {
@@ -117,8 +156,43 @@ pub struct JobReport {
     pub packets_delivered: u64,
     /// Measured packets of the job.
     pub packets_measured: u64,
+    /// Arrival/placement/completion lifecycle (trace-driven runs only).
+    pub lifecycle: Option<JobLifecycleReport>,
     /// Per-phase breakdown, in phase order.
     pub phases: Vec<PhaseReport>,
+}
+
+impl JobReport {
+    /// CSV header matching [`JobReport::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "job,nodes,injected_load,accepted_load,avg_latency,p99_latency,max_latency,\
+         avg_hops,global_misroute_frac,local_misroute_frac,packets_generated,\
+         packets_delivered,packets_measured,arrival,placed,completion,wait,slowdown"
+    }
+
+    /// One job-level CSV row (no trailing newline); the lifecycle columns print
+    /// `na` for static-workload jobs.
+    pub fn csv_row(&self) -> String {
+        let lifecycle = self
+            .lifecycle
+            .map_or_else(|| "na,na,na,na,na".to_string(), |l| l.csv_fragment());
+        format!(
+            "{},{},{:.4},{:.4},{:.2},{:.2},{:.2},{:.3},{:.4},{:.4},{},{},{},{lifecycle}",
+            self.name,
+            self.nodes,
+            self.injected_load,
+            self.accepted_load,
+            self.avg_latency_cycles,
+            self.p99_latency_cycles,
+            self.max_latency_cycles,
+            self.avg_hops,
+            self.global_misroute_fraction,
+            self.local_misroute_fraction,
+            self.packets_generated,
+            self.packets_delivered,
+            self.packets_measured
+        )
+    }
 }
 
 /// The full result of a workload run: the aggregate steady-state report plus the
@@ -143,6 +217,12 @@ impl WorkloadReport {
             .iter()
             .flat_map(|j| j.phases.iter().map(PhaseReport::csv_row))
             .collect()
+    }
+
+    /// All job-level rows (CSV body matching [`JobReport::csv_header`]), including
+    /// the lifecycle columns of trace-driven runs.
+    pub fn job_csv_rows(&self) -> Vec<String> {
+        self.jobs.iter().map(JobReport::csv_row).collect()
     }
 }
 
@@ -222,11 +302,40 @@ mod tests {
                 packets_generated: 30_000,
                 packets_delivered: 9_000,
                 packets_measured: 8_000,
+                lifecycle: None,
                 phases: vec![phase()],
             }],
         };
         assert!(report.job("aggressor").is_some());
         assert!(report.job("victim").is_none());
         assert_eq!(report.phase_csv_rows().len(), 1);
+        assert_eq!(report.job_csv_rows().len(), 1);
+        // Static workloads print `na` lifecycle columns with the right arity.
+        let row = &report.job_csv_rows()[0];
+        assert_eq!(
+            row.split(',').count(),
+            JobReport::csv_header().split(',').count()
+        );
+        assert!(row.ends_with("na,na,na,na,na"), "{row}");
+    }
+
+    #[test]
+    fn lifecycle_csv_fragment_formats_absent_values() {
+        let complete = JobLifecycleReport {
+            arrival_cycle: 100,
+            placed_cycle: Some(250),
+            completion_cycle: Some(1_250),
+            wait_cycles: Some(150),
+            slowdown: Some(1.15),
+        };
+        assert_eq!(complete.csv_fragment(), "100,250,1250,150,1.150");
+        let unplaced = JobLifecycleReport {
+            arrival_cycle: 100,
+            placed_cycle: None,
+            completion_cycle: None,
+            wait_cycles: None,
+            slowdown: None,
+        };
+        assert_eq!(unplaced.csv_fragment(), "100,na,na,na,na");
     }
 }

@@ -15,11 +15,13 @@
 //! used for the steady-state experiments and the fixed-size burst used for the burst
 //! consumption experiments.
 
+mod dynamic;
 mod injection;
 mod patterns;
 mod patterns_extra;
 mod workload_adapter;
 
+pub use dynamic::DynamicSlots;
 pub use injection::{BernoulliInjection, BurstSpec};
 pub use patterns::{AdversarialGlobal, AdversarialLocal, MixedGlobalLocal, Permutation, Uniform};
 pub use patterns_extra::{BitComplement, Hotspot, NodeShift};

@@ -4,6 +4,7 @@ use crate::spec::JobPattern;
 use dragonfly_rng::Rng;
 use dragonfly_topology::{DragonflyParams, NodeId};
 use dragonfly_traffic::{BoxedPattern, TrafficPattern};
+use std::cell::Cell;
 
 /// Build the boxed pattern for one job phase over the job's (sorted) node set.
 pub fn build_job_pattern(
@@ -48,7 +49,34 @@ pub fn build_job_pattern(
             ),
             local: build_job_pattern(JobPattern::AdversarialLocal(local_offset), &members, params),
         }),
+        JobPattern::AllToAll => {
+            let cursors = members.iter().map(|_| Cell::new(1)).collect();
+            Box::new(JobAllToAll { members, cursors })
+        }
+        JobPattern::RingExchange => Box::new(JobRingExchange { members }),
+        JobPattern::Permutation { seed } => {
+            let target = derangement(members.len(), seed);
+            Box::new(JobPermutation { members, target })
+        }
     }
+}
+
+/// A seeded fixed-point-free permutation of `0..n` (n ≥ 2): Fisher–Yates shuffle,
+/// then any fixed point is swapped with its successor (deterministic repair that
+/// keeps the map a permutation).
+fn derangement(n: usize, seed: u64) -> Vec<u32> {
+    debug_assert!(n >= 2);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    let mut rng = Rng::seed_from(seed);
+    rng.shuffle(&mut perm);
+    for i in 0..n {
+        if perm[i] == i as u32 {
+            let j = (i + 1) % n;
+            perm.swap(i, j);
+        }
+    }
+    debug_assert!(perm.iter().enumerate().all(|(i, &p)| p != i as u32));
+    perm
 }
 
 /// Group the members into `buckets` lists by a key function.
@@ -164,6 +192,76 @@ impl TrafficPattern for JobMixed {
     }
 }
 
+/// Rank of `src` within the job's sorted node list.
+fn rank_in_job(members: &[NodeId], src: NodeId) -> usize {
+    members
+        .binary_search(&src)
+        .expect("source node must belong to the job")
+}
+
+/// Staged all-to-all: each source walks round-robin through every peer offset, so a
+/// window of `n - 1` consecutive packets from one source hits each peer once.  The
+/// per-source cursors make the schedule deterministic without consuming RNG draws.
+struct JobAllToAll {
+    members: Vec<NodeId>,
+    /// Next peer offset (1 ..= n-1) of each source rank.
+    cursors: Vec<Cell<u32>>,
+}
+
+impl TrafficPattern for JobAllToAll {
+    fn name(&self) -> String {
+        "A2A".to_string()
+    }
+
+    fn destination(&self, src: NodeId, _params: &DragonflyParams, _rng: &mut Rng) -> NodeId {
+        let n = self.members.len();
+        let rank = rank_in_job(&self.members, src);
+        let k = self.cursors[rank].get() as usize;
+        // Advance through 1 ..= n-1 cyclically.
+        self.cursors[rank].set((k % (n - 1) + 1) as u32);
+        self.members[(rank + k) % n]
+    }
+}
+
+/// Ring / nearest-neighbour exchange: previous or next rank, a fair coin per packet.
+struct JobRingExchange {
+    members: Vec<NodeId>,
+}
+
+impl TrafficPattern for JobRingExchange {
+    fn name(&self) -> String {
+        "RING".to_string()
+    }
+
+    fn destination(&self, src: NodeId, _params: &DragonflyParams, rng: &mut Rng) -> NodeId {
+        let n = self.members.len();
+        let rank = rank_in_job(&self.members, src);
+        let dst = if rng.bernoulli(0.5) {
+            (rank + 1) % n
+        } else {
+            (rank + n - 1) % n
+        };
+        self.members[dst]
+    }
+}
+
+/// Seeded fixed-point-free permutation: rank `r` always sends to `target[r]`.
+struct JobPermutation {
+    members: Vec<NodeId>,
+    target: Vec<u32>,
+}
+
+impl TrafficPattern for JobPermutation {
+    fn name(&self) -> String {
+        "PERM".to_string()
+    }
+
+    fn destination(&self, src: NodeId, _params: &DragonflyParams, _rng: &mut Rng) -> NodeId {
+        let rank = rank_in_job(&self.members, src);
+        self.members[self.target[rank] as usize]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,5 +370,92 @@ mod tests {
             "global {global}, local {local}"
         );
         assert!(pattern.name().starts_with("MIX50%"));
+    }
+
+    #[test]
+    fn all_to_all_sweeps_every_peer_each_round() {
+        let p = params();
+        let members = spread_members(&p);
+        let n = members.len();
+        let pattern = build_job_pattern(JobPattern::AllToAll, &members, &p);
+        let mut rng = Rng::seed_from(1);
+        let src = members[7];
+        for round in 0..3 {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..n - 1 {
+                let d = pattern.destination(src, &p, &mut rng);
+                assert_ne!(d, src);
+                assert!(members.binary_search(&d).is_ok());
+                assert!(seen.insert(d), "round {round}: peer {d:?} hit twice");
+            }
+            assert_eq!(seen.len(), n - 1, "round {round} must cover every peer");
+        }
+        // Cursors are per source: another source starts its own sweep at offset 1.
+        let other = members[0];
+        let d = pattern.destination(other, &p, &mut rng);
+        assert_eq!(d, members[1]);
+    }
+
+    #[test]
+    fn ring_exchange_targets_rank_neighbours() {
+        let p = params();
+        let members = spread_members(&p);
+        let pattern = build_job_pattern(JobPattern::RingExchange, &members, &p);
+        let mut rng = Rng::seed_from(2);
+        let rank = 5;
+        let (mut prev, mut next) = (0, 0);
+        for _ in 0..1_000 {
+            let d = pattern.destination(members[rank], &p, &mut rng);
+            if d == members[rank + 1] {
+                next += 1;
+            } else if d == members[rank - 1] {
+                prev += 1;
+            } else {
+                panic!("ring destination {d:?} is not a rank neighbour");
+            }
+        }
+        assert!(prev > 350 && next > 350, "prev {prev}, next {next}");
+        // Ranks wrap at the ends of the job.
+        let d = pattern.destination(members[0], &p, &mut rng);
+        assert!(d == members[1] || d == *members.last().unwrap());
+    }
+
+    #[test]
+    fn permutation_is_fixed_per_seed_and_fixed_point_free() {
+        let p = params();
+        let members = spread_members(&p);
+        let pattern = build_job_pattern(JobPattern::Permutation { seed: 11 }, &members, &p);
+        let mut rng = Rng::seed_from(3);
+        let mut targets = std::collections::HashMap::new();
+        for &src in &members {
+            let d = pattern.destination(src, &p, &mut rng);
+            assert_ne!(d, src, "permutation must have no fixed points");
+            // Every packet from the same source goes to the same peer.
+            assert_eq!(pattern.destination(src, &p, &mut rng), d);
+            // ... and no two sources share a target (it is a permutation).
+            assert!(targets.insert(src, d).is_none());
+        }
+        let unique: std::collections::HashSet<_> = targets.values().collect();
+        assert_eq!(unique.len(), members.len());
+        // A different seed yields a different permutation.
+        let other = build_job_pattern(JobPattern::Permutation { seed: 12 }, &members, &p);
+        let diff = members
+            .iter()
+            .filter(|&&s| other.destination(s, &p, &mut rng) != targets[&s])
+            .count();
+        assert!(diff > 0, "seed must matter");
+    }
+
+    #[test]
+    fn derangement_repairs_fixed_points_for_tiny_jobs() {
+        for seed in 0..50 {
+            for n in 2..6 {
+                let d = derangement(n, seed);
+                let mut sorted = d.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+                assert!(d.iter().enumerate().all(|(i, &p)| p != i as u32), "{d:?}");
+            }
+        }
     }
 }

@@ -32,6 +32,7 @@ mod placement;
 mod runtime;
 mod spec;
 
-pub use placement::Placement;
+pub use job_patterns::build_job_pattern;
+pub use placement::{FreePool, Placement};
 pub use runtime::{JobRuntime, WorkloadRuntime};
 pub use spec::{JobPattern, JobSpec, PhaseSpec, PlacementPolicy, WorkloadSpec};

@@ -1,9 +1,104 @@
-//! Deterministic node placement of a workload's jobs.
+//! Deterministic node placement of a workload's jobs, over an explicit free-node
+//! pool.
+//!
+//! [`FreePool`] is the allocation substrate shared by static workloads and the
+//! dynamic job scheduler (`dragonfly_sched`): every [`PlacementPolicy`] draws from
+//! whatever nodes are currently free — a virgin machine, or an arbitrarily
+//! fragmented set left behind by earlier arrivals and departures — and departing
+//! jobs return their nodes with [`FreePool::release`].  [`Placement`] keeps the
+//! one-shot "place every job of a spec" view used by [`WorkloadSpec`].
 
 use crate::spec::{PlacementPolicy, WorkloadSpec};
 use dragonfly_rng::{derive_seed, Rng};
 use dragonfly_topology::{DragonflyParams, NodeId};
 use dragonfly_traffic::UNASSIGNED_SLOT;
+
+/// The machine's free-node pool: the mutable substrate every placement policy
+/// allocates from.
+///
+/// Allocation never assumes anything about the shape of the free set; a policy that
+/// cannot find enough free nodes returns `None` and leaves the pool untouched, so a
+/// scheduler can keep the job waiting and retry after the next departure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreePool {
+    free: Vec<bool>,
+    free_count: usize,
+}
+
+impl FreePool {
+    /// A pool with every node of the machine free.
+    pub fn all_free(num_nodes: usize) -> Self {
+        Self {
+            free: vec![true; num_nodes],
+            free_count: num_nodes,
+        }
+    }
+
+    /// Number of currently free nodes.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Number of nodes of the machine (free or taken).
+    pub fn num_nodes(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether a node is currently free.
+    pub fn is_free(&self, node: NodeId) -> bool {
+        self.free[node.index()]
+    }
+
+    /// Allocate `size` nodes with `policy`, or `None` (pool unchanged) when the
+    /// free set cannot satisfy the request.
+    ///
+    /// `stream` decorrelates the seeded [`PlacementPolicy::Random`] draws of
+    /// different jobs sharing one policy seed (static workloads pass the job index;
+    /// the scheduler passes the trace index).  The returned nodes are sorted
+    /// ascending and marked taken.
+    pub fn allocate(
+        &mut self,
+        policy: PlacementPolicy,
+        size: usize,
+        params: &DragonflyParams,
+        stream: u64,
+    ) -> Option<Vec<NodeId>> {
+        if size > self.free_count {
+            return None;
+        }
+        let mut nodes = match policy {
+            PlacementPolicy::Contiguous => take_contiguous(&self.free, size),
+            PlacementPolicy::RoundRobinRouters => take_round_robin(&self.free, size, params),
+            PlacementPolicy::Random { seed } => {
+                take_random(&self.free, size, derive_seed(seed, stream))
+            }
+        }?;
+        debug_assert_eq!(nodes.len(), size);
+        nodes.sort_unstable();
+        for &node in &nodes {
+            debug_assert!(self.free[node.index()]);
+            self.free[node.index()] = false;
+        }
+        self.free_count -= size;
+        Some(nodes)
+    }
+
+    /// Return a departed job's nodes to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any node is already free (double release).
+    pub fn release(&mut self, nodes: &[NodeId]) {
+        for &node in nodes {
+            assert!(
+                !self.free[node.index()],
+                "released node {node:?} was already free"
+            );
+            self.free[node.index()] = true;
+        }
+        self.free_count += nodes.len();
+    }
+}
 
 /// The result of placing every job of a workload: disjoint per-job node sets and the
 /// inverse node→job map.
@@ -24,22 +119,21 @@ impl Placement {
             total <= num_nodes,
             "workload needs {total} nodes but the machine has {num_nodes}"
         );
+        let mut pool = FreePool::all_free(num_nodes);
         let mut job_of_node = vec![UNASSIGNED_SLOT; num_nodes];
-        let mut free = vec![true; num_nodes];
         let mut jobs = Vec::with_capacity(spec.jobs.len());
         for (j, job) in spec.jobs.iter().enumerate() {
-            let mut nodes = match job.placement {
-                PlacementPolicy::Contiguous => take_contiguous(&free, job.size),
-                PlacementPolicy::RoundRobinRouters => take_round_robin(&free, job.size, params),
-                PlacementPolicy::Random { seed } => {
-                    take_random(&free, job.size, derive_seed(seed, j as u64))
-                }
-            };
-            debug_assert_eq!(nodes.len(), job.size);
-            nodes.sort_unstable();
+            let nodes = pool
+                .allocate(job.placement, job.size, params, j as u64)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "job '{}' ({} nodes, {}) does not fit the free set",
+                        job.name,
+                        job.size,
+                        job.placement.name()
+                    )
+                });
             for &node in &nodes {
-                debug_assert!(free[node.index()]);
-                free[node.index()] = false;
                 job_of_node[node.index()] = j as u16;
             }
             jobs.push(nodes);
@@ -54,17 +148,19 @@ impl Placement {
 }
 
 /// Lowest-indexed free nodes first.
-fn take_contiguous(free: &[bool], size: usize) -> Vec<NodeId> {
-    free.iter()
+fn take_contiguous(free: &[bool], size: usize) -> Option<Vec<NodeId>> {
+    let nodes: Vec<NodeId> = free
+        .iter()
         .enumerate()
         .filter(|&(_, &f)| f)
         .take(size)
         .map(|(n, _)| NodeId(n as u32))
-        .collect()
+        .collect();
+    (nodes.len() == size).then_some(nodes)
 }
 
 /// One free node per router per sweep, cycling over all routers.
-fn take_round_robin(free: &[bool], size: usize, params: &DragonflyParams) -> Vec<NodeId> {
+fn take_round_robin(free: &[bool], size: usize, params: &DragonflyParams) -> Option<Vec<NodeId>> {
     let routers = params.num_routers();
     let per_router = params.nodes_per_router();
     let mut nodes = Vec::with_capacity(size);
@@ -88,30 +184,28 @@ fn take_round_robin(free: &[bool], size: usize, params: &DragonflyParams) -> Vec
                 }
             }
         }
-        assert!(
-            progressed,
-            "not enough free nodes for round-robin placement"
-        );
+        if !progressed {
+            return None;
+        }
     }
-    nodes
+    Some(nodes)
 }
 
 /// A seeded random subset of the free nodes.
-fn take_random(free: &[bool], size: usize, seed: u64) -> Vec<NodeId> {
+fn take_random(free: &[bool], size: usize, seed: u64) -> Option<Vec<NodeId>> {
     let mut candidates: Vec<u32> = free
         .iter()
         .enumerate()
         .filter(|&(_, &f)| f)
         .map(|(n, _)| n as u32)
         .collect();
-    assert!(
-        candidates.len() >= size,
-        "not enough free nodes for random placement"
-    );
+    if candidates.len() < size {
+        return None;
+    }
     let mut rng = Rng::seed_from(seed);
     rng.shuffle(&mut candidates);
     candidates.truncate(size);
-    candidates.into_iter().map(NodeId).collect()
+    Some(candidates.into_iter().map(NodeId).collect())
 }
 
 #[cfg(test)]
@@ -217,5 +311,71 @@ mod tests {
         let p = params();
         let spec = WorkloadSpec::new(vec![job("a", 100, PlacementPolicy::Contiguous)]);
         let _ = spec.place(&p);
+    }
+
+    #[test]
+    fn pool_allocates_from_fragmented_free_sets() {
+        let p = params();
+        let mut pool = FreePool::all_free(p.num_nodes());
+        // Take the whole machine as three blocks, free the middle one.
+        let a = pool
+            .allocate(PlacementPolicy::Contiguous, 24, &p, 0)
+            .unwrap();
+        let b = pool
+            .allocate(PlacementPolicy::Contiguous, 24, &p, 1)
+            .unwrap();
+        let c = pool
+            .allocate(PlacementPolicy::Contiguous, 24, &p, 2)
+            .unwrap();
+        assert_eq!(pool.free_count(), 0);
+        assert!(pool
+            .allocate(PlacementPolicy::Contiguous, 1, &p, 3)
+            .is_none());
+        pool.release(&b);
+        assert_eq!(pool.free_count(), 24);
+        // A contiguous allocation on the fragmented pool lands exactly in the hole.
+        let d = pool
+            .allocate(PlacementPolicy::Contiguous, 24, &p, 4)
+            .unwrap();
+        assert_eq!(d, b);
+        pool.release(&a);
+        pool.release(&c);
+        pool.release(&d);
+        assert_eq!(pool.free_count(), p.num_nodes());
+    }
+
+    #[test]
+    fn pool_failed_allocation_leaves_pool_untouched() {
+        let p = params();
+        let mut pool = FreePool::all_free(p.num_nodes());
+        let taken = pool
+            .allocate(PlacementPolicy::Random { seed: 3 }, 70, &p, 0)
+            .unwrap();
+        let before = pool.clone();
+        for policy in [
+            PlacementPolicy::Contiguous,
+            PlacementPolicy::RoundRobinRouters,
+            PlacementPolicy::Random { seed: 9 },
+        ] {
+            assert!(pool.allocate(policy, 3, &p, 1).is_none());
+            assert_eq!(pool, before, "{policy:?} mutated the pool on failure");
+        }
+        // The remaining two nodes are still allocatable.
+        let rest = pool
+            .allocate(PlacementPolicy::RoundRobinRouters, 2, &p, 2)
+            .unwrap();
+        assert_eq!(taken.len() + rest.len(), p.num_nodes());
+    }
+
+    #[test]
+    #[should_panic(expected = "already free")]
+    fn double_release_panics() {
+        let p = params();
+        let mut pool = FreePool::all_free(p.num_nodes());
+        let a = pool
+            .allocate(PlacementPolicy::Contiguous, 4, &p, 0)
+            .unwrap();
+        pool.release(&a);
+        pool.release(&a);
     }
 }

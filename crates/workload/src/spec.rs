@@ -60,6 +60,19 @@ pub enum JobPattern {
         /// Router offset of the local component.
         local_offset: usize,
     },
+    /// Staged all-to-all collective: every node walks round-robin through all of
+    /// its job peers, so over any window of `size - 1` packets each peer is hit
+    /// exactly once (the personalized-exchange schedule of MPI_Alltoall).
+    AllToAll,
+    /// Ring / nearest-neighbour exchange: each packet goes to the previous or the
+    /// next node in the job's rank order (halo exchanges, stencil codes).
+    RingExchange,
+    /// A seeded fixed-point-free permutation of the job's nodes: every node sends
+    /// all of its traffic to one fixed peer (static transpose-style collectives).
+    Permutation {
+        /// Seed of the permutation shuffle.
+        seed: u64,
+    },
 }
 
 impl JobPattern {
@@ -77,6 +90,70 @@ impl JobPattern {
                 "MIX{}%(ADVG+{global_offset}/ADVL+{local_offset})",
                 (global_fraction * 100.0).round() as u32
             ),
+            JobPattern::AllToAll => "A2A".to_string(),
+            JobPattern::RingExchange => "RING".to_string(),
+            JobPattern::Permutation { seed } => format!("PERM#{seed}"),
+        }
+    }
+
+    /// Parse a pattern from its [`JobPattern::name`] form (used by the scheduler's
+    /// trace files): `UN`, `ADVG+n`, `ADVL+n`, `A2A`, `RING`, `PERM#seed` and
+    /// `MIXp%(ADVG+g/ADVL+l)`.  Case-insensitive; `parse(x.name())` round-trips for
+    /// every pattern whose mix fraction is a whole percentage.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let t = text.trim().to_ascii_uppercase();
+        let offset = |s: &str, what: &str| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad {what} offset in `{text}`: {e}"))
+        };
+        if t == "UN" {
+            Ok(JobPattern::Uniform)
+        } else if t == "A2A" {
+            Ok(JobPattern::AllToAll)
+        } else if t == "RING" {
+            Ok(JobPattern::RingExchange)
+        } else if let Some(n) = t.strip_prefix("ADVG+") {
+            Ok(JobPattern::AdversarialGlobal(offset(n, "group")?))
+        } else if let Some(n) = t.strip_prefix("ADVL+") {
+            Ok(JobPattern::AdversarialLocal(offset(n, "router")?))
+        } else if let Some(s) = t.strip_prefix("PERM#") {
+            Ok(JobPattern::Permutation {
+                seed: s
+                    .parse()
+                    .map_err(|e| format!("bad permutation seed in `{text}`: {e}"))?,
+            })
+        } else if let Some(rest) = t.strip_prefix("MIX") {
+            // MIXp%(ADVG+g/ADVL+l)
+            let (pct, rest) = rest
+                .split_once("%(")
+                .ok_or_else(|| format!("bad mix pattern `{text}` (expected MIXp%(...))"))?;
+            let pct: f64 = pct
+                .parse()
+                .map_err(|e| format!("bad mix percentage in `{text}`: {e}"))?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(format!(
+                    "mix percentage in `{text}` must be between 0 and 100"
+                ));
+            }
+            let body = rest
+                .strip_suffix(')')
+                .ok_or_else(|| format!("bad mix pattern `{text}` (missing `)`)"))?;
+            let (g, l) = body
+                .split_once('/')
+                .ok_or_else(|| format!("bad mix pattern `{text}` (expected ADVG+g/ADVL+l)"))?;
+            let g = g
+                .strip_prefix("ADVG+")
+                .ok_or_else(|| format!("bad mix global component in `{text}`"))?;
+            let l = l
+                .strip_prefix("ADVL+")
+                .ok_or_else(|| format!("bad mix local component in `{text}`"))?;
+            Ok(JobPattern::Mixed {
+                global_fraction: pct / 100.0,
+                global_offset: offset(g, "group")?,
+                local_offset: offset(l, "router")?,
+            })
+        } else {
+            Err(format!("unknown job pattern `{text}`"))
         }
     }
 }
@@ -370,6 +447,42 @@ mod tests {
             local_offset: 1,
         };
         assert_eq!(mix.name(), "MIX40%(ADVG+2/ADVL+1)");
+        assert_eq!(JobPattern::AllToAll.name(), "A2A");
+        assert_eq!(JobPattern::RingExchange.name(), "RING");
+        assert_eq!(JobPattern::Permutation { seed: 9 }.name(), "PERM#9");
+    }
+
+    #[test]
+    fn job_pattern_parse_round_trips() {
+        let patterns = [
+            JobPattern::Uniform,
+            JobPattern::AdversarialGlobal(3),
+            JobPattern::AdversarialLocal(1),
+            JobPattern::AllToAll,
+            JobPattern::RingExchange,
+            JobPattern::Permutation { seed: 42 },
+            JobPattern::Mixed {
+                global_fraction: 0.4,
+                global_offset: 2,
+                local_offset: 1,
+            },
+        ];
+        for p in patterns {
+            assert_eq!(JobPattern::parse(&p.name()), Ok(p), "{}", p.name());
+        }
+        // Case-insensitive and whitespace-tolerant.
+        assert_eq!(
+            JobPattern::parse(" advg+2 "),
+            Ok(JobPattern::AdversarialGlobal(2))
+        );
+        assert!(JobPattern::parse("nope").is_err());
+        assert!(JobPattern::parse("ADVG+x").is_err());
+        assert!(JobPattern::parse("MIX40%(ADVG+2)").is_err());
+        // Out-of-range mix percentages must error rather than silently clamp.
+        assert!(JobPattern::parse("MIX250%(ADVG+1/ADVL+1)")
+            .unwrap_err()
+            .contains("between 0 and 100"));
+        assert!(JobPattern::parse("MIX-5%(ADVG+1/ADVL+1)").is_err());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! ```
 
 use dragonfly::core::{ExperimentSpec, RoutingKind, TrafficKind, WorkloadSpec};
+use dragonfly::sched::scenarios::fragmentation_trace;
 use dragonfly::topology::DragonflyParams;
 
 fn stress_spec(h: usize, workload: WorkloadSpec) -> ExperimentSpec {
@@ -70,4 +71,38 @@ fn workload_transient_stress_h6_over_4k_nodes() {
         "ADVG phase accepted {}",
         job.phases[1].accepted_load
     );
+}
+
+/// Churn fragmentation at paper scale (h = 8, 16 512 nodes): the dynamic
+/// scheduler packs, churns and re-places jobs on the full-size machine (toward
+/// the h = 8+ ROADMAP item).
+#[test]
+#[ignore = "paper-scale topology (16k nodes); run in release mode"]
+fn churn_fragmentation_stress_h8() {
+    let params = DragonflyParams::new(8);
+    assert_eq!(params.num_nodes(), 16_512);
+    let trace = fragmentation_trace(&params, true, 0.75, 0.1, 1_500, 6_000, 4242);
+    let mut spec = ExperimentSpec::new(8);
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Churn(trace);
+    spec.seed = 4242;
+    spec.measure = 7_500; // horizon past the pair's departure at 6 000
+    spec.drain = 4_000;
+    let report = spec.run_workload();
+    assert!(!report.aggregate.deadlock_detected);
+    assert_eq!(report.jobs.len(), 14);
+    // Every job of the trace ran to completion within the horizon.
+    assert!(report
+        .jobs
+        .iter()
+        .all(|j| j.lifecycle.unwrap().completion_cycle.is_some()));
+    let victim = report.job("victim").unwrap();
+    assert!(
+        victim.accepted_load > 0.07,
+        "victim accepted {}",
+        victim.accepted_load
+    );
+    // 256 victim nodes × 4 500 resident cycles at 0.1 phits/(node·cycle) over
+    // 8-phit packets ≈ 14 000 packets.
+    assert!(victim.packets_generated > 10_000);
 }

@@ -1,0 +1,289 @@
+//! Offline *functional* stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! Unlike the no-op `vendor/serde` marker traits, this crate actually emits JSON:
+//! [`Value`] is a document tree with correct string escaping and number formatting,
+//! and [`ToJson`] is the (much smaller) structural-serialization trait the workspace
+//! uses in place of `serde::Serialize` — the report types implement it by hand
+//! behind their crates' `json` feature.  [`to_string`] / [`to_string_pretty`]
+//! mirror the real `serde_json` entry points, so builds with network access can
+//! swap the vendored path for the real crate (the `#[derive(Serialize)]`
+//! annotations are already in place) without touching call sites.
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A floating-point number (non-finite values emit `null` per JSON).
+    Float(f64),
+    /// A string (escaped on emission).
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build an object from `(key, value)` pairs, preserving order.
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Self {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialize without whitespace.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Serialize with two-space indentation.
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(f) => {
+                if f.is_finite() {
+                    // Always keep a decimal point or exponent so the value reads
+                    // back as a float (`1.0`, not `1`).
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_sequence(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1)
+                })
+            }
+            Value::Object(pairs) => {
+                write_sequence(out, indent, depth, '{', '}', pairs.len(), |out, i| {
+                    let (key, value) = &pairs[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+/// Emit a `[...]`/`{...}` sequence with the shared separator/indentation logic.
+fn write_sequence(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+/// Emit a JSON string literal with the escapes RFC 8259 requires.
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Structural serialization into a [`Value`] tree — the stand-in's analogue of
+/// `serde::Serialize`.
+pub trait ToJson {
+    /// Convert `self` into a JSON document tree.
+    fn to_json(&self) -> Value;
+}
+
+/// Serialize a value without whitespace (mirrors `serde_json::to_string`).
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().dump()
+}
+
+/// Serialize a value with two-space indentation (mirrors
+/// `serde_json::to_string_pretty`).
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().dump_pretty()
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl ToJson for u32 {
+    fn to_json(&self) -> Value {
+        Value::UInt(u64::from(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl ToJson for i64 {
+    fn to_json(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_object_round_shapes() {
+        let v = Value::object([
+            ("name", Value::Str("a\"b\\c\n".to_string())),
+            ("count", Value::UInt(3)),
+            ("ratio", Value::Float(0.5)),
+            ("whole", Value::Float(2.0)),
+            ("bad", Value::Float(f64::NAN)),
+            ("items", Value::Array(vec![Value::Bool(true), Value::Null])),
+        ]);
+        assert_eq!(
+            v.dump(),
+            r#"{"name":"a\"b\\c\n","count":3,"ratio":0.5,"whole":2.0,"bad":null,"items":[true,null]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_print_indents_and_balances() {
+        let v = Value::object([("xs", Value::Array(vec![Value::UInt(1), Value::UInt(2)]))]);
+        let text = v.dump_pretty();
+        assert_eq!(text, "{\n  \"xs\": [\n    1,\n    2\n  ]\n}");
+        assert_eq!(
+            text.matches(['{', '[']).count(),
+            text.matches(['}', ']']).count()
+        );
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Value::Array(vec![]).dump_pretty(), "[]");
+        assert_eq!(Value::Object(vec![]).dump(), "{}");
+    }
+
+    #[test]
+    fn control_characters_are_escaped() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\u{1}b\tc");
+        assert_eq!(out, "\"a\\u0001b\\tc\"");
+    }
+
+    #[test]
+    fn trait_impls_cover_the_workspace_types() {
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&42u64), "42");
+        assert_eq!(to_string(&7usize), "7");
+        assert_eq!(to_string(&(-3i64)), "-3");
+        assert_eq!(to_string("hi"), "\"hi\"");
+        assert_eq!(to_string(&Some(1u64)), "1");
+        assert_eq!(to_string(&None::<u64>), "null");
+        assert_eq!(to_string(&vec![1u64, 2]), "[1,2]");
+        assert_eq!(to_string_pretty(&vec![1u64]), "[\n  1\n]");
+    }
+}
