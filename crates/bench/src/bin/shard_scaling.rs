@@ -1,0 +1,130 @@
+//! Strong-scaling study of the sharded single-simulation engine.
+//!
+//! One steady-state point is run on the sequential engine and then on the
+//! sharded engine (`dragonfly_shard`) with shards ∈ {1, 2, 4, 8}, at
+//! h ∈ {4, 6, 8} by default.  For every combination the binary
+//!
+//! * verifies the sharded report is **byte-identical** to the sequential one
+//!   (the engine's cardinal invariant — a mismatch aborts the run), and
+//! * records the wall-clock time and the speedup over the sequential engine.
+//!
+//! Output: `results/shard_scaling.csv` (`h,shards,wall_ms,speedup,identical`;
+//! the `shards = 0` row is the sequential-engine baseline) and, with
+//! `--json FILE`, one `{"name": "shard_scaling/h4/shards2", "ns_per_iter": …}`
+//! object per point in the same shape the bench-trend tooling
+//! (`parse_bench_entries`, `bench_gate`, `BENCH_history.jsonl`) consumes.
+//!
+//! ```text
+//! cargo run --release -p dragonfly_bench --bin shard_scaling
+//! cargo run --release -p dragonfly_bench --bin shard_scaling -- --quick
+//! cargo run --release -p dragonfly_bench --bin shard_scaling -- --json shard.jsonl
+//! ```
+//!
+//! `--quick` shrinks to h ∈ {2, 4} with short windows for CI smoke runs.
+//! Points are timed one at a time (`--jobs` does not apply here: the shards
+//! themselves are the parallelism being measured).
+
+use dragonfly_bench::HarnessArgs;
+use dragonfly_core::{CsvWriter, ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use std::io::Write;
+use std::time::Instant;
+
+/// Shard counts swept at every scale (clamped to cores and groups below).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn point_spec(args: &HarnessArgs, h: usize) -> ExperimentSpec {
+    let mut spec = args.base_spec(FlowControlKind::Vct);
+    spec.h = h;
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Uniform;
+    spec.offered_load = 0.2;
+    // Fixed, deliberately modest windows: the study measures engine scaling,
+    // not steady-state convergence.  --warmup/--measure override as usual.
+    if args.warmup == HarnessArgs::default().warmup {
+        spec.warmup = 300;
+    }
+    if args.measure == HarnessArgs::default().measure {
+        spec.measure = 600;
+        spec.drain = 600;
+    }
+    spec
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let scales: Vec<usize> = if args.quick {
+        vec![2, 4]
+    } else {
+        vec![4, 6, 8]
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let path = args.csv_path("shard_scaling.csv");
+    let mut csv =
+        CsvWriter::create(&path, "h,shards,wall_ms,speedup,identical").expect("cannot create CSV");
+    let mut json_entries: Vec<(String, f64)> = Vec::new();
+
+    println!("== Sharded-engine strong scaling (OLM, UN, load 0.2) ==");
+    println!(
+        "{:>3} {:>7} {:>10} {:>9} {:>10}",
+        "h", "shards", "wall_ms", "speedup", "identical"
+    );
+    for &h in &scales {
+        let spec = point_spec(&args, h);
+        let groups = 2 * h * h + 1;
+
+        // Sequential-engine baseline (the `shards = 0` CSV row).
+        let t0 = Instant::now();
+        let baseline = spec.run();
+        let seq_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert!(
+            !baseline.deadlock_detected,
+            "baseline deadlocked at h = {h}"
+        );
+        println!(
+            "{h:>3} {:>7} {seq_ms:>10.1} {:>9} {:>10}",
+            "seq", "1.00", "-"
+        );
+        csv.row(&format!("{h},0,{seq_ms:.3},1.0,true"))
+            .expect("CSV write failed");
+        json_entries.push((format!("shard_scaling/h{h}/seq"), seq_ms * 1e6));
+
+        for &shards in &SHARD_COUNTS {
+            if shards > groups || shards > cores {
+                continue;
+            }
+            let t0 = Instant::now();
+            let report = spec.run_sharded(shards);
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            let identical = report == baseline;
+            let speedup = seq_ms / ms;
+            println!("{h:>3} {shards:>7} {ms:>10.1} {speedup:>9.2} {identical:>10}");
+            csv.row(&format!("{h},{shards},{ms:.3},{speedup:.4},{identical}"))
+                .expect("CSV write failed");
+            json_entries.push((format!("shard_scaling/h{h}/shards{shards}"), ms * 1e6));
+            assert!(
+                identical,
+                "sharded report diverged from the sequential engine at h = {h}, \
+                 {shards} shards — this is an engine bug"
+            );
+        }
+    }
+    csv.flush().expect("CSV flush failed");
+    println!("\nwrote {path:?} ({} rows)", csv.rows_written());
+
+    // Bench-trend JSON: one object per line, the shape `parse_bench_entries`
+    // and the BENCH_history.jsonl tooling read.
+    if let Some(json_path) = &args.json_out {
+        let mut file = std::fs::File::create(json_path).expect("cannot create JSON output");
+        for (name, ns) in &json_entries {
+            writeln!(
+                file,
+                "{{\"name\":\"{name}\",\"ns_per_iter\":{ns:.0},\"iters\":1}}"
+            )
+            .expect("JSON write failed");
+        }
+        println!("wrote {json_path:?} ({} entries)", json_entries.len());
+    }
+}

@@ -12,11 +12,14 @@
 //! --seed <N>       base random seed
 //! --jobs <N>       worker threads for the sweep (default: all cores; --threads is
 //!                  an alias)
+//! --shards <N>     shard every simulation point across N threads (byte-identical
+//!                  reports; sweep workers are capped so workers × shards ≤ cores)
 //! --sequential     run the sweep points in order on one thread (same results)
 //! --out <DIR>      directory for CSV output (default: results/)
 //! --loads a,b,c    explicit offered-load points
 //! --pattern <P>    traffic pattern selector where applicable (un, advg1, advgh, all)
-//! --json <FILE>    structured JSON output (churn_sweep only, needs the `json` feature)
+//! --json <FILE>    structured JSON output (churn_sweep and shard_scaling only,
+//!                  needs the `json` feature for churn_sweep)
 //! ```
 //!
 //! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
@@ -42,6 +45,8 @@ pub struct HarnessArgs {
     pub seed: u64,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Shards per simulation point (1 = the sequential engine).
+    pub shards: usize,
     /// Run sweep points sequentially on the calling thread.
     pub sequential: bool,
     /// Output directory for CSV files.
@@ -67,6 +72,7 @@ impl Default for HarnessArgs {
             drain: 8_000,
             seed: 1,
             threads: None,
+            shards: 1,
             sequential: false,
             out_dir: PathBuf::from("results"),
             loads: dragonfly_core::sweep::default_loads(),
@@ -118,6 +124,14 @@ impl HarnessArgs {
                 }
                 "--jobs" | "--threads" => {
                     out.threads = Some(value(&mut i)?.parse().map_err(|e| format!("--jobs: {e}"))?)
+                }
+                "--shards" => {
+                    out.shards = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                    if out.shards == 0 {
+                        return Err("--shards must be at least 1".to_string());
+                    }
                 }
                 "--sequential" => out.sequential = true,
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
@@ -184,9 +198,12 @@ impl HarnessArgs {
 
     /// The sweep runner implied by these arguments: `--jobs` workers (all cores by
     /// default) or the `--sequential` in-order loop, with progress/ETA on stderr.
+    /// `--shards N` shards every point across N threads (byte-identical reports)
+    /// under the runner's workers × shards ≤ cores budget.
     pub fn runner(&self, label: impl Into<String>) -> SweepRunner {
         SweepRunner::new(label)
             .jobs(self.threads)
+            .shards(self.shards)
             .sequential(self.sequential)
     }
 
@@ -195,7 +212,10 @@ impl HarnessArgs {
     /// instead of being silently ignored.
     pub fn reject_json(&self, binary: &str) {
         if self.json_out.is_some() {
-            eprintln!("--json is not supported by {binary} (only churn_sweep emits JSON)");
+            eprintln!(
+                "--json is not supported by {binary} (only churn_sweep and shard_scaling \
+                 emit JSON)"
+            );
             std::process::exit(2);
         }
     }
@@ -203,8 +223,8 @@ impl HarnessArgs {
 
 fn usage() -> String {
     "usage: <figure-binary> [--h N] [--full] [--quick] [--warmup N] [--measure N] \
-     [--drain N] [--seed N] [--jobs N] [--sequential] [--out DIR] [--loads a,b,c] \
-     [--pattern P] [--json FILE (churn_sweep only)]"
+     [--drain N] [--seed N] [--jobs N] [--shards N] [--sequential] [--out DIR] \
+     [--loads a,b,c] [--pattern P] [--json FILE (churn_sweep, shard_scaling)]"
         .to_string()
 }
 

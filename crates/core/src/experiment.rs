@@ -281,6 +281,38 @@ impl ExperimentSpec {
         run_jobs_with(&mut sim, self)
     }
 
+    /// Run the steady-state protocol on the sharded engine: the single
+    /// simulation is partitioned into `shards` per-group partitions stepping
+    /// concurrently under a cycle barrier (see `dragonfly_shard`).  The report
+    /// is byte-identical to [`ExperimentSpec::run`] — sharding only changes
+    /// wall-clock time.  `shards = 1` still uses the partitioned engine with a
+    /// single worker; workload and churn specs return the aggregate half of
+    /// [`ExperimentSpec::run_workload_sharded`].
+    pub fn run_sharded(&self, shards: usize) -> SimReport {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ShardedSteadyRun { spec: self, shards },
+        )
+    }
+
+    /// Run a workload or churn experiment on the sharded engine; byte-identical
+    /// to [`ExperimentSpec::run_workload`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the traffic kind is neither [`TrafficKind::Workload`] nor
+    /// [`TrafficKind::Churn`].
+    pub fn run_workload_sharded(&self, shards: usize) -> WorkloadReport {
+        assert!(
+            self.traffic.has_jobs(),
+            "run_workload_sharded requires TrafficKind::Workload or TrafficKind::Churn traffic"
+        );
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ShardedWorkloadRun { spec: self, shards },
+        )
+    }
+
     /// Run the burst-consumption protocol: `packets_per_node` packets per node, with a
     /// safety limit of `max_cycles`.  Statically dispatched like [`ExperimentSpec::run`].
     pub fn run_batch(&self, packets_per_node: u64, max_cycles: u64) -> BatchReport {
@@ -300,6 +332,25 @@ impl ExperimentSpec {
         let mut sim = self.build_simulation();
         let burst = BurstSpec::new(packets_per_node, self.flow_control.packet_size());
         sim.run_batch(burst, max_cycles)
+    }
+
+    /// Run the burst-consumption protocol on the sharded engine; byte-identical
+    /// to [`ExperimentSpec::run_batch`].
+    pub fn run_batch_sharded(
+        &self,
+        packets_per_node: u64,
+        max_cycles: u64,
+        shards: usize,
+    ) -> BatchReport {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ShardedBatchRun {
+                spec: self,
+                packets_per_node,
+                max_cycles,
+                shards,
+            },
+        )
     }
 }
 
@@ -340,13 +391,106 @@ fn run_jobs_with<R: RoutingAlgorithm>(
     }
 }
 
+/// Build the sharded simulation for a spec, installing any workload or churn
+/// schedule into every shard replica (the sharded sibling of
+/// [`build_with_routing`]).
+fn build_sharded_with_routing<R: RoutingAlgorithm + Clone>(
+    spec: &ExperimentSpec,
+    routing: R,
+    shards: usize,
+) -> dragonfly_shard::ShardedSimulation<R> {
+    use dragonfly_shard::{ShardPlan, ShardedSimulation};
+    let config = spec.sim_config();
+    let params = config.params;
+    let plan = ShardPlan::new(shards);
+    if let Some(workload) = spec.traffic.workload() {
+        let mut sim = ShardedSimulation::new(config, plan, routing, || Box::new(Uniform::new()));
+        sim.install_workload(workload);
+        sim
+    } else if let Some(trace) = spec.traffic.churn() {
+        let mut sim = ShardedSimulation::new(config, plan, routing, || Box::new(Uniform::new()));
+        sim.install_schedule(trace);
+        sim
+    } else {
+        ShardedSimulation::new(config, plan, routing, || spec.traffic.build(&params))
+    }
+}
+
+/// Visitor running the steady-state protocol on the sharded engine.
+struct ShardedSteadyRun<'a> {
+    spec: &'a ExperimentSpec,
+    shards: usize,
+}
+
+impl RoutingVisitor for ShardedSteadyRun<'_> {
+    type Output = SimReport;
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> SimReport {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        if spec.traffic.has_jobs() {
+            run_sharded_jobs_with(&mut sim, spec).aggregate
+        } else {
+            sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+        }
+    }
+}
+
+/// Visitor running a workload or churn run on the sharded engine.
+struct ShardedWorkloadRun<'a> {
+    spec: &'a ExperimentSpec,
+    shards: usize,
+}
+
+impl RoutingVisitor for ShardedWorkloadRun<'_> {
+    type Output = WorkloadReport;
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> WorkloadReport {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        run_sharded_jobs_with(&mut sim, spec)
+    }
+}
+
+/// Run the per-job protocol a sharded spec implies (the sharded sibling of
+/// [`run_jobs_with`]).
+fn run_sharded_jobs_with<R: RoutingAlgorithm + Clone>(
+    sim: &mut dragonfly_shard::ShardedSimulation<R>,
+    spec: &ExperimentSpec,
+) -> WorkloadReport {
+    if spec.traffic.churn().is_some() {
+        sim.run_trace(spec.measure, spec.drain)
+    } else {
+        sim.run_steady_state_workload(spec.warmup, spec.measure, spec.drain)
+    }
+}
+
+/// Visitor running the burst-consumption protocol on the sharded engine.
+struct ShardedBatchRun<'a> {
+    spec: &'a ExperimentSpec,
+    packets_per_node: u64,
+    max_cycles: u64,
+    shards: usize,
+}
+
+impl RoutingVisitor for ShardedBatchRun<'_> {
+    type Output = BatchReport;
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> BatchReport {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
+        sim.run_batch(burst, self.max_cycles)
+    }
+}
+
 /// Visitor running the steady-state protocol on a monomorphized simulation.
 struct SteadyStateRun<'a>(&'a ExperimentSpec);
 
 impl RoutingVisitor for SteadyStateRun<'_> {
     type Output = SimReport;
 
-    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> SimReport {
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> SimReport {
         let spec = self.0;
         let mut sim = build_with_routing(spec, routing);
         if sim.network().workload().is_some() || sim.network().schedule().is_some() {
@@ -363,7 +507,7 @@ struct WorkloadRun<'a>(&'a ExperimentSpec);
 impl RoutingVisitor for WorkloadRun<'_> {
     type Output = WorkloadReport;
 
-    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> WorkloadReport {
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> WorkloadReport {
         let spec = self.0;
         let mut sim = build_with_routing(spec, routing);
         run_jobs_with(&mut sim, spec)
@@ -380,7 +524,7 @@ struct BatchRun<'a> {
 impl RoutingVisitor for BatchRun<'_> {
     type Output = BatchReport;
 
-    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> BatchReport {
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> BatchReport {
         let spec = self.spec;
         let mut sim = build_with_routing(spec, routing);
         let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());

@@ -38,7 +38,7 @@ pub mod sweep;
 pub use csv::CsvWriter;
 pub use experiment::{ExperimentBuilder, ExperimentSpec, FlowControlKind, TrafficKind};
 pub use parallel::{run_batches_parallel, run_parallel, run_workloads_parallel};
-pub use runner::SweepRunner;
+pub use runner::{effective_jobs, SweepRunner};
 pub use sweep::{
     churn_sweep, interference_sweep, load_sweep, mix_sweep, threshold_sweep, ChurnSweep,
     InterferenceSweep, LoadSweep, MixSweep, ThresholdSweep,
@@ -46,6 +46,7 @@ pub use sweep::{
 
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
 pub use dragonfly_sched::{Completion, SyntheticTrace, Trace, TraceJob};
+pub use dragonfly_shard::{ShardPlan, ShardedSimulation};
 pub use dragonfly_stats::{
     BatchReport, JobLifecycleReport, JobReport, PhaseReport, SimReport, WorkloadReport,
 };

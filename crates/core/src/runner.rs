@@ -43,10 +43,26 @@ pub struct SweepRunner {
     label: String,
     /// Worker-thread count; `None` uses every hardware thread.
     jobs: Option<usize>,
+    /// Shards per simulation point (1 = the sequential engine).
+    shards: usize,
     /// Run the points in a plain in-order loop on the calling thread.
     sequential: bool,
     /// Emit the progress/ETA line on stderr.
     progress: bool,
+}
+
+/// The worker count a sweep actually uses: the requested count (or all
+/// `cores`), capped so that `workers × shards ≤ cores` when each point is
+/// itself sharded across threads — the nested-parallelism budget that keeps a
+/// `--jobs N --shards M` sweep from oversubscribing the machine.
+pub fn effective_jobs(requested: Option<usize>, shards: usize, cores: usize) -> usize {
+    let cores = cores.max(1);
+    let requested = requested.unwrap_or(cores).max(1);
+    if shards <= 1 {
+        requested
+    } else {
+        requested.min((cores / shards).max(1))
+    }
 }
 
 impl SweepRunner {
@@ -55,6 +71,7 @@ impl SweepRunner {
         Self {
             label: label.into(),
             jobs: None,
+            shards: 1,
             sequential: false,
             progress: true,
         }
@@ -63,6 +80,17 @@ impl SweepRunner {
     /// Set the worker-thread count (`None` = all hardware threads).
     pub fn jobs(mut self, jobs: Option<usize>) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Shard every simulation point across `shards` threads (the sharded
+    /// engine, see `dragonfly_shard`).  Reports are byte-identical to the
+    /// unsharded run; with `shards > 1` the sweep's worker count is capped so
+    /// that `workers × shards` never exceeds the available cores (a note is
+    /// printed when the cap bites).
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a sweep point needs at least one shard");
+        self.shards = shards;
         self
     }
 
@@ -80,8 +108,14 @@ impl SweepRunner {
     }
 
     /// Run every steady-state point (see [`ExperimentSpec::run`]), in spec order.
+    /// With [`SweepRunner::shards`] > 1 each point runs on the sharded engine
+    /// ([`ExperimentSpec::run_sharded`]) with byte-identical reports.
     pub fn run_steady(&self, specs: &[ExperimentSpec]) -> Vec<SimReport> {
-        self.execute(specs.len(), |i| specs[i].run())
+        if self.shards > 1 {
+            self.execute(specs.len(), |i| specs[i].run_sharded(self.shards))
+        } else {
+            self.execute(specs.len(), |i| specs[i].run())
+        }
     }
 
     /// Run every workload or churn point (see [`ExperimentSpec::run_workload`]),
@@ -97,7 +131,11 @@ impl SweepRunner {
             "run_workloads requires TrafficKind::Workload or TrafficKind::Churn \
              traffic on every spec"
         );
-        self.execute(specs.len(), |i| specs[i].run_workload())
+        if self.shards > 1 {
+            self.execute(specs.len(), |i| specs[i].run_workload_sharded(self.shards))
+        } else {
+            self.execute(specs.len(), |i| specs[i].run_workload())
+        }
     }
 
     /// Run every point in burst-consumption mode (see [`ExperimentSpec::run_batch`]),
@@ -108,9 +146,15 @@ impl SweepRunner {
         packets_per_node: u64,
         max_cycles: u64,
     ) -> Vec<BatchReport> {
-        self.execute(specs.len(), |i| {
-            specs[i].run_batch(packets_per_node, max_cycles)
-        })
+        if self.shards > 1 {
+            self.execute(specs.len(), |i| {
+                specs[i].run_batch_sharded(packets_per_node, max_cycles, self.shards)
+            })
+        } else {
+            self.execute(specs.len(), |i| {
+                specs[i].run_batch(packets_per_node, max_cycles)
+            })
+        }
     }
 
     /// Execute `total` independent points, preserving index order.
@@ -147,7 +191,20 @@ impl SweepRunner {
                 })
                 .collect()
         } else {
-            parallel::run_indexed(total, self.jobs, |i| {
+            // Nested-parallelism budget: with sharded points, cap the worker
+            // count so workers × shards never exceeds the available cores.
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4);
+            let workers = effective_jobs(self.jobs, self.shards, cores);
+            if self.progress && self.shards > 1 && workers < self.jobs.unwrap_or(cores).max(1) {
+                eprintln!(
+                    "  {}: capping sweep workers to {workers} ({} shards/point on \
+                     {cores} cores)",
+                    self.label, self.shards
+                );
+            }
+            parallel::run_indexed(total, Some(workers), |i| {
                 let value = work(i);
                 notify();
                 value
@@ -283,6 +340,36 @@ mod tests {
     fn empty_sweep_is_fine() {
         let reports = SweepRunner::new("t").run_steady(&[]);
         assert!(reports.is_empty());
+    }
+
+    #[test]
+    fn nested_parallelism_budget_caps_workers() {
+        // shards = 1: the requested count (or all cores) passes through.
+        assert_eq!(effective_jobs(None, 1, 8), 8);
+        assert_eq!(effective_jobs(Some(3), 1, 8), 3);
+        assert_eq!(effective_jobs(Some(12), 1, 8), 12);
+        // shards > 1: workers × shards never exceeds the cores.
+        assert_eq!(effective_jobs(None, 2, 8), 4);
+        assert_eq!(effective_jobs(None, 4, 8), 2);
+        assert_eq!(effective_jobs(Some(8), 4, 8), 2);
+        // An explicit request below the cap is honoured as-is.
+        assert_eq!(effective_jobs(Some(1), 4, 8), 1);
+        // The cap never starves the sweep: at least one worker survives.
+        assert_eq!(effective_jobs(None, 8, 4), 1);
+        assert_eq!(effective_jobs(Some(2), 16, 4), 1);
+        // Degenerate core counts stay sane.
+        assert_eq!(effective_jobs(None, 2, 0), 1);
+    }
+
+    #[test]
+    fn sharded_sweep_points_match_unsharded() {
+        let specs = vec![
+            quick_spec(RoutingKind::Minimal, 0.1, 1),
+            quick_spec(RoutingKind::Olm, 0.2, 2),
+        ];
+        let plain = SweepRunner::new("t").quiet().run_steady(&specs);
+        let sharded = SweepRunner::new("t").quiet().shards(3).run_steady(&specs);
+        assert_eq!(plain, sharded);
     }
 
     #[test]

@@ -46,8 +46,10 @@ pub trait RoutingVisitor {
     /// Result produced by the visit.
     type Output;
 
-    /// Called with the instantiated concrete mechanism.
-    fn visit<R: RoutingAlgorithm + 'static>(self, routing: R) -> Self::Output;
+    /// Called with the instantiated concrete mechanism.  Mechanisms are
+    /// `Clone` so that visitors can replicate them — the sharded engine builds
+    /// one instance per shard from a single dispatch.
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output;
 }
 
 /// Enumeration of every routing mechanism in the crate, used by the experiment

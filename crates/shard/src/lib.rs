@@ -1,0 +1,980 @@
+//! Sharded single-simulation engine: per-group partitions stepping under a
+//! per-cycle barrier, with message-passing global links.
+//!
+//! Every prior scaling layer parallelized *across* experiment points; this
+//! crate parallelizes *inside* one simulation.  The dragonfly topology is
+//! naturally partitionable: local links and ejection links never leave a
+//! group, so partitioning whole groups across shards means the **only** state
+//! crossing a shard boundary is (a) phits and credits on inter-group global
+//! links and (b) the dynamic scheduler's delivery feedback.  Both are
+//! exchanged once per cycle at a barrier, stamped with their absolute delivery
+//! cycles, so the receiving shard observes exactly the timing the sequential
+//! engine would have produced.
+//!
+//! # How a sharded cycle works
+//!
+//! Each shard owns a contiguous range of groups inside a full
+//! [`Network`] replica (buffers outside the owned range stay empty, so the
+//! replicas are cheap) and runs on its own scoped thread:
+//!
+//! 1. **Compute** — run the sequential engine's five phases
+//!    ([`Network::advance_hooks`] + [`Network::step_phases`]) over the owned
+//!    routers, links and nodes.
+//! 2. **Export** — drain phits launched on transmit-side boundary links (and
+//!    credits launched on receive-side boundary links) into per-pair
+//!    mailboxes, shipping the full [`Packet`] state alongside each head phit;
+//!    publish the shard's activity/liveness/drain flags and packet counters.
+//! 3. **Barrier** — every shard's exports and flags are now visible.
+//! 4. **Import** — append the incoming phits/credits (original arrival stamps)
+//!    to the local copies of the boundary links, adopt head packets into the
+//!    local arena, and apply remote delivery feedback to the local
+//!    [`ScheduleRuntime`] replica.  Then
+//!    derive the *global* activity/liveness view from the published flags and
+//!    advance the deadlock watchdog and memory-telemetry peaks with it
+//!    ([`Network::apply_watchdog`]), so every shard reaches the sequential
+//!    engine's verdicts at the same cycle.
+//!
+//! # Why the result is byte-identical to the sequential engine
+//!
+//! * **RNG** — the engine draws randomness from per-router streams derived
+//!   from the master seed, so no draw depends on how routers are partitioned
+//!   or visited (see `Network`'s `rngs`).
+//! * **Phase order-independence** — within a cycle, each phase's per-router /
+//!   per-link work touches disjoint state, so the partition cannot reorder
+//!   anything observable.
+//! * **Boundary timing** — a phit sent at cycle `t` on a link of latency `L`
+//!   is imported at the cycle-`t` barrier carrying its `t + L` arrival stamp;
+//!   since `L ≥ 1`, it is in the receiving link copy strictly before the
+//!   receiver's cycle-`t + L` arrival phase pops it — exactly like the
+//!   sequential engine's in-link queue.
+//! * **Piggybacking board** — a router only ever *reads* the congestion flags
+//!   of its own group, and the flags of a group are computed solely from the
+//!   global-output occupancies of that group's routers.  Groups are never
+//!   split, so the sharded board needs no exchange at all: each shard's dirty
+//!   list updates exactly the entries its own routers would have updated
+//!   sequentially.
+//! * **Statistics** — per-shard collectors use exact integer accumulators
+//!   ([`dragonfly_stats::ExactStats`], histograms, counters), so merging them
+//!   is associative and reproduces the sequential collector bit-for-bit.
+//!
+//! `tests/shard_equivalence.rs` pins sharded ≡ sequential byte-identity for
+//! every routing mechanism × flow control combination and across shard counts.
+
+#![warn(missing_docs)]
+
+use dragonfly_sched::{ScheduleRuntime, Trace};
+use dragonfly_sim::{
+    job_report, phase_report, sim_report, span_overlap, CreditInFlight, LinkEnd, Network, Packet,
+    PacketId, PhaseIdentity, PhitInFlight, RoutingAlgorithm, SimConfig, SimRunIdentity,
+    StatsCollector,
+};
+use dragonfly_stats::{BatchReport, JobLifecycleReport, SimReport, WorkloadReport};
+use dragonfly_topology::DragonflyParams;
+use dragonfly_traffic::{BernoulliInjection, BurstSpec, TrafficPattern};
+use dragonfly_workload::WorkloadSpec;
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// How to partition one simulation across threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Number of shards (each steps on its own thread).
+    pub shards: usize,
+}
+
+impl ShardPlan {
+    /// Plan a run with `shards` partitions (`1` = the partitioned engine with
+    /// a single worker, still byte-identical to the sequential engine).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded run needs at least one shard");
+        Self { shards }
+    }
+
+    /// Split the topology's groups into `shards` contiguous, balanced ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics when there are more shards than groups (a shard must own at
+    /// least one whole group — groups are the unit that keeps local links and
+    /// the piggybacking board shard-internal).
+    pub fn group_ranges(&self, params: &DragonflyParams) -> Vec<Range<usize>> {
+        let groups = params.groups();
+        assert!(
+            self.shards <= groups,
+            "cannot split {groups} groups into {} shards (one whole group per shard minimum)",
+            self.shards
+        );
+        (0..self.shards)
+            .map(|s| (s * groups / self.shards)..((s + 1) * groups / self.shards))
+            .collect()
+    }
+}
+
+/// One boundary message batch between an ordered pair of shards, exchanged at
+/// the per-cycle barrier.
+#[derive(Default)]
+struct BoundaryBatch {
+    /// Phits crossing a boundary link: `(flat link index, phit, full packet
+    /// state when the phit is the head)`.  Arrival stamps are absolute cycles.
+    phits: Vec<(u32, PhitInFlight, Option<Packet>)>,
+    /// Credits returning to the transmitting shard of a boundary link.
+    credits: Vec<(u32, CreditInFlight)>,
+    /// Job ids of packets delivered on the sending shard this cycle (volume
+    /// feedback for every schedule replica).
+    deliveries: Vec<u16>,
+}
+
+/// Per-shard flags and counters published each cycle (read by every worker for
+/// the global watchdog/telemetry view and by the orchestrator for the run
+/// protocols).
+#[derive(Default)]
+struct ShardSlot {
+    /// Any phit moved on this shard this cycle.
+    activity: AtomicBool,
+    /// Any packet live on this shard (or exported this cycle, which covers the
+    /// barrier-transit window).
+    live: AtomicBool,
+    /// No packet exists anywhere on this shard (sources, buffers, links).
+    drained: AtomicBool,
+    /// The shard's watchdog fired (identical on every shard by construction).
+    deadlock: AtomicBool,
+    /// Every job of the shard's schedule replica completed (`true` without a
+    /// schedule).
+    all_complete: AtomicBool,
+    /// Packets generated on this shard so far.
+    generated: AtomicU64,
+    /// Packets delivered on this shard so far.
+    delivered: AtomicU64,
+    /// Phits stored in this shard's router buffers right now.
+    buffered: AtomicU64,
+}
+
+/// Control messages broadcast from the orchestrator to every worker.
+#[derive(Debug, Clone, Copy)]
+enum Cmd {
+    /// Advance one cycle (compute → export → barrier → import).
+    Step,
+    /// Install/clear the global Bernoulli injection process.
+    SetInjection(Option<BernoulliInjection>),
+    /// Set whether newly generated packets are latency-tagged.
+    TagMeasured(bool),
+    /// Open the measurement window at the given cycle.
+    BeginMeasurement(u64),
+    /// Close the measurement window at the given cycle.
+    EndMeasurement(u64),
+    /// Preload every owned source queue with a burst.
+    PreloadBurst(u64),
+    /// Halt the schedule replicas (drain phase of the trace protocol).
+    HaltSched,
+    /// Remove the workload runtime and stop injection (burst protocol).
+    DropWorkload,
+    /// Leave the worker loop.
+    Exit,
+}
+
+/// Shared synchronization state of one sharded run.
+struct Conductor {
+    /// Outer barrier (workers + orchestrator): frames each command.
+    outer: Barrier,
+    /// Inner barrier (workers only): separates export from import in a step.
+    inner: Barrier,
+    /// The current command (valid between the outer barrier pair around it).
+    cmd: Mutex<Cmd>,
+    /// Mailboxes: `mail[from][to]` carries `from`'s boundary traffic to `to`.
+    mail: Vec<Vec<Mutex<BoundaryBatch>>>,
+    /// Per-shard published flags and counters.
+    slots: Vec<ShardSlot>,
+}
+
+impl Conductor {
+    fn new(shards: usize) -> Self {
+        Self {
+            outer: Barrier::new(shards + 1),
+            inner: Barrier::new(shards),
+            cmd: Mutex::new(Cmd::Step),
+            mail: (0..shards)
+                .map(|_| {
+                    (0..shards)
+                        .map(|_| Mutex::new(BoundaryBatch::default()))
+                        .collect()
+                })
+                .collect(),
+            slots: (0..shards).map(|_| ShardSlot::default()).collect(),
+        }
+    }
+}
+
+/// Orchestrator-side handle over a running worker set.
+struct Driver<'a> {
+    c: &'a Conductor,
+    shards: usize,
+}
+
+impl Driver<'_> {
+    /// Broadcast one command and wait for every worker to finish it.
+    fn dispatch(&self, cmd: Cmd) {
+        *self.c.cmd.lock().unwrap() = cmd;
+        self.c.outer.wait();
+        self.c.outer.wait();
+    }
+
+    fn step(&self) {
+        self.dispatch(Cmd::Step);
+    }
+
+    fn run(&self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    fn total_generated(&self) -> u64 {
+        self.c
+            .slots
+            .iter()
+            .map(|s| s.generated.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn total_delivered(&self) -> u64 {
+        self.c
+            .slots
+            .iter()
+            .map(|s| s.delivered.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn deadlock(&self) -> bool {
+        // The watchdog verdict is identical on every shard by construction.
+        self.c.slots[0].deadlock.load(Ordering::Relaxed)
+    }
+
+    fn all_drained(&self) -> bool {
+        self.c
+            .slots
+            .iter()
+            .take(self.shards)
+            .all(|s| s.drained.load(Ordering::Relaxed))
+    }
+
+    fn all_complete(&self) -> bool {
+        // Schedule replicas are in lockstep; shard 0 speaks for all of them.
+        self.c.slots[0].all_complete.load(Ordering::Relaxed)
+    }
+}
+
+/// One partition of the simulation: a full network replica plus its boundary
+/// wiring.
+struct Shard<R: RoutingAlgorithm> {
+    id: usize,
+    net: Network<R>,
+    /// Boundary links this shard transmits on: `(flat link index, receiver)`.
+    tx_links: Vec<(usize, usize)>,
+    /// Boundary links this shard receives on: `(flat link index, transmitter)`.
+    rx_links: Vec<(usize, usize)>,
+    /// In-transit packet-id translation: `(flat link, vc)` → local arena id,
+    /// installed at head import and removed at tail import.
+    xlat: HashMap<(u32, u8), PacketId>,
+    /// Reused export scratch buffers.
+    phit_buf: Vec<PhitInFlight>,
+    credit_buf: Vec<CreditInFlight>,
+}
+
+impl<R: RoutingAlgorithm> Shard<R> {
+    /// One full simulation cycle of this shard (see the module docs).
+    fn step(&mut self, c: &Conductor) {
+        let shards = c.slots.len();
+        let net = &mut self.net;
+        net.advance_hooks();
+        let activity = net.step_phases();
+
+        // Export: boundary phits (with packet payloads on heads) and credits.
+        let mut exported = 0usize;
+        for &(li, dst) in &self.tx_links {
+            net.take_link_phits(li, &mut self.phit_buf);
+            if self.phit_buf.is_empty() {
+                continue;
+            }
+            let mut batch = c.mail[self.id][dst].lock().unwrap();
+            for phit in self.phit_buf.drain(..) {
+                exported += 1;
+                let payload = phit.is_head.then(|| net.export_packet(phit.packet));
+                if phit.is_tail {
+                    // The receiver owns the authoritative copy from its head
+                    // import on; nothing on this shard references it any more.
+                    net.release_exported_packet(phit.packet);
+                }
+                batch.phits.push((li as u32, phit, payload));
+            }
+        }
+        for &(li, src) in &self.rx_links {
+            net.take_link_credits(li, &mut self.credit_buf);
+            if self.credit_buf.is_empty() {
+                continue;
+            }
+            let mut batch = c.mail[self.id][src].lock().unwrap();
+            for credit in self.credit_buf.drain(..) {
+                batch.credits.push((li as u32, credit));
+            }
+        }
+        let deliveries = net.take_sched_deliveries();
+        if !deliveries.is_empty() {
+            for dst in 0..shards {
+                if dst != self.id {
+                    c.mail[self.id][dst]
+                        .lock()
+                        .unwrap()
+                        .deliveries
+                        .extend_from_slice(&deliveries);
+                }
+            }
+        }
+
+        // Publish this shard's flags for the global views below.  A packet
+        // whose only copy is sitting in a mailbox right now is covered by
+        // `exported > 0` on the sending side.
+        let slot = &c.slots[self.id];
+        slot.activity.store(activity, Ordering::Relaxed);
+        slot.live
+            .store(net.packets.live() > 0 || exported > 0, Ordering::Relaxed);
+        slot.drained
+            .store(net.is_drained() && exported == 0, Ordering::Relaxed);
+        slot.generated
+            .store(net.stats.total_generated, Ordering::Relaxed);
+        slot.delivered
+            .store(net.stats.total_delivered, Ordering::Relaxed);
+        slot.buffered
+            .store(net.buffered_phits_total(), Ordering::Relaxed);
+        slot.all_complete.store(
+            net.schedule().is_none_or(ScheduleRuntime::all_complete),
+            Ordering::Relaxed,
+        );
+
+        // Everyone has exported and published.
+        c.inner.wait();
+
+        // Import, in deterministic transmitter order.
+        for src in 0..shards {
+            if src == self.id {
+                continue;
+            }
+            let mut batch = c.mail[src][self.id].lock().unwrap();
+            for (li, mut phit, payload) in batch.phits.drain(..) {
+                let key = (li, phit.vc);
+                let local = match payload {
+                    Some(packet) => {
+                        let id = net.adopt_packet(&packet);
+                        self.xlat.insert(key, id);
+                        id
+                    }
+                    None => *self
+                        .xlat
+                        .get(&key)
+                        .expect("boundary body phit without a translated head"),
+                };
+                if phit.is_tail {
+                    self.xlat.remove(&key);
+                }
+                phit.packet = local;
+                net.import_link_phit(li as usize, phit);
+            }
+            for (li, credit) in batch.credits.drain(..) {
+                net.import_link_credit(li as usize, credit);
+            }
+            if !batch.deliveries.is_empty() {
+                net.apply_remote_deliveries(&batch.deliveries);
+                batch.deliveries.clear();
+            }
+        }
+
+        // Global watchdog + telemetry view (identical on every shard).
+        let mut global_activity = false;
+        let mut global_live = false;
+        let mut generated = 0u64;
+        let mut delivered = 0u64;
+        let mut buffered = 0u64;
+        for slot in &c.slots {
+            global_activity |= slot.activity.load(Ordering::Relaxed);
+            global_live |= slot.live.load(Ordering::Relaxed);
+            generated += slot.generated.load(Ordering::Relaxed);
+            delivered += slot.delivered.load(Ordering::Relaxed);
+            buffered += slot.buffered.load(Ordering::Relaxed);
+        }
+        net.apply_watchdog(global_activity, global_live);
+        c.slots[self.id]
+            .deadlock
+            .store(net.deadlock_detected, Ordering::Relaxed);
+        net.note_cycle_peaks(generated - delivered, buffered);
+        net.finish_cycle();
+    }
+
+    /// The worker loop: execute broadcast commands until [`Cmd::Exit`].
+    fn worker(&mut self, c: &Conductor) {
+        loop {
+            c.outer.wait();
+            let cmd = *c.cmd.lock().unwrap();
+            match cmd {
+                Cmd::Step => self.step(c),
+                Cmd::SetInjection(injection) => self.net.set_injection(injection),
+                Cmd::TagMeasured(tag) => self.net.tag_measured = tag,
+                Cmd::BeginMeasurement(cycle) => self.net.stats.begin_measurement(cycle),
+                Cmd::EndMeasurement(cycle) => self.net.stats.end_measurement(cycle),
+                Cmd::PreloadBurst(packets) => self.net.preload_burst(packets),
+                Cmd::HaltSched => {
+                    if let Some(sched) = self.net.schedule_mut() {
+                        sched.halt();
+                    }
+                }
+                Cmd::DropWorkload => {
+                    let _ = self.net.take_workload();
+                    self.net.set_injection(None);
+                }
+                Cmd::Exit => {
+                    c.outer.wait();
+                    return;
+                }
+            }
+            // Keep the published counters and state flags current even for
+            // control commands that change them outside a step (burst
+            // preloads in particular), and so the protocol loops never read a
+            // stale default from before the first step.
+            let slot = &c.slots[self.id];
+            slot.drained.store(self.net.is_drained(), Ordering::Relaxed);
+            slot.live
+                .store(self.net.packets.live() > 0, Ordering::Relaxed);
+            slot.all_complete.store(
+                self.net
+                    .schedule()
+                    .is_none_or(ScheduleRuntime::all_complete),
+                Ordering::Relaxed,
+            );
+            slot.generated
+                .store(self.net.stats.total_generated, Ordering::Relaxed);
+            slot.delivered
+                .store(self.net.stats.total_delivered, Ordering::Relaxed);
+            c.outer.wait();
+        }
+    }
+}
+
+/// A [`Simulation`](dragonfly_sim::Simulation) partitioned into per-group
+/// shards that step concurrently, producing byte-identical reports.
+///
+/// The run protocols mirror the sequential engine's exactly —
+/// `run_steady_state`, `run_steady_state_workload`, `run_trace` and
+/// `run_batch` — and for the same configuration and seed return the very same
+/// bytes.  The routing mechanism must be `Clone` so that every shard can hold
+/// its own (stateless) instance.
+pub struct ShardedSimulation<R: RoutingAlgorithm + Clone> {
+    shards: Vec<Shard<R>>,
+    params: DragonflyParams,
+    packet_size: usize,
+    cycle: u64,
+}
+
+impl<R: RoutingAlgorithm + Clone> ShardedSimulation<R> {
+    /// Build a sharded simulation: `plan.shards` full network replicas, each
+    /// owning a contiguous range of groups, wired up through their boundary
+    /// global links.  `traffic` is called once per shard and must produce
+    /// identical pattern instances (it always does for the deterministic
+    /// pattern constructors used throughout the workspace).
+    pub fn new(
+        config: SimConfig,
+        plan: ShardPlan,
+        routing: R,
+        traffic: impl Fn() -> Box<dyn TrafficPattern>,
+    ) -> Self {
+        let params = config.params;
+        let packet_size = config.packet_size;
+        let group_ranges = plan.group_ranges(&params);
+        let rpg = params.routers_per_group();
+        let npr = params.nodes_per_router();
+        let ports = params.ports_per_router();
+        let router_ranges: Vec<Range<usize>> = group_ranges
+            .iter()
+            .map(|g| g.start * rpg..g.end * rpg)
+            .collect();
+        // Group index → owning shard, for the boundary wiring below.
+        let mut shard_of_router = vec![0usize; params.num_routers()];
+        for (s, rr) in router_ranges.iter().enumerate() {
+            for r in rr.clone() {
+                shard_of_router[r] = s;
+            }
+        }
+
+        let shards = router_ranges
+            .iter()
+            .enumerate()
+            .map(|(id, rr)| {
+                let mut net = Network::with_routing(config.clone(), routing.clone(), traffic());
+                net.set_owned_nodes(rr.start * npr..rr.end * npr);
+                let mut tx_links = Vec::new();
+                let mut rx_links = Vec::new();
+                for li in 0..net.num_links() {
+                    let transmitter = li / ports;
+                    if let LinkEnd::Router { router, .. } = net.link_end(li) {
+                        let tx = shard_of_router[transmitter];
+                        let rx = shard_of_router[router];
+                        if tx == rx {
+                            continue;
+                        }
+                        if tx == id {
+                            tx_links.push((li, rx));
+                        } else if rx == id {
+                            rx_links.push((li, tx));
+                        }
+                    }
+                }
+                Shard {
+                    id,
+                    net,
+                    tx_links,
+                    rx_links,
+                    xlat: HashMap::new(),
+                    phit_buf: Vec::new(),
+                    credit_buf: Vec::new(),
+                }
+            })
+            .collect();
+        Self {
+            shards,
+            params,
+            packet_size,
+            cycle: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to one shard's network replica (tests, diagnostics).
+    pub fn network(&self, shard: usize) -> &Network<R> {
+        &self.shards[shard].net
+    }
+
+    /// Install `workload` into every shard replica (each compiles the same
+    /// placement and pattern deterministically).
+    pub fn install_workload(&mut self, workload: &WorkloadSpec) {
+        for shard in &mut self.shards {
+            let params = *shard.net.params();
+            let (runtime, pattern) = workload.compile(&params, self.packet_size);
+            shard.net.install_workload(runtime, Box::new(pattern));
+        }
+    }
+
+    /// Install a dynamic job schedule into every shard replica and enable the
+    /// delivery-feedback broadcast that keeps the replicas in lockstep.
+    pub fn install_schedule(&mut self, trace: &Trace) {
+        for shard in &mut self.shards {
+            let params = *shard.net.params();
+            let runtime = ScheduleRuntime::new(trace, params, self.packet_size);
+            shard.net.install_schedule(runtime);
+            shard.net.enable_sched_delivery_log();
+        }
+    }
+
+    /// Spawn one scoped worker thread per shard, hand the orchestration
+    /// protocol `f` a [`Driver`], and tear the workers down when it returns.
+    fn with_workers<T>(&mut self, f: impl FnOnce(&Driver<'_>) -> T) -> T {
+        let shards = self.shards.len();
+        let conductor = Conductor::new(shards);
+        let out = std::thread::scope(|scope| {
+            for shard in self.shards.iter_mut() {
+                let c = &conductor;
+                scope.spawn(move || shard.worker(c));
+            }
+            let driver = Driver {
+                c: &conductor,
+                shards,
+            };
+            let out = f(&driver);
+            driver.dispatch(Cmd::Exit);
+            out
+        });
+        self.cycle = self.shards[0].net.cycle;
+        out
+    }
+
+    /// Merge the per-shard collectors into the run-wide collector the reports
+    /// are built from (exact — see the module docs).
+    fn merged_stats(&self) -> StatsCollector {
+        let mut merged = self.shards[0].net.stats.clone();
+        for shard in &self.shards[1..] {
+            merged.merge(&shard.net.stats);
+        }
+        merged
+    }
+
+    /// Run the paper's steady-state protocol across all shards; byte-identical
+    /// to [`Simulation::run_steady_state`](dragonfly_sim::Simulation::run_steady_state).
+    pub fn run_steady_state(
+        &mut self,
+        offered_load: f64,
+        warmup: u64,
+        measure: u64,
+        drain: u64,
+    ) -> SimReport {
+        let packet_size = self.packet_size;
+        let nodes = self.params.num_nodes();
+        let has_workload = self.shards[0].net.workload().is_some();
+        let start_cycle = self.cycle;
+        self.with_workers(|driver| {
+            if !has_workload {
+                driver.dispatch(Cmd::SetInjection(Some(BernoulliInjection::new(
+                    offered_load,
+                    packet_size,
+                ))));
+            }
+            driver.dispatch(Cmd::TagMeasured(false));
+            driver.run(warmup);
+            let start = start_cycle + warmup;
+            driver.dispatch(Cmd::BeginMeasurement(start));
+            driver.dispatch(Cmd::TagMeasured(true));
+            driver.run(measure);
+            driver.dispatch(Cmd::EndMeasurement(start + measure));
+            driver.dispatch(Cmd::TagMeasured(false));
+
+            let measured_goal = driver.total_generated();
+            let mut drained = 0;
+            while drained < drain && driver.total_delivered() < measured_goal && !driver.deadlock()
+            {
+                driver.step();
+                drained += 1;
+            }
+        });
+
+        sim_report(
+            &self.merged_stats(),
+            SimRunIdentity {
+                routing: self.shards[0].net.routing_name().to_string(),
+                traffic: self.shards[0].net.traffic_name(),
+                offered_load,
+                nodes,
+                warmup_cycles: warmup,
+                measure_cycles: measure,
+                deadlock_detected: self.shards[0].net.deadlock_detected,
+            },
+        )
+    }
+
+    /// Run an installed workload's steady-state protocol; byte-identical to
+    /// [`Simulation::run_steady_state_workload`](dragonfly_sim::Simulation::run_steady_state_workload).
+    pub fn run_steady_state_workload(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        drain: u64,
+    ) -> WorkloadReport {
+        let nodes = self.params.num_nodes();
+        let nominal = self.shards[0]
+            .net
+            .workload()
+            .expect("run_steady_state_workload requires an installed workload")
+            .nominal_offered_load(nodes);
+        let aggregate = self.run_steady_state(nominal, warmup, measure, drain);
+
+        let stats = self.merged_stats();
+        let meas_start = stats.meter.window_start;
+        let meas_end = stats.meter.window_end;
+        let meas_cycles = meas_end.saturating_sub(meas_start);
+        let runtime = self.shards[0].net.workload().unwrap();
+        let scoped = stats
+            .scoped
+            .as_ref()
+            .expect("scoped statistics are enabled when a workload is installed");
+
+        let jobs = (0..runtime.num_jobs())
+            .map(|j| {
+                let job = runtime.job(j as u16);
+                let phases = (0..job.phases())
+                    .map(|ph| {
+                        let overlap = span_overlap(
+                            (job.phase_start(ph), job.phase_end(ph)),
+                            (meas_start, meas_end),
+                        );
+                        phase_report(
+                            PhaseIdentity {
+                                job: job.name().to_string(),
+                                phase: ph,
+                                pattern: job.phase_pattern(ph).to_string(),
+                                offered_load: job.phase_load(ph),
+                                start_cycle: job.phase_start(ph),
+                                end_cycle: job.phase_end(ph),
+                            },
+                            &scoped.per_phase[j][ph],
+                            job.nodes(),
+                            overlap,
+                        )
+                    })
+                    .collect();
+                job_report(
+                    job.name().to_string(),
+                    &scoped.per_job[j],
+                    job.nodes(),
+                    meas_cycles,
+                    None,
+                    phases,
+                )
+            })
+            .collect();
+        WorkloadReport { aggregate, jobs }
+    }
+
+    /// Run an installed job schedule to completion or `horizon`; byte-identical
+    /// to [`Simulation::run_trace`](dragonfly_sim::Simulation::run_trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics without an installed schedule, or if the simulation has already
+    /// stepped.
+    pub fn run_trace(&mut self, horizon: u64, drain: u64) -> WorkloadReport {
+        assert!(
+            self.shards[0].net.schedule().is_some(),
+            "run_trace requires an installed schedule"
+        );
+        assert_eq!(self.cycle, 0, "run_trace requires a fresh simulation");
+        let nodes = self.params.num_nodes();
+        let packet_size = self.packet_size;
+
+        let end = self.with_workers(|driver| {
+            driver.dispatch(Cmd::BeginMeasurement(0));
+            driver.dispatch(Cmd::TagMeasured(true));
+            let mut cycle = 0;
+            while cycle < horizon && !driver.deadlock() {
+                driver.step();
+                cycle += 1;
+                if driver.all_complete() && driver.all_drained() {
+                    break;
+                }
+            }
+            let end = cycle;
+            driver.dispatch(Cmd::EndMeasurement(end));
+            driver.dispatch(Cmd::TagMeasured(false));
+            driver.dispatch(Cmd::HaltSched);
+            let mut drained = 0;
+            while drained < drain && !driver.all_drained() && !driver.deadlock() {
+                driver.step();
+                drained += 1;
+            }
+            end
+        });
+
+        let stats = self.merged_stats();
+        let runtime = self.shards[0].net.schedule().unwrap();
+        let aggregate = sim_report(
+            &stats,
+            SimRunIdentity {
+                routing: self.shards[0].net.routing_name().to_string(),
+                traffic: runtime.label().to_string(),
+                offered_load: runtime.nominal_offered_load(nodes),
+                nodes,
+                warmup_cycles: 0,
+                measure_cycles: end,
+                deadlock_detected: self.shards[0].net.deadlock_detected,
+            },
+        );
+        let scoped = stats
+            .scoped
+            .as_ref()
+            .expect("scoped statistics are enabled when a schedule is installed");
+
+        let jobs = (0..runtime.num_jobs() as u16)
+            .map(|j| {
+                let spec = runtime.job_spec(j);
+                let lifetime = runtime.lifetime(j);
+                let start = lifetime.placed.unwrap_or(end);
+                let stop = lifetime.completed.unwrap_or(end);
+                let resident = span_overlap((start, stop), (0, end));
+                let slowdown = match (lifetime.wait_cycles(), lifetime.service_cycles()) {
+                    (Some(wait), Some(service)) => {
+                        let ideal = runtime.ideal_service_cycles(j, packet_size);
+                        Some((wait + service) as f64 / ideal.max(1) as f64)
+                    }
+                    _ => None,
+                };
+                let phase = phase_report(
+                    PhaseIdentity {
+                        job: spec.name.clone(),
+                        phase: 0,
+                        pattern: spec.pattern.name(),
+                        offered_load: spec.offered_load,
+                        start_cycle: start,
+                        end_cycle: stop,
+                    },
+                    &scoped.per_phase[j as usize][0],
+                    spec.size,
+                    resident,
+                );
+                job_report(
+                    spec.name.clone(),
+                    &scoped.per_job[j as usize],
+                    spec.size,
+                    resident,
+                    Some(JobLifecycleReport {
+                        arrival_cycle: lifetime.arrival,
+                        placed_cycle: lifetime.placed,
+                        completion_cycle: lifetime.completed,
+                        wait_cycles: lifetime.wait_cycles(),
+                        slowdown,
+                    }),
+                    vec![phase],
+                )
+            })
+            .collect();
+        WorkloadReport { aggregate, jobs }
+    }
+
+    /// Run the burst-consumption protocol; byte-identical to
+    /// [`Simulation::run_batch`](dragonfly_sim::Simulation::run_batch).
+    pub fn run_batch(&mut self, burst: BurstSpec, max_cycles: u64) -> BatchReport {
+        assert_eq!(
+            burst.packet_size(),
+            self.packet_size,
+            "burst packet size must match the configured packet size"
+        );
+        assert!(
+            self.shards[0].net.schedule().is_none(),
+            "burst runs do not support dynamic schedules"
+        );
+        let start = self.cycle;
+        let (total, consumption) = self.with_workers(|driver| {
+            driver.dispatch(Cmd::DropWorkload);
+            driver.dispatch(Cmd::BeginMeasurement(start));
+            driver.dispatch(Cmd::PreloadBurst(burst.packets_per_node()));
+            let total = driver.total_generated();
+            let mut cycle = start;
+            while !driver.all_drained() && cycle - start < max_cycles && !driver.deadlock() {
+                driver.step();
+                cycle += 1;
+            }
+            driver.dispatch(Cmd::EndMeasurement(cycle));
+            (total, cycle - start)
+        });
+
+        let stats = self.merged_stats();
+        let drained = self.shards.iter().all(|s| s.net.is_drained());
+        let deadlock = self.shards[0].net.deadlock_detected;
+        BatchReport {
+            routing: self.shards[0].net.routing_name().to_string(),
+            traffic: self.shards[0].net.traffic_name(),
+            packets_per_node: burst.packets_per_node(),
+            packets_total: total,
+            packets_delivered: stats.total_delivered,
+            consumption_cycles: consumption,
+            avg_latency_cycles: stats.latency.mean(),
+            timed_out: !drained && !deadlock,
+            deadlock_detected: deadlock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dragonfly_sim::{BaselineMinimal, Simulation};
+    use dragonfly_traffic::Uniform;
+
+    fn config(seed: u64) -> SimConfig {
+        SimConfig::paper_vct(2).with_seed(seed)
+    }
+
+    #[test]
+    fn plan_splits_groups_contiguously_and_covers_everything() {
+        let params = DragonflyParams::new(2); // 9 groups
+        for shards in [1, 2, 3, 4, 9] {
+            let ranges = ShardPlan::new(shards).group_ranges(&params);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, 9);
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert!(!pair[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one whole group per shard")]
+    fn plan_rejects_more_shards_than_groups() {
+        let params = DragonflyParams::new(2);
+        let _ = ShardPlan::new(10).group_ranges(&params);
+    }
+
+    #[test]
+    fn boundary_wiring_is_symmetric_and_global_only() {
+        let sim =
+            ShardedSimulation::new(config(1), ShardPlan::new(3), BaselineMinimal::new(), || {
+                Box::new(Uniform::new())
+            });
+        let params = DragonflyParams::new(2);
+        let ports = params.ports_per_router();
+        let mut tx_total = 0;
+        let mut rx_total = 0;
+        for s in 0..sim.shards() {
+            let shard = &sim.shards[s];
+            tx_total += shard.tx_links.len();
+            rx_total += shard.rx_links.len();
+            for &(li, peer) in &shard.tx_links {
+                assert_ne!(peer, s);
+                // The transmitting router must be owned by this shard...
+                let tx_router = li / ports;
+                assert!(sim.shards[s]
+                    .net
+                    .owned_nodes()
+                    .contains(&(tx_router * params.nodes_per_router())));
+                // ...and the link must appear in the peer's receive list.
+                assert!(sim.shards[peer]
+                    .rx_links
+                    .iter()
+                    .any(|&(l, p)| l == li && p == s));
+            }
+        }
+        assert_eq!(tx_total, rx_total);
+        assert!(
+            tx_total > 0,
+            "3 shards of a 9-group machine must share links"
+        );
+    }
+
+    #[test]
+    fn single_shard_steady_state_matches_sequential() {
+        let mut sequential = Simulation::new(
+            config(7),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        );
+        let expected = sequential.run_steady_state(0.15, 400, 800, 1_200);
+
+        let mut sharded =
+            ShardedSimulation::new(config(7), ShardPlan::new(1), BaselineMinimal::new(), || {
+                Box::new(Uniform::new())
+            });
+        let got = sharded.run_steady_state(0.15, 400, 800, 1_200);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn multi_shard_steady_state_matches_sequential() {
+        let mut sequential = Simulation::new(
+            config(9),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        );
+        let expected = sequential.run_steady_state(0.2, 500, 1_000, 1_500);
+
+        for shards in [2, 3] {
+            let mut sharded = ShardedSimulation::new(
+                config(9),
+                ShardPlan::new(shards),
+                BaselineMinimal::new(),
+                || Box::new(Uniform::new()),
+            );
+            let got = sharded.run_steady_state(0.2, 500, 1_000, 1_500);
+            assert_eq!(got, expected, "{shards} shards diverged");
+        }
+    }
+}

@@ -121,6 +121,14 @@ impl SimConfig {
         self
     }
 
+    /// Override the number of global VCs (e.g. 3 or 4 for head-of-line studies
+    /// beyond the paper's 2).
+    pub fn with_global_vcs(mut self, vcs: usize) -> Self {
+        assert!(vcs >= 1);
+        self.global_vcs = vcs;
+        self
+    }
+
     /// Override the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;

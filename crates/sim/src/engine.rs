@@ -109,25 +109,18 @@ impl<R: RoutingAlgorithm> Simulation<R> {
             drained += 1;
         }
 
-        let stats = &self.net.stats;
-        SimReport {
-            routing: self.net.routing_name().to_string(),
-            traffic: self.net.traffic_name(),
-            offered_load,
-            injected_load: stats.meter.injected_load(nodes),
-            accepted_load: stats.meter.accepted_load(nodes),
-            avg_latency_cycles: stats.latency.mean(),
-            p99_latency_cycles: stats.latency_hist.percentile(0.99).unwrap_or(0.0),
-            max_latency_cycles: stats.latency.max().unwrap_or(0.0),
-            avg_hops: stats.hops.mean(),
-            global_misroute_fraction: stats.global_misroute_fraction(),
-            local_misroute_fraction: stats.local_misroute_fraction(),
-            packets_delivered: stats.meter.packets_delivered,
-            packets_measured: stats.measured_delivered,
-            warmup_cycles: warmup,
-            measure_cycles: measure,
-            deadlock_detected: self.net.deadlock_detected,
-        }
+        sim_report(
+            &self.net.stats,
+            SimRunIdentity {
+                routing: self.net.routing_name().to_string(),
+                traffic: self.net.traffic_name(),
+                offered_load,
+                nodes,
+                warmup_cycles: warmup,
+                measure_cycles: measure,
+                deadlock_detected: self.net.deadlock_detected,
+            },
+        )
     }
 
     /// Install `workload` into the network: compiles the destination-side pattern
@@ -271,24 +264,18 @@ impl<R: RoutingAlgorithm> Simulation<R> {
 
         let stats = &self.net.stats;
         let runtime = self.net.schedule().unwrap();
-        let aggregate = SimReport {
-            routing: self.net.routing_name().to_string(),
-            traffic: runtime.label().to_string(),
-            offered_load: runtime.nominal_offered_load(nodes),
-            injected_load: stats.meter.injected_load(nodes),
-            accepted_load: stats.meter.accepted_load(nodes),
-            avg_latency_cycles: stats.latency.mean(),
-            p99_latency_cycles: stats.latency_hist.percentile(0.99).unwrap_or(0.0),
-            max_latency_cycles: stats.latency.max().unwrap_or(0.0),
-            avg_hops: stats.hops.mean(),
-            global_misroute_fraction: stats.global_misroute_fraction(),
-            local_misroute_fraction: stats.local_misroute_fraction(),
-            packets_delivered: stats.meter.packets_delivered,
-            packets_measured: stats.measured_delivered,
-            warmup_cycles: 0,
-            measure_cycles: end,
-            deadlock_detected: self.net.deadlock_detected,
-        };
+        let aggregate = sim_report(
+            stats,
+            SimRunIdentity {
+                routing: self.net.routing_name().to_string(),
+                traffic: runtime.label().to_string(),
+                offered_load: runtime.nominal_offered_load(nodes),
+                nodes,
+                warmup_cycles: 0,
+                measure_cycles: end,
+                deadlock_detected: self.net.deadlock_detected,
+            },
+        );
         let scoped = stats
             .scoped
             .as_ref()
@@ -388,25 +375,80 @@ impl<R: RoutingAlgorithm> Simulation<R> {
 }
 
 /// Cycles of the half-open span `a` that fall inside the half-open span `b`.
-fn span_overlap(a: (u64, u64), b: (u64, u64)) -> u64 {
+pub fn span_overlap(a: (u64, u64), b: (u64, u64)) -> u64 {
     a.1.min(b.1).saturating_sub(a.0.max(b.0))
+}
+
+/// Everything in a [`SimReport`] that is not derived from the run's
+/// [`StatsCollector`](crate::StatsCollector) — names, parameters and the
+/// watchdog verdict.
+pub struct SimRunIdentity {
+    /// Routing mechanism display name.
+    pub routing: String,
+    /// Traffic pattern display name.
+    pub traffic: String,
+    /// Offered load requested, in phits/(node·cycle).
+    pub offered_load: f64,
+    /// Number of terminal nodes (load normalization).
+    pub nodes: usize,
+    /// Warm-up cycles simulated before measurement.
+    pub warmup_cycles: u64,
+    /// Measured cycles.
+    pub measure_cycles: u64,
+    /// Whether the deadlock watchdog fired.
+    pub deadlock_detected: bool,
+}
+
+/// Build a [`SimReport`] from an accumulated collector.  Shared by the
+/// sequential protocols here and the sharded engine (`dragonfly_shard`), which
+/// feeds the *merged* per-shard collector — keeping the two engines' report
+/// construction a single code path is part of the byte-identity argument.
+pub fn sim_report(stats: &crate::StatsCollector, id: SimRunIdentity) -> SimReport {
+    SimReport {
+        routing: id.routing,
+        traffic: id.traffic,
+        offered_load: id.offered_load,
+        injected_load: stats.meter.injected_load(id.nodes),
+        accepted_load: stats.meter.accepted_load(id.nodes),
+        avg_latency_cycles: stats.latency.mean(),
+        p99_latency_cycles: stats.latency_hist.percentile(0.99).unwrap_or(0.0),
+        max_latency_cycles: stats.latency.max().unwrap_or(0.0),
+        avg_hops: stats.hops.mean(),
+        global_misroute_fraction: stats.global_misroute_fraction(),
+        local_misroute_fraction: stats.local_misroute_fraction(),
+        packets_delivered: stats.meter.packets_delivered,
+        packets_measured: stats.measured_delivered,
+        warmup_cycles: id.warmup_cycles,
+        measure_cycles: id.measure_cycles,
+        deadlock_detected: id.deadlock_detected,
+        peak_in_flight_packets: stats.peak_in_flight_packets,
+        peak_buffered_phits: stats.peak_buffered_phits,
+        peak_vc_occupancy: stats.peak_vc_occupancy,
+    }
 }
 
 /// Identity of one phase row — everything in a [`PhaseReport`] that is not
 /// derived from its [`ScopedStats`] entry.
-struct PhaseIdentity {
-    job: String,
-    phase: usize,
-    pattern: String,
-    offered_load: f64,
-    start_cycle: u64,
-    end_cycle: u64,
+pub struct PhaseIdentity {
+    /// Owning job's display name.
+    pub job: String,
+    /// Phase index within the job.
+    pub phase: usize,
+    /// Traffic pattern display name of the phase.
+    pub pattern: String,
+    /// Configured offered load of the phase.
+    pub offered_load: f64,
+    /// First cycle of the phase (absolute).
+    pub start_cycle: u64,
+    /// One past the last cycle of the phase (absolute; `u64::MAX` = open).
+    pub end_cycle: u64,
 }
 
 /// Build a [`PhaseReport`] from a scoped-stats entry: loads normalized over
 /// `nodes × cycles`, plus the latency/hops/misroute/packet fields.  Shared by
-/// the workload and trace protocols so the stats mapping cannot diverge.
-fn phase_report(id: PhaseIdentity, s: &ScopedStats, nodes: usize, cycles: u64) -> PhaseReport {
+/// the workload and trace protocols (and their sharded counterparts) so the
+/// stats mapping cannot diverge.
+pub fn phase_report(id: PhaseIdentity, s: &ScopedStats, nodes: usize, cycles: u64) -> PhaseReport {
     PhaseReport {
         job: id.job,
         phase: id.phase,
@@ -430,7 +472,7 @@ fn phase_report(id: PhaseIdentity, s: &ScopedStats, nodes: usize, cycles: u64) -
 }
 
 /// The job-level sibling of [`phase_report`].
-fn job_report(
+pub fn job_report(
     name: String,
     s: &ScopedStats,
     nodes: usize,

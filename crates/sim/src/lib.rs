@@ -40,7 +40,10 @@ pub mod routing_iface;
 pub mod stats_collect;
 
 pub use config::{FlowControl, SimConfig};
-pub use engine::Simulation;
+pub use engine::{
+    job_report, phase_report, sim_report, span_overlap, PhaseIdentity, SimRunIdentity, Simulation,
+};
+pub use link::{CreditInFlight, LinkEnd, PhitInFlight};
 pub use network::{GlobalStatusBoard, Network, SourceQueue};
 pub use packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
 pub use router::{InputPort, InputVc, OutputPort, OutputVc, Router};

@@ -121,6 +121,48 @@ impl Link {
         }
     }
 
+    /// Pop the next phit regardless of its arrival stamp (boundary-link export:
+    /// the phit continues its flight in the receiving shard's link copy).
+    #[inline]
+    pub fn take_phit(&mut self) -> Option<PhitInFlight> {
+        self.phits.pop_front()
+    }
+
+    /// Pop the next credit regardless of its arrival stamp (boundary-link
+    /// export toward the transmitting shard).
+    #[inline]
+    pub fn take_credit(&mut self) -> Option<CreditInFlight> {
+        self.credits.pop_front()
+    }
+
+    /// Enqueue a phit that already carries its absolute arrival stamp
+    /// (boundary-link import from the transmitting shard).
+    #[inline]
+    pub fn push_arriving_phit(&mut self, phit: PhitInFlight) {
+        debug_assert!(
+            self.phits
+                .back()
+                .map(|p| p.arrive <= phit.arrive)
+                .unwrap_or(true),
+            "imported phits must keep non-decreasing arrival order"
+        );
+        self.phits.push_back(phit);
+    }
+
+    /// Enqueue a credit that already carries its absolute arrival stamp
+    /// (boundary-link import from the receiving shard).
+    #[inline]
+    pub fn push_arriving_credit(&mut self, credit: CreditInFlight) {
+        debug_assert!(
+            self.credits
+                .back()
+                .map(|c| c.arrive <= credit.arrive)
+                .unwrap_or(true),
+            "imported credits must keep non-decreasing arrival order"
+        );
+        self.credits.push_back(credit);
+    }
+
     /// Number of phits currently in flight.
     #[inline]
     pub fn phits_in_flight(&self) -> usize {

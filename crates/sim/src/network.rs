@@ -1,17 +1,18 @@
 //! The network: routers, links, sources and the per-cycle simulation phases.
 
 use crate::config::SimConfig;
-use crate::link::{Link, LinkEnd, PhitInFlight};
-use crate::packet::{PacketArena, PacketId, UNTAGGED};
+use crate::link::{CreditInFlight, Link, LinkEnd, PhitInFlight};
+use crate::packet::{Packet, PacketArena, PacketId, UNTAGGED};
 use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
 use crate::stats_collect::StatsCollector;
-use dragonfly_rng::Rng;
+use dragonfly_rng::{derive_seed, Rng};
 use dragonfly_sched::ScheduleRuntime;
 use dragonfly_topology::{DragonflyParams, NodeId, Port, PortKind, RouterId};
 use dragonfly_traffic::{BernoulliInjection, TrafficPattern};
 use dragonfly_workload::WorkloadRuntime;
 use std::collections::VecDeque;
+use std::ops::Range;
 
 /// Unbounded per-node source queue feeding the router's injection port.
 #[derive(Debug, Default)]
@@ -80,7 +81,12 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     pub packets: PacketArena,
     /// Current cycle.
     pub cycle: u64,
-    rng: Rng,
+    /// One RNG stream per router, derived deterministically from the master
+    /// seed.  Injection draws of a node use its router's stream and routing
+    /// draws use the deciding router's stream, so the simulation outcome never
+    /// depends on the order routers are visited in — which is what lets the
+    /// sharded engine (`dragonfly_shard`) reproduce sequential runs exactly.
+    rngs: Vec<Rng>,
     routing: R,
     traffic: Box<dyn TrafficPattern>,
     injection: Option<BernoulliInjection>,
@@ -114,9 +120,20 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     router_active: Vec<bool>,
     /// Phits currently stored in each router's input buffers.
     buffered_phits: Vec<u32>,
+    /// Phits currently stored across *all* input buffers (memory telemetry).
+    buffered_total: u64,
     /// Reused scratch buffer for the per-router routing decisions (avoids a per-cycle
     /// allocation in `phase_routing`).
     route_scratch: Vec<(usize, usize, PacketId, RouteChoice)>,
+    // --- Sharding support -------------------------------------------------------
+    /// Nodes this network instance generates and injects for.  The full range in
+    /// a sequential run; a shard's owned range when this network is one partition
+    /// of a sharded run (see `dragonfly_shard`).
+    owned_nodes: Range<usize>,
+    /// When present, every job id fed to `ScheduleRuntime::note_delivered` is
+    /// also appended here, so a sharded run can broadcast delivery feedback to
+    /// the other shards' schedule replicas at the cycle barrier.
+    sched_delivery_log: Option<Vec<u16>>,
 }
 
 /// Type-erased construction path, kept so `RoutingKind::build()` and the experiment
@@ -211,8 +228,11 @@ impl<R: RoutingAlgorithm> Network<R> {
         let link_phits = vec![0u64; links.len()];
         let num_links = links.len();
         let num_global_channels = params.groups() * params.global_channels_per_group();
+        let rngs = (0..num_routers)
+            .map(|r| Rng::seed_from(derive_seed(config.seed, r as u64)))
+            .collect();
         Self {
-            rng: Rng::seed_from(config.seed),
+            rngs,
             config,
             params,
             routers,
@@ -239,7 +259,10 @@ impl<R: RoutingAlgorithm> Network<R> {
             active_routers: Vec::new(),
             router_active: vec![false; num_routers],
             buffered_phits: vec![0; num_routers],
+            buffered_total: 0,
             route_scratch: Vec::new(),
+            owned_nodes: 0..params.num_nodes(),
+            sched_delivery_log: None,
         }
     }
 
@@ -334,14 +357,19 @@ impl<R: RoutingAlgorithm> Network<R> {
         self.sched.as_mut()
     }
 
-    /// Pre-load every node's source queue with `packets_per_node` packets (burst mode).
+    /// Pre-load every owned node's source queue with `packets_per_node` packets
+    /// (burst mode).
     pub fn preload_burst(&mut self, packets_per_node: u64) {
-        for n in 0..self.params.num_nodes() {
+        for n in self.owned_nodes.clone() {
             let src = NodeId(n as u32);
+            let router = self.params.router_of_node(src).index();
             for _ in 0..packets_per_node {
-                let dst = self
-                    .traffic
-                    .destination_at(self.cycle, src, &self.params, &mut self.rng);
+                let dst = self.traffic.destination_at(
+                    self.cycle,
+                    src,
+                    &self.params,
+                    &mut self.rngs[router],
+                );
                 debug_assert_ne!(dst, src);
                 let id = self
                     .packets
@@ -398,6 +426,22 @@ impl<R: RoutingAlgorithm> Network<R> {
 
     /// Advance the simulation by one cycle.
     pub fn step(&mut self) {
+        self.advance_hooks();
+        let activity = self.step_phases();
+        let live = self.packets.live() > 0;
+        self.apply_watchdog(activity, live);
+        self.stats
+            .note_cycle_peaks(self.stats.in_flight(), self.buffered_total);
+        self.finish_cycle();
+    }
+
+    /// Run the per-cycle lifecycle hooks (dynamic scheduler, workload phase
+    /// boundaries) for the current cycle, before any packet is generated.
+    ///
+    /// Part of the decomposed [`Network::step`] used by the sharded engine; a
+    /// sequential step is `advance_hooks` → `step_phases` → `apply_watchdog` →
+    /// `finish_cycle`.
+    pub fn advance_hooks(&mut self) {
         let cycle = self.cycle;
         // Lifecycle hook: the dynamic scheduler admits arrivals, retires finished
         // jobs and re-places waiting ones before any packet of the cycle is
@@ -410,12 +454,42 @@ impl<R: RoutingAlgorithm> Network<R> {
         if let Some(workload) = &mut self.workload {
             workload.advance_to(cycle);
         }
+    }
+
+    /// Run the five phases (arrivals → injection → routing → switch → local
+    /// bookkeeping) of the current cycle and return whether any phit moved.
+    ///
+    /// Everything here is local to the routers, links and nodes this network
+    /// instance owns; the deadlock watchdog — which needs run-wide knowledge in
+    /// a sharded run — is applied separately by [`Network::apply_watchdog`].
+    pub fn step_phases(&mut self) -> bool {
+        let cycle = self.cycle;
         let mut activity = false;
         activity |= self.phase_arrivals(cycle);
         activity |= self.phase_injection(cycle);
         self.phase_routing(cycle);
         activity |= self.phase_switch(cycle);
-        self.phase_bookkeeping(cycle, activity);
+        self.stats.tick(cycle);
+        self.update_pb_board();
+        activity
+    }
+
+    /// Advance the deadlock watchdog with run-wide knowledge: whether *any*
+    /// phit moved this cycle and whether *any* packet is live anywhere.  A
+    /// sequential run passes its own activity and `packets.live() > 0`; a
+    /// sharded run passes the OR over all shards, so every shard reaches the
+    /// same verdict at the same cycle.
+    pub fn apply_watchdog(&mut self, global_activity: bool, global_live: bool) {
+        let cycle = self.cycle;
+        if global_activity {
+            self.last_activity = cycle;
+        } else if global_live && cycle - self.last_activity > self.config.deadlock_threshold {
+            self.deadlock_detected = true;
+        }
+    }
+
+    /// Close the current cycle (the last piece of the decomposed [`Network::step`]).
+    pub fn finish_cycle(&mut self) {
         self.cycle += 1;
     }
 
@@ -459,10 +533,13 @@ impl<R: RoutingAlgorithm> Network<R> {
                 activity = true;
                 match to {
                     LinkEnd::Router { router, port } => {
-                        self.routers[router].inputs[port].vcs[phit.vc as usize]
-                            .buffer
-                            .receive_phit(phit.packet, phit.size, phit.is_head);
+                        let buffer =
+                            &mut self.routers[router].inputs[port].vcs[phit.vc as usize].buffer;
+                        buffer.receive_phit(phit.packet, phit.size, phit.is_head);
+                        let occupancy = buffer.occupancy();
+                        self.stats.note_vc_occupancy(occupancy);
                         self.buffered_phits[router] += 1;
+                        self.buffered_total += 1;
                         self.mark_router_active(router);
                     }
                     LinkEnd::Node { node: _ } => {
@@ -475,6 +552,9 @@ impl<R: RoutingAlgorithm> Network<R> {
                             if packet.job != UNTAGGED {
                                 if let Some(sched) = self.sched.as_mut() {
                                     sched.note_delivered(packet.job);
+                                    if let Some(log) = self.sched_delivery_log.as_mut() {
+                                        log.push(packet.job);
+                                    }
                                 }
                             }
                             self.stats.record_delivery(&packet, cycle);
@@ -500,39 +580,42 @@ impl<R: RoutingAlgorithm> Network<R> {
     // ------------------------------------------------------------------
     fn phase_injection(&mut self, cycle: u64) -> bool {
         let mut activity = false;
-        let num_nodes = self.params.num_nodes();
-        for n in 0..num_nodes {
+        for n in self.owned_nodes.clone() {
+            let node = NodeId(n as u32);
+            // All random draws of a node use its router's stream, so the outcome
+            // is independent of how the node space is partitioned across shards.
+            let router = self.params.router_of_node(node).index();
             // Generation: per-job scheduler or workload rates (tagged) or the
             // global Bernoulli process (untagged).  Idle nodes never generate.
             let generated = if let Some(sched) = self.sched.as_ref() {
                 match sched.source(n) {
                     // Scheduled jobs have a single phase (index 0).
-                    Some(job) if sched.generate(job, &mut self.rng) => Some((job, 0)),
+                    Some(job) if sched.generate(job, &mut self.rngs[router]) => Some((job, 0)),
                     _ => None,
                 }
             } else if let Some(workload) = self.workload.as_ref() {
                 match workload.source(n) {
-                    Some((job, phase)) if workload.generate(job, &mut self.rng) => {
+                    Some((job, phase)) if workload.generate(job, &mut self.rngs[router]) => {
                         Some((job, phase))
                     }
                     _ => None,
                 }
             } else if let Some(injection) = self.injection {
                 injection
-                    .generate(&mut self.rng)
+                    .generate(&mut self.rngs[router])
                     .then_some((UNTAGGED, UNTAGGED))
             } else {
                 None
             };
             if let Some((job, phase)) = generated {
-                let src = NodeId(n as u32);
+                let src = node;
                 // Destinations: the scheduler's dynamic per-job patterns, or the
                 // network's (static, possibly time-aware) traffic pattern.
                 let dst = if let Some(sched) = self.sched.as_ref() {
-                    sched.destination(cycle, src, &self.params, &mut self.rng)
+                    sched.destination(cycle, src, &self.params, &mut self.rngs[router])
                 } else {
                     self.traffic
-                        .destination_at(cycle, src, &self.params, &mut self.rng)
+                        .destination_at(cycle, src, &self.params, &mut self.rngs[router])
                 };
                 debug_assert_ne!(dst, src);
                 let id = self
@@ -551,8 +634,6 @@ impl<R: RoutingAlgorithm> Network<R> {
             let Some(&head) = source.pending.front() else {
                 continue;
             };
-            let node = NodeId(n as u32);
-            let router = self.params.router_of_node(node).index();
             let term = self.params.node_index_in_router(node);
             let port = Port::Terminal(term).flat(self.params.h());
             let buffer = &mut self.routers[router].inputs[port].vcs[0].buffer;
@@ -564,7 +645,10 @@ impl<R: RoutingAlgorithm> Network<R> {
             if is_head {
                 packet.inject_cycle = cycle;
             }
+            let buffer = &mut self.routers[router].inputs[port].vcs[0].buffer;
             buffer.receive_phit(head, packet.size, is_head);
+            let occupancy = buffer.occupancy();
+            self.stats.note_vc_occupancy(occupancy);
             source.head_phits_sent += 1;
             activity = true;
             if source.head_phits_sent == packet.size {
@@ -572,6 +656,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                 source.head_phits_sent = 0;
             }
             self.buffered_phits[router] += 1;
+            self.buffered_total += 1;
             self.mark_router_active(router);
         }
         activity
@@ -618,7 +703,8 @@ impl<R: RoutingAlgorithm> Network<R> {
                             continue;
                         };
                         let packet = self.packets.get(slot.packet);
-                        if let Some(choice) = self.routing.route(&ctx, packet, &view, &mut self.rng)
+                        if let Some(choice) =
+                            self.routing.route(&ctx, packet, &view, &mut self.rngs[r])
                         {
                             decisions.push((ip, ivc, slot.packet, choice));
                         }
@@ -697,6 +783,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                 let Some(vc) = chosen else { continue };
                 activity = true;
                 self.buffered_phits[r] -= 1;
+                self.buffered_total -= 1;
                 let (ip, ivc) = self.routers[r].outputs[op].vcs[vc].owner.unwrap();
                 let (ip, ivc) = (ip as usize, ivc as usize);
                 let router = &mut self.routers[r];
@@ -747,21 +834,6 @@ impl<R: RoutingAlgorithm> Network<R> {
         activity
     }
 
-    // ------------------------------------------------------------------
-    // Phase E: statistics, piggybacking board and the deadlock watchdog.
-    // ------------------------------------------------------------------
-    fn phase_bookkeeping(&mut self, cycle: u64, activity: bool) {
-        self.stats.tick(cycle);
-        self.update_pb_board();
-        if activity {
-            self.last_activity = cycle;
-        } else if self.packets.live() > 0
-            && cycle - self.last_activity > self.config.deadlock_threshold
-        {
-            self.deadlock_detected = true;
-        }
-    }
-
     /// Mark the global channel behind `(router, global port)` for re-evaluation.
     #[inline]
     fn mark_pb_dirty(&mut self, router: usize, gport: usize) {
@@ -798,6 +870,129 @@ impl<R: RoutingAlgorithm> Network<R> {
         }
         #[cfg(debug_assertions)]
         self.assert_pb_board_matches_full_scan();
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding support (see `dragonfly_shard`).
+    // ------------------------------------------------------------------
+    //
+    // A sharded run partitions the groups across several full `Network`
+    // replicas.  Each replica restricts injection to its owned node range and
+    // steps `advance_hooks` / `step_phases` / `apply_watchdog` / `finish_cycle`
+    // under an external per-cycle barrier; global links whose two ends live in
+    // different shards exchange their phits and credits (with their absolute
+    // delivery stamps) through the methods below.
+
+    /// Restrict packet generation, injection and burst preloading to `nodes`
+    /// (a shard's owned contiguous node range).  The default is every node.
+    pub fn set_owned_nodes(&mut self, nodes: Range<usize>) {
+        assert!(nodes.end <= self.params.num_nodes());
+        self.owned_nodes = nodes;
+    }
+
+    /// The node range this network instance generates packets for.
+    pub fn owned_nodes(&self) -> Range<usize> {
+        self.owned_nodes.clone()
+    }
+
+    /// Number of links (every router's output ports, flat-indexed as
+    /// `router * ports_per_router + port`).
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Where the link `li` ends (the receiving router/port or ejection node).
+    pub fn link_end(&self, li: usize) -> LinkEnd {
+        self.links[li].to
+    }
+
+    /// Drain every phit queued on link `li` into `out` (a transmit-side
+    /// boundary link: the phits travel to another shard at the cycle barrier).
+    pub fn take_link_phits(&mut self, li: usize, out: &mut Vec<PhitInFlight>) {
+        let link = &mut self.links[li];
+        while let Some(phit) = link.take_phit() {
+            out.push(phit);
+        }
+    }
+
+    /// Drain every credit queued on link `li` into `out` (a receive-side
+    /// boundary link: the credits travel back to the transmitting shard).
+    pub fn take_link_credits(&mut self, li: usize, out: &mut Vec<CreditInFlight>) {
+        let link = &mut self.links[li];
+        while let Some(credit) = link.take_credit() {
+            out.push(credit);
+        }
+    }
+
+    /// Deliver a phit from the transmitting shard into this shard's copy of
+    /// link `li`, keeping its original arrival stamp.
+    pub fn import_link_phit(&mut self, li: usize, phit: PhitInFlight) {
+        self.links[li].push_arriving_phit(phit);
+        self.mark_link_active(li);
+    }
+
+    /// Deliver a credit from the receiving shard into this shard's copy of
+    /// link `li`, keeping its original arrival stamp.
+    pub fn import_link_credit(&mut self, li: usize, credit: CreditInFlight) {
+        self.links[li].push_arriving_credit(credit);
+        self.mark_link_active(li);
+    }
+
+    /// Clone the full state of a live packet (shipped alongside the head phit
+    /// when a packet crosses a shard boundary).
+    pub fn export_packet(&self, id: PacketId) -> Packet {
+        self.packets.get(id).clone()
+    }
+
+    /// Free a packet whose tail phit has left this shard (the receiving shard
+    /// owns the authoritative copy from its head-phit import on).
+    pub fn release_exported_packet(&mut self, id: PacketId) {
+        self.packets.free(id);
+    }
+
+    /// Adopt a packet arriving from another shard into the local arena and
+    /// return its local id.
+    pub fn adopt_packet(&mut self, packet: &Packet) -> PacketId {
+        self.packets.adopt(packet)
+    }
+
+    /// Start logging delivery feedback so a sharded run can broadcast it (see
+    /// [`Network::take_sched_deliveries`]).
+    pub fn enable_sched_delivery_log(&mut self) {
+        self.sched_delivery_log = Some(Vec::new());
+    }
+
+    /// Take the job ids delivered on this shard since the last call (delivery
+    /// feedback broadcast to the other shards' schedule replicas).
+    pub fn take_sched_deliveries(&mut self) -> Vec<u16> {
+        match self.sched_delivery_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Apply delivery feedback observed on *another* shard to this shard's
+    /// schedule replica, keeping every replica's volume counters in lockstep.
+    pub fn apply_remote_deliveries(&mut self, jobs: &[u16]) {
+        if let Some(sched) = self.sched.as_mut() {
+            for &job in jobs {
+                sched.note_delivered(job);
+            }
+        }
+    }
+
+    /// Phits currently stored across all input buffers of this network
+    /// instance (the per-shard summand of the memory-footprint telemetry).
+    pub fn buffered_phits_total(&self) -> u64 {
+        self.buffered_total
+    }
+
+    /// Update the run-wide memory-footprint peaks for the current cycle.  The
+    /// sequential [`Network::step`] feeds its own counters; a sharded run feeds
+    /// the global sums so every shard records identical peaks.
+    pub fn note_cycle_peaks(&mut self, in_flight_packets: u64, buffered_phits: u64) {
+        self.stats
+            .note_cycle_peaks(in_flight_packets, buffered_phits);
     }
 
     /// Debug-build equivalence check of the event-driven board against the full scan

@@ -156,6 +156,17 @@ impl PacketArena {
             .expect("access to a freed packet")
     }
 
+    /// Adopt a packet arriving from another shard's arena: allocate a local
+    /// slot, copy every field of `packet` and return the *local* id (the
+    /// packet's `id` field is rewritten to match).
+    pub fn adopt(&mut self, packet: &Packet) -> PacketId {
+        let id = self.alloc(packet.src, packet.dst, packet.size, packet.gen_cycle);
+        let slot = self.get_mut(id);
+        *slot = packet.clone();
+        slot.id = id;
+        id
+    }
+
     /// Free a delivered packet's slot for reuse.
     pub fn free(&mut self, id: PacketId) {
         let slot = &mut self.slots[id.index()];

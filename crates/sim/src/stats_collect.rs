@@ -1,14 +1,14 @@
 //! In-simulation statistics collection.
 
 use crate::packet::{Packet, UNTAGGED};
-use dragonfly_stats::{Histogram, RunningStats, ScopedStats, ThroughputMeter};
+use dragonfly_stats::{ExactStats, Histogram, ScopedStats, ThroughputMeter};
 
 /// Latency-histogram bins of the per-job/per-phase accumulators (smaller than the
 /// aggregate histogram; p99 above this many cycles saturates at the bin range).
 const SCOPED_LATENCY_BINS: usize = 32 * 1024;
 
 /// Per-job and per-(job, phase) breakdowns, enabled when a workload is installed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ScopedCollector {
     /// One accumulator per job, covering the whole run.
     pub per_job: Vec<ScopedStats>,
@@ -33,6 +33,24 @@ impl ScopedCollector {
                 .collect(),
         }
     }
+
+    /// Merge another collector with the same job/phase shape into this one.
+    fn merge(&mut self, other: &ScopedCollector) {
+        assert_eq!(
+            self.per_job.len(),
+            other.per_job.len(),
+            "scoped collectors must cover the same jobs to merge"
+        );
+        for (a, b) in self.per_job.iter_mut().zip(other.per_job.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.per_phase.iter_mut().zip(other.per_phase.iter()) {
+            assert_eq!(a.len(), b.len(), "phase counts must match to merge");
+            for (x, y) in a.iter_mut().zip(b.iter()) {
+                x.merge(y);
+            }
+        }
+    }
 }
 
 /// Collects per-packet and per-window statistics during a run.
@@ -40,14 +58,14 @@ impl ScopedCollector {
 /// Latency, hop and misroute statistics only consider packets *generated inside the
 /// measurement window* (standard steady-state methodology); throughput counts every
 /// delivery that happens inside the window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct StatsCollector {
     /// Latency of measured packets, in cycles.
-    pub latency: RunningStats,
+    pub latency: ExactStats,
     /// Latency histogram (1-cycle bins) of measured packets.
     pub latency_hist: Histogram,
     /// Router-to-router hop count of measured packets.
-    pub hops: RunningStats,
+    pub hops: ExactStats,
     /// Measured packets that took a global misroute.
     pub delivered_global_misrouted: u64,
     /// Measured packets that took at least one local misroute.
@@ -64,15 +82,22 @@ pub struct StatsCollector {
     pub measuring: bool,
     /// Per-job/per-phase breakdowns (present when a workload is installed).
     pub scoped: Option<ScopedCollector>,
+    /// Peak packets simultaneously in flight (generated − delivered), sampled
+    /// once per cycle ([`StatsCollector::note_cycle_peaks`]).
+    pub peak_in_flight_packets: u64,
+    /// Peak phits stored across router input buffers, sampled once per cycle.
+    pub peak_buffered_phits: u64,
+    /// Peak occupancy (phits) of any single input-VC buffer.
+    pub peak_vc_occupancy: u64,
 }
 
 impl StatsCollector {
     /// Create an empty collector.
     pub fn new(max_latency_bins: usize) -> Self {
         Self {
-            latency: RunningStats::new(),
+            latency: ExactStats::new(),
             latency_hist: Histogram::for_latency(max_latency_bins),
-            hops: RunningStats::new(),
+            hops: ExactStats::new(),
             delivered_global_misrouted: 0,
             delivered_local_misrouted: 0,
             measured_delivered: 0,
@@ -81,6 +106,9 @@ impl StatsCollector {
             meter: ThroughputMeter::new(0),
             measuring: false,
             scoped: None,
+            peak_in_flight_packets: 0,
+            peak_buffered_phits: 0,
+            peak_vc_occupancy: 0,
         }
     }
 
@@ -138,10 +166,10 @@ impl StatsCollector {
         }
         if packet.measured {
             self.measured_delivered += 1;
-            let latency = (cycle - packet.gen_cycle) as f64;
+            let latency = cycle - packet.gen_cycle;
             self.latency.push(latency);
-            self.latency_hist.record(latency);
-            self.hops.push(packet.route.total_hops as f64);
+            self.latency_hist.record(latency as f64);
+            self.hops.push(packet.route.total_hops as u64);
             if packet.route.global_misrouted {
                 self.delivered_global_misrouted += 1;
             }
@@ -154,8 +182,8 @@ impl StatsCollector {
             if let Some(scoped) = &mut self.scoped {
                 let measured = packet.measured.then(|| {
                     (
-                        (cycle - packet.gen_cycle) as f64,
-                        packet.route.total_hops as f64,
+                        cycle - packet.gen_cycle,
+                        packet.route.total_hops as u64,
                         packet.route.global_misrouted,
                         packet.route.local_misrouted_ever,
                     )
@@ -189,6 +217,63 @@ impl StatsCollector {
     /// Packets generated but not yet delivered.
     pub fn in_flight(&self) -> u64 {
         self.total_generated - self.total_delivered
+    }
+
+    /// Update the per-cycle memory-footprint peaks (called once per cycle by
+    /// the engine with the run-wide in-flight packet count and the total phits
+    /// stored in router buffers — in a sharded run, with the *global* sums, so
+    /// every shard records the same peaks).
+    #[inline]
+    pub fn note_cycle_peaks(&mut self, in_flight_packets: u64, buffered_phits: u64) {
+        if in_flight_packets > self.peak_in_flight_packets {
+            self.peak_in_flight_packets = in_flight_packets;
+        }
+        if buffered_phits > self.peak_buffered_phits {
+            self.peak_buffered_phits = buffered_phits;
+        }
+    }
+
+    /// Track the peak occupancy of a single input-VC buffer (called after a
+    /// phit is stored into a buffer).
+    #[inline]
+    pub fn note_vc_occupancy(&mut self, occupancy: usize) {
+        if occupancy as u64 > self.peak_vc_occupancy {
+            self.peak_vc_occupancy = occupancy as u64;
+        }
+    }
+
+    /// Merge another collector into this one.
+    ///
+    /// Used by the sharded engine to combine per-shard collectors into the
+    /// run-wide collector the reports are built from.  Every merged quantity is
+    /// either an exact integer sum ([`ExactStats`], [`Histogram`], the packet
+    /// and phit counters), a maximum (the peaks), or asserted equal (the
+    /// measurement-window state), so the merged collector is byte-identical to
+    /// the one a sequential run over the same events would have produced.
+    pub fn merge(&mut self, other: &StatsCollector) {
+        self.latency.merge(&other.latency);
+        self.latency_hist.merge(&other.latency_hist);
+        self.hops.merge(&other.hops);
+        self.delivered_global_misrouted += other.delivered_global_misrouted;
+        self.delivered_local_misrouted += other.delivered_local_misrouted;
+        self.measured_delivered += other.measured_delivered;
+        self.total_generated += other.total_generated;
+        self.total_delivered += other.total_delivered;
+        self.meter.merge(&other.meter);
+        assert_eq!(
+            self.measuring, other.measuring,
+            "collectors must agree on the measurement state to merge"
+        );
+        match (&mut self.scoped, &other.scoped) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => {}
+            _ => panic!("collectors must agree on scoped breakdowns to merge"),
+        }
+        self.peak_in_flight_packets = self
+            .peak_in_flight_packets
+            .max(other.peak_in_flight_packets);
+        self.peak_buffered_phits = self.peak_buffered_phits.max(other.peak_buffered_phits);
+        self.peak_vc_occupancy = self.peak_vc_occupancy.max(other.peak_vc_occupancy);
     }
 }
 

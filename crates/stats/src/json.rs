@@ -36,6 +36,12 @@ impl ToJson for SimReport {
             ("warmup_cycles", self.warmup_cycles.to_json()),
             ("measure_cycles", self.measure_cycles.to_json()),
             ("deadlock_detected", self.deadlock_detected.to_json()),
+            (
+                "peak_in_flight_packets",
+                self.peak_in_flight_packets.to_json(),
+            ),
+            ("peak_buffered_phits", self.peak_buffered_phits.to_json()),
+            ("peak_vc_occupancy", self.peak_vc_occupancy.to_json()),
         ])
     }
 }
@@ -166,6 +172,9 @@ mod tests {
             warmup_cycles: 1000,
             measure_cycles: 2000,
             deadlock_detected: false,
+            peak_in_flight_packets: 64,
+            peak_buffered_phits: 512,
+            peak_vc_occupancy: 8,
         }
     }
 
@@ -177,6 +186,10 @@ mod tests {
         assert!(text.contains(r#""traffic":"WL[\"x\"]""#), "{text}");
         assert!(text.contains("\"deadlock_detected\":false"));
         assert!(text.contains("\"accepted_load\":0.28"));
+        // Memory-footprint telemetry is part of the structured output.
+        assert!(text.contains("\"peak_in_flight_packets\":64"));
+        assert!(text.contains("\"peak_buffered_phits\":512"));
+        assert!(text.contains("\"peak_vc_occupancy\":8"));
         assert_eq!(
             text.matches(['{', '[']).count(),
             text.matches(['}', ']']).count()

@@ -13,6 +13,7 @@
 
 #![warn(missing_docs)]
 
+mod exact;
 mod histogram;
 #[cfg(feature = "json")]
 mod json;
@@ -22,6 +23,7 @@ mod scoped;
 mod timeseries;
 mod workload_report;
 
+pub use exact::ExactStats;
 pub use histogram::Histogram;
 pub use report::{BatchReport, SimReport};
 pub use running::RunningStats;
@@ -98,6 +100,26 @@ impl ThroughputMeter {
             return 0.0;
         }
         self.phits_injected as f64 / (nodes as f64 * cycles as f64)
+    }
+
+    /// Merge another meter covering the *same* measurement window into this one
+    /// (per-shard meters of one sharded run).  Counters add exactly; the window
+    /// end is the maximum seen by either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two meters disagree about the window start — merging
+    /// meters of different windows is always a bug.
+    pub fn merge(&mut self, other: &ThroughputMeter) {
+        assert_eq!(
+            self.window_start, other.window_start,
+            "cannot merge throughput meters with different window starts"
+        );
+        self.phits_delivered += other.phits_delivered;
+        self.packets_delivered += other.packets_delivered;
+        self.phits_injected += other.phits_injected;
+        self.packets_injected += other.packets_injected;
+        self.window_end = self.window_end.max(other.window_end);
     }
 }
 

@@ -40,6 +40,15 @@ pub struct SimReport {
     pub measure_cycles: u64,
     /// Whether the deadlock watchdog fired during the run.
     pub deadlock_detected: bool,
+    /// Peak packets simultaneously in flight (generated but not yet delivered),
+    /// sampled once per cycle over the whole run.  Memory-footprint telemetry
+    /// toward larger topologies: each in-flight packet occupies one arena slot.
+    pub peak_in_flight_packets: u64,
+    /// Peak phits simultaneously stored across all router input buffers,
+    /// sampled once per cycle over the whole run.
+    pub peak_buffered_phits: u64,
+    /// Peak occupancy (phits) reached by any single input-VC buffer.
+    pub peak_vc_occupancy: u64,
 }
 
 impl SimReport {
@@ -47,13 +56,14 @@ impl SimReport {
     pub fn csv_header() -> &'static str {
         "routing,traffic,offered_load,injected_load,accepted_load,avg_latency,p99_latency,\
          max_latency,avg_hops,global_misroute_frac,local_misroute_frac,packets_delivered,\
-         packets_measured,warmup_cycles,measure_cycles,deadlock"
+         packets_measured,warmup_cycles,measure_cycles,deadlock,peak_in_flight_packets,\
+         peak_buffered_phits,peak_vc_occupancy"
     }
 
     /// One CSV row (no trailing newline).
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{:.4},{:.4},{:.4},{:.2},{:.2},{:.2},{:.3},{:.4},{:.4},{},{},{},{},{}",
+            "{},{},{:.4},{:.4},{:.4},{:.2},{:.2},{:.2},{:.3},{:.4},{:.4},{},{},{},{},{},{},{},{}",
             self.routing,
             self.traffic,
             self.offered_load,
@@ -69,7 +79,10 @@ impl SimReport {
             self.packets_measured,
             self.warmup_cycles,
             self.measure_cycles,
-            self.deadlock_detected
+            self.deadlock_detected,
+            self.peak_in_flight_packets,
+            self.peak_buffered_phits,
+            self.peak_vc_occupancy
         )
     }
 }
@@ -147,6 +160,9 @@ mod tests {
             warmup_cycles: 5_000,
             measure_cycles: 10_000,
             deadlock_detected: false,
+            peak_in_flight_packets: 420,
+            peak_buffered_phits: 900,
+            peak_vc_occupancy: 32,
         }
     }
 
@@ -163,7 +179,7 @@ mod tests {
         let row = sample_report().csv_row();
         assert!(row.starts_with("OLM,UN,"));
         assert!(row.contains("0.4800"));
-        assert!(row.ends_with("false"));
+        assert!(row.ends_with("false,420,900,32"));
     }
 
     #[test]

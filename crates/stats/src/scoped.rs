@@ -1,6 +1,6 @@
 //! Per-scope (job or job-phase) statistics accumulator.
 
-use crate::{Histogram, RunningStats};
+use crate::{ExactStats, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// Accumulates the statistics of one *scope* — one job, or one (job, phase) pair —
@@ -15,11 +15,11 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScopedStats {
     /// Latency of measured packets, in cycles.
-    pub latency: RunningStats,
+    pub latency: ExactStats,
     /// Latency histogram (1-cycle bins) of measured packets.
     pub latency_hist: Histogram,
     /// Router-to-router hop count of measured packets.
-    pub hops: RunningStats,
+    pub hops: ExactStats,
     /// Measured packets that took a global misroute.
     pub global_misrouted: u64,
     /// Measured packets that took at least one local misroute.
@@ -40,9 +40,9 @@ impl ScopedStats {
     /// Create an empty accumulator with a latency histogram of `latency_bins` bins.
     pub fn new(latency_bins: usize) -> Self {
         Self {
-            latency: RunningStats::new(),
+            latency: ExactStats::new(),
             latency_hist: Histogram::for_latency(latency_bins),
-            hops: RunningStats::new(),
+            hops: ExactStats::new(),
             global_misrouted: 0,
             local_misrouted: 0,
             measured_delivered: 0,
@@ -61,13 +61,13 @@ impl ScopedStats {
         }
     }
 
-    /// Record a delivery.  `measured_latency_hops` carries `(latency, hops, global
+    /// Record a delivery.  `measured` carries `(latency, hops, global
     /// misrouted, local misrouted)` for measured packets and `None` otherwise.
     pub fn record_delivered(
         &mut self,
         phits: usize,
         measuring: bool,
-        measured: Option<(f64, f64, bool, bool)>,
+        measured: Option<(u64, u64, bool, bool)>,
     ) {
         self.total_delivered += 1;
         if measuring {
@@ -76,7 +76,7 @@ impl ScopedStats {
         if let Some((latency, hops, global_mis, local_mis)) = measured {
             self.measured_delivered += 1;
             self.latency.push(latency);
-            self.latency_hist.record(latency);
+            self.latency_hist.record(latency as f64);
             self.hops.push(hops);
             if global_mis {
                 self.global_misrouted += 1;
@@ -85,6 +85,21 @@ impl ScopedStats {
                 self.local_misrouted += 1;
             }
         }
+    }
+
+    /// Merge another scope's accumulated state into this one (exact: the result
+    /// is identical to having recorded both scopes' events into one accumulator).
+    pub fn merge(&mut self, other: &ScopedStats) {
+        self.latency.merge(&other.latency);
+        self.latency_hist.merge(&other.latency_hist);
+        self.hops.merge(&other.hops);
+        self.global_misrouted += other.global_misrouted;
+        self.local_misrouted += other.local_misrouted;
+        self.measured_delivered += other.measured_delivered;
+        self.total_generated += other.total_generated;
+        self.total_delivered += other.total_delivered;
+        self.phits_injected_in_window += other.phits_injected_in_window;
+        self.phits_delivered_in_window += other.phits_delivered_in_window;
     }
 
     /// Fraction of measured packets that took a global misroute.
@@ -128,8 +143,8 @@ mod tests {
         assert_eq!(s.phits_injected_in_window, 8);
 
         s.record_delivered(8, false, None);
-        s.record_delivered(8, true, Some((120.0, 3.0, true, false)));
-        s.record_delivered(8, true, Some((180.0, 5.0, false, true)));
+        s.record_delivered(8, true, Some((120, 3, true, false)));
+        s.record_delivered(8, true, Some((180, 5, false, true)));
         assert_eq!(s.total_delivered, 3);
         assert_eq!(s.measured_delivered, 2);
         assert_eq!(s.phits_delivered_in_window, 16);

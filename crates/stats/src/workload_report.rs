@@ -287,6 +287,9 @@ mod tests {
                 warmup_cycles: 1000,
                 measure_cycles: 2000,
                 deadlock_detected: false,
+                peak_in_flight_packets: 0,
+                peak_buffered_phits: 0,
+                peak_vc_occupancy: 0,
             },
             jobs: vec![JobReport {
                 name: "aggressor".into(),
