@@ -40,6 +40,10 @@ fn bench_cycle_rate(c: &mut Criterion) {
     for (name, flow, load) in [
         ("vct_load0.2", FlowControlKind::Vct, 0.2),
         ("vct_load0.6", FlowControlKind::Vct, 0.6),
+        // Near saturation: source queues back up and almost every router and
+        // link is busy every cycle — the regime where arena reuse and the
+        // fixed-capacity rings carry the most traffic per cycle.
+        ("vct_load0.9", FlowControlKind::Vct, 0.9),
         ("wormhole_load0.2", FlowControlKind::Wormhole, 0.2),
     ] {
         let mut sim = prepared_simulation(flow, load);
@@ -47,6 +51,43 @@ fn bench_cycle_rate(c: &mut Criterion) {
             b.iter(|| sim.run_cycles(100));
         });
     }
+    group.finish();
+}
+
+/// Burst-drain cycle rate: the paper's burst-consumption protocol preloads
+/// every source queue at once, so the network runs at maximum occupancy while
+/// the backlog drains — peak pressure on the packet arena (allocation at the
+/// injectors, frees at the ejectors, every cycle) and on the VC rings.  The
+/// burst is topped up whenever the backlog runs low so every iteration
+/// measures the loaded regime.
+fn bench_burst_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("burst_drain_cycle_rate");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut spec = ExperimentSpec::new(2);
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Uniform;
+    let mut sim = spec.build_simulation();
+    sim.network_mut().preload_burst(50);
+    // Let the initial injection transient pass so iterations see the steady
+    // drain, not the first-cycle stampede.
+    sim.run_cycles(500);
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "preload_burst50"),
+        &(),
+        |b, _| {
+            b.iter(|| {
+                let net = sim.network();
+                if net.stats.total_generated - net.stats.total_delivered < 500 {
+                    sim.network_mut().preload_burst(50);
+                }
+                sim.run_cycles(100)
+            });
+        },
+    );
     group.finish();
 }
 
@@ -114,5 +155,10 @@ fn bench_dispatch_paths(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cycle_rate, bench_dispatch_paths);
+criterion_group!(
+    benches,
+    bench_cycle_rate,
+    bench_burst_drain,
+    bench_dispatch_paths
+);
 criterion_main!(benches);

@@ -168,6 +168,88 @@ pub fn local_misroute_eligible(
     packet.route.global_hops >= 1 || dest_group == view_group
 }
 
+/// A tiny stack-only vector for per-`route()` candidate lists.
+///
+/// `route()` is the hottest call of the cycle loop and must not touch the heap
+/// (the invariant pinned by `tests/zero_alloc.rs`); candidate sets are small
+/// and statically bounded, so they live in a fixed inline array.  `fill` is a
+/// throwaway value for the unused capacity — never observable, just what lets
+/// the buffer be initialised without `unsafe`.
+#[derive(Debug, Clone, Copy)]
+pub struct InlineVec<T: Copy, const N: usize> {
+    buf: [T; N],
+    len: usize,
+}
+
+impl<T: Copy, const N: usize> InlineVec<T, N> {
+    /// An empty list; `fill` initialises the unused slots.
+    #[inline]
+    pub fn new(fill: T) -> Self {
+        Self {
+            buf: [fill; N],
+            len: 0,
+        }
+    }
+
+    /// Append an element; panics if the inline capacity is exceeded (the
+    /// bounds below are sized to the topology limits, so this is a bug).
+    #[inline]
+    pub fn push(&mut self, value: T) {
+        assert!(self.len < N, "InlineVec overflow: capacity {N} exceeded");
+        self.buf[self.len] = value;
+        self.len += 1;
+    }
+
+    /// The populated prefix as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[..self.len]
+    }
+
+    /// Number of elements pushed.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been pushed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The first element, if any.
+    #[inline]
+    pub fn first(&self) -> Option<&T> {
+        self.as_slice().first()
+    }
+
+    /// Membership test over the populated prefix.
+    #[inline]
+    pub fn contains(&self, value: &T) -> bool
+    where
+        T: PartialEq,
+    {
+        self.as_slice().contains(value)
+    }
+}
+
+impl<T: Copy, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = std::iter::Take<std::array::IntoIter<T, N>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().take(self.len)
+    }
+}
+
+/// Upper bound on `AdaptiveParams::global_candidates` (the paper uses 4).
+pub const MAX_GLOBAL_CANDIDATES: usize = 8;
+
+/// Upper bound on local-detour candidates per decision: `2h - 2` targets in a
+/// group of `2h` routers, so this covers every topology up to `h = 33`.
+pub const MAX_DETOUR_CANDIDATES: usize = 64;
+
 /// Draw up to `count` distinct candidate intermediate groups, excluding the source and
 /// destination groups.
 pub fn sample_intermediate_groups(
@@ -176,9 +258,13 @@ pub fn sample_intermediate_groups(
     exclude_b: GroupId,
     count: usize,
     rng: &mut Rng,
-) -> Vec<GroupId> {
+) -> InlineVec<GroupId, MAX_GLOBAL_CANDIDATES> {
+    assert!(
+        count <= MAX_GLOBAL_CANDIDATES,
+        "raise MAX_GLOBAL_CANDIDATES for more than {MAX_GLOBAL_CANDIDATES} candidates"
+    );
     let groups = params.groups();
-    let mut out = Vec::with_capacity(count);
+    let mut out = InlineVec::new(GroupId(0));
     let mut attempts = 0;
     while out.len() < count && attempts < count * 4 {
         attempts += 1;
@@ -194,10 +280,13 @@ pub fn sample_intermediate_groups(
 /// In-group router indices usable as a local detour between `from` and `to` (all
 /// routers except the two endpoints).  The mechanisms filter this further (parity-sign
 /// for RLM, VC space for OLM) and apply the misrouting trigger.
-pub fn local_detour_targets(params: &DragonflyParams, from: usize, to: usize) -> Vec<usize> {
-    (0..params.routers_per_group())
-        .filter(|&k| k != from && k != to)
-        .collect()
+pub fn local_detour_targets(
+    params: &DragonflyParams,
+    from: usize,
+    to: usize,
+) -> impl Iterator<Item = usize> {
+    let routers = params.routers_per_group();
+    (0..routers).filter(move |&k| k != from && k != to)
 }
 
 /// Convenience: occupancy of the downstream buffer behind (`port`, `vc`).
@@ -384,11 +473,11 @@ mod tests {
             let picks = sample_intermediate_groups(&params, GroupId(0), GroupId(5), 4, &mut rng);
             assert!(!picks.is_empty());
             assert!(picks.len() <= 4);
-            for g in &picks {
+            for g in picks.as_slice() {
                 assert_ne!(*g, GroupId(0));
                 assert_ne!(*g, GroupId(5));
             }
-            let mut dedup = picks.clone();
+            let mut dedup = picks.as_slice().to_vec();
             dedup.dedup();
             assert_eq!(dedup.len(), picks.len());
         }
@@ -397,7 +486,7 @@ mod tests {
     #[test]
     fn detour_targets_exclude_endpoints() {
         let params = DragonflyParams::new(4);
-        let targets = local_detour_targets(&params, 2, 5);
+        let targets: Vec<usize> = local_detour_targets(&params, 2, 5).collect();
         assert_eq!(targets.len(), params.routers_per_group() - 2);
         assert!(!targets.contains(&2));
         assert!(!targets.contains(&5));

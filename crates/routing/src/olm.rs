@@ -17,7 +17,8 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_3_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, InlineVec,
+    MisroutingTrigger, MAX_DETOUR_CANDIDATES,
 };
 use dragonfly_rng::Rng;
 use dragonfly_sim::{
@@ -130,7 +131,8 @@ impl RoutingAlgorithm for Olm {
         //    as the whole packet fits in a VC that keeps the escape ladder ascending.
         if local_misroute_eligible(params, group, minimal_port, packet) {
             let to_idx = params.local_neighbor_index(cur_idx, minimal_port.class_index());
-            let mut candidates = Vec::new();
+            let mut candidates: InlineVec<(Port, u8), MAX_DETOUR_CANDIDATES> =
+                InlineVec::new((Port::Local(0), 0));
             for k in local_detour_targets(params, cur_idx, to_idx) {
                 let target = params.router_in_group(group, k);
                 let Some(vc) = Self::best_detour_vc(view, packet, target) else {
@@ -144,7 +146,7 @@ impl RoutingAlgorithm for Olm {
                 }
             }
             if !candidates.is_empty() {
-                let &(port, vc) = rng.choose(&candidates);
+                let &(port, vc) = rng.choose(candidates.as_slice());
                 return Some(RouteChoice {
                     port,
                     vc,

@@ -9,7 +9,8 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_6_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, InlineVec,
+    MisroutingTrigger, MAX_DETOUR_CANDIDATES,
 };
 use dragonfly_rng::Rng;
 use dragonfly_sim::{Packet, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm};
@@ -86,7 +87,8 @@ impl RoutingAlgorithm for Par62 {
         if local_misroute_eligible(params, group, minimal_port, packet) {
             let cur_idx = params.router_index_in_group(view.router);
             let to_idx = params.local_neighbor_index(cur_idx, minimal_port.class_index());
-            let mut candidates = Vec::new();
+            let mut candidates: InlineVec<(Port, u8), MAX_DETOUR_CANDIDATES> =
+                InlineVec::new((Port::Local(0), 0));
             for k in local_detour_targets(params, cur_idx, to_idx) {
                 let port = Port::Local(params.local_port_to(cur_idx, k));
                 let vc = ladder_vc_6_2(port, packet);
@@ -97,7 +99,7 @@ impl RoutingAlgorithm for Par62 {
                 }
             }
             if !candidates.is_empty() {
-                let &(port, vc) = rng.choose(&candidates);
+                let &(port, vc) = rng.choose(candidates.as_slice());
                 return Some(RouteChoice {
                     port,
                     vc,

@@ -9,7 +9,8 @@
 
 use crate::common::{
     global_misroute_eligible, ladder_vc_3_2, local_detour_targets, local_misroute_eligible,
-    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, MisroutingTrigger,
+    next_productive_port, occupancy, sample_intermediate_groups, AdaptiveParams, InlineVec,
+    MisroutingTrigger, MAX_DETOUR_CANDIDATES,
 };
 use crate::parity_sign::{LinkClass, ParitySignTable};
 use dragonfly_rng::Rng;
@@ -126,7 +127,8 @@ impl RoutingAlgorithm for Rlm {
         // 1. Local misrouting restricted by the parity-sign table.
         if local_misroute_eligible(params, group, minimal_port, packet) {
             let to_idx = params.local_neighbor_index(cur_idx, minimal_port.class_index());
-            let mut candidates = Vec::new();
+            let mut candidates: InlineVec<(Port, u8, u8), MAX_DETOUR_CANDIDATES> =
+                InlineVec::new((Port::Local(0), 0, 0));
             for k in local_detour_targets(params, cur_idx, to_idx) {
                 // The whole 2-hop detour (current -> k -> to) must be an allowed
                 // combination, and it must also compose with any previous local hop of
@@ -145,7 +147,7 @@ impl RoutingAlgorithm for Rlm {
                 }
             }
             if !candidates.is_empty() {
-                let &(port, vc, class) = rng.choose(&candidates);
+                let &(port, vc, class) = rng.choose(candidates.as_slice());
                 return Some(RouteChoice {
                     port,
                     vc,

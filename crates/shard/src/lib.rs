@@ -300,8 +300,8 @@ impl<R: RoutingAlgorithm> Shard<R> {
             let mut batch = c.mail[self.id][dst].lock().unwrap();
             for phit in self.phit_buf.drain(..) {
                 exported += 1;
-                let payload = phit.is_head.then(|| net.export_packet(phit.packet));
-                if phit.is_tail {
+                let payload = phit.is_head().then(|| net.export_packet(phit.packet));
+                if phit.is_tail() {
                     // The receiver owns the authoritative copy from its head
                     // import on; nothing on this shard references it any more.
                     net.release_exported_packet(phit.packet);
@@ -374,7 +374,7 @@ impl<R: RoutingAlgorithm> Shard<R> {
                         .get(&key)
                         .expect("boundary body phit without a translated head"),
                 };
-                if phit.is_tail {
+                if phit.is_tail() {
                     self.xlat.remove(&key);
                 }
                 phit.packet = local;

@@ -1,7 +1,7 @@
 //! Virtual-channel FIFO buffers measured in phits.
 
 use crate::packet::PacketId;
-use std::collections::VecDeque;
+use crate::ring::FixedRing;
 
 /// Bookkeeping for one packet currently (partially) stored in a VC buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,19 +48,35 @@ impl PacketSlot {
 /// arrive in order and cannot interleave with other packets inside a single VC, so a
 /// `(received, sent)` pair per packet captures the exact FIFO content while staying
 /// O(packets) instead of O(phits).
+///
+/// The slots live in a [`FixedRing`] sized from two invariants of the FIFO:
+/// phits arrive in order, so only the *newest* slot can be partially
+/// received, and only the *head* slot forwards, so every interior slot is
+/// fully received with nothing sent — it holds exactly `size >= min_packet`
+/// present phits.  With `k` slots, `(k - 2) * min_packet <= occupancy <=
+/// capacity`, so `k <= capacity / min_packet + 2` (and `k <= capacity + 1`
+/// always, since every slot behind the head holds at least one phit).  The
+/// ring is built at the tighter bound and never grows after its one-time
+/// backing allocation; deep buffers sized in phits (a 256-phit global port)
+/// only pay for the handful of whole packets they can actually hold.
 #[derive(Debug, Clone)]
 pub struct VcBuffer {
-    slots: VecDeque<PacketSlot>,
+    slots: FixedRing<PacketSlot>,
     occupancy: usize,
     capacity: usize,
 }
 
 impl VcBuffer {
-    /// Create a buffer able to hold `capacity` phits.
-    pub fn new(capacity: usize) -> Self {
+    /// Create a buffer able to hold `capacity` phits of packets no smaller
+    /// than `min_packet` phits (the engine passes the run's uniform
+    /// `packet_size`; a smaller packet would overflow the slot ring and
+    /// panic rather than corrupt state).
+    pub fn new(capacity: usize, min_packet: usize) -> Self {
         assert!(capacity >= 1, "buffer capacity must be at least one phit");
+        assert!(min_packet >= 1, "packets are at least one phit");
+        let slot_bound = (capacity + 1).min(capacity / min_packet + 2);
         Self {
-            slots: VecDeque::new(),
+            slots: FixedRing::new(slot_bound),
             occupancy: 0,
             capacity,
         }
@@ -171,12 +187,12 @@ mod tests {
     use super::*;
 
     fn pid(i: u32) -> PacketId {
-        PacketId(i)
+        PacketId(i as u64)
     }
 
     #[test]
     fn receive_then_send_whole_packet() {
-        let mut b = VcBuffer::new(16);
+        let mut b = VcBuffer::new(16, 4);
         for i in 0..4u16 {
             b.receive_phit(pid(1), 4, i == 0);
         }
@@ -194,7 +210,7 @@ mod tests {
 
     #[test]
     fn cut_through_send_while_receiving() {
-        let mut b = VcBuffer::new(8);
+        let mut b = VcBuffer::new(8, 4);
         b.receive_phit(pid(7), 4, true);
         assert!(b.head_has_phit());
         let (_, tail) = b.send_phit();
@@ -218,7 +234,7 @@ mod tests {
 
     #[test]
     fn multiple_packets_fifo_order() {
-        let mut b = VcBuffer::new(16);
+        let mut b = VcBuffer::new(16, 2);
         for i in 0..3u16 {
             b.receive_phit(pid(1), 3, i == 0);
         }
@@ -244,7 +260,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
-        let mut b = VcBuffer::new(2);
+        let mut b = VcBuffer::new(2, 4);
         b.receive_phit(pid(1), 4, true);
         b.receive_phit(pid(1), 4, false);
         b.receive_phit(pid(1), 4, false);
@@ -253,7 +269,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "interleaved")]
     fn interleaved_packets_rejected() {
-        let mut b = VcBuffer::new(8);
+        let mut b = VcBuffer::new(8, 4);
         b.receive_phit(pid(1), 4, true);
         b.receive_phit(pid(2), 4, false);
     }
@@ -261,14 +277,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty")]
     fn send_from_empty_panics() {
-        let mut b = VcBuffer::new(4);
+        let mut b = VcBuffer::new(4, 1);
         b.send_phit();
     }
 
     #[test]
     #[should_panic(expected = "no phit of the head packet")]
     fn send_without_present_phit_panics() {
-        let mut b = VcBuffer::new(8);
+        let mut b = VcBuffer::new(8, 4);
         b.receive_phit(pid(1), 4, true);
         let _ = b.send_phit();
         let _ = b.send_phit();
@@ -277,12 +293,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one phit")]
     fn zero_capacity_rejected() {
-        VcBuffer::new(0);
+        VcBuffer::new(0, 1);
     }
 
     #[test]
     fn occupancy_tracks_present_phits_only() {
-        let mut b = VcBuffer::new(8);
+        let mut b = VcBuffer::new(8, 8);
         b.receive_phit(pid(1), 8, true);
         b.receive_phit(pid(1), 8, false);
         let _ = b.send_phit();

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod link;
 pub mod network;
 pub mod packet;
+pub mod ring;
 pub mod router;
 pub mod routing_iface;
 pub mod stats_collect;
@@ -46,6 +47,7 @@ pub use engine::{
 pub use link::{CreditInFlight, LinkEnd, PhitInFlight};
 pub use network::{GlobalStatusBoard, Network, SourceQueue};
 pub use packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
+pub use ring::FixedRing;
 pub use router::{InputPort, InputVc, OutputPort, OutputVc, Router};
 pub use routing_iface::{
     BaselineMinimal, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm,

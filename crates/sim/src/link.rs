@@ -1,31 +1,66 @@
 //! Pipelined links carrying phits forward and credits backward.
 
 use crate::packet::PacketId;
+use crate::ring::FixedRing;
 use dragonfly_topology::NodeId;
-use std::collections::VecDeque;
 
 /// A phit travelling on a link.
+///
+/// Kept to 16 bytes — every active link materializes `latency + 1` of these
+/// in its pipeline ring, and an h = 8 network has ~64 k links.  Arrival
+/// cycles are stored as `u32` (runs beyond `u32::MAX` cycles are unsupported
+/// and debug-asserted at launch) and the head/tail markers share one flags
+/// byte behind accessors.
 #[derive(Debug, Clone, Copy)]
 pub struct PhitInFlight {
-    /// Cycle at which the phit reaches the far end.
-    pub arrive: u64,
     /// The packet it belongs to.
     pub packet: PacketId,
-    /// Virtual channel it will be stored in at the far end.
-    pub vc: u8,
-    /// First phit of the packet.
-    pub is_head: bool,
-    /// Last phit of the packet.
-    pub is_tail: bool,
+    /// Cycle at which the phit reaches the far end.
+    pub arrive: u32,
     /// Size of the packet in phits (needed to open the downstream slot).
     pub size: u16,
+    /// Virtual channel it will be stored in at the far end.
+    pub vc: u8,
+    flags: u8,
+}
+
+const PHIT_HEAD: u8 = 1;
+const PHIT_TAIL: u8 = 2;
+
+impl PhitInFlight {
+    /// A phit of `packet` bound for `vc`, with a zero arrival stamp (filled
+    /// in by [`Link::send_phit`]).
+    #[inline]
+    pub fn new(packet: PacketId, vc: u8, is_head: bool, is_tail: bool, size: u16) -> Self {
+        Self {
+            packet,
+            arrive: 0,
+            size,
+            vc,
+            flags: ((is_head as u8) * PHIT_HEAD) | ((is_tail as u8) * PHIT_TAIL),
+        }
+    }
+
+    /// First phit of the packet.
+    #[inline]
+    pub fn is_head(&self) -> bool {
+        self.flags & PHIT_HEAD != 0
+    }
+
+    /// Last phit of the packet.
+    #[inline]
+    pub fn is_tail(&self) -> bool {
+        self.flags & PHIT_TAIL != 0
+    }
 }
 
 /// A credit travelling back to the transmitter of a link.
+///
+/// 8 bytes, for the same footprint reason as [`PhitInFlight`].
 #[derive(Debug, Clone, Copy)]
 pub struct CreditInFlight {
     /// Cycle at which the credit reaches the transmitter.
-    pub arrive: u64,
+    pub arrive: u32,
     /// Virtual channel the credit belongs to.
     pub vc: u8,
 }
@@ -52,31 +87,42 @@ pub enum LinkEnd {
 /// Phits inserted at cycle `t` become available at the far end at `t + latency`.
 /// Credits flow in the opposite direction with the same latency, modelling the
 /// round-trip time that sizes the buffers in the paper's methodology.
+///
+/// Both pipelines are [`FixedRing`]s whose capacities are provable at
+/// construction time: at most one phit is launched per cycle and arrivals are
+/// drained every cycle the link is active, so `latency + 1` phits bound the
+/// forward direction; in-flight credits are bounded by the downstream buffer
+/// space they stand for (`Σ downstream VC capacities`) and, independently, by
+/// `vcs × (latency + 1)` since each downstream VC drains at most one phit per
+/// cycle.  The engine passes the tighter of the two.
 #[derive(Debug)]
 pub struct Link {
     /// Latency in cycles.
     pub latency: u64,
     /// Where the link ends.
     pub to: LinkEnd,
-    phits: VecDeque<PhitInFlight>,
-    credits: VecDeque<CreditInFlight>,
+    phits: FixedRing<PhitInFlight>,
+    credits: FixedRing<CreditInFlight>,
 }
 
 impl Link {
-    /// Create an idle link.
-    pub fn new(latency: u64, to: LinkEnd) -> Self {
+    /// Create an idle link able to carry `phit_cap` in-flight phits and
+    /// `credit_cap` in-flight credits.
+    pub fn new(latency: u64, to: LinkEnd, phit_cap: usize, credit_cap: usize) -> Self {
         Self {
             latency,
             to,
-            phits: VecDeque::new(),
-            credits: VecDeque::new(),
+            phits: FixedRing::new(phit_cap),
+            credits: FixedRing::new(credit_cap),
         }
     }
 
     /// Launch a phit at cycle `now`.
     #[inline]
     pub fn send_phit(&mut self, now: u64, mut phit: PhitInFlight) {
-        phit.arrive = now + self.latency;
+        let arrive = now + self.latency;
+        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
+        phit.arrive = arrive as u32;
         debug_assert!(
             self.phits
                 .back()
@@ -90,8 +136,10 @@ impl Link {
     /// Launch a credit back to the transmitter at cycle `now`.
     #[inline]
     pub fn send_credit(&mut self, now: u64, vc: u8) {
+        let arrive = now + self.latency;
+        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
         self.credits.push_back(CreditInFlight {
-            arrive: now + self.latency,
+            arrive: arrive as u32,
             vc,
         });
     }
@@ -99,7 +147,12 @@ impl Link {
     /// Pop the next phit that has arrived by cycle `now`, if any.
     #[inline]
     pub fn pop_arrived_phit(&mut self, now: u64) -> Option<PhitInFlight> {
-        if self.phits.front().map(|p| p.arrive <= now).unwrap_or(false) {
+        if self
+            .phits
+            .front()
+            .map(|p| p.arrive as u64 <= now)
+            .unwrap_or(false)
+        {
             self.phits.pop_front()
         } else {
             None
@@ -112,7 +165,7 @@ impl Link {
         if self
             .credits
             .front()
-            .map(|c| c.arrive <= now)
+            .map(|c| c.arrive as u64 <= now)
             .unwrap_or(false)
         {
             self.credits.pop_front()
@@ -187,19 +240,30 @@ mod tests {
     use super::*;
 
     fn phit(packet: u32) -> PhitInFlight {
-        PhitInFlight {
-            arrive: 0,
-            packet: PacketId(packet),
-            vc: 0,
-            is_head: true,
-            is_tail: false,
-            size: 8,
-        }
+        PhitInFlight::new(PacketId(packet as u64), 0, true, false, 8)
+    }
+
+    #[test]
+    fn pipeline_entries_stay_compact() {
+        // ~64k links at h = 8 each materialize latency+1 of these; the
+        // footprint argument in the struct docs relies on these sizes.
+        assert_eq!(std::mem::size_of::<PhitInFlight>(), 16);
+        assert_eq!(std::mem::size_of::<CreditInFlight>(), 8);
+    }
+
+    #[test]
+    fn phit_flags_roundtrip() {
+        let p = PhitInFlight::new(PacketId(9), 2, true, false, 8);
+        assert!(p.is_head() && !p.is_tail());
+        let t = PhitInFlight::new(PacketId(9), 2, false, true, 8);
+        assert!(!t.is_head() && t.is_tail());
+        let single = PhitInFlight::new(PacketId(9), 2, true, true, 1);
+        assert!(single.is_head() && single.is_tail());
     }
 
     #[test]
     fn phit_arrives_after_latency() {
-        let mut link = Link::new(10, LinkEnd::Node { node: NodeId(0) });
+        let mut link = Link::new(10, LinkEnd::Node { node: NodeId(0) }, 11, 11);
         link.send_phit(5, phit(1));
         assert!(link.pop_arrived_phit(14).is_none());
         let p = link.pop_arrived_phit(15).expect("phit should have arrived");
@@ -210,7 +274,7 @@ mod tests {
 
     #[test]
     fn phits_preserve_order() {
-        let mut link = Link::new(3, LinkEnd::Router { router: 1, port: 2 });
+        let mut link = Link::new(3, LinkEnd::Router { router: 1, port: 2 }, 4, 4);
         link.send_phit(0, phit(1));
         link.send_phit(1, phit(2));
         link.send_phit(2, phit(3));
@@ -223,7 +287,7 @@ mod tests {
 
     #[test]
     fn one_phit_per_cycle_pops_one_at_a_time() {
-        let mut link = Link::new(1, LinkEnd::Node { node: NodeId(3) });
+        let mut link = Link::new(1, LinkEnd::Node { node: NodeId(3) }, 2, 2);
         link.send_phit(0, phit(1));
         link.send_phit(1, phit(2));
         // Both have arrived by cycle 10, but they pop in order, one call each.
@@ -234,7 +298,7 @@ mod tests {
 
     #[test]
     fn credits_travel_with_latency() {
-        let mut link = Link::new(7, LinkEnd::Router { router: 0, port: 0 });
+        let mut link = Link::new(7, LinkEnd::Router { router: 0, port: 0 }, 8, 8);
         link.send_credit(100, 2);
         assert!(link.pop_arrived_credit(106).is_none());
         let c = link.pop_arrived_credit(107).unwrap();
@@ -244,7 +308,7 @@ mod tests {
 
     #[test]
     fn idle_tracks_both_directions() {
-        let mut link = Link::new(2, LinkEnd::Node { node: NodeId(1) });
+        let mut link = Link::new(2, LinkEnd::Node { node: NodeId(1) }, 3, 3);
         assert!(link.is_idle());
         link.send_credit(0, 0);
         assert!(!link.is_idle());

@@ -192,7 +192,7 @@ impl<R: RoutingAlgorithm> Network<R> {
         for r in 0..num_routers {
             let rid = RouterId(r as u32);
             routers.push(Router::new(rid, &config, &downstream));
-            for flat in 0..ports {
+            for (flat, &down) in downstream.iter().enumerate() {
                 let port = Port::from_flat(flat, h);
                 let latency = config.latency_for_port(port);
                 let end = match port {
@@ -207,7 +207,15 @@ impl<R: RoutingAlgorithm> Network<R> {
                         node: params.node_of_router(rid, t),
                     },
                 };
-                links.push(Link::new(latency, end));
+                // Fixed pipeline capacities (see `Link`): at most one phit is
+                // launched per cycle and arrivals drain every cycle, bounding
+                // the forward ring by `latency + 1`; in-flight credits are
+                // bounded both by the downstream buffer space they stand for
+                // and by one credit per downstream VC per cycle.
+                let phit_cap = latency as usize + 1;
+                let vcs = config.vcs_for(port.kind());
+                let credit_cap = (vcs * down).min(vcs * phit_cap);
+                links.push(Link::new(latency, end, phit_cap, credit_cap));
             }
         }
 
@@ -231,6 +239,9 @@ impl<R: RoutingAlgorithm> Network<R> {
         let rngs = (0..num_routers)
             .map(|r| Rng::seed_from(derive_seed(config.seed, r as u64)))
             .collect();
+        let arena_prealloc = config.arena_prealloc_for(params.num_nodes());
+        // Worst case per router: one pending decision per input VC.
+        let route_scratch_cap = ports * config.local_vcs.max(config.global_vcs);
         Self {
             rngs,
             config,
@@ -240,7 +251,7 @@ impl<R: RoutingAlgorithm> Network<R> {
             incoming_link,
             link_phits,
             sources,
-            packets: PacketArena::new(),
+            packets: PacketArena::with_capacity(arena_prealloc),
             cycle: 0,
             routing,
             traffic,
@@ -249,18 +260,21 @@ impl<R: RoutingAlgorithm> Network<R> {
             sched: None,
             stats,
             pb_board,
-            pb_dirty_list: Vec::new(),
+            // The active sets and scratch buffers are preallocated at their
+            // hard upper bounds so membership pushes never reallocate, even
+            // the first time the whole network lights up.
+            pb_dirty_list: Vec::with_capacity(num_global_channels),
             pb_dirty: vec![false; num_global_channels],
             last_activity: 0,
             deadlock_detected: false,
             tag_measured: false,
-            active_links: Vec::new(),
+            active_links: Vec::with_capacity(num_links),
             link_active: vec![false; num_links],
-            active_routers: Vec::new(),
+            active_routers: Vec::with_capacity(num_routers),
             router_active: vec![false; num_routers],
             buffered_phits: vec![0; num_routers],
             buffered_total: 0,
-            route_scratch: Vec::new(),
+            route_scratch: Vec::with_capacity(route_scratch_cap),
             owned_nodes: 0..params.num_nodes(),
             sched_delivery_log: None,
         }
@@ -360,7 +374,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Pre-load every owned node's source queue with `packets_per_node` packets
     /// (burst mode).
     pub fn preload_burst(&mut self, packets_per_node: u64) {
-        for n in self.owned_nodes.clone() {
+        for n in self.owned_nodes.start..self.owned_nodes.end {
             let src = NodeId(n as u32);
             let router = self.params.router_of_node(src).index();
             for _ in 0..packets_per_node {
@@ -535,7 +549,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                     LinkEnd::Router { router, port } => {
                         let buffer =
                             &mut self.routers[router].inputs[port].vcs[phit.vc as usize].buffer;
-                        buffer.receive_phit(phit.packet, phit.size, phit.is_head);
+                        buffer.receive_phit(phit.packet, phit.size, phit.is_head());
                         let occupancy = buffer.occupancy();
                         self.stats.note_vc_occupancy(occupancy);
                         self.buffered_phits[router] += 1;
@@ -546,18 +560,21 @@ impl<R: RoutingAlgorithm> Network<R> {
                         // Ejection: the node consumes the phit immediately and returns
                         // the credit so the ejection VC never backs up artificially.
                         self.links[li].send_credit(cycle, phit.vc);
-                        if phit.is_tail {
-                            let packet = self.packets.get(phit.packet).clone();
+                        if phit.is_tail() {
                             // Delivery feedback for volume-bound scheduled jobs.
-                            if packet.job != UNTAGGED {
+                            // Only the job tag is needed here, and the stats
+                            // collector reads the packet in place — no clone.
+                            let job = self.packets.get(phit.packet).job;
+                            if job != UNTAGGED {
                                 if let Some(sched) = self.sched.as_mut() {
-                                    sched.note_delivered(packet.job);
+                                    sched.note_delivered(job);
                                     if let Some(log) = self.sched_delivery_log.as_mut() {
-                                        log.push(packet.job);
+                                        log.push(job);
                                     }
                                 }
                             }
-                            self.stats.record_delivery(&packet, cycle);
+                            self.stats
+                                .record_delivery(self.packets.get(phit.packet), cycle);
                             self.packets.free(phit.packet);
                         }
                     }
@@ -580,7 +597,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     // ------------------------------------------------------------------
     fn phase_injection(&mut self, cycle: u64) -> bool {
         let mut activity = false;
-        for n in self.owned_nodes.clone() {
+        for n in self.owned_nodes.start..self.owned_nodes.end {
             let node = NodeId(n as u32);
             // All random draws of a node use its router's stream, so the outcome
             // is independent of how the node space is partitioned across shards.
@@ -804,14 +821,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                 self.link_phits[r * ports + op] += 1;
                 self.links[r * ports + op].send_phit(
                     cycle,
-                    PhitInFlight {
-                        arrive: 0,
-                        packet: pid,
-                        vc: vc as u8,
-                        is_head: sent_before == 0,
-                        is_tail,
-                        size,
-                    },
+                    PhitInFlight::new(pid, vc as u8, sent_before == 0, is_tail, size),
                 );
                 self.mark_link_active(r * ports + op);
                 // Return a credit to the upstream transmitter of the input buffer that
@@ -985,6 +995,14 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// instance (the per-shard summand of the memory-footprint telemetry).
     pub fn buffered_phits_total(&self) -> u64 {
         self.buffered_total
+    }
+
+    /// Times the packet arena grew beyond its preallocation (engine-local
+    /// diagnostic; deliberately *not* part of `SimReport`, because each shard
+    /// of a sharded run grows its own arena and the value would break the
+    /// byte-identity of sequential and sharded reports).
+    pub fn arena_grows(&self) -> u64 {
+        self.packets.grows()
     }
 
     /// Update the run-wide memory-footprint peaks for the current cycle.  The

@@ -3,15 +3,33 @@
 use dragonfly_topology::{GroupId, NodeId};
 use serde::{Deserialize, Serialize};
 
-/// Index of a packet in the simulation's packet arena.
+/// Generational handle to a packet in the simulation's packet arena.
+///
+/// The low 32 bits are the slot index, the high 32 bits the slot's generation
+/// at allocation time.  A handle is only valid while the generations match:
+/// freeing a slot bumps its generation, so stale ids (use-after-free,
+/// double-free) are caught by a single integer compare instead of an
+/// `Option` discriminant per slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct PacketId(pub u32);
+pub struct PacketId(pub u64);
 
 impl PacketId {
-    /// The raw arena index.
+    /// Assemble a handle from a slot index and its generation.
+    #[inline]
+    pub fn new(index: usize, generation: u32) -> Self {
+        Self(index as u64 | ((generation as u64) << 32))
+    }
+
+    /// The raw arena slot index.
     #[inline]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    /// The arena generation the handle was issued under.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
     }
 }
 
@@ -109,19 +127,55 @@ impl Packet {
     }
 }
 
-/// Arena of packets with slot reuse, so long runs do not grow memory unboundedly.
+/// Dense generational slab of packets with slot reuse.
+///
+/// Slots are a plain `Vec<Packet>`; the authoritative generation of a slot
+/// lives *inside the slot*, as the generation half of its `id` field, so a
+/// freed slot keeps its stale `Packet` bytes (every field is `Copy`) and is
+/// invalidated purely by bumping `slot.id`'s generation in place.
+/// `get`/`get_mut` are a bounds check plus one integer compare against memory
+/// the caller is about to read anyway (the slot's own cache line — no side
+/// lookup, no `Option` unwrap), and the lifetime bugs the old
+/// `Vec<Option<Packet>>` caught (use-after-free, double free) still panic,
+/// now via the id mismatch.
+///
+/// The slab is preallocated at construction (the engine sizes it from
+/// [`crate::SimConfig::arena_prealloc_for`]); growth beyond the preallocation
+/// still works but is counted in [`PacketArena::grows`] so capacity planning
+/// mistakes are visible.  Freed slots are reused LIFO, and the preallocated
+/// free list is ordered so a fresh arena hands out indices `0, 1, 2, …` —
+/// exactly the sequence a cold (unpreallocated) arena produces, which keeps
+/// reports byte-identical regardless of preallocation.
 #[derive(Debug, Default)]
 pub struct PacketArena {
-    slots: Vec<Option<Packet>>,
+    slots: Vec<Packet>,
     free: Vec<u32>,
     live: usize,
     allocated_total: u64,
+    grows: u64,
 }
 
 impl PacketArena {
-    /// Create an empty arena.
+    /// Create an empty arena (every allocation will grow the slab).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create an arena with `slots` preallocated, reuse-ordered so the id
+    /// sequence matches a cold arena exactly.
+    pub fn with_capacity(slots: usize) -> Self {
+        // Each free slot's `id` records its own index at generation 0.
+        let slots = (0..slots)
+            .map(|i| Packet::new(PacketId::new(i, 0), NodeId(0), NodeId(0), 0, 0))
+            .collect::<Vec<_>>();
+        Self {
+            // LIFO free list: store indices descending so pops yield 0, 1, 2, …
+            free: (0..slots.len() as u32).rev().collect(),
+            slots,
+            live: 0,
+            allocated_total: 0,
+            grows: 0,
+        }
     }
 
     /// Allocate a new packet and return its id.
@@ -129,13 +183,17 @@ impl PacketArena {
         self.allocated_total += 1;
         self.live += 1;
         if let Some(idx) = self.free.pop() {
-            let id = PacketId(idx);
-            self.slots[idx as usize] = Some(Packet::new(id, src, dst, size, gen_cycle));
+            let idx = idx as usize;
+            // The free slot's own id field carries its current generation.
+            let id = self.slots[idx].id;
+            debug_assert_eq!(id.index(), idx);
+            self.slots[idx] = Packet::new(id, src, dst, size, gen_cycle);
             id
         } else {
-            let id = PacketId(self.slots.len() as u32);
-            self.slots
-                .push(Some(Packet::new(id, src, dst, size, gen_cycle)));
+            self.grows += 1;
+            let idx = self.slots.len();
+            let id = PacketId::new(idx, 0);
+            self.slots.push(Packet::new(id, src, dst, size, gen_cycle));
             id
         }
     }
@@ -143,17 +201,17 @@ impl PacketArena {
     /// Immutable access to a live packet.
     #[inline]
     pub fn get(&self, id: PacketId) -> &Packet {
-        self.slots[id.index()]
-            .as_ref()
-            .expect("access to a freed packet")
+        let slot = &self.slots[id.index()];
+        assert!(slot.id == id, "access to a freed packet {id:?}");
+        slot
     }
 
     /// Mutable access to a live packet.
     #[inline]
     pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
-        self.slots[id.index()]
-            .as_mut()
-            .expect("access to a freed packet")
+        let slot = &mut self.slots[id.index()];
+        assert!(slot.id == id, "access to a freed packet {id:?}");
+        slot
     }
 
     /// Adopt a packet arriving from another shard's arena: allocate a local
@@ -167,12 +225,13 @@ impl PacketArena {
         id
     }
 
-    /// Free a delivered packet's slot for reuse.
+    /// Free a delivered packet's slot for reuse.  Bumping the generation half
+    /// of the slot's own `id` is what invalidates every outstanding handle.
     pub fn free(&mut self, id: PacketId) {
-        let slot = &mut self.slots[id.index()];
-        assert!(slot.is_some(), "double free of packet {id:?}");
-        *slot = None;
-        self.free.push(id.0);
+        let idx = id.index();
+        assert!(self.slots[idx].id == id, "double free of packet {id:?}");
+        self.slots[idx].id = PacketId::new(idx, id.generation().wrapping_add(1));
+        self.free.push(idx as u32);
         self.live -= 1;
     }
 
@@ -186,6 +245,15 @@ impl PacketArena {
     #[inline]
     pub fn allocated_total(&self) -> u64 {
         self.allocated_total
+    }
+
+    /// Times the slab grew beyond its preallocation (telemetry: a non-zero
+    /// value after a run means `SimConfig::arena_prealloc_for` under-sized
+    /// the arena; see `RESULTS.md` for why this is deliberately *not* a
+    /// report column).
+    #[inline]
+    pub fn grows(&self) -> u64 {
+        self.grows
     }
 
     /// Capacity of the underlying slot vector (diagnostic).
@@ -238,9 +306,45 @@ mod tests {
         let a = arena.alloc(NodeId(0), NodeId(1), 8, 0);
         arena.free(a);
         let b = arena.alloc(NodeId(2), NodeId(3), 8, 1);
-        assert_eq!(a.0, b.0, "freed slot should be reused");
+        assert_eq!(a.index(), b.index(), "freed slot should be reused");
+        assert_ne!(
+            a.generation(),
+            b.generation(),
+            "reuse must issue a fresh generation"
+        );
+        assert_ne!(a, b);
         assert_eq!(arena.capacity_slots(), 1);
         assert_eq!(arena.get(b).src, NodeId(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "freed packet")]
+    fn arena_rejects_stale_id_after_reuse() {
+        // The dangerous aliasing case: the slot is live again under a newer
+        // generation, and a stale handle to the previous occupant must still
+        // be rejected.
+        let mut arena = PacketArena::new();
+        let a = arena.alloc(NodeId(0), NodeId(1), 8, 0);
+        arena.free(a);
+        let b = arena.alloc(NodeId(2), NodeId(3), 8, 1);
+        assert_eq!(a.index(), b.index());
+        let _ = arena.get(a);
+    }
+
+    #[test]
+    fn preallocated_arena_matches_cold_id_sequence() {
+        let mut cold = PacketArena::new();
+        let mut warm = PacketArena::with_capacity(4);
+        assert_eq!(warm.capacity_slots(), 4);
+        for i in 0..6 {
+            let c = cold.alloc(NodeId(i), NodeId(i + 1), 8, i as u64);
+            let w = warm.alloc(NodeId(i), NodeId(i + 1), 8, i as u64);
+            assert_eq!(c, w, "id sequence must not depend on preallocation");
+        }
+        // Four preallocated slots, six allocations: the slab grew twice.
+        assert_eq!(warm.grows(), 2);
+        assert_eq!(cold.grows(), 6);
+        assert_eq!(warm.capacity_slots(), 6);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Fixed-capacity ring buffers for the hot-path pipelines.
+//!
+//! Every queue the cycle loop touches — VC buffer slots, link phit pipelines,
+//! link credit pipelines — has a capacity that is *provable at construction
+//! time* from the simulation configuration (buffer depth, link latency, VC
+//! count).  [`FixedRing`] exploits that: it never grows past the capacity it
+//! was built with, so after its one-time backing allocation the steady-state
+//! loop performs no heap allocation at all (the invariant pinned by
+//! `tests/zero_alloc.rs`).
+//!
+//! The backing storage is allocated *eagerly* at construction, in a single
+//! `reserve_exact`.  Lazy (first-push) allocation was tried and rejected:
+//! rarely-used VCs get their first packet at unbounded, load-dependent times,
+//! so "zero allocations after warm-up" would never actually converge.  Eager
+//! reservation makes the whole-network footprint `Σ capacities` up front —
+//! the allocator packs these small buffers into resident heap pages, so the
+//! reservations are *not* free the way untouched `mmap` pages would be.
+//! That cost is kept small by sizing, not by laziness: every ring capacity is
+//! a tight per-ring bound (slot rings count whole packets, pipelines count
+//! `latency + 1` entries) and the pipeline entry types are packed to 16/8
+//! bytes, which keeps an h = 8 network (~64 k links) within tens of
+//! megabytes of ring backing.
+
+/// A bounded FIFO ring over `Copy` elements.
+///
+/// Pushing beyond the fixed capacity panics: the capacities are sized from
+/// conservation arguments (see `ARCHITECTURE.md`, "Memory layout of the hot
+/// path"), so an overflow is a simulator bug, not a load condition.
+#[derive(Debug, Clone)]
+pub struct FixedRing<T: Copy> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Physical-size-minus-one of the backing store, which is `cap` rounded up
+    /// to a power of two: wrap-around is a mask, not a branch (the same trick
+    /// `VecDeque` uses).  The padding costs address space, not resident
+    /// memory — untouched slots are never written.
+    mask: usize,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> FixedRing<T> {
+    /// An empty ring that will never hold more than `cap` elements.  The
+    /// backing store is reserved here, up front — see the module docs.
+    pub fn new(cap: usize) -> Self {
+        let phys = cap.next_power_of_two();
+        let mut buf = Vec::new();
+        buf.reserve_exact(phys);
+        Self {
+            buf,
+            cap,
+            mask: phys - 1,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Physical index of logical position `i` (caller guarantees `i < len`).
+    #[inline]
+    fn phys(&self, i: usize) -> usize {
+        (self.head + i) & self.mask
+    }
+
+    /// Append an element; panics if the ring is full.
+    #[inline]
+    pub fn push_back(&mut self, value: T) {
+        assert!(
+            self.len < self.cap,
+            "FixedRing overflow: capacity {} exceeded",
+            self.cap
+        );
+        let pos = self.phys(self.len);
+        if pos == self.buf.len() {
+            self.buf.push(value);
+        } else {
+            self.buf[pos] = value;
+        }
+        self.len += 1;
+    }
+
+    /// Remove and return the oldest element.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// The oldest element, if any.
+    #[inline]
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[self.head])
+        }
+    }
+
+    /// Mutable access to the oldest element, if any.
+    #[inline]
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&mut self.buf[self.head])
+        }
+    }
+
+    /// The newest element, if any.
+    #[inline]
+    pub fn back(&self) -> Option<&T> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[self.phys(self.len - 1)])
+        }
+    }
+
+    /// Mutable access to the newest element, if any.
+    #[inline]
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        if self.len == 0 {
+            None
+        } else {
+            let p = self.phys(self.len - 1);
+            Some(&mut self.buf[p])
+        }
+    }
+
+    /// Number of elements currently held.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the ring holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The fixed capacity the ring was built with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Iterate the elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        (0..self.len).map(move |i| &self.buf[self.phys(i)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut r = FixedRing::new(4);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.front(), Some(&1));
+        assert_eq!(r.back(), Some(&3));
+        assert_eq!(r.pop_front(), Some(1));
+        assert_eq!(r.pop_front(), Some(2));
+        assert_eq!(r.pop_front(), Some(3));
+        assert_eq!(r.pop_front(), None);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wraparound_at_exactly_capacity() {
+        // Fill to capacity, drain, and refill repeatedly so head sweeps the
+        // whole physical buffer and every push after the first lap lands on a
+        // wrapped index.
+        let mut r = FixedRing::new(3);
+        for lap in 0..5u32 {
+            for i in 0..3 {
+                r.push_back(lap * 10 + i);
+            }
+            assert_eq!(r.len(), r.capacity());
+            for i in 0..3 {
+                assert_eq!(r.pop_front(), Some(lap * 10 + i));
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_wraps() {
+        let mut r = FixedRing::new(2);
+        r.push_back(0);
+        for i in 1..100 {
+            r.push_back(i);
+            assert_eq!(r.pop_front(), Some(i - 1));
+        }
+        assert_eq!(r.pop_front(), Some(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "FixedRing overflow")]
+    fn overflow_panics() {
+        let mut r = FixedRing::new(2);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+    }
+
+    #[test]
+    fn backing_is_allocated_once_and_exactly() {
+        let mut r = FixedRing::new(8);
+        assert_eq!(r.buf.capacity(), 8, "backing is reserved at construction");
+        for i in 1u64..=8 {
+            r.push_back(i);
+        }
+        assert_eq!(r.buf.capacity(), 8, "pushes never grow the backing");
+    }
+
+    #[test]
+    fn iter_is_oldest_first_across_the_seam() {
+        let mut r = FixedRing::new(3);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+        r.pop_front();
+        r.pop_front();
+        r.push_back(4);
+        r.push_back(5); // physically wrapped
+        let v: Vec<i32> = r.iter().copied().collect();
+        assert_eq!(v, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn front_back_mut() {
+        let mut r = FixedRing::new(2);
+        r.push_back(10);
+        r.push_back(20);
+        *r.front_mut().unwrap() += 1;
+        *r.back_mut().unwrap() += 2;
+        assert_eq!(r.pop_front(), Some(11));
+        assert_eq!(r.pop_front(), Some(22));
+    }
+
+    #[test]
+    fn zero_capacity_ring_is_empty_forever() {
+        let r: FixedRing<u8> = FixedRing::new(0);
+        assert!(r.is_empty());
+        assert_eq!(r.capacity(), 0);
+        assert_eq!(r.front(), None);
+    }
+}

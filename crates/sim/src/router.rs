@@ -99,7 +99,7 @@ impl Router {
             inputs.push(InputPort {
                 vcs: (0..vcs)
                     .map(|_| InputVc {
-                        buffer: VcBuffer::new(in_capacity),
+                        buffer: VcBuffer::new(in_capacity, config.packet_size),
                         route: None,
                     })
                     .collect(),

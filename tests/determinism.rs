@@ -58,3 +58,46 @@ fn parallel_execution_matches_sequential() {
         );
     }
 }
+
+/// Arena preallocation is a pure capacity hint: a cold arena (grows from
+/// empty), a tiny preallocation that is outgrown mid-run, and the default
+/// heuristic must all produce byte-identical reports.  This pins the
+/// descending-free-list construction (slot ids are handed out in the same
+/// order whether a slot was preallocated or pushed by growth).
+#[test]
+fn arena_preallocation_never_changes_results() {
+    use dragonfly::sim::{SimConfig, Simulation};
+    use dragonfly::traffic::Uniform;
+
+    let run = |prealloc: Option<usize>| {
+        let mut config = SimConfig::paper_vct(2).with_seed(31);
+        if let Some(slots) = prealloc {
+            config = config.with_arena_prealloc(slots);
+        }
+        let mut sim = Simulation::new(config, RoutingKind::Olm.build(), Box::new(Uniform::new()));
+        let report = sim.run_steady_state(0.3, 800, 1_200, 1_200);
+        (report, sim.network().arena_grows())
+    };
+
+    let (cold, cold_grows) = run(Some(0));
+    let (tiny, tiny_grows) = run(Some(16));
+    let (default_heuristic, default_grows) = run(None);
+
+    assert!(
+        cold_grows > 16,
+        "cold arena must grow for this test to bite"
+    );
+    assert!(
+        tiny_grows > 0 && tiny_grows < cold_grows,
+        "tiny preallocation must be outgrown mid-run (grew {tiny_grows})"
+    );
+    assert_eq!(
+        default_grows, 0,
+        "the default heuristic should cover this load without growing"
+    );
+    assert_eq!(cold, tiny, "cold and outgrown arenas diverged");
+    assert_eq!(
+        cold, default_heuristic,
+        "cold and preallocated arenas diverged"
+    );
+}
