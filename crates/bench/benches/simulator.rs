@@ -51,6 +51,19 @@ fn bench_cycle_rate(c: &mut Criterion) {
             b.iter(|| sim.run_cycles(100));
         });
     }
+    // The same loaded VCT point with every probe instrument enabled at the
+    // default stride — paired with `vct_load0.2` above, this pins the probe
+    // overhead in BENCH_history.jsonl (the hooks are branch-on-None when off
+    // and preallocated-index writes when on, so the gap should stay small).
+    let mut sim = prepared_simulation(FlowControlKind::Vct, 0.2);
+    sim.install_probes(dragonfly_core::ProbeConfig::full(64));
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "vct_load0.2_probed"),
+        &(),
+        |b, _| {
+            b.iter(|| sim.run_cycles(100));
+        },
+    );
     group.finish();
 }
 

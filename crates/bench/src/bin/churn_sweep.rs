@@ -22,6 +22,7 @@ use dragonfly_topology::DragonflyParams;
 
 fn main() {
     let mut args = HarnessArgs::from_env();
+    args.reject_probe("churn_sweep");
     // A `--json` on a feature-less build is a hard error before paying for the sweep.
     #[cfg(not(feature = "json"))]
     if args.json_out.is_some() {

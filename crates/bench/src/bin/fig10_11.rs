@@ -68,6 +68,7 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig10_11");
+    args.reject_probe("fig10_11");
     run_figure(
         &args,
         TrafficKind::Uniform,

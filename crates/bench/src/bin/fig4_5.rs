@@ -8,8 +8,11 @@
 //!
 //! One CSV per traffic pattern is written to the output directory
 //! (`fig4_5_<pattern>.csv`), with one row per (mechanism, offered load) point.
+//! With `--probe` each point additionally writes its probe output set
+//! (`fig4_5_<pattern>_<mechanism>_<load>_{series,flight,heatmap,...}`) next to
+//! the CSVs; the reports are byte-identical to the unprobed run.
 
-use dragonfly_bench::{print_series, HarnessArgs};
+use dragonfly_bench::{file_slug, print_series, HarnessArgs};
 use dragonfly_core::{
     load_sweep, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport, TrafficKind,
 };
@@ -55,8 +58,26 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
         specs.len(),
         args.h
     );
-    args.runner(format!("figure 4/5 [{pattern}]"))
-        .run_steady(&specs)
+    let runner = args.runner(format!("figure 4/5 [{pattern}]"));
+    match &args.probe {
+        Some(probes) => {
+            let pairs = runner.run_steady_probed(&specs, probes);
+            pairs
+                .into_iter()
+                .zip(&specs)
+                .map(|((report, probe), spec)| {
+                    let prefix = format!(
+                        "fig4_5_{pattern}_{}_{}",
+                        file_slug(spec.routing.name()),
+                        file_slug(&format!("{:.2}", spec.offered_load)),
+                    );
+                    args.write_probe(&probe, &prefix);
+                    report
+                })
+                .collect()
+        }
+        None => runner.run_steady(&specs),
+    }
 }
 
 fn main() {

@@ -18,6 +18,7 @@ use dragonfly_core::{
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig6");
+    args.reject_probe("fig6");
     let mechanisms = vec![
         RoutingKind::Par62,
         RoutingKind::Olm,

@@ -57,6 +57,7 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig7_8");
+    args.reject_probe("fig7_8");
     let patterns: Vec<&str> = match args.pattern.as_str() {
         "all" => vec!["un", "advg1", "advgh"],
         p => vec![p],

@@ -15,6 +15,7 @@ use dragonfly_core::{
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig9");
+    args.reject_probe("fig9");
     // OLM is omitted: it requires VCT (the sweep would drop it anyway).
     let mechanisms = vec![
         RoutingKind::Par62,

@@ -11,8 +11,12 @@
 //! divert around the hot channels.  The per-mechanism points are independent and run
 //! in parallel through the sweep runner (`--jobs N`, `--sequential`).  One CSV row
 //! per (mechanism, job, phase).
+//!
+//! With `--probe` each mechanism's point additionally writes its probe output
+//! set (`interference_<mechanism>_{series,flight,heatmap,...}`) — the link/VC
+//! heatmap localizes exactly which global channels the aggressor saturates.
 
-use dragonfly_bench::{write_workload_phase_csv, HarnessArgs};
+use dragonfly_bench::{file_slug, write_workload_phase_csv, HarnessArgs};
 use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind, WorkloadSpec};
 use dragonfly_topology::DragonflyParams;
 
@@ -48,7 +52,22 @@ fn main() {
             spec
         })
         .collect();
-    let reports = args.runner("interference").run_workloads(&specs);
+    let runner = args.runner("interference");
+    let reports = match &args.probe {
+        Some(probes) => {
+            let pairs = runner.run_workloads_probed(&specs, probes);
+            pairs
+                .into_iter()
+                .zip(&specs)
+                .map(|((report, probe), spec)| {
+                    let prefix = format!("interference_{}", file_slug(spec.routing.name()));
+                    args.write_probe(&probe, &prefix);
+                    report
+                })
+                .collect()
+        }
+        None => runner.run_workloads(&specs),
+    };
 
     println!(
         "{:<12} {:>12} {:>14} {:>14} {:>12} {:>12}",

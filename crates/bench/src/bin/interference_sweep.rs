@@ -25,6 +25,7 @@ use dragonfly_topology::DragonflyParams;
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("interference_sweep");
+    args.reject_probe("interference_sweep");
     let params = DragonflyParams::new(args.h);
     // The +1 global channel saturates at 2/nodes_per_group phits/(node·cycle)
     // under ADVG+1 from half of the machine; --loads scales relative to that.

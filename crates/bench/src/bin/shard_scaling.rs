@@ -52,6 +52,7 @@ fn point_spec(args: &HarnessArgs, h: usize) -> ExperimentSpec {
 
 fn main() {
     let args = HarnessArgs::from_env();
+    args.reject_probe("shard_scaling");
     let scales: Vec<usize> = if args.quick {
         vec![2, 4]
     } else {

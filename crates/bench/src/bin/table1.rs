@@ -17,6 +17,7 @@ use dragonfly_topology::DragonflyParams;
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("table1");
+    args.reject_probe("table1");
     let table = ParitySignTable::new();
     println!("Table I: possible hop combinations for local misrouting within supernodes");
     println!("{:<12} {:<12} {:<10}", "first hop", "second hop", "allowed");

@@ -17,6 +17,7 @@ use dragonfly_topology::DragonflyParams;
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("transient");
+    args.reject_probe("transient");
     let params = DragonflyParams::new(args.h);
     let load = 0.25;
     let switch_cycle = args.warmup + args.measure / 2;

@@ -20,6 +20,15 @@
 //! --pattern <P>    traffic pattern selector where applicable (un, advg1, advgh, all)
 //! --json <FILE>    structured JSON output (churn_sweep and shard_scaling only,
 //!                  needs the `json` feature for churn_sweep)
+//! --probe          install observability probes and write their output files
+//!                  next to the CSVs (fig4_5 and interference only)
+//! --probe-stride N   time-series sampling stride in cycles (default 64; implies
+//!                    --probe)
+//! --probe-flight N   sample ~1/N packets into the flight recorder (0 = off;
+//!                    implies --probe)
+//! --probe-heatmap N  per-(link, VC) heatmap window in cycles (0 = off; implies
+//!                    --probe)
+//! --probe-top N      routers in the per-router time-series cut (implies --probe)
 //! ```
 //!
 //! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
@@ -27,7 +36,9 @@
 //! result ordering and a progress/ETA line on stderr; `--sequential` falls back to
 //! a plain in-order loop that produces byte-identical CSVs.
 
-use dragonfly_core::{ExperimentSpec, FlowControlKind, SimReport, SweepRunner, WorkloadReport};
+use dragonfly_core::{
+    ExperimentSpec, FlowControlKind, ProbeConfig, SimReport, SweepRunner, WorkloadReport,
+};
 use std::path::{Path, PathBuf};
 
 /// Parsed command-line arguments shared by all harness binaries.
@@ -61,6 +72,8 @@ pub struct HarnessArgs {
     pub quick: bool,
     /// Structured JSON output file (binaries built with the `json` feature).
     pub json_out: Option<PathBuf>,
+    /// Observability probe configuration (`--probe*` flags); `None` = off.
+    pub probe: Option<ProbeConfig>,
 }
 
 impl Default for HarnessArgs {
@@ -80,6 +93,7 @@ impl Default for HarnessArgs {
             pattern: "all".to_string(),
             quick: false,
             json_out: None,
+            probe: None,
         }
     }
 }
@@ -134,6 +148,37 @@ impl HarnessArgs {
                     }
                 }
                 "--sequential" => out.sequential = true,
+                "--probe" => {
+                    out.probe.get_or_insert_with(ProbeConfig::default);
+                }
+                "--probe-stride" => {
+                    let stride = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-stride: {e}"))?;
+                    if stride == 0 {
+                        return Err("--probe-stride must be at least 1 cycle".to_string());
+                    }
+                    out.probe.get_or_insert_with(ProbeConfig::default).stride = stride;
+                }
+                "--probe-flight" => {
+                    out.probe
+                        .get_or_insert_with(ProbeConfig::default)
+                        .flight_every = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-flight: {e}"))?;
+                }
+                "--probe-heatmap" => {
+                    out.probe
+                        .get_or_insert_with(ProbeConfig::default)
+                        .heatmap_window = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-heatmap: {e}"))?;
+                }
+                "--probe-top" => {
+                    out.probe.get_or_insert_with(ProbeConfig::default).top_k = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-top: {e}"))?;
+                }
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
                 "--json" => out.json_out = Some(PathBuf::from(value(&mut i)?)),
                 "--pattern" => out.pattern = value(&mut i)?,
@@ -219,12 +264,56 @@ impl HarnessArgs {
             std::process::exit(2);
         }
     }
+
+    /// Exit with usage status when any `--probe*` flag was passed: binaries
+    /// that don't emit probe output call this right after parsing, so the
+    /// flags fail fast instead of being silently ignored (the probe sibling
+    /// of [`HarnessArgs::reject_json`]).
+    pub fn reject_probe(&self, binary: &str) {
+        if self.probe.is_some() {
+            eprintln!(
+                "--probe* flags are not supported by {binary} (only fig4_5 and interference \
+                 emit probe output)"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    /// Write a probe recorder's full output set into the output directory with
+    /// the given file-name prefix, printing what was written.
+    pub fn write_probe(&self, probe: &dragonfly_core::ProbeRecorder, prefix: &str) {
+        std::fs::create_dir_all(&self.out_dir).expect("cannot create the output directory");
+        let files = probe
+            .write_all(&self.out_dir, prefix)
+            .expect("cannot write probe output");
+        for file in files {
+            println!("wrote {}", file.display());
+        }
+    }
+}
+
+/// Lowercased file-name-safe slug of a display label: alphanumerics survive,
+/// any other run of characters collapses to a single `-` (so `PAR-6/2` becomes
+/// `par-6-2` and `0.30` becomes `0-30`).  Used to build per-point probe file
+/// prefixes from mechanism names and loads.
+pub fn file_slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
 }
 
 fn usage() -> String {
     "usage: <figure-binary> [--h N] [--full] [--quick] [--warmup N] [--measure N] \
      [--drain N] [--seed N] [--jobs N] [--shards N] [--sequential] [--out DIR] \
-     [--loads a,b,c] [--pattern P] [--json FILE (churn_sweep, shard_scaling)]"
+     [--loads a,b,c] [--pattern P] [--json FILE (churn_sweep, shard_scaling)] \
+     [--probe] [--probe-stride N] [--probe-flight N] [--probe-heatmap N] \
+     [--probe-top N (fig4_5, interference)]"
         .to_string()
 }
 
@@ -458,6 +547,47 @@ mod tests {
         assert!(content.starts_with("routing,job,phase,"));
         assert!(content.lines().skip(1).all(|l| l.starts_with("OLM,")));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn parse_probe_flags() {
+        // No probe flag: probes stay off.
+        assert!(HarnessArgs::parse_from(["--h", "2"])
+            .unwrap()
+            .probe
+            .is_none());
+        // --probe alone enables the defaults.
+        let args = HarnessArgs::parse_from(["--probe"]).unwrap();
+        assert_eq!(args.probe, Some(ProbeConfig::default()));
+        // Any --probe-* knob implies --probe and composes with the others.
+        let args = HarnessArgs::parse_from([
+            "--probe-stride",
+            "128",
+            "--probe-heatmap",
+            "256",
+            "--probe-flight",
+            "0",
+            "--probe-top",
+            "8",
+        ])
+        .unwrap();
+        let cfg = args.probe.unwrap();
+        assert_eq!(cfg.stride, 128);
+        assert_eq!(cfg.heatmap_window, 256);
+        assert_eq!(cfg.flight_every, 0);
+        assert_eq!(cfg.top_k, 8);
+        assert!(cfg.heatmap_enabled());
+        assert!(!cfg.flight_enabled());
+        // A zero stride is rejected at parse time.
+        assert!(HarnessArgs::parse_from(["--probe-stride", "0"]).is_err());
+    }
+
+    #[test]
+    fn file_slug_flattens_display_labels() {
+        assert_eq!(file_slug("PAR-6/2"), "par-6-2");
+        assert_eq!(file_slug("OLM"), "olm");
+        assert_eq!(file_slug("0.30"), "0-30");
+        assert_eq!(file_slug("  Minimal  "), "minimal");
     }
 
     #[test]

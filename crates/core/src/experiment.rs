@@ -1,5 +1,6 @@
 //! Single-experiment specification and execution.
 
+use dragonfly_probe::{ProbeConfig, ProbeRecorder};
 use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
 use dragonfly_sched::Trace;
 use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
@@ -201,6 +202,18 @@ impl ExperimentSpec {
         }
     }
 
+    /// Short human-readable label for this point (progress lines, file names):
+    /// routing, flow control, traffic and offered load.
+    pub fn label(&self) -> String {
+        format!(
+            "{} {} {} @{:.2}",
+            self.routing.name(),
+            self.flow_control.name(),
+            self.traffic.name(),
+            self.offered_load
+        )
+    }
+
     /// Build the simulator configuration implied by this specification.
     pub fn sim_config(&self) -> SimConfig {
         let base = match self.flow_control {
@@ -310,6 +323,85 @@ impl ExperimentSpec {
         self.routing.dispatch(
             AdaptiveParams::with_threshold(self.threshold),
             ShardedWorkloadRun { spec: self, shards },
+        )
+    }
+
+    /// Run the steady-state protocol with observability probes installed and
+    /// return the recorder alongside the report.
+    ///
+    /// Probes are read-only: the report is byte-identical to
+    /// [`ExperimentSpec::run`] (pinned by `tests/probe_invariance.rs`).  For
+    /// workload or churn traffic the report is the aggregate half of
+    /// [`ExperimentSpec::run_workload_probed`].
+    pub fn run_probed(&self, probes: ProbeConfig) -> (SimReport, ProbeRecorder) {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedSteadyRun { spec: self, probes },
+        )
+    }
+
+    /// Run the steady-state protocol on the sharded engine with probes
+    /// installed in every shard replica, returning the order-independently
+    /// merged recorder.  Both the report and the recorder's pinned outputs are
+    /// byte-identical to [`ExperimentSpec::run_probed`] (the diagnostics
+    /// series is the documented exception — see `dragonfly_probe`).
+    pub fn run_probed_sharded(
+        &self,
+        probes: ProbeConfig,
+        shards: usize,
+    ) -> (SimReport, ProbeRecorder) {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedShardedSteadyRun {
+                spec: self,
+                probes,
+                shards,
+            },
+        )
+    }
+
+    /// Run a workload or churn experiment with probes installed (see
+    /// [`ExperimentSpec::run_probed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the traffic kind is neither [`TrafficKind::Workload`] nor
+    /// [`TrafficKind::Churn`].
+    pub fn run_workload_probed(&self, probes: ProbeConfig) -> (WorkloadReport, ProbeRecorder) {
+        assert!(
+            self.traffic.has_jobs(),
+            "run_workload_probed requires TrafficKind::Workload or TrafficKind::Churn traffic"
+        );
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedWorkloadRun { spec: self, probes },
+        )
+    }
+
+    /// Run a workload or churn experiment on the sharded engine with probes
+    /// installed (see [`ExperimentSpec::run_probed_sharded`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the traffic kind is neither [`TrafficKind::Workload`] nor
+    /// [`TrafficKind::Churn`].
+    pub fn run_workload_probed_sharded(
+        &self,
+        probes: ProbeConfig,
+        shards: usize,
+    ) -> (WorkloadReport, ProbeRecorder) {
+        assert!(
+            self.traffic.has_jobs(),
+            "run_workload_probed_sharded requires TrafficKind::Workload or TrafficKind::Churn \
+             traffic"
+        );
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedShardedWorkloadRun {
+                spec: self,
+                probes,
+                shards,
+            },
         )
     }
 
@@ -481,6 +573,94 @@ impl RoutingVisitor for ShardedBatchRun<'_> {
         let mut sim = build_sharded_with_routing(spec, routing, self.shards);
         let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
         sim.run_batch(burst, self.max_cycles)
+    }
+}
+
+/// Visitor running the steady-state protocol with probes installed.
+struct ProbedSteadyRun<'a> {
+    spec: &'a ExperimentSpec,
+    probes: ProbeConfig,
+}
+
+impl RoutingVisitor for ProbedSteadyRun<'_> {
+    type Output = (SimReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_with_routing(spec, routing);
+        sim.install_probes(self.probes);
+        let report = if sim.network().workload().is_some() || sim.network().schedule().is_some() {
+            run_jobs_with(&mut sim, spec).aggregate
+        } else {
+            sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+        };
+        let probe = *sim.take_probe().expect("probes were installed above");
+        (report, probe)
+    }
+}
+
+/// Visitor running the steady-state protocol on the sharded engine with probes
+/// installed in every replica.
+struct ProbedShardedSteadyRun<'a> {
+    spec: &'a ExperimentSpec,
+    probes: ProbeConfig,
+    shards: usize,
+}
+
+impl RoutingVisitor for ProbedShardedSteadyRun<'_> {
+    type Output = (SimReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        sim.install_probes(self.probes);
+        let report = if spec.traffic.has_jobs() {
+            run_sharded_jobs_with(&mut sim, spec).aggregate
+        } else {
+            sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain)
+        };
+        let probe = sim.merged_probe().expect("probes were installed above");
+        (report, probe)
+    }
+}
+
+/// Visitor running a workload or churn experiment with probes installed.
+struct ProbedWorkloadRun<'a> {
+    spec: &'a ExperimentSpec,
+    probes: ProbeConfig,
+}
+
+impl RoutingVisitor for ProbedWorkloadRun<'_> {
+    type Output = (WorkloadReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_with_routing(spec, routing);
+        sim.install_probes(self.probes);
+        let report = run_jobs_with(&mut sim, spec);
+        let probe = *sim.take_probe().expect("probes were installed above");
+        (report, probe)
+    }
+}
+
+/// Visitor running a workload or churn experiment on the sharded engine with
+/// probes installed in every replica.
+struct ProbedShardedWorkloadRun<'a> {
+    spec: &'a ExperimentSpec,
+    probes: ProbeConfig,
+    shards: usize,
+}
+
+impl RoutingVisitor for ProbedShardedWorkloadRun<'_> {
+    type Output = (WorkloadReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        sim.install_probes(self.probes);
+        let report = run_sharded_jobs_with(&mut sim, spec);
+        let probe = sim.merged_probe().expect("probes were installed above");
+        (report, probe)
     }
 }
 
@@ -783,6 +963,62 @@ mod tests {
         assert_eq!(spec.run_workload_dyn(), report);
         assert_eq!(spec.run(), report.aggregate);
         assert_eq!(spec.run_dyn(), report.aggregate);
+    }
+
+    #[test]
+    fn spec_labels_are_short_and_informative() {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = TrafficKind::AdversarialGlobal(1);
+        spec.offered_load = 0.25;
+        assert_eq!(spec.label(), "OLM VCT ADVG+1 @0.25");
+    }
+
+    #[test]
+    fn probed_runs_match_unprobed_and_sharded_probes_merge_exactly() {
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Piggybacking;
+        spec.traffic = TrafficKind::AdversarialGlobal(1);
+        spec.offered_load = 0.25;
+        spec.warmup = 300;
+        spec.measure = 600;
+        spec.drain = 900;
+        spec.seed = 23;
+
+        let plain = spec.run();
+        let (probed_report, probe) = spec.run_probed(ProbeConfig::full(32));
+        assert_eq!(probed_report, plain, "probes must not perturb the run");
+        assert!(probe.samples() > 0);
+
+        let (sharded_report, sharded_probe) = spec.run_probed_sharded(ProbeConfig::full(32), 3);
+        assert_eq!(sharded_report, plain);
+        assert_eq!(sharded_probe.samples(), probe.samples());
+        assert_eq!(
+            sharded_probe.series().injected.samples(),
+            probe.series().injected.samples()
+        );
+        assert_eq!(sharded_probe.sorted_flight(), probe.sorted_flight());
+    }
+
+    #[test]
+    fn workload_probed_run_matches_unprobed() {
+        use dragonfly_workload::WorkloadSpec;
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = RoutingKind::Olm;
+        spec.traffic = TrafficKind::Workload(WorkloadSpec::interference(72, 1, 0.4, 0.1));
+        spec.warmup = 300;
+        spec.measure = 600;
+        spec.drain = 900;
+        let plain = spec.run_workload();
+        let (report, probe) = spec.run_workload_probed(ProbeConfig::default());
+        assert_eq!(report, plain);
+        assert!(probe.samples() > 0);
+        let (sharded, sharded_probe) = spec.run_workload_probed_sharded(ProbeConfig::default(), 3);
+        assert_eq!(sharded, plain);
+        assert_eq!(
+            sharded_probe.series().delivered.samples(),
+            probe.series().delivered.samples()
+        );
     }
 
     #[test]

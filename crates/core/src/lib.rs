@@ -44,6 +44,7 @@ pub use sweep::{
     InterferenceSweep, LoadSweep, MixSweep, ThresholdSweep,
 };
 
+pub use dragonfly_probe::{ProbeConfig, ProbeRecorder};
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
 pub use dragonfly_sched::{Completion, SyntheticTrace, Trace, TraceJob};
 pub use dragonfly_shard::{ShardPlan, ShardedSimulation};

@@ -9,9 +9,10 @@
 //!   loop on the calling thread ([`SweepRunner::sequential`]),
 //! * deterministic result ordering (results always come back in spec order,
 //!   regardless of which worker finished first), and
-//! * a progress/ETA line (points done, points/sec, estimated time remaining)
-//!   printed to stderr from a dedicated collector thread fed by a channel, so
-//!   reporting never contends with the workers beyond one `send` per point.
+//! * a progress/ETA line (points done, points/sec, estimated time remaining and
+//!   the label of the currently running point) printed to stderr from a
+//!   dedicated collector thread fed by a channel, so reporting never contends
+//!   with the workers beyond two `send`s per point.
 //!
 //! Every simulation point is single-threaded and deterministic, so the parallel
 //! and sequential paths produce byte-identical reports for the same specs (pinned
@@ -32,6 +33,7 @@
 
 use crate::experiment::ExperimentSpec;
 use crate::parallel;
+use dragonfly_probe::{ProbeConfig, ProbeRecorder};
 use dragonfly_stats::{BatchReport, SimReport, WorkloadReport};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -111,10 +113,11 @@ impl SweepRunner {
     /// With [`SweepRunner::shards`] > 1 each point runs on the sharded engine
     /// ([`ExperimentSpec::run_sharded`]) with byte-identical reports.
     pub fn run_steady(&self, specs: &[ExperimentSpec]) -> Vec<SimReport> {
+        let label = |i: usize| specs[i].label();
         if self.shards > 1 {
-            self.execute(specs.len(), |i| specs[i].run_sharded(self.shards))
+            self.execute(specs.len(), label, |i| specs[i].run_sharded(self.shards))
         } else {
-            self.execute(specs.len(), |i| specs[i].run())
+            self.execute(specs.len(), label, |i| specs[i].run())
         }
     }
 
@@ -131,10 +134,61 @@ impl SweepRunner {
             "run_workloads requires TrafficKind::Workload or TrafficKind::Churn \
              traffic on every spec"
         );
+        let label = |i: usize| specs[i].label();
         if self.shards > 1 {
-            self.execute(specs.len(), |i| specs[i].run_workload_sharded(self.shards))
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_workload_sharded(self.shards)
+            })
         } else {
-            self.execute(specs.len(), |i| specs[i].run_workload())
+            self.execute(specs.len(), label, |i| specs[i].run_workload())
+        }
+    }
+
+    /// Run every steady-state point with observability probes installed (see
+    /// [`ExperimentSpec::run_probed`]), in spec order, returning each point's
+    /// recorder alongside its report.  Probes are read-only: the reports are
+    /// byte-identical to [`SweepRunner::run_steady`].
+    pub fn run_steady_probed(
+        &self,
+        specs: &[ExperimentSpec],
+        probes: &ProbeConfig,
+    ) -> Vec<(SimReport, ProbeRecorder)> {
+        let label = |i: usize| specs[i].label();
+        if self.shards > 1 {
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_probed_sharded(probes.clone(), self.shards)
+            })
+        } else {
+            self.execute(specs.len(), label, |i| specs[i].run_probed(probes.clone()))
+        }
+    }
+
+    /// Run every workload or churn point with probes installed (see
+    /// [`ExperimentSpec::run_workload_probed`]), in spec order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any spec's traffic is neither [`crate::TrafficKind::Workload`]
+    /// nor [`crate::TrafficKind::Churn`].
+    pub fn run_workloads_probed(
+        &self,
+        specs: &[ExperimentSpec],
+        probes: &ProbeConfig,
+    ) -> Vec<(WorkloadReport, ProbeRecorder)> {
+        assert!(
+            specs.iter().all(|s| s.traffic.has_jobs()),
+            "run_workloads_probed requires TrafficKind::Workload or TrafficKind::Churn \
+             traffic on every spec"
+        );
+        let label = |i: usize| specs[i].label();
+        if self.shards > 1 {
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_workload_probed_sharded(probes.clone(), self.shards)
+            })
+        } else {
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_workload_probed(probes.clone())
+            })
         }
     }
 
@@ -146,12 +200,13 @@ impl SweepRunner {
         packets_per_node: u64,
         max_cycles: u64,
     ) -> Vec<BatchReport> {
+        let label = |i: usize| specs[i].label();
         if self.shards > 1 {
-            self.execute(specs.len(), |i| {
+            self.execute(specs.len(), label, |i| {
                 specs[i].run_batch_sharded(packets_per_node, max_cycles, self.shards)
             })
         } else {
-            self.execute(specs.len(), |i| {
+            self.execute(specs.len(), label, |i| {
                 specs[i].run_batch(packets_per_node, max_cycles)
             })
         }
@@ -160,14 +215,16 @@ impl SweepRunner {
     /// Execute `total` independent points, preserving index order.
     ///
     /// The collector thread owns the progress state; workers (or the sequential
-    /// loop) send one unit message per finished point.
-    fn execute<T, F>(&self, total: usize, work: F) -> Vec<T>
+    /// loop) send one message when a point starts (carrying its label, so the
+    /// line can show what is currently running) and one when it finishes.
+    fn execute<T, L, F>(&self, total: usize, point_label: L, work: F) -> Vec<T>
     where
         T: Send,
+        L: Fn(usize) -> String + Sync,
         F: Fn(usize) -> T + Sync,
     {
         let (sender, collector) = if self.progress && total > 0 {
-            let (tx, rx) = mpsc::channel::<()>();
+            let (tx, rx) = mpsc::channel::<Progress>();
             let label = self.label.clone();
             let handle = std::thread::spawn(move || collect_progress(&label, total, &rx));
             (Some(tx), Some(handle))
@@ -175,16 +232,22 @@ impl SweepRunner {
             (None, None)
         };
 
+        // The collector may already have exited; failed sends are harmless.
+        let notify_start = |i: usize| {
+            if let Some(tx) = &sender {
+                let _ = tx.send(Progress::Started(point_label(i)));
+            }
+        };
         let notify = || {
             if let Some(tx) = &sender {
-                // The collector may already have exited; a failed send is harmless.
-                let _ = tx.send(());
+                let _ = tx.send(Progress::Finished);
             }
         };
 
         let results: Vec<T> = if self.sequential {
             (0..total)
                 .map(|i| {
+                    notify_start(i);
                     let value = work(i);
                     notify();
                     value
@@ -205,6 +268,7 @@ impl SweepRunner {
                 );
             }
             parallel::run_indexed(total, Some(workers), |i| {
+                notify_start(i);
                 let value = work(i);
                 notify();
                 value
@@ -219,13 +283,28 @@ impl SweepRunner {
     }
 }
 
-/// Progress loop of the dedicated collector thread: one line per finished point
-/// with points done, points/sec and the estimated time remaining.
-fn collect_progress(label: &str, total: usize, rx: &mpsc::Receiver<()>) {
+/// One progress message from a worker to the collector thread.
+enum Progress {
+    /// A point started running; the payload is its spec label.
+    Started(String),
+    /// A point finished.
+    Finished,
+}
+
+/// Progress loop of the dedicated collector thread: points done, points/sec,
+/// the estimated time remaining, and the label of the most recently started
+/// (i.e. currently running) point.
+fn collect_progress(label: &str, total: usize, rx: &mpsc::Receiver<Progress>) {
     let start = Instant::now();
     let mut done = 0usize;
-    while rx.recv().is_ok() {
-        done += 1;
+    let mut current = String::new();
+    // Previous line width (in chars), so a shorter line overprints the rest.
+    let mut width = 0usize;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Progress::Started(point) => current = point,
+            Progress::Finished => done += 1,
+        }
         let elapsed = start.elapsed().as_secs_f64();
         let rate = if elapsed > 0.0 {
             done as f64 / elapsed
@@ -237,7 +316,16 @@ fn collect_progress(label: &str, total: usize, rx: &mpsc::Receiver<()>) {
         } else {
             "?".to_string()
         };
-        eprint!("\r  {label}: {done}/{total} points \u{b7} {rate:.1} pts/s \u{b7} ETA {eta} ");
+        let line = if done == total || current.is_empty() {
+            format!("  {label}: {done}/{total} points \u{b7} {rate:.1} pts/s \u{b7} ETA {eta}")
+        } else {
+            format!(
+                "  {label}: {done}/{total} points \u{b7} {rate:.1} pts/s \u{b7} ETA {eta} \
+                 \u{b7} running {current}"
+            )
+        };
+        eprint!("\r{line:<width$}");
+        width = line.chars().count();
         if done == total {
             break;
         }

@@ -1,0 +1,317 @@
+//! File emission of recorded probe data (CSV and hand-formatted JSONL).
+//!
+//! Every emitted number is an exact integer count, so the byte output of a
+//! merged sharded recorder is identical to the sequential recorder's — no
+//! float formatting is involved anywhere on the determinism-pinned paths.
+//! The diagnostics file (`*_diag.csv`) is the deliberate exception: its
+//! values are engine-dependent (see [`crate::recorder::DiagSeries`]).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::flight::{FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16};
+use crate::recorder::{class_name, ProbeRecorder};
+
+fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        FLIGHT_INJECT => "inject",
+        FLIGHT_HOP => "hop",
+        FLIGHT_DELIVER => "deliver",
+        _ => "unknown",
+    }
+}
+
+/// JSON fragment for an optional numeric field encoded as a `u16` sentinel.
+fn opt_u16(v: u16) -> String {
+    if v == NONE_U16 {
+        "null".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+impl ProbeRecorder {
+    /// Write every enabled instrument's output into `dir`, with file names
+    /// `<prefix>_<instrument>.<ext>`.  Returns the paths written.
+    pub fn write_all(&self, dir: &Path, prefix: &str) -> io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let mut emit = |name: &str, body: &dyn Fn(&mut BufWriter<File>) -> io::Result<()>| {
+            let path = dir.join(format!("{prefix}_{name}"));
+            let mut out = BufWriter::new(File::create(&path)?);
+            body(&mut out)?;
+            out.flush()?;
+            written.push(path);
+            Ok::<(), io::Error>(())
+        };
+        emit("series.csv", &|out| self.write_series_csv(out))?;
+        emit("series.jsonl", &|out| self.write_series_jsonl(out))?;
+        if self.cfg.top_k > 0 {
+            emit("routers.csv", &|out| self.write_router_series_csv(out))?;
+        }
+        if self.cfg.flight_enabled() {
+            emit("flight.jsonl", &|out| self.write_flight_jsonl(out))?;
+        }
+        if self.cfg.heatmap_enabled() {
+            emit("heatmap.csv", &|out| self.write_heatmap_csv(out))?;
+        }
+        emit("diag.csv", &|out| self.write_diag_csv(out))?;
+        Ok(written)
+    }
+
+    /// The network-wide time series as a CSV table, one row per sample.
+    pub fn write_series_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        let columns = self.series.columns();
+        write!(out, "cycle")?;
+        for (name, _) in &columns {
+            write!(out, ",{name}")?;
+        }
+        writeln!(out)?;
+        for i in 0..self.samples {
+            write!(out, "{}", self.series.injected.cycle_of(i))?;
+            for (_, series) in &columns {
+                write!(out, ",{}", series.samples()[i] as u64)?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+
+    /// The network-wide time series as JSONL, one object per sample.
+    pub fn write_series_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        let columns = self.series.columns();
+        for i in 0..self.samples {
+            write!(out, "{{\"cycle\":{}", self.series.injected.cycle_of(i))?;
+            for (name, series) in &columns {
+                write!(out, ",\"{name}\":{}", series.samples()[i] as u64)?;
+            }
+            writeln!(out, "}}")?;
+        }
+        Ok(())
+    }
+
+    /// Per-router time series of the top-K routers by total activity.
+    pub fn write_router_series_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        writeln!(out, "router,cycle,injected,delivered,misrouted")?;
+        for r in self.top_routers(self.cfg.top_k) {
+            for i in 0..self.samples {
+                writeln!(
+                    out,
+                    "{r},{},{},{},{}",
+                    self.series.injected.cycle_of(i),
+                    self.router_injected_series[r].samples()[i] as u64,
+                    self.router_delivered_series[r].samples()[i] as u64,
+                    self.router_misrouted_series[r].samples()[i] as u64,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The flight recorder's events in canonical order, one JSON object per
+    /// line, with a trailing `{"flight_dropped":N}` metadata object.
+    pub fn write_flight_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        for e in self.sorted_flight() {
+            let class = if e.class == u8::MAX {
+                "null".to_string()
+            } else {
+                format!("\"{}\"", class_name(e.class))
+            };
+            let nonminimal = match e.nonminimal {
+                0 => "false",
+                1 => "true",
+                _ => "null",
+            };
+            writeln!(
+                out,
+                "{{\"cycle\":{},\"kind\":\"{}\",\"src\":{},\"gen_cycle\":{},\"dst\":{},\
+                 \"router\":{},\"port\":{},\"class\":{},\"vc\":{},\"nonminimal\":{}}}",
+                e.cycle,
+                kind_name(e.kind),
+                e.src,
+                e.gen_cycle,
+                e.dst,
+                e.router,
+                opt_u16(e.port),
+                class,
+                opt_u16(e.vc),
+                nonminimal,
+            )?;
+        }
+        writeln!(out, "{{\"flight_dropped\":{}}}", self.flight_dropped)?;
+        Ok(())
+    }
+
+    /// The per-(link, VC) heatmap in long CSV form, all-zero cells skipped.
+    pub fn write_heatmap_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        writeln!(
+            out,
+            "window_start,router,port,class,vc,phits,credit_stalls,occupancy_phits"
+        )?;
+        let links = self.dims.links();
+        for w in 0..self.heat_windows {
+            for li in 0..links {
+                for vc in 0..self.dims.vcs {
+                    let cell = (w * links + li) * self.dims.vcs + vc;
+                    let (p, s, o) = (
+                        self.heat_phits[cell],
+                        self.heat_stalls[cell],
+                        self.heat_occupancy[cell],
+                    );
+                    if p == 0 && s == 0 && o == 0 {
+                        continue;
+                    }
+                    writeln!(
+                        out,
+                        "{},{},{},{},{vc},{p},{s},{o}",
+                        w as u64 * self.cfg.heatmap_window,
+                        li / self.dims.ports,
+                        li % self.dims.ports,
+                        class_name(self.dims.link_class[li]),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The engine-dependent diagnostic series (arena growth, ring high-water
+    /// marks).  Not covered by the sequential-vs-sharded byte-identity
+    /// guarantee — see the module docs.
+    pub fn write_diag_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        let columns = self.diag.columns();
+        write!(out, "cycle")?;
+        for (name, _) in &columns {
+            write!(out, ",{name}")?;
+        }
+        writeln!(out)?;
+        for i in 0..self.samples {
+            write!(out, "{}", self.diag.arena_grows.cycle_of(i))?;
+            for (_, series) in &columns {
+                write!(out, ",{}", series.samples()[i] as u64)?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{ProbeDims, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL};
+    use crate::{FlightEvent, ProbeConfig, FLIGHT_HOP};
+
+    fn recorder() -> ProbeRecorder {
+        let dims = ProbeDims {
+            routers: 1,
+            ports: 3,
+            vcs: 1,
+            link_class: vec![CLASS_LOCAL, CLASS_GLOBAL, CLASS_TERMINAL],
+        };
+        let cfg = ProbeConfig {
+            stride: 4,
+            max_samples: 4,
+            top_k: 1,
+            flight_every: 1,
+            flight_capacity: 8,
+            heatmap_window: 8,
+            max_windows: 2,
+        };
+        let mut p = ProbeRecorder::new(cfg, dims);
+        p.record_injected(0);
+        p.record_flight(FlightEvent {
+            cycle: 2,
+            gen_cycle: 1,
+            src: 0,
+            dst: 3,
+            router: 0,
+            port: 1,
+            vc: 0,
+            kind: FLIGHT_HOP,
+            class: CLASS_GLOBAL,
+            nonminimal: 1,
+        });
+        p.record_link_phit(2, 1, 0);
+        p.sample(0, &[1, 2, 3], SampleSnapshot::default());
+        p
+    }
+
+    #[test]
+    fn csv_and_jsonl_shapes() {
+        let p = recorder();
+        let mut series = Vec::new();
+        p.write_series_csv(&mut series).unwrap();
+        let text = String::from_utf8(series).unwrap();
+        assert!(text.starts_with("cycle,injected,delivered"), "{text}");
+        assert!(text.contains("\n0,1,0,"), "{text}");
+
+        let mut jsonl = Vec::new();
+        p.write_series_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        assert!(text.starts_with("{\"cycle\":0,\"injected\":1,"), "{text}");
+
+        let mut flight = Vec::new();
+        p.write_flight_jsonl(&mut flight).unwrap();
+        let text = String::from_utf8(flight).unwrap();
+        assert!(
+            text.contains("\"kind\":\"hop\"") && text.contains("\"nonminimal\":true"),
+            "{text}"
+        );
+        assert!(
+            text.trim_end().ends_with("{\"flight_dropped\":0}"),
+            "{text}"
+        );
+
+        let mut heat = Vec::new();
+        p.write_heatmap_csv(&mut heat).unwrap();
+        let text = String::from_utf8(heat).unwrap();
+        // One nonzero cell: window 0, router 0, port 1 (global), vc 0, 1 phit.
+        assert_eq!(
+            text,
+            "window_start,router,port,class,vc,phits,credit_stalls,occupancy_phits\n\
+             0,0,1,global,0,1,0,0\n"
+        );
+
+        let mut routers = Vec::new();
+        p.write_router_series_csv(&mut routers).unwrap();
+        let text = String::from_utf8(routers).unwrap();
+        assert_eq!(
+            text,
+            "router,cycle,injected,delivered,misrouted\n0,0,1,0,0\n"
+        );
+
+        let mut diag = Vec::new();
+        p.write_diag_csv(&mut diag).unwrap();
+        assert!(String::from_utf8(diag)
+            .unwrap()
+            .starts_with("cycle,arena_grows,"));
+    }
+
+    #[test]
+    fn write_all_emits_every_enabled_file() {
+        let p = recorder();
+        let dir = std::env::temp_dir().join("dragonfly_probe_emit_test");
+        let written = p.write_all(&dir, "t").unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "t_series.csv",
+                "t_series.jsonl",
+                "t_routers.csv",
+                "t_flight.jsonl",
+                "t_heatmap.csv",
+                "t_diag.csv"
+            ]
+        );
+        for path in &written {
+            assert!(path.exists());
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+}

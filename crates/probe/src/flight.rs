@@ -1,0 +1,119 @@
+//! The packet flight recorder: deterministic sampling and per-hop events.
+
+/// Event kind: the sampled packet was generated (entered its source queue).
+pub const FLIGHT_INJECT: u8 = 0;
+/// Event kind: the sampled packet won a route grant at a router.
+pub const FLIGHT_HOP: u8 = 1;
+/// Event kind: the sampled packet was delivered at its destination.
+pub const FLIGHT_DELIVER: u8 = 2;
+
+/// Sentinel for "not applicable" port/VC fields (emitted as `null`).
+pub const NONE_U16: u16 = u16::MAX;
+
+/// One recorded event in a sampled packet's flight.
+///
+/// Packets are keyed by `(src, gen_cycle)` rather than by their arena id: ids
+/// are arena-local and rewritten when a packet crosses a shard boundary, while
+/// the source node and generation cycle travel with the packet unchanged — so
+/// the key (and therefore the sampling decision) is identical in sequential
+/// and sharded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Cycle the event happened at.
+    pub cycle: u64,
+    /// Generation cycle of the packet (half of the sampling key).
+    pub gen_cycle: u64,
+    /// Source node (the other half of the sampling key).
+    pub src: u32,
+    /// Destination node.
+    pub dst: u32,
+    /// Router the event happened at.
+    pub router: u32,
+    /// Output port granted ([`NONE_U16`] for inject/deliver events).
+    pub port: u16,
+    /// VC granted ([`NONE_U16`] when not applicable).
+    pub vc: u16,
+    /// [`FLIGHT_INJECT`], [`FLIGHT_HOP`] or [`FLIGHT_DELIVER`].
+    pub kind: u8,
+    /// Port class of a hop (the crate's `CLASS_*` constants; `u8::MAX` n/a).
+    pub class: u8,
+    /// `0` = minimal grant, `1` = non-minimal (misroute decision), `2` = n/a.
+    pub nonminimal: u8,
+}
+
+impl FlightEvent {
+    /// Canonical sort key: a total order over the deterministic event multiset,
+    /// independent of the (engine-dependent) order events were recorded in.
+    pub fn sort_key(&self) -> (u64, u8, u32, u64, u32, u16, u16, u32, u8) {
+        (
+            self.cycle,
+            self.kind,
+            self.src,
+            self.gen_cycle,
+            self.router,
+            self.port,
+            self.vc,
+            self.dst,
+            self.nonminimal,
+        )
+    }
+}
+
+/// Pure 64-bit mix of the packet key (SplitMix64 finalizer): the sampling
+/// decision `flight_hash(src, gen) % N == 0` picks an unbiased ~1/N packet
+/// subset without touching any RNG stream.
+#[inline]
+pub fn flight_hash(src: u32, gen_cycle: u64) -> u64 {
+    let mut x = (u64::from(src) << 40) ^ gen_cycle ^ 0x9e37_79b9_7f4a_7c15;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        assert_eq!(flight_hash(7, 123), flight_hash(7, 123));
+        assert_ne!(flight_hash(7, 123), flight_hash(8, 123));
+        assert_ne!(flight_hash(7, 123), flight_hash(7, 124));
+        // Roughly 1/N of keys selected for a few divisors.
+        for n in [8u64, 64] {
+            let hits = (0..10_000u64)
+                .filter(|&g| flight_hash((g % 97) as u32, g).is_multiple_of(n))
+                .count() as f64;
+            let expect = 10_000.0 / n as f64;
+            assert!(
+                (hits - expect).abs() < expect * 0.5,
+                "divisor {n}: {hits} hits, expected ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn sort_key_orders_by_cycle_then_kind() {
+        let mut e1 = FlightEvent {
+            cycle: 5,
+            gen_cycle: 1,
+            src: 0,
+            dst: 9,
+            router: 2,
+            port: NONE_U16,
+            vc: NONE_U16,
+            kind: FLIGHT_DELIVER,
+            class: u8::MAX,
+            nonminimal: 2,
+        };
+        let e2 = FlightEvent {
+            kind: FLIGHT_HOP,
+            ..e1
+        };
+        assert!(e2.sort_key() < e1.sort_key());
+        e1.cycle = 4;
+        assert!(e1.sort_key() < e2.sort_key());
+    }
+}

@@ -1,0 +1,55 @@
+//! Read-only observability probes for the Dragonfly simulator.
+//!
+//! A [`ProbeRecorder`] is installed into an engine (sequential or sharded) and
+//! passively records what the cycle loop already computes — it never consumes
+//! RNG state, never feeds back into routing or flow control, and therefore
+//! never perturbs a run: reports with probes on are byte-identical to reports
+//! with probes off (pinned by `tests/probe_invariance.rs`).
+//!
+//! Four instruments share one [`ProbeConfig`]:
+//!
+//! * **time series** — network-wide counters (injected / delivered packets,
+//!   misroute decisions, buffered phits, per-class link phits, Piggybacking
+//!   congested-flag count) sampled every `stride` cycles into preallocated
+//!   [`dragonfly_stats::TimeSeries`] buffers, plus per-router counters for a
+//!   top-K cut,
+//! * **flight recorder** — a deterministic ~1/N sample of packets (pure hash
+//!   of `(source, generation cycle)`, *not* RNG) whose per-hop events land in
+//!   a fixed-capacity ring,
+//! * **heatmaps** — windowed per-(link, VC) phit counts, credit-stall counts
+//!   and occupancy samples,
+//! * **diagnostics** — engine-dependent memory counters (packet-arena growth,
+//!   ring high-water marks) that are deliberately *excluded* from the
+//!   byte-identity guarantee (a sharded engine drains its boundary rings every
+//!   cycle, so its high-water marks legitimately differ from the sequential
+//!   engine's).
+//!
+//! # Determinism
+//!
+//! Every counter is attributed to exactly one router/link owner, so the
+//! per-shard recorders of a sharded run merge by plain element-wise addition
+//! ([`ProbeRecorder::merge`]) — commutative and associative like
+//! `ExactStats`, hence shard-count-invariant.  Flight events are sorted into
+//! a canonical total order at emission time, so the emitted files (except the
+//! diagnostics series) are byte-identical between sequential and sharded runs
+//! of the same spec (pinned by `tests/shard_equivalence.rs`).
+//!
+//! # Zero allocation
+//!
+//! All probe storage is sized and reserved at installation time; the hot-path
+//! record methods only index into it.  Overflow (more samples, events or
+//! windows than configured) *drops and counts* instead of growing, which
+//! keeps `tests/zero_alloc.rs` green with probes enabled.
+
+#![warn(missing_docs)]
+
+mod config;
+mod emit;
+mod flight;
+mod recorder;
+
+pub use config::ProbeConfig;
+pub use flight::{flight_hash, FlightEvent, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16};
+pub use recorder::{
+    ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL,
+};

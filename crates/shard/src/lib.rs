@@ -62,6 +62,7 @@
 
 #![warn(missing_docs)]
 
+use dragonfly_probe::{ProbeConfig, ProbeRecorder};
 use dragonfly_sched::{ScheduleRuntime, Trace};
 use dragonfly_sim::{
     job_report, phase_report, sim_report, span_overlap, CreditInFlight, LinkEnd, Network, Packet,
@@ -280,6 +281,11 @@ struct Shard<R: RoutingAlgorithm> {
     /// Reused export scratch buffers.
     phit_buf: Vec<PhitInFlight>,
     credit_buf: Vec<CreditInFlight>,
+    /// Wall-clock nanoseconds this shard spent waiting at the inner
+    /// (export → import) barrier — the load-imbalance component of a sharded
+    /// run's wall time, read together with the per-phase profile.
+    #[cfg(feature = "profile")]
+    barrier_wait_nanos: u64,
 }
 
 impl<R: RoutingAlgorithm> Shard<R> {
@@ -353,7 +359,13 @@ impl<R: RoutingAlgorithm> Shard<R> {
         );
 
         // Everyone has exported and published.
+        #[cfg(feature = "profile")]
+        let wait_start = std::time::Instant::now();
         c.inner.wait();
+        #[cfg(feature = "profile")]
+        {
+            self.barrier_wait_nanos += wait_start.elapsed().as_nanos() as u64;
+        }
 
         // Import, in deterministic transmitter order.
         for src in 0..shards {
@@ -535,6 +547,8 @@ impl<R: RoutingAlgorithm + Clone> ShardedSimulation<R> {
                     xlat: HashMap::new(),
                     phit_buf: Vec::new(),
                     credit_buf: Vec::new(),
+                    #[cfg(feature = "profile")]
+                    barrier_wait_nanos: 0,
                 }
             })
             .collect();
@@ -597,6 +611,52 @@ impl<R: RoutingAlgorithm + Clone> ShardedSimulation<R> {
         });
         self.cycle = self.shards[0].net.cycle;
         out
+    }
+
+    /// Install observability probes into every shard replica.
+    ///
+    /// Each replica's probe hooks only ever fire for state the shard owns
+    /// (packets are generated at owned nodes, delivered at owned destination
+    /// routers, and only owned routers hold buffered phits), so every counter
+    /// is accumulated by exactly one shard and [`Self::merged_probe`]
+    /// reproduces the sequential recorder by plain element-wise merging.
+    pub fn install_probes(&mut self, cfg: ProbeConfig) {
+        for shard in &mut self.shards {
+            shard.net.install_probes(cfg.clone());
+        }
+    }
+
+    /// Read access to one shard's probe recorder (tests, diagnostics).
+    pub fn probe(&self, shard: usize) -> Option<&ProbeRecorder> {
+        self.shards[shard].net.probe()
+    }
+
+    /// Merge the per-shard probe recorders into the run-wide recorder, exactly
+    /// like `merged_stats` merges the statistics collectors.  Returns
+    /// `None` when probes were never installed.
+    pub fn merged_probe(&self) -> Option<ProbeRecorder> {
+        let mut merged = self.shards[0].net.probe()?.clone();
+        for shard in &self.shards[1..] {
+            merged.merge(
+                shard
+                    .net
+                    .probe()
+                    .expect("probes are installed on every shard"),
+            );
+        }
+        Some(merged)
+    }
+
+    /// Per-phase wall-clock profile of one shard's replica network.
+    #[cfg(feature = "profile")]
+    pub fn phase_profile(&self, shard: usize) -> &dragonfly_sim::PhaseProfile {
+        self.shards[shard].net.phase_profile()
+    }
+
+    /// Nanoseconds `shard` spent waiting at the inner export → import barrier.
+    #[cfg(feature = "profile")]
+    pub fn barrier_wait_nanos(&self, shard: usize) -> u64 {
+        self.shards[shard].barrier_wait_nanos
     }
 
     /// Merge the per-shard collectors into the run-wide collector the reports
@@ -955,6 +1015,61 @@ mod tests {
             });
         let got = sharded.run_steady_state(0.15, 400, 800, 1_200);
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn merged_probe_matches_sequential_recorder() {
+        let mut sequential = Simulation::new(
+            config(11),
+            Box::new(BaselineMinimal::new()),
+            Box::new(Uniform::new()),
+        );
+        sequential.install_probes(ProbeConfig::full(32));
+        let expected_report = sequential.run_steady_state(0.2, 300, 600, 900);
+        let expected = sequential.take_probe().unwrap();
+
+        for shards in [2, 3] {
+            let mut sharded = ShardedSimulation::new(
+                config(11),
+                ShardPlan::new(shards),
+                BaselineMinimal::new(),
+                || Box::new(Uniform::new()),
+            );
+            sharded.install_probes(ProbeConfig::full(32));
+            let report = sharded.run_steady_state(0.2, 300, 600, 900);
+            assert_eq!(report, expected_report, "{shards} shards diverged");
+
+            let merged = sharded.merged_probe().unwrap();
+            assert_eq!(merged.samples(), expected.samples());
+            // Every time-series column is accumulated by exactly one shard, so
+            // the element-wise merge reproduces the sequential samples.
+            assert_eq!(
+                merged.series().injected.samples(),
+                expected.series().injected.samples(),
+                "{shards} shards: injected series diverged"
+            );
+            assert_eq!(
+                merged.series().delivered.samples(),
+                expected.series().delivered.samples()
+            );
+            assert_eq!(
+                merged.series().buffered_phits.samples(),
+                expected.series().buffered_phits.samples()
+            );
+            assert_eq!(
+                merged.series().pb_congested.samples(),
+                expected.series().pb_congested.samples()
+            );
+            assert_eq!(
+                merged.series().link_global_phits.samples(),
+                expected.series().link_global_phits.samples()
+            );
+            // The deterministic packet sample is a pure hash of
+            // (source, generation cycle), so both engines pick the same
+            // packets; sorting recovers a canonical order.
+            assert_eq!(merged.sorted_flight(), expected.sorted_flight());
+            assert_eq!(merged.heat_windows(), expected.heat_windows());
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::SimConfig;
 use crate::network::Network;
 use crate::routing_iface::RoutingAlgorithm;
+use dragonfly_probe::{ProbeConfig, ProbeRecorder};
 use dragonfly_sched::{ScheduleRuntime, Trace};
 use dragonfly_stats::{
     BatchReport, JobLifecycleReport, JobReport, PhaseReport, ScopedStats, SimReport, WorkloadReport,
@@ -48,6 +49,23 @@ impl<R: RoutingAlgorithm> Simulation<R> {
     /// Mutable access to the underlying network (tests and custom experiments).
     pub fn network_mut(&mut self) -> &mut Network<R> {
         &mut self.net
+    }
+
+    /// Install the observability probes on the underlying network (see
+    /// [`Network::install_probes`]): read-only, preallocated, sampled every
+    /// `cfg.stride` cycles.
+    pub fn install_probes(&mut self, cfg: ProbeConfig) {
+        self.net.install_probes(cfg);
+    }
+
+    /// The installed probe recorder, if any.
+    pub fn probe(&self) -> Option<&ProbeRecorder> {
+        self.net.probe()
+    }
+
+    /// Remove and return the installed probe recorder.
+    pub fn take_probe(&mut self) -> Option<Box<ProbeRecorder>> {
+        self.net.take_probe()
     }
 
     /// Advance one cycle.

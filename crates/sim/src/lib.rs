@@ -45,6 +45,8 @@ pub use engine::{
     job_report, phase_report, sim_report, span_overlap, PhaseIdentity, SimRunIdentity, Simulation,
 };
 pub use link::{CreditInFlight, LinkEnd, PhitInFlight};
+#[cfg(feature = "profile")]
+pub use network::PhaseProfile;
 pub use network::{GlobalStatusBoard, Network, SourceQueue};
 pub use packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
 pub use ring::FixedRing;

@@ -228,6 +228,19 @@ impl Link {
         self.credits.len()
     }
 
+    /// Highest occupancy the phit pipeline has ever reached (probe
+    /// diagnostics: how much of the provable `latency + 1` bound a run used).
+    #[inline]
+    pub fn phit_ring_high_water(&self) -> usize {
+        self.phits.high_water()
+    }
+
+    /// Highest occupancy the credit pipeline has ever reached.
+    #[inline]
+    pub fn credit_ring_high_water(&self) -> usize {
+        self.credits.high_water()
+    }
+
     /// True when nothing is travelling on the link in either direction.
     #[inline]
     pub fn is_idle(&self) -> bool {

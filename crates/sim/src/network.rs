@@ -6,6 +6,10 @@ use crate::packet::{Packet, PacketArena, PacketId, UNTAGGED};
 use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
 use crate::stats_collect::StatsCollector;
+use dragonfly_probe::{
+    FlightEvent, ProbeConfig, ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL,
+    CLASS_TERMINAL, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16,
+};
 use dragonfly_rng::{derive_seed, Rng};
 use dragonfly_sched::ScheduleRuntime;
 use dragonfly_topology::{DragonflyParams, NodeId, Port, PortKind, RouterId};
@@ -49,6 +53,11 @@ impl GlobalStatusBoard {
     pub fn group(&self, group: usize) -> &[bool] {
         let start = group * self.channels_per_group;
         &self.flags[start..start + self.channels_per_group]
+    }
+
+    /// Number of congestion flags currently set (probe time series).
+    pub fn congested_count(&self) -> u64 {
+        self.flags.iter().filter(|&&f| f).count() as u64
     }
 
     fn set(&mut self, group: usize, channel: usize, value: bool) {
@@ -134,6 +143,61 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     /// also appended here, so a sharded run can broadcast delivery feedback to
     /// the other shards' schedule replicas at the cycle barrier.
     sched_delivery_log: Option<Vec<u16>>,
+    /// Observability probes (see `dragonfly_probe`), installed through
+    /// [`Network::install_probes`].  Strictly read-only with respect to the
+    /// simulation: no RNG stream is consumed and no report field changes.
+    probe: Option<Box<ProbeRecorder>>,
+    /// Accumulated per-phase wall-clock time (`--features profile`).
+    #[cfg(feature = "profile")]
+    profile: PhaseProfile,
+}
+
+/// Accumulated wall-clock nanoseconds per pipeline phase, plus the cycle
+/// count they cover (`--features profile` only; see `dragonfly_probe`'s
+/// module docs for the phase profiler).
+#[cfg(feature = "profile")]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseProfile {
+    /// Cycles the timers have covered.
+    pub cycles: u64,
+    /// Phase A: link and credit arrivals.
+    pub arrivals_nanos: u64,
+    /// Phase B: packet generation and injection.
+    pub injection_nanos: u64,
+    /// Phase C: routing and output-VC allocation.
+    pub routing_nanos: u64,
+    /// Phase D: switch traversal and link transmission.
+    pub switch_nanos: u64,
+    /// Per-cycle bookkeeping: stats tick, PB board update, probe sampling.
+    pub bookkeeping_nanos: u64,
+}
+
+#[cfg(feature = "profile")]
+impl PhaseProfile {
+    /// `(phase name, accumulated nanoseconds)` rows in pipeline order.
+    pub fn rows(&self) -> [(&'static str, u64); 5] {
+        [
+            ("arrivals", self.arrivals_nanos),
+            ("injection", self.injection_nanos),
+            ("routing", self.routing_nanos),
+            ("switch", self.switch_nanos),
+            ("bookkeeping", self.bookkeeping_nanos),
+        ]
+    }
+
+    /// Total nanoseconds across all five phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.rows().iter().map(|&(_, n)| n).sum()
+    }
+
+    /// Nanoseconds elapsed since `prev`, advancing `prev` to now.
+    #[inline]
+    fn lap(prev: &mut std::time::Instant) -> u64 {
+        let now = std::time::Instant::now();
+        let nanos = now.duration_since(*prev).as_nanos() as u64;
+        *prev = now;
+        nanos
+    }
 }
 
 /// Type-erased construction path, kept so `RoutingKind::build()` and the experiment
@@ -277,6 +341,9 @@ impl<R: RoutingAlgorithm> Network<R> {
             route_scratch: Vec::with_capacity(route_scratch_cap),
             owned_nodes: 0..params.num_nodes(),
             sched_delivery_log: None,
+            probe: None,
+            #[cfg(feature = "profile")]
+            profile: PhaseProfile::default(),
         }
     }
 
@@ -479,12 +546,33 @@ impl<R: RoutingAlgorithm> Network<R> {
     pub fn step_phases(&mut self) -> bool {
         let cycle = self.cycle;
         let mut activity = false;
-        activity |= self.phase_arrivals(cycle);
-        activity |= self.phase_injection(cycle);
-        self.phase_routing(cycle);
-        activity |= self.phase_switch(cycle);
-        self.stats.tick(cycle);
-        self.update_pb_board();
+        #[cfg(feature = "profile")]
+        {
+            let mut lap = std::time::Instant::now();
+            activity |= self.phase_arrivals(cycle);
+            self.profile.arrivals_nanos += PhaseProfile::lap(&mut lap);
+            activity |= self.phase_injection(cycle);
+            self.profile.injection_nanos += PhaseProfile::lap(&mut lap);
+            self.phase_routing(cycle);
+            self.profile.routing_nanos += PhaseProfile::lap(&mut lap);
+            activity |= self.phase_switch(cycle);
+            self.profile.switch_nanos += PhaseProfile::lap(&mut lap);
+            self.stats.tick(cycle);
+            self.update_pb_board();
+            self.probe_sample(cycle);
+            self.profile.bookkeeping_nanos += PhaseProfile::lap(&mut lap);
+            self.profile.cycles += 1;
+        }
+        #[cfg(not(feature = "profile"))]
+        {
+            activity |= self.phase_arrivals(cycle);
+            activity |= self.phase_injection(cycle);
+            self.phase_routing(cycle);
+            activity |= self.phase_switch(cycle);
+            self.stats.tick(cycle);
+            self.update_pb_board();
+            self.probe_sample(cycle);
+        }
         activity
     }
 
@@ -573,6 +661,30 @@ impl<R: RoutingAlgorithm> Network<R> {
                                     }
                                 }
                             }
+                            // Probe: delivery happens at the ejection link of
+                            // the (owned) destination router, so in a sharded
+                            // run exactly one shard records it.
+                            if self.probe.is_some() {
+                                let pkt = self.packets.get(phit.packet);
+                                let (src, dst, gen) = (pkt.src.0, pkt.dst.0, pkt.gen_cycle);
+                                let router = li / ports;
+                                let probe = self.probe.as_deref_mut().unwrap();
+                                probe.record_delivered(router);
+                                if probe.flight_sampled(src, gen) {
+                                    probe.record_flight(FlightEvent {
+                                        cycle,
+                                        gen_cycle: gen,
+                                        src,
+                                        dst,
+                                        router: router as u32,
+                                        port: NONE_U16,
+                                        vc: NONE_U16,
+                                        kind: FLIGHT_DELIVER,
+                                        class: u8::MAX,
+                                        nonminimal: 2,
+                                    });
+                                }
+                            }
                             self.stats
                                 .record_delivery(self.packets.get(phit.packet), cycle);
                             self.packets.free(phit.packet);
@@ -645,6 +757,26 @@ impl<R: RoutingAlgorithm> Network<R> {
                 self.sources[n].pending.push_back(id);
                 self.stats
                     .record_generated_tagged(self.config.packet_size, cycle, job, phase);
+                // Probe: generation happens at owned nodes only, so in a
+                // sharded run exactly one shard records it.  The flight key
+                // `(src, gen_cycle)` is a pure function of the packet.
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.record_injected(router);
+                    if probe.flight_sampled(src.0, cycle) {
+                        probe.record_flight(FlightEvent {
+                            cycle,
+                            gen_cycle: cycle,
+                            src: src.0,
+                            dst: dst.0,
+                            router: router as u32,
+                            port: NONE_U16,
+                            vc: NONE_U16,
+                            kind: FLIGHT_INJECT,
+                            class: u8::MAX,
+                            nonminimal: 2,
+                        });
+                    }
+                }
             }
             // Move at most one phit of the head packet into the injection buffer.
             let source = &mut self.sources[n];
@@ -746,6 +878,34 @@ impl<R: RoutingAlgorithm> Network<R> {
                 out.owner = Some((ip as u16, ivc as u8));
                 router.inputs[ip].vcs[ivc].route = Some((flat as u16, choice.vc));
                 apply_grant(self.packets.get_mut(pid), &choice, &self.params, router.id);
+                // Probe: grants only happen at routers holding buffered phits,
+                // which in a sharded run are exactly the owned routers.
+                if self.probe.is_some() {
+                    let pkt = self.packets.get(pid);
+                    let (src, dst, gen) = (pkt.src.0, pkt.dst.0, pkt.gen_cycle);
+                    let up = &choice.update;
+                    let probe = self.probe.as_deref_mut().unwrap();
+                    probe.record_grant(r, up.mark_global_misroute, up.mark_local_misroute);
+                    if probe.flight_sampled(src, gen) {
+                        let (class, nonminimal) = match choice.port {
+                            Port::Local(_) => (CLASS_LOCAL, up.mark_local_misroute as u8),
+                            Port::Global(_) => (CLASS_GLOBAL, up.mark_global_misroute as u8),
+                            Port::Terminal(_) => (CLASS_TERMINAL, 2),
+                        };
+                        probe.record_flight(FlightEvent {
+                            cycle,
+                            gen_cycle: gen,
+                            src,
+                            dst,
+                            router: r as u32,
+                            port: flat as u16,
+                            vc: choice.vc as u16,
+                            kind: FLIGHT_HOP,
+                            class,
+                            nonminimal,
+                        });
+                    }
+                }
             }
         }
         decisions.clear();
@@ -778,6 +938,11 @@ impl<R: RoutingAlgorithm> Network<R> {
                     };
                     let out = &self.routers[r].outputs[op].vcs[vc];
                     if out.credits == 0 {
+                        // Probe: a granted packet held the output VC but could
+                        // not advance for lack of downstream credits.
+                        if let Some(probe) = self.probe.as_deref_mut() {
+                            probe.record_credit_stall(cycle, r * ports + op, vc);
+                        }
                         continue;
                     }
                     let buffer = &self.routers[r].inputs[ip as usize].vcs[ivc as usize].buffer;
@@ -819,6 +984,9 @@ impl<R: RoutingAlgorithm> Network<R> {
                     self.mark_pb_dirty(r, gport);
                 }
                 self.link_phits[r * ports + op] += 1;
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.record_link_phit(cycle, r * ports + op, vc);
+                }
                 self.links[r * ports + op].send_phit(
                     cycle,
                     PhitInFlight::new(pid, vc as u8, sent_before == 0, is_tail, size),
@@ -1011,6 +1179,106 @@ impl<R: RoutingAlgorithm> Network<R> {
     pub fn note_cycle_peaks(&mut self, in_flight_packets: u64, buffered_phits: u64) {
         self.stats
             .note_cycle_peaks(in_flight_packets, buffered_phits);
+    }
+
+    // ------------------------------------------------------------------
+    // Observability probes (see `dragonfly_probe`).
+    // ------------------------------------------------------------------
+
+    /// Install the observability probes: a recorder sized for this network,
+    /// sampled every `cfg.stride` cycles at the tail of [`Network::step_phases`]
+    /// (so the sequential and sharded engines sample at the identical point).
+    ///
+    /// Probes are read-only: they consume no RNG draws and change no report
+    /// field, and all their storage is preallocated here, so the zero-alloc
+    /// guarantee of the cycle loop holds with probes enabled.
+    pub fn install_probes(&mut self, cfg: ProbeConfig) {
+        let ports = self.params.ports_per_router();
+        let h = self.params.h();
+        let link_class = (0..self.links.len())
+            .map(|li| match Port::from_flat(li % ports, h).kind() {
+                PortKind::Local => CLASS_LOCAL,
+                PortKind::Global => CLASS_GLOBAL,
+                PortKind::Terminal => CLASS_TERMINAL,
+            })
+            .collect();
+        let vcs = (0..ports)
+            .map(|p| self.config.vcs_for(Port::from_flat(p, h).kind()))
+            .max()
+            .unwrap_or(1);
+        let dims = ProbeDims {
+            routers: self.routers.len(),
+            ports,
+            vcs,
+            link_class,
+        };
+        self.probe = Some(Box::new(ProbeRecorder::new(cfg, dims)));
+    }
+
+    /// The installed probe recorder, if any.
+    pub fn probe(&self) -> Option<&ProbeRecorder> {
+        self.probe.as_deref()
+    }
+
+    /// Remove and return the installed probe recorder (emission happens on
+    /// the extracted recorder, outside the cycle loop).
+    pub fn take_probe(&mut self) -> Option<Box<ProbeRecorder>> {
+        self.probe.take()
+    }
+
+    /// Accumulated per-phase wall-clock timers (`--features profile`).
+    #[cfg(feature = "profile")]
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Probe bookkeeping at the tail of [`Network::step_phases`]: on stride
+    /// cycles, scan the receive-side VC occupancies into the heatmap and push
+    /// one time-series sample.  A no-op without an installed probe.
+    fn probe_sample(&mut self, cycle: u64) {
+        let (stride, heatmap) = match self.probe.as_deref() {
+            Some(p) => (p.stride(), p.heatmap_enabled()),
+            None => return,
+        };
+        if !cycle.is_multiple_of(stride) {
+            return;
+        }
+        let ports = self.params.ports_per_router();
+        if heatmap {
+            // Occupancy is attributed to the link *feeding* each input VC.
+            // Non-owned replica routers of a sharded run never buffer phits,
+            // so every cell is accumulated by exactly one shard.
+            let probe = self.probe.as_deref_mut().unwrap();
+            for (r, router) in self.routers.iter().enumerate() {
+                if self.buffered_phits[r] == 0 {
+                    continue;
+                }
+                for (p, input) in router.inputs.iter().enumerate() {
+                    let li = self.incoming_link[r * ports + p];
+                    if li == usize::MAX {
+                        continue;
+                    }
+                    for (vc, ivc) in input.vcs.iter().enumerate() {
+                        probe.add_occupancy(cycle, li, vc, ivc.buffer.occupancy() as u32);
+                    }
+                }
+            }
+        }
+        let mut phit_hw = 0usize;
+        let mut credit_hw = 0usize;
+        for link in &self.links {
+            phit_hw = phit_hw.max(link.phit_ring_high_water());
+            credit_hw = credit_hw.max(link.credit_ring_high_water());
+        }
+        let snap = SampleSnapshot {
+            buffered_phits: self.buffered_total,
+            pb_congested: self.pb_board.congested_count(),
+            arena_grows: self.packets.grows(),
+            phit_ring_high_water: phit_hw as u64,
+            credit_ring_high_water: credit_hw as u64,
+        };
+        let probe = self.probe.as_deref_mut().unwrap();
+        probe.sample(cycle, &self.link_phits, snap);
     }
 
     /// Debug-build equivalence check of the event-driven board against the full scan
@@ -1249,6 +1517,38 @@ mod tests {
         assert!(max_local <= 1.0 + 1e-9);
         let (max_term, _) = net.link_utilization_summary(PortKind::Terminal);
         assert!(max_term > 0.0);
+    }
+
+    #[test]
+    fn probes_record_without_perturbing_the_run() {
+        let mut plain = tiny_network();
+        plain.set_injection(Some(BernoulliInjection::new(0.1, 8)));
+        plain.run(1_000);
+
+        let mut probed = tiny_network();
+        probed.install_probes(ProbeConfig::full(64));
+        probed.set_injection(Some(BernoulliInjection::new(0.1, 8)));
+        probed.run(1_000);
+
+        // Read-only: the probed run's statistics are identical.
+        assert_eq!(plain.stats.total_generated, probed.stats.total_generated);
+        assert_eq!(plain.stats.total_delivered, probed.stats.total_delivered);
+        assert_eq!(plain.stats.latency.mean(), probed.stats.latency.mean());
+
+        let probe = probed.take_probe().unwrap();
+        // Cycles 0, 64, …, 960 at stride 64 over 1 000 cycles: 16 samples.
+        assert_eq!(probe.samples(), 16);
+        let last = |s: &dragonfly_stats::TimeSeries| s.samples().last().copied().unwrap();
+        // The last sample (cycle 960) is a prefix of the full run's counters.
+        let inj = last(&probe.series().injected);
+        assert!(
+            inj > 0.0 && inj <= probed.stats.total_generated as f64,
+            "{inj}"
+        );
+        assert!(last(&probe.series().delivered) <= inj);
+        assert!(last(&probe.series().link_terminal_phits) > 0.0);
+        assert!(!probe.flight_events().is_empty());
+        assert!(probe.heat_windows() > 0);
     }
 
     #[test]

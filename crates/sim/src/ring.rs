@@ -37,6 +37,9 @@ pub struct FixedRing<T: Copy> {
     mask: usize,
     head: usize,
     len: usize,
+    /// Highest `len` ever reached — how much of the provable capacity bound a
+    /// run actually used (probe diagnostics; see `dragonfly_probe`).
+    high_water: usize,
 }
 
 impl<T: Copy> FixedRing<T> {
@@ -52,6 +55,7 @@ impl<T: Copy> FixedRing<T> {
             mask: phys - 1,
             head: 0,
             len: 0,
+            high_water: 0,
         }
     }
 
@@ -76,6 +80,9 @@ impl<T: Copy> FixedRing<T> {
             self.buf[pos] = value;
         }
         self.len += 1;
+        if self.len > self.high_water {
+            self.high_water = self.len;
+        }
     }
 
     /// Remove and return the oldest element.
@@ -147,6 +154,12 @@ impl<T: Copy> FixedRing<T> {
     #[inline]
     pub fn capacity(&self) -> usize {
         self.cap
+    }
+
+    /// Highest occupancy the ring has ever reached.
+    #[inline]
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Iterate the elements oldest-first.
@@ -245,6 +258,25 @@ mod tests {
         *r.back_mut().unwrap() += 2;
         assert_eq!(r.pop_front(), Some(11));
         assert_eq!(r.pop_front(), Some(22));
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy_not_current() {
+        let mut r = FixedRing::new(4);
+        assert_eq!(r.high_water(), 0);
+        r.push_back(1);
+        r.push_back(2);
+        r.push_back(3);
+        assert_eq!(r.high_water(), 3);
+        r.pop_front();
+        r.pop_front();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.high_water(), 3, "draining must not lower the mark");
+        r.push_back(4);
+        assert_eq!(r.high_water(), 3, "refilling below the peak keeps it");
+        r.push_back(5);
+        r.push_back(6);
+        assert_eq!(r.high_water(), 4);
     }
 
     #[test]

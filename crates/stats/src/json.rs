@@ -8,8 +8,48 @@
 //! vendored `serde_json` stand-in — and swap transparently for the real
 //! `serde_json` when building with network access.
 
-use crate::{BatchReport, JobLifecycleReport, JobReport, PhaseReport, SimReport, WorkloadReport};
+use crate::{
+    BatchReport, JobLifecycleReport, JobReport, PhaseReport, SimReport, TimeSeries, WorkloadReport,
+};
 use serde_json::{ToJson, Value};
+
+impl ToJson for TimeSeries {
+    fn to_json(&self) -> Value {
+        Value::object([
+            ("period", self.period().to_json()),
+            ("samples", self.samples().to_json()),
+        ])
+    }
+}
+
+/// Parse a [`TimeSeries`] back out of the JSON emitted by its [`ToJson`] impl.
+///
+/// The vendored `serde_json` stand-in is emission-only, so the read side of the
+/// round-trip lives here: a deliberately narrow parser for the exact
+/// `{"period":N,"samples":[..]}` shape — enough for tooling that post-processes
+/// probe output and for pinning the round-trip in tests.  Returns `None` on any
+/// shape mismatch.
+pub fn time_series_from_json(text: &str) -> Option<TimeSeries> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let rest = body.trim().strip_prefix("\"period\":")?;
+    let (period_text, rest) = rest.split_once(',')?;
+    let period: u64 = period_text.trim().parse().ok().filter(|&p| p >= 1)?;
+    let list = rest
+        .trim()
+        .strip_prefix("\"samples\":")?
+        .trim()
+        .strip_prefix('[')?
+        .strip_suffix(']')?;
+    let mut ts = TimeSeries::new(period);
+    for item in list.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        ts.push(item.parse().ok()?);
+    }
+    Some(ts)
+}
 
 impl ToJson for SimReport {
     fn to_json(&self) -> Value {
@@ -153,6 +193,28 @@ impl ToJson for WorkloadReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_series_round_trips_through_json() {
+        let mut ts = TimeSeries::new(64);
+        for v in [0.0, 1.5, 123456789.0, 0.1 + 0.2] {
+            ts.push(v);
+        }
+        let text = serde_json::to_string(&ts);
+        assert!(text.starts_with("{\"period\":64,\"samples\":["), "{text}");
+        let back = time_series_from_json(&text).expect("emitted JSON must parse");
+        assert_eq!(back.period(), ts.period());
+        // Bit-exact: the emitter prints shortest-round-trip floats.
+        assert_eq!(back.samples(), ts.samples());
+
+        let empty = serde_json::to_string(&TimeSeries::new(8));
+        let back = time_series_from_json(&empty).expect("empty series parses");
+        assert!(back.is_empty());
+        assert_eq!(back.period(), 8);
+
+        assert!(time_series_from_json("{\"period\":0,\"samples\":[]}").is_none());
+        assert!(time_series_from_json("not json").is_none());
+    }
 
     fn sim_report() -> SimReport {
         SimReport {

@@ -22,14 +22,73 @@ impl TimeSeries {
         }
     }
 
+    /// Create a series with its backing storage reserved up front, so the
+    /// first `capacity` pushes perform no heap allocation (the probe layer
+    /// relies on this to keep the cycle loop allocation-free).
+    pub fn with_capacity(period: u64, capacity: usize) -> Self {
+        let mut ts = Self::new(period);
+        ts.samples.reserve_exact(capacity);
+        ts
+    }
+
     /// Sampling period in cycles.
     pub fn period(&self) -> u64 {
         self.period
     }
 
+    /// Samples the backing store can hold before it must grow.
+    pub fn capacity(&self) -> usize {
+        self.samples.capacity()
+    }
+
+    /// The simulated cycle sample `index` was taken at.  Sampling happens at
+    /// every multiple of the period, so at a horizon that is not a multiple of
+    /// the period the last sample's cycle is simply the largest multiple not
+    /// exceeding the horizon — there is no partial final sample.
+    pub fn cycle_of(&self, index: usize) -> u64 {
+        index as u64 * self.period
+    }
+
+    /// Number of samples a run of `horizon` cycles produces when cycle 0 is
+    /// sampled and the run ends *before* cycle `horizon`.
+    pub fn samples_for_horizon(period: u64, horizon: u64) -> usize {
+        assert!(period >= 1, "sampling period must be at least 1 cycle");
+        if horizon == 0 {
+            0
+        } else {
+            ((horizon - 1) / period + 1) as usize
+        }
+    }
+
     /// Append a sample.
     pub fn push(&mut self, value: f64) {
         self.samples.push(value);
+    }
+
+    /// Element-wise sum of another series into this one.
+    ///
+    /// This is the per-shard merge of one logical series recorded by several
+    /// engine partitions: every sample index corresponds to the same simulated
+    /// cycle on both sides, each shard contributes only what it observed
+    /// locally, and addition makes the result independent of merge order
+    /// (commutative and associative, like [`crate::ExactStats`]).  A shorter
+    /// side is treated as zero-padded, so merging series of unequal length is
+    /// well defined and still order-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two series disagree about the sampling period.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        assert_eq!(
+            self.period, other.period,
+            "cannot merge time series with different sampling periods"
+        );
+        if other.samples.len() > self.samples.len() {
+            self.samples.resize(other.samples.len(), 0.0);
+        }
+        for (dst, src) in self.samples.iter_mut().zip(other.samples.iter()) {
+            *dst += *src;
+        }
     }
 
     /// All samples in order.
@@ -134,5 +193,82 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_period_rejected() {
         TimeSeries::new(0);
+    }
+
+    #[test]
+    fn with_capacity_preallocates_and_pushes_do_not_grow() {
+        let mut ts = TimeSeries::with_capacity(64, 40);
+        let cap = ts.capacity();
+        assert!(cap >= 40);
+        for i in 0..40 {
+            ts.push(i as f64);
+        }
+        assert_eq!(ts.capacity(), cap, "pushes within capacity must not grow");
+        assert_eq!(ts.len(), 40);
+    }
+
+    fn series_of(period: u64, values: &[f64]) -> TimeSeries {
+        let mut ts = TimeSeries::new(period);
+        for &v in values {
+            ts.push(v);
+        }
+        ts
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_associative() {
+        // Three per-shard fragments of one logical series, deliberately of
+        // unequal length (a shard that stopped sampling early pads with zero).
+        let a = series_of(64, &[1.0, 2.0, 3.0]);
+        let b = series_of(64, &[10.0, 20.0]);
+        let c = series_of(64, &[100.0, 200.0, 300.0, 400.0]);
+
+        let merged = |order: &[&TimeSeries]| {
+            let mut acc = order[0].clone();
+            for s in &order[1..] {
+                acc.merge(s);
+            }
+            acc.samples().to_vec()
+        };
+
+        let abc = merged(&[&a, &b, &c]);
+        assert_eq!(abc, vec![111.0, 222.0, 303.0, 400.0]);
+        assert_eq!(abc, merged(&[&c, &a, &b]), "merge must be commutative");
+        assert_eq!(abc, merged(&[&b, &c, &a]), "merge must be commutative");
+
+        // Associativity: (a + b) + c == a + (b + c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left.samples(), right.samples());
+    }
+
+    #[test]
+    #[should_panic(expected = "different sampling periods")]
+    fn merge_rejects_mismatched_periods() {
+        let mut a = TimeSeries::new(32);
+        a.merge(&TimeSeries::new(64));
+    }
+
+    #[test]
+    fn stride_alignment_at_non_divisor_horizons() {
+        // A 1000-cycle run sampled every 64 cycles: cycle 0 plus every later
+        // multiple of 64 below 1000 — 16 samples, the last at cycle 960.
+        assert_eq!(TimeSeries::samples_for_horizon(64, 1000), 16);
+        let ts = TimeSeries::new(64);
+        assert_eq!(ts.cycle_of(0), 0);
+        assert_eq!(ts.cycle_of(15), 960);
+        // Exact-divisor horizon: the boundary cycle itself is never sampled
+        // (runs end before it), so 1024 cycles also yield 16 samples.
+        assert_eq!(TimeSeries::samples_for_horizon(64, 1024), 16);
+        assert_eq!(TimeSeries::samples_for_horizon(64, 1025), 17);
+        // Degenerate cases.
+        assert_eq!(TimeSeries::samples_for_horizon(64, 0), 0);
+        assert_eq!(TimeSeries::samples_for_horizon(64, 1), 1);
+        assert_eq!(TimeSeries::samples_for_horizon(1, 5), 5);
     }
 }

@@ -1,0 +1,110 @@
+//! Phase profile: where does the wall-clock of a big run go?
+//!
+//! ```text
+//! cargo run --release --features profile --example phase_profile
+//! cargo run --release --features profile --example phase_profile -- --h 4 --shards 2
+//! ```
+//!
+//! Runs one steady-state point (OLM, uniform, load 0.2 — the `shard_scaling`
+//! point) on the sequential engine and then on the sharded engine, and prints
+//! the `cfg(feature = "profile")` wall-clock breakdown: nanoseconds per
+//! pipeline phase (arrivals / injection / routing / switch / bookkeeping) for
+//! each engine, plus each shard's time at the export→import barrier — the
+//! load-imbalance component of the sharded wall time.
+//!
+//! Defaults to the paper-scale h = 8 machine with deliberately short windows
+//! (the profile measures the cycle loop, not steady-state convergence);
+//! `results/probe_phase_profile.md` records a run of this example.
+
+use dragonfly::core::{ExperimentSpec, RoutingKind, TrafficKind};
+use dragonfly::routing::{AdaptiveParams, Olm};
+use dragonfly::shard::{ShardPlan, ShardedSimulation};
+use dragonfly::sim::{PhaseProfile, Simulation};
+
+fn print_profile(tag: &str, profile: &PhaseProfile) {
+    let total = profile.total_nanos().max(1);
+    println!("{tag} ({} cycles timed):", profile.cycles);
+    for (name, nanos) in profile.rows() {
+        println!(
+            "  {name:<12} {:>9.1} ms  {:>5.1} %  {:>7.0} ns/cycle",
+            nanos as f64 / 1e6,
+            100.0 * nanos as f64 / total as f64,
+            nanos as f64 / profile.cycles.max(1) as f64,
+        );
+    }
+    println!(
+        "  {:<12} {:>9.1} ms",
+        "total",
+        profile.total_nanos() as f64 / 1e6
+    );
+}
+
+fn main() {
+    let mut h = 8;
+    let mut shards = 4;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut grab = || args.next().expect("flag needs a value").parse().unwrap();
+        match arg.as_str() {
+            "--h" => h = grab(),
+            "--shards" => shards = grab(),
+            other => panic!("unknown flag {other} (supported: --h N, --shards N)"),
+        }
+    }
+
+    let mut spec = ExperimentSpec::new(h);
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Uniform;
+    spec.offered_load = 0.2;
+    spec.warmup = 300;
+    spec.measure = 600;
+    spec.drain = 600;
+    println!(
+        "Profiling OLM/UN @ {:.1} on h = {h} ({} nodes), warmup {} / measure {} cycles...\n",
+        spec.offered_load,
+        spec.sim_config().params.num_nodes(),
+        spec.warmup,
+        spec.measure
+    );
+
+    let params = AdaptiveParams::with_threshold(spec.threshold);
+    let mut sim = Simulation::with_routing(
+        spec.sim_config(),
+        Olm::new(params),
+        spec.traffic.build(&spec.sim_config().params),
+    );
+    let t0 = std::time::Instant::now();
+    let baseline = sim.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain);
+    let seq_wall = t0.elapsed();
+    print_profile("sequential engine", sim.network().phase_profile());
+    println!(
+        "  whole run     {:>9.1} ms wall\n",
+        seq_wall.as_secs_f64() * 1e3
+    );
+
+    let mut sharded = ShardedSimulation::new(
+        spec.sim_config(),
+        ShardPlan::new(shards),
+        Olm::new(params),
+        || spec.traffic.build(&spec.sim_config().params),
+    );
+    let t0 = std::time::Instant::now();
+    let report = sharded.run_steady_state(spec.offered_load, spec.warmup, spec.measure, spec.drain);
+    let shard_wall = t0.elapsed();
+    assert_eq!(report, baseline, "sharded report diverged — engine bug");
+    for s in 0..shards {
+        print_profile(&format!("shard {s}/{shards}"), sharded.phase_profile(s));
+        println!(
+            "  barrier wait  {:>9.1} ms  ({:.1} % of this shard's wall)\n",
+            sharded.barrier_wait_nanos(s) as f64 / 1e6,
+            100.0 * sharded.barrier_wait_nanos(s) as f64
+                / (sharded.phase_profile(s).total_nanos() + sharded.barrier_wait_nanos(s)).max(1)
+                    as f64,
+        );
+    }
+    println!(
+        "sharded whole run {:>7.1} ms wall ({:.2}x vs sequential, reports byte-identical)",
+        shard_wall.as_secs_f64() * 1e3,
+        seq_wall.as_secs_f64() / shard_wall.as_secs_f64()
+    );
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub use dragonfly_core as core;
+pub use dragonfly_probe as probe;
 pub use dragonfly_rng as rng;
 pub use dragonfly_routing as routing;
 pub use dragonfly_sched as sched;

@@ -1,0 +1,185 @@
+//! The probe subsystem's cardinal invariants:
+//!
+//! 1. **Read-only** — installing probes never perturbs a run.  Every field of
+//!    every report is byte-identical with probes on and off, for every routing
+//!    mechanism × flow control combination and for the workload/churn
+//!    protocols (probes share no state with routing, consume no RNG, and only
+//!    read what the cycle loop already computed).
+//! 2. **Shard-invariant output** — the probe files a sharded run emits are
+//!    byte-identical to the sequential run's, independent of the shard count.
+//!    Every counter is attributed to exactly one owner router/link, the
+//!    flight sample is a pure hash of `(source, generation cycle)`, and
+//!    emission sorts flight events into a canonical order.  The one documented
+//!    exception is the diagnostics series (`*_diag.csv`): arena growth and
+//!    ring high-water marks are genuinely engine-dependent.
+
+use dragonfly::core::{
+    ExperimentSpec, FlowControlKind, ProbeConfig, RoutingKind, TrafficKind, WorkloadSpec,
+};
+use std::path::{Path, PathBuf};
+
+fn steady_spec(routing: RoutingKind, fc: FlowControlKind) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(2);
+    spec.routing = routing;
+    spec.flow_control = fc;
+    // ADVG+1 exercises misrouting, the PB board and (in sharded runs) the
+    // boundary links; the probe hooks on all of them must stay passive.
+    spec.traffic = TrafficKind::AdversarialGlobal(1);
+    spec.offered_load = 0.25;
+    spec.seed = 23;
+    spec.warmup = 300;
+    spec.measure = 600;
+    spec.drain = 900;
+    spec
+}
+
+/// Probe configuration with every instrument on.
+fn full_probes() -> ProbeConfig {
+    ProbeConfig::full(64)
+}
+
+#[test]
+fn probes_never_perturb_any_mechanism_or_flow_control() {
+    for fc in [FlowControlKind::Vct, FlowControlKind::Wormhole] {
+        for routing in RoutingKind::ALL {
+            if fc == FlowControlKind::Wormhole && !routing.supports_wormhole() {
+                continue;
+            }
+            let spec = steady_spec(routing, fc);
+            let plain = spec.run();
+            assert!(
+                plain.packets_measured > 0,
+                "{routing:?}/{fc:?}: nothing measured, the pin is vacuous"
+            );
+            let (probed, probe) = spec.run_probed(full_probes());
+            assert_eq!(
+                probed, plain,
+                "{routing:?}/{fc:?}: probes perturbed the report"
+            );
+            assert!(
+                probe.samples() > 0,
+                "{routing:?}/{fc:?}: probes recorded nothing"
+            );
+        }
+    }
+}
+
+#[test]
+fn probes_never_perturb_workload_and_churn_runs() {
+    use dragonfly::core::{Completion, JobPattern, PlacementPolicy, Trace, TraceJob};
+
+    let mut workload = steady_spec(RoutingKind::Olm, FlowControlKind::Vct);
+    workload.traffic = TrafficKind::Workload(WorkloadSpec::interference(72, 1, 0.4, 0.1));
+    let plain = workload.run_workload();
+    let (probed, probe) = workload.run_workload_probed(full_probes());
+    assert_eq!(probed, plain, "probes perturbed the workload report");
+    assert!(probe.samples() > 0);
+
+    let mut churn = steady_spec(RoutingKind::Piggybacking, FlowControlKind::Vct);
+    churn.traffic = TrafficKind::Churn(Trace::new(
+        "probe-pin",
+        vec![
+            TraceJob {
+                name: "a".into(),
+                arrival: 0,
+                size: 24,
+                placement: PlacementPolicy::Contiguous,
+                pattern: JobPattern::AllToAll,
+                offered_load: 0.15,
+                completion: Completion::Duration(1_200),
+            },
+            TraceJob {
+                name: "b".into(),
+                arrival: 500,
+                size: 24,
+                placement: PlacementPolicy::Random { seed: 5 },
+                pattern: JobPattern::Uniform,
+                offered_load: 0.1,
+                completion: Completion::Duration(800),
+            },
+        ],
+    ));
+    churn.measure = 4_000;
+    churn.drain = 2_000;
+    let plain = churn.run_workload();
+    let (probed, probe) = churn.run_workload_probed(full_probes());
+    assert_eq!(probed, plain, "probes perturbed the churn report");
+    assert!(probe.samples() > 0);
+}
+
+/// Fresh scratch directory under the target-local temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dragonfly_probe_invariance_{name}"));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Read every emitted probe file keyed by file name, split into the pinned set
+/// and the diagnostics exception.
+fn read_outputs(dir: &Path) -> (Vec<(String, Vec<u8>)>, Vec<String>) {
+    let mut pinned = Vec::new();
+    let mut diag = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.ends_with("_diag.csv") {
+            diag.push(name);
+        } else {
+            pinned.push((name, std::fs::read(&path).unwrap()));
+        }
+    }
+    (pinned, diag)
+}
+
+#[test]
+fn probe_files_are_byte_identical_across_shard_counts() {
+    let spec = steady_spec(RoutingKind::Olm, FlowControlKind::Vct);
+    let plain = spec.run();
+
+    let (report, probe) = spec.run_probed(full_probes());
+    assert_eq!(report, plain);
+    let seq_dir = scratch("seq");
+    probe.write_all(&seq_dir, "probe").unwrap();
+    let (sequential, seq_diag) = read_outputs(&seq_dir);
+    assert!(
+        sequential.iter().any(|(n, _)| n == "probe_series.csv"),
+        "series output missing"
+    );
+    assert!(
+        sequential.iter().any(|(n, _)| n == "probe_flight.jsonl"),
+        "flight output missing"
+    );
+    assert!(
+        sequential.iter().any(|(n, _)| n == "probe_heatmap.csv"),
+        "heatmap output missing"
+    );
+    assert_eq!(seq_diag, vec!["probe_diag.csv".to_string()]);
+
+    for shards in [2, 4] {
+        let (report, probe) = spec.run_probed_sharded(full_probes(), shards);
+        assert_eq!(report, plain, "{shards} shards: report diverged");
+        let dir = scratch(&format!("shards{shards}"));
+        probe.write_all(&dir, "probe").unwrap();
+        let (sharded, diag) = read_outputs(&dir);
+        assert_eq!(diag, seq_diag, "{shards} shards: diag file set diverged");
+        assert_eq!(
+            sharded.len(),
+            sequential.len(),
+            "{shards} shards: pinned file set diverged"
+        );
+        for ((name, bytes), (seq_name, seq_bytes)) in sharded.iter().zip(&sequential) {
+            assert_eq!(name, seq_name);
+            assert_eq!(
+                bytes, seq_bytes,
+                "{shards} shards: {name} is not byte-identical to the sequential run"
+            );
+        }
+    }
+}

@@ -13,6 +13,11 @@
 //! saturation point: above saturation the *source queues* grow without bound
 //! by design, which is a property of the load, not of the cycle loop.
 //!
+//! Probes are installed with every instrument enabled (stride-64 time series,
+//! flight recorder, heatmaps): all probe storage is reserved at installation
+//! and overflow drops-and-counts, so the observability layer must not cost a
+//! single allocation on the hot path either.
+//!
 //! The counting allocator is process-global, so this file deliberately holds a
 //! SINGLE test function: a second test running in parallel would pollute the
 //! counter and make the assertion meaningless.  Runs are fully deterministic
@@ -22,6 +27,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dragonfly::core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind};
+use dragonfly::probe::ProbeConfig;
 use dragonfly::traffic::BernoulliInjection;
 
 /// Forwards to the system allocator, counting every call that can return a
@@ -73,6 +79,9 @@ fn steady_state_cycle_loop_is_allocation_free() {
             spec.traffic = TrafficKind::Uniform;
             spec.seed = 42;
             let mut sim = spec.build_simulation();
+            // Every probe instrument on: the observability layer must be
+            // allocation-free too (storage reserved here, before warm-up).
+            sim.install_probes(ProbeConfig::full(64));
             sim.network_mut()
                 .set_injection(Some(BernoulliInjection::new(0.1, fc.packet_size())));
 
@@ -90,10 +99,17 @@ fn steady_state_cycle_loop_is_allocation_free() {
                 kind.name(),
                 fc.name()
             );
+            assert!(
+                sim.probe().is_some_and(|p| p.samples() > 0),
+                "{} under {}: probes recorded nothing — the probe half of the pin is vacuous",
+                kind.name(),
+                fc.name()
+            );
             assert_eq!(
                 delta,
                 0,
-                "{} under {}: {delta} heap allocations in {MEASURED_CYCLES} steady-state cycles",
+                "{} under {}: {delta} heap allocations in {MEASURED_CYCLES} steady-state cycles \
+                 (probes enabled)",
                 kind.name(),
                 fc.name()
             );
