@@ -104,6 +104,42 @@ fn bench_burst_drain(c: &mut Criterion) {
     group.finish();
 }
 
+/// The h = 8 residual: the paper-scale machine (16 512 nodes, ~64 k links)
+/// where the struct-of-arrays link fabric earns its keep — the active-set
+/// sweep walks the fabric's parallel arrays in index order instead of chasing
+/// per-link heap objects.  Construction and warm-up happen once, outside the
+/// measured closure, so the point tracks steady-state cycle cost only; it
+/// feeds BENCH_history.jsonl and the bench_gate regression check like every
+/// other point.  Iterations are short (10 cycles) because one h = 8 cycle is
+/// ~4 orders of magnitude more work than one h = 2 cycle.
+fn bench_fabric_soa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_soa");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+
+    let mut spec = ExperimentSpec::new(8);
+    spec.routing = RoutingKind::Olm;
+    spec.traffic = TrafficKind::Uniform;
+    spec.offered_load = 0.2;
+    let mut sim = spec.build_simulation();
+    sim.network_mut()
+        .set_injection(Some(dragonfly_traffic::BernoulliInjection::new(
+            spec.offered_load,
+            spec.flow_control.packet_size(),
+        )));
+    // Same warm-up as the recorded phase profile (results/
+    // fabric_soa_phase_profile.md): enough for traffic to reach every group.
+    sim.run_cycles(300);
+    group.bench_with_input(
+        BenchmarkId::new("run_10_cycles", "h8_olm_load0.2"),
+        &(),
+        |b, _| b.iter(|| sim.run_cycles(10)),
+    );
+    group.finish();
+}
+
 /// Head-to-head of the monomorphized engine (`Simulation<Olm>`) against the
 /// type-erased engine (`Simulation<Box<dyn RoutingAlgorithm>>`) on the same OLM
 /// low-load configuration — the case where active-set scheduling and static
@@ -172,6 +208,7 @@ criterion_group!(
     benches,
     bench_cycle_rate,
     bench_burst_drain,
+    bench_fabric_soa,
     bench_dispatch_paths
 );
 criterion_main!(benches);

@@ -60,6 +60,13 @@ pub struct SampleSnapshot {
     pub phit_ring_high_water: u64,
     /// Highest occupancy any link credit ring has reached (diagnostic).
     pub credit_ring_high_water: u64,
+    /// Links in this engine partition's active set at the sample point
+    /// (diagnostic; sums across shards, where boundary links count once per
+    /// shard that keeps them lit).
+    pub active_links: u64,
+    /// Routers in this engine partition's active set at the sample point
+    /// (diagnostic).
+    pub active_routers: u64,
 }
 
 /// The network-wide deterministic time series, one [`TimeSeries`] per counter.
@@ -147,6 +154,10 @@ pub struct DiagSeries {
     pub phit_ring_high_water: TimeSeries,
     /// Maximum link credit-ring occupancy (maxed across shards).
     pub credit_ring_high_water: TimeSeries,
+    /// Active-set link population (summed across shards).
+    pub active_links: TimeSeries,
+    /// Active-set router population (summed across shards).
+    pub active_routers: TimeSeries,
 }
 
 impl DiagSeries {
@@ -156,26 +167,32 @@ impl DiagSeries {
             arena_grows: mk(),
             phit_ring_high_water: mk(),
             credit_ring_high_water: mk(),
+            active_links: mk(),
+            active_routers: mk(),
         }
     }
 
     /// `(column name, series)` pairs in emission order.
-    pub fn columns(&self) -> [(&'static str, &TimeSeries); 3] {
+    pub fn columns(&self) -> [(&'static str, &TimeSeries); 5] {
         [
             ("arena_grows", &self.arena_grows),
             ("phit_ring_high_water", &self.phit_ring_high_water),
             ("credit_ring_high_water", &self.credit_ring_high_water),
+            ("active_links", &self.active_links),
+            ("active_routers", &self.active_routers),
         ]
     }
 
     fn merge(&mut self, other: &DiagSeries) {
-        // Growth counts add; high-water marks take the maximum.
+        // Growth and population counts add; high-water marks take the maximum.
         self.arena_grows.merge(&other.arena_grows);
         merge_max(&mut self.phit_ring_high_water, &other.phit_ring_high_water);
         merge_max(
             &mut self.credit_ring_high_water,
             &other.credit_ring_high_water,
         );
+        self.active_links.merge(&other.active_links);
+        self.active_routers.merge(&other.active_routers);
     }
 }
 
@@ -455,6 +472,8 @@ impl ProbeRecorder {
         self.diag
             .credit_ring_high_water
             .push(snap.credit_ring_high_water as f64);
+        self.diag.active_links.push(snap.active_links as f64);
+        self.diag.active_routers.push(snap.active_routers as f64);
         if self.cfg.top_k > 0 {
             for r in 0..self.dims.routers {
                 self.router_injected_series[r].push(self.router_injected[r] as f64);

@@ -1,0 +1,221 @@
+//! Sorted, deduplicated active sets for the per-cycle phases.
+//!
+//! The cycle loop only visits links and routers with work pending.  The
+//! original representation — an insertion-ordered `Vec` plus a `Vec<bool>`
+//! membership array — visited members in *activation* order, which is
+//! effectively random with respect to memory: consecutive iterations touched
+//! pipeline rings scattered across the whole link array.  [`ActiveSet`] is a
+//! two-level bitmap instead: iteration is in strictly increasing index order,
+//! so a sweep over the active links walks the struct-of-arrays
+//! [`crate::fabric::LinkFabric`] pools front to back — traversal order matches
+//! memory order, which is what the layout work is for.
+//!
+//! Membership is one bit per element plus one summary bit per 64-bit word, so
+//! a sparse sweep skips 4096 idle elements per summary word probed.  Insert,
+//! remove and the next-member probe are O(1) (plus a word scan bounded by the
+//! gap to the next member); all storage is allocated at construction, keeping
+//! the cycle loop allocation-free.
+
+/// A set over `0..n` supporting O(1) insert/remove and ascending iteration.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Membership bits, one per element.
+    bits: Vec<u64>,
+    /// Bit `j` of `summary[k]` is set iff `bits[k * 64 + j] != 0`.
+    summary: Vec<u64>,
+    /// Number of members (diagnostics / emptiness checks).
+    len: usize,
+}
+
+impl ActiveSet {
+    /// An empty set over the universe `0..n`.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        Self {
+            bits: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of members currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when `i` is a member.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Insert `i` (idempotent).
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        if self.bits[w] & mask == 0 {
+            self.bits[w] |= mask;
+            self.summary[w / 64] |= 1u64 << (w % 64);
+            self.len += 1;
+        }
+    }
+
+    /// Remove `i` (idempotent).
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        let w = i / 64;
+        let mask = 1u64 << (i % 64);
+        if self.bits[w] & mask != 0 {
+            self.bits[w] &= !mask;
+            if self.bits[w] == 0 {
+                self.summary[w / 64] &= !(1u64 << (w % 64));
+            }
+            self.len -= 1;
+        }
+    }
+
+    /// Smallest member `>= i`, or `None`.  The ascending sweep the phases use:
+    ///
+    /// ```text
+    /// let mut cursor = 0;
+    /// while let Some(i) = set.next_at_or_after(cursor) {
+    ///     cursor = i + 1;
+    ///     /* process i; `set.remove(i)` and inserts of other ids are fine */
+    /// }
+    /// ```
+    #[inline]
+    pub fn next_at_or_after(&self, i: usize) -> Option<usize> {
+        let mut w = i / 64;
+        if w >= self.bits.len() {
+            return None;
+        }
+        // Tail of the word `i` falls in.
+        let tail = self.bits[w] & (!0u64 << (i % 64));
+        if tail != 0 {
+            return Some(w * 64 + tail.trailing_zeros() as usize);
+        }
+        // Climb to the summary level to find the next non-empty word.
+        w += 1;
+        let mut s = w / 64;
+        if s >= self.summary.len() {
+            return None;
+        }
+        let stail = self.summary[s] & (!0u64 << (w % 64));
+        let word = if stail != 0 {
+            s * 64 + stail.trailing_zeros() as usize
+        } else {
+            loop {
+                s += 1;
+                if s >= self.summary.len() {
+                    return None;
+                }
+                if self.summary[s] != 0 {
+                    break s * 64 + self.summary[s].trailing_zeros() as usize;
+                }
+            }
+        };
+        Some(word * 64 + self.bits[word].trailing_zeros() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn members(set: &ActiveSet) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cursor = 0;
+        while let Some(i) = set.next_at_or_after(cursor) {
+            out.push(i);
+            cursor = i + 1;
+        }
+        out
+    }
+
+    #[test]
+    fn insert_remove_iterate_sorted() {
+        let mut s = ActiveSet::new(10_000);
+        for &i in &[9_999usize, 3, 4_096, 64, 63, 3] {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 5, "inserts are deduplicated");
+        assert_eq!(members(&s), vec![3, 63, 64, 4_096, 9_999]);
+        s.remove(64);
+        s.remove(64);
+        assert_eq!(s.len(), 4);
+        assert!(!s.contains(64));
+        assert_eq!(members(&s), vec![3, 63, 4_096, 9_999]);
+    }
+
+    #[test]
+    fn sweep_with_mid_iteration_removal() {
+        let mut s = ActiveSet::new(300);
+        for i in (0..300).step_by(7) {
+            s.insert(i);
+        }
+        let mut seen = Vec::new();
+        let mut cursor = 0;
+        while let Some(i) = s.next_at_or_after(cursor) {
+            cursor = i + 1;
+            seen.push(i);
+            if i % 14 == 0 {
+                s.remove(i);
+            }
+        }
+        assert_eq!(seen, (0..300).step_by(7).collect::<Vec<_>>());
+        assert_eq!(members(&s), (7..300).step_by(14).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn summary_level_skips_empty_words() {
+        // Members more than 64*64 apart force the summary-word loop.
+        let mut s = ActiveSet::new(64 * 64 * 3 + 1);
+        s.insert(0);
+        s.insert(64 * 64 * 3);
+        assert_eq!(members(&s), vec![0, 64 * 64 * 3]);
+        assert_eq!(s.next_at_or_after(1), Some(64 * 64 * 3));
+        s.remove(64 * 64 * 3);
+        assert_eq!(s.next_at_or_after(1), None);
+    }
+
+    #[test]
+    fn empty_and_boundary() {
+        let s = ActiveSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.next_at_or_after(0), None);
+        let mut s = ActiveSet::new(65);
+        s.insert(64);
+        assert_eq!(s.next_at_or_after(0), Some(64));
+        assert_eq!(s.next_at_or_after(64), Some(64));
+        assert_eq!(s.next_at_or_after(65), None);
+    }
+
+    #[test]
+    fn matches_a_model_under_random_churn() {
+        use dragonfly_rng::Rng;
+        let mut rng = Rng::seed_from(0xAC71);
+        let n = 2_000;
+        let mut s = ActiveSet::new(n);
+        let mut model = std::collections::BTreeSet::new();
+        for _ in 0..20_000 {
+            let i = rng.gen_index(n);
+            if rng.bernoulli(0.5) {
+                s.insert(i);
+                model.insert(i);
+            } else {
+                s.remove(i);
+                model.remove(&i);
+            }
+        }
+        assert_eq!(s.len(), model.len());
+        assert_eq!(members(&s), model.into_iter().collect::<Vec<_>>());
+    }
+}

@@ -1,10 +1,10 @@
 //! Virtual-channel FIFO buffers measured in phits.
 
 use crate::packet::PacketId;
-use crate::ring::FixedRing;
+use crate::ring::RingMeta;
 
 /// Bookkeeping for one packet currently (partially) stored in a VC buffer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PacketSlot {
     /// The packet.
     pub packet: PacketId,
@@ -49,55 +49,83 @@ impl PacketSlot {
 /// `(received, sent)` pair per packet captures the exact FIFO content while staying
 /// O(packets) instead of O(phits).
 ///
-/// The slots live in a [`FixedRing`] sized from two invariants of the FIFO:
-/// phits arrive in order, so only the *newest* slot can be partially
-/// received, and only the *head* slot forwards, so every interior slot is
-/// fully received with nothing sent — it holds exactly `size >= min_packet`
-/// present phits.  With `k` slots, `(k - 2) * min_packet <= occupancy <=
-/// capacity`, so `k <= capacity / min_packet + 2` (and `k <= capacity + 1`
-/// always, since every slot behind the head holds at least one phit).  The
-/// ring is built at the tighter bound and never grows after its one-time
-/// backing allocation; deep buffers sized in phits (a 256-phit global port)
-/// only pay for the handful of whole packets they can actually hold.
+/// The slot queue is a slice-backed ring ([`RingMeta`]) over a region of its
+/// router's shared slot pool ([`crate::router::Router::slot_pool`]): the
+/// buffer itself is four words — the packed ring-metadata word, the pool
+/// offset, the occupancy and the capacity — and every slot of every VC of a
+/// router lives in one contiguous allocation.  The region is sized from two
+/// invariants of the FIFO: phits arrive in order, so only the *newest* slot
+/// can be partially received, and only the *head* slot forwards, so every
+/// interior slot is fully received with nothing sent — it holds exactly
+/// `size >= min_packet` present phits.  With `k` slots, `(k - 2) * min_packet
+/// <= occupancy <= capacity`, so `k <= capacity / min_packet + 2` (and `k <=
+/// capacity + 1` always, since every slot behind the head holds at least one
+/// phit).  The ring is built at the tighter bound; deep buffers sized in
+/// phits (a 256-phit global port) only pay for the handful of whole packets
+/// they can actually hold.
 #[derive(Debug, Clone)]
 pub struct VcBuffer {
-    slots: FixedRing<PacketSlot>,
-    occupancy: usize,
-    capacity: usize,
+    slots: RingMeta,
+    /// Start of this buffer's slot region in the router's pool.
+    start: u32,
+    occupancy: u32,
+    capacity: u32,
 }
 
 impl VcBuffer {
-    /// Create a buffer able to hold `capacity` phits of packets no smaller
-    /// than `min_packet` phits (the engine passes the run's uniform
-    /// `packet_size`; a smaller packet would overflow the slot ring and
-    /// panic rather than corrupt state).
-    pub fn new(capacity: usize, min_packet: usize) -> Self {
+    /// Number of packet slots a buffer of `capacity` phits needs for packets
+    /// no smaller than `min_packet` phits (the region size the router's slot
+    /// pool must reserve per VC).
+    pub fn slot_bound(capacity: usize, min_packet: usize) -> usize {
         assert!(capacity >= 1, "buffer capacity must be at least one phit");
         assert!(min_packet >= 1, "packets are at least one phit");
-        let slot_bound = (capacity + 1).min(capacity / min_packet + 2);
+        (capacity + 1).min(capacity / min_packet + 2)
+    }
+
+    /// Create a buffer of `capacity` phits for packets no smaller than
+    /// `min_packet` phits (a smaller packet would overflow the slot ring and
+    /// panic rather than corrupt state), backed by the pool region starting
+    /// at `start` of [`VcBuffer::slot_bound`] slots.
+    pub fn new(capacity: usize, min_packet: usize, start: usize) -> Self {
+        let bound = Self::slot_bound(capacity, min_packet);
         Self {
-            slots: FixedRing::new(slot_bound),
+            slots: RingMeta::new(bound),
+            start: start as u32,
             occupancy: 0,
-            capacity,
+            capacity: capacity as u32,
         }
+    }
+
+    /// This buffer's slot region within its router's pool.
+    #[inline]
+    fn region<'a>(&self, pool: &'a [PacketSlot]) -> &'a [PacketSlot] {
+        let start = self.start as usize;
+        &pool[start..start + self.slots.capacity()]
+    }
+
+    /// Mutable slot region within its router's pool.
+    #[inline]
+    fn region_mut<'a>(&self, pool: &'a mut [PacketSlot]) -> &'a mut [PacketSlot] {
+        let start = self.start as usize;
+        &mut pool[start..start + self.slots.capacity()]
     }
 
     /// Capacity in phits.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.capacity
+        self.capacity as usize
     }
 
     /// Phits currently stored.
     #[inline]
     pub fn occupancy(&self) -> usize {
-        self.occupancy
+        self.occupancy as usize
     }
 
     /// Free space in phits.
     #[inline]
     pub fn free_space(&self) -> usize {
-        self.capacity - self.occupancy
+        (self.capacity - self.occupancy) as usize
     }
 
     /// True when no phit is stored.
@@ -115,8 +143,8 @@ impl VcBuffer {
 
     /// The packet at the head of the FIFO.
     #[inline]
-    pub fn head(&self) -> Option<&PacketSlot> {
-        self.slots.front()
+    pub fn head<'a>(&self, pool: &'a [PacketSlot]) -> Option<&'a PacketSlot> {
+        self.slots.front(self.region(pool))
     }
 
     /// Receive one phit of `packet`.  `is_head` marks the first phit of the packet,
@@ -124,22 +152,32 @@ impl VcBuffer {
     ///
     /// Panics if the buffer would overflow (the credit scheme must prevent this) or if
     /// a non-head phit arrives for a packet that is not the most recent slot.
-    pub fn receive_phit(&mut self, packet: PacketId, size: u16, is_head: bool) {
+    pub fn receive_phit(
+        &mut self,
+        pool: &mut [PacketSlot],
+        packet: PacketId,
+        size: u16,
+        is_head: bool,
+    ) {
         assert!(
             self.occupancy < self.capacity,
             "VC buffer overflow: credit accounting is broken"
         );
+        let region = self.region_mut(pool);
         if is_head {
-            self.slots.push_back(PacketSlot {
-                packet,
-                size,
-                phits_received: 1,
-                phits_sent: 0,
-            });
+            self.slots.push_back(
+                region,
+                PacketSlot {
+                    packet,
+                    size,
+                    phits_received: 1,
+                    phits_sent: 0,
+                },
+            );
         } else {
             let slot = self
                 .slots
-                .back_mut()
+                .back_mut(region)
                 .expect("body phit arrived with no open packet slot");
             assert_eq!(
                 slot.packet, packet,
@@ -158,10 +196,11 @@ impl VcBuffer {
     ///
     /// Returns the packet id and whether the forwarded phit was the tail (last) phit;
     /// when it is, the slot is popped.  Panics if no phit is available.
-    pub fn send_phit(&mut self) -> (PacketId, bool) {
+    pub fn send_phit(&mut self, pool: &mut [PacketSlot]) -> (PacketId, bool) {
+        let region = self.region_mut(pool);
         let slot = self
             .slots
-            .front_mut()
+            .front_mut(region)
             .expect("send from an empty VC buffer");
         assert!(slot.has_phit(), "no phit of the head packet is present yet");
         slot.phits_sent += 1;
@@ -170,15 +209,15 @@ impl VcBuffer {
         let is_tail = slot.fully_sent();
         if is_tail {
             debug_assert!(slot.fully_received());
-            self.slots.pop_front();
+            self.slots.pop_slot();
         }
         (packet, is_tail)
     }
 
     /// True when the head packet exists and has a phit ready to forward.
     #[inline]
-    pub fn head_has_phit(&self) -> bool {
-        self.head().map(|s| s.has_phit()).unwrap_or(false)
+    pub fn head_has_phit(&self, pool: &[PacketSlot]) -> bool {
+        self.head(pool).map(|s| s.has_phit()).unwrap_or(false)
     }
 }
 
@@ -190,17 +229,26 @@ mod tests {
         PacketId(i as u64)
     }
 
+    /// A buffer plus a standalone pool exactly covering its slot region.
+    fn with_pool(capacity: usize, min_packet: usize) -> (VcBuffer, Vec<PacketSlot>) {
+        let bound = VcBuffer::slot_bound(capacity, min_packet);
+        (
+            VcBuffer::new(capacity, min_packet, 0),
+            vec![PacketSlot::default(); bound],
+        )
+    }
+
     #[test]
     fn receive_then_send_whole_packet() {
-        let mut b = VcBuffer::new(16, 4);
+        let (mut b, mut pool) = with_pool(16, 4);
         for i in 0..4u16 {
-            b.receive_phit(pid(1), 4, i == 0);
+            b.receive_phit(&mut pool, pid(1), 4, i == 0);
         }
         assert_eq!(b.occupancy(), 4);
         assert_eq!(b.packets(), 1);
-        assert!(b.head().unwrap().fully_received());
+        assert!(b.head(&pool).unwrap().fully_received());
         for i in 0..4 {
-            let (p, tail) = b.send_phit();
+            let (p, tail) = b.send_phit(&mut pool);
             assert_eq!(p, pid(1));
             assert_eq!(tail, i == 3);
         }
@@ -210,20 +258,20 @@ mod tests {
 
     #[test]
     fn cut_through_send_while_receiving() {
-        let mut b = VcBuffer::new(8, 4);
-        b.receive_phit(pid(7), 4, true);
-        assert!(b.head_has_phit());
-        let (_, tail) = b.send_phit();
+        let (mut b, mut pool) = with_pool(8, 4);
+        b.receive_phit(&mut pool, pid(7), 4, true);
+        assert!(b.head_has_phit(&pool));
+        let (_, tail) = b.send_phit(&mut pool);
         assert!(!tail);
         assert_eq!(b.occupancy(), 0);
-        assert!(!b.head_has_phit());
+        assert!(!b.head_has_phit(&pool));
         assert_eq!(b.packets(), 1, "slot stays open until the tail is sent");
-        b.receive_phit(pid(7), 4, false);
-        b.receive_phit(pid(7), 4, false);
-        b.receive_phit(pid(7), 4, false);
+        b.receive_phit(&mut pool, pid(7), 4, false);
+        b.receive_phit(&mut pool, pid(7), 4, false);
+        b.receive_phit(&mut pool, pid(7), 4, false);
         let mut tails = 0;
         for _ in 0..3 {
-            let (_, t) = b.send_phit();
+            let (_, t) = b.send_phit(&mut pool);
             if t {
                 tails += 1;
             }
@@ -234,77 +282,96 @@ mod tests {
 
     #[test]
     fn multiple_packets_fifo_order() {
-        let mut b = VcBuffer::new(16, 2);
+        let (mut b, mut pool) = with_pool(16, 2);
         for i in 0..3u16 {
-            b.receive_phit(pid(1), 3, i == 0);
+            b.receive_phit(&mut pool, pid(1), 3, i == 0);
         }
         for i in 0..2u16 {
-            b.receive_phit(pid(2), 2, i == 0);
+            b.receive_phit(&mut pool, pid(2), 2, i == 0);
         }
         assert_eq!(b.packets(), 2);
         assert_eq!(b.occupancy(), 5);
         // Head is packet 1; it must drain before packet 2.
         for _ in 0..3 {
-            let (p, _) = b.send_phit();
+            let (p, _) = b.send_phit(&mut pool);
             assert_eq!(p, pid(1));
         }
-        let (p, tail) = b.send_phit();
+        let (p, tail) = b.send_phit(&mut pool);
         assert_eq!(p, pid(2));
         assert!(!tail);
-        let (p, tail) = b.send_phit();
+        let (p, tail) = b.send_phit(&mut pool);
         assert_eq!(p, pid(2));
         assert!(tail);
         assert!(b.is_empty());
     }
 
     #[test]
+    fn buffers_share_one_pool_without_interference() {
+        // Two buffers packed back to back in a single pool.
+        let bound = VcBuffer::slot_bound(8, 4);
+        let mut a = VcBuffer::new(8, 4, 0);
+        let mut b = VcBuffer::new(8, 4, bound);
+        let mut pool = vec![PacketSlot::default(); bound * 2];
+        a.receive_phit(&mut pool, pid(1), 4, true);
+        b.receive_phit(&mut pool, pid(2), 4, true);
+        a.receive_phit(&mut pool, pid(1), 4, false);
+        assert_eq!(a.head(&pool).unwrap().packet, pid(1));
+        assert_eq!(b.head(&pool).unwrap().packet, pid(2));
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(b.occupancy(), 1);
+        let (p, _) = b.send_phit(&mut pool);
+        assert_eq!(p, pid(2));
+        assert_eq!(a.occupancy(), 2, "sibling buffer is untouched");
+    }
+
+    #[test]
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
-        let mut b = VcBuffer::new(2, 4);
-        b.receive_phit(pid(1), 4, true);
-        b.receive_phit(pid(1), 4, false);
-        b.receive_phit(pid(1), 4, false);
+        let (mut b, mut pool) = with_pool(2, 4);
+        b.receive_phit(&mut pool, pid(1), 4, true);
+        b.receive_phit(&mut pool, pid(1), 4, false);
+        b.receive_phit(&mut pool, pid(1), 4, false);
     }
 
     #[test]
     #[should_panic(expected = "interleaved")]
     fn interleaved_packets_rejected() {
-        let mut b = VcBuffer::new(8, 4);
-        b.receive_phit(pid(1), 4, true);
-        b.receive_phit(pid(2), 4, false);
+        let (mut b, mut pool) = with_pool(8, 4);
+        b.receive_phit(&mut pool, pid(1), 4, true);
+        b.receive_phit(&mut pool, pid(2), 4, false);
     }
 
     #[test]
     #[should_panic(expected = "empty")]
     fn send_from_empty_panics() {
-        let mut b = VcBuffer::new(4, 1);
-        b.send_phit();
+        let (mut b, mut pool) = with_pool(4, 1);
+        b.send_phit(&mut pool);
     }
 
     #[test]
     #[should_panic(expected = "no phit of the head packet")]
     fn send_without_present_phit_panics() {
-        let mut b = VcBuffer::new(8, 4);
-        b.receive_phit(pid(1), 4, true);
-        let _ = b.send_phit();
-        let _ = b.send_phit();
+        let (mut b, mut pool) = with_pool(8, 4);
+        b.receive_phit(&mut pool, pid(1), 4, true);
+        let _ = b.send_phit(&mut pool);
+        let _ = b.send_phit(&mut pool);
     }
 
     #[test]
     #[should_panic(expected = "at least one phit")]
     fn zero_capacity_rejected() {
-        VcBuffer::new(0, 1);
+        VcBuffer::new(0, 1, 0);
     }
 
     #[test]
     fn occupancy_tracks_present_phits_only() {
-        let mut b = VcBuffer::new(8, 8);
-        b.receive_phit(pid(1), 8, true);
-        b.receive_phit(pid(1), 8, false);
-        let _ = b.send_phit();
+        let (mut b, mut pool) = with_pool(8, 8);
+        b.receive_phit(&mut pool, pid(1), 8, true);
+        b.receive_phit(&mut pool, pid(1), 8, false);
+        let _ = b.send_phit(&mut pool);
         assert_eq!(b.occupancy(), 1);
         assert_eq!(b.free_space(), 7);
-        assert_eq!(b.head().unwrap().phits_present(), 1);
-        assert_eq!(b.head().unwrap().phits_sent, 1);
+        assert_eq!(b.head(&pool).unwrap().phits_present(), 1);
+        assert_eq!(b.head(&pool).unwrap().phits_sent, 1);
     }
 }

@@ -1,0 +1,460 @@
+//! Struct-of-arrays link fabric: every pipeline of the network in two pools.
+//!
+//! The per-object layout this replaces kept each link's phit ring, credit
+//! ring and their bookkeeping in a `Link` struct inside a `Vec<Link>`; a sweep
+//! over the active links chased a pointer per ring and the ring backings were
+//! rounded up to powers of two.  [`LinkFabric`] keeps the same state as
+//! parallel arrays indexed by link id:
+//!
+//! ```text
+//! latency:      [u32;        links]   latency of link i, in cycles
+//! to:           [LinkEnd;    links]   far end of link i
+//! phit_meta:    [RingMeta;   links]   head|len|high_water|cap, one u64 word
+//! credit_meta:  [RingMeta;   links]
+//! phit_off:     [u32;    links + 1]   link i's phit ring is
+//!                                     phit_pool[phit_off[i]..phit_off[i+1]]
+//! credit_off:   [u32;    links + 1]
+//! phit_pool:    [PhitInFlight;   Σ phit caps]     all phit rings, contiguous
+//! credit_pool:  [CreditInFlight; Σ credit caps]   all credit rings, contiguous
+//! ```
+//!
+//! Rings are packed back to back at their *exact* provable capacities (no
+//! power-of-two rounding): the forward pipeline holds at most `latency + 1`
+//! phits (one launch per cycle, drained every active cycle) and the credit
+//! pipeline at most `min(vcs × downstream buffer, vcs × (latency + 1))`
+//! credits — the tighter of the space the credits stand for and the drain
+//! rate.  Since links of equal class are built identically, consecutive links
+//! have consecutive ring storage, and an index-ordered sweep of the active
+//! set (see [`crate::active_set::ActiveSet`]) walks both pools front to back.
+
+use crate::link::{CreditInFlight, LinkEnd, PhitInFlight};
+use crate::ring::RingMeta;
+
+/// Construction-time description of one link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Latency in cycles.
+    pub latency: u64,
+    /// Where the link ends.
+    pub to: LinkEnd,
+    /// Capacity of the forward phit pipeline (`latency + 1`).
+    pub phit_cap: usize,
+    /// Capacity of the backward credit pipeline.
+    pub credit_cap: usize,
+}
+
+/// The pipelined state of every link in the network, struct-of-arrays.
+///
+/// Phits inserted at cycle `t` become available at the far end at
+/// `t + latency`; credits flow in the opposite direction with the same
+/// latency, modelling the round-trip time that sizes the buffers in the
+/// paper's methodology.
+#[derive(Debug)]
+pub struct LinkFabric {
+    latency: Vec<u32>,
+    to: Vec<LinkEnd>,
+    phit_meta: Vec<RingMeta>,
+    credit_meta: Vec<RingMeta>,
+    phit_off: Vec<u32>,
+    credit_off: Vec<u32>,
+    phit_pool: Vec<PhitInFlight>,
+    credit_pool: Vec<CreditInFlight>,
+}
+
+impl LinkFabric {
+    /// Build the fabric from per-link specs, materializing both pools at the
+    /// exact sum of the per-ring capacity bounds.
+    pub fn build(specs: &[LinkSpec]) -> Self {
+        let n = specs.len();
+        let mut latency = Vec::with_capacity(n);
+        let mut to = Vec::with_capacity(n);
+        let mut phit_meta = Vec::with_capacity(n);
+        let mut credit_meta = Vec::with_capacity(n);
+        let mut phit_off = Vec::with_capacity(n + 1);
+        let mut credit_off = Vec::with_capacity(n + 1);
+        let (mut pacc, mut cacc) = (0u32, 0u32);
+        for spec in specs {
+            debug_assert!(spec.latency <= u32::MAX as u64);
+            latency.push(spec.latency as u32);
+            to.push(spec.to);
+            phit_meta.push(RingMeta::new(spec.phit_cap));
+            credit_meta.push(RingMeta::new(spec.credit_cap));
+            phit_off.push(pacc);
+            credit_off.push(cacc);
+            pacc += spec.phit_cap as u32;
+            cacc += spec.credit_cap as u32;
+        }
+        phit_off.push(pacc);
+        credit_off.push(cacc);
+        Self {
+            latency,
+            to,
+            phit_meta,
+            credit_meta,
+            phit_off,
+            credit_off,
+            phit_pool: vec![PhitInFlight::default(); pacc as usize],
+            credit_pool: vec![CreditInFlight::default(); cacc as usize],
+        }
+    }
+
+    /// Number of links.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.to.len()
+    }
+
+    /// True when the fabric has no links.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.to.is_empty()
+    }
+
+    /// Where link `li` ends.
+    #[inline]
+    pub fn end(&self, li: usize) -> LinkEnd {
+        self.to[li]
+    }
+
+    /// Latency of link `li` in cycles.
+    #[inline]
+    pub fn latency(&self, li: usize) -> u64 {
+        self.latency[li] as u64
+    }
+
+    /// Link `li`'s slice of the phit pool.
+    #[inline]
+    fn phit_ring(&mut self, li: usize) -> &mut [PhitInFlight] {
+        &mut self.phit_pool[self.phit_off[li] as usize..self.phit_off[li + 1] as usize]
+    }
+
+    /// Link `li`'s slice of the credit pool.
+    #[inline]
+    fn credit_ring(&mut self, li: usize) -> &mut [CreditInFlight] {
+        &mut self.credit_pool[self.credit_off[li] as usize..self.credit_off[li + 1] as usize]
+    }
+
+    /// Launch a phit on link `li` at cycle `now`.
+    #[inline]
+    pub fn send_phit(&mut self, li: usize, now: u64, mut phit: PhitInFlight) {
+        let arrive = now + self.latency[li] as u64;
+        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
+        phit.arrive = arrive as u32;
+        let mut meta = self.phit_meta[li];
+        let ring = self.phit_ring(li);
+        debug_assert!(
+            meta.back(ring)
+                .map(|p| p.arrive <= phit.arrive)
+                .unwrap_or(true),
+            "phits must be launched in non-decreasing time order"
+        );
+        meta.push_back(ring, phit);
+        self.phit_meta[li] = meta;
+    }
+
+    /// Launch a credit back to the transmitter of link `li` at cycle `now`.
+    #[inline]
+    pub fn send_credit(&mut self, li: usize, now: u64, vc: u8) {
+        let arrive = now + self.latency[li] as u64;
+        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
+        let mut meta = self.credit_meta[li];
+        let ring = self.credit_ring(li);
+        meta.push_back(
+            ring,
+            CreditInFlight {
+                arrive: arrive as u32,
+                vc,
+            },
+        );
+        self.credit_meta[li] = meta;
+    }
+
+    /// Drain every phit of link `li` that has arrived by `now` into `out`, in
+    /// FIFO order.  Arrival stamps are non-decreasing, so the drain stops at
+    /// the first future stamp; the whole batch is one metadata update plus a
+    /// contiguous (possibly two-piece) copy out of the pool.
+    #[inline]
+    pub fn drain_arrived_phits(&mut self, li: usize, now: u64, out: &mut Vec<PhitInFlight>) {
+        let mut meta = self.phit_meta[li];
+        let ring = &self.phit_pool[self.phit_off[li] as usize..self.phit_off[li + 1] as usize];
+        while let Some(front) = meta.front(ring) {
+            if front.arrive as u64 > now {
+                break;
+            }
+            out.push(*front);
+            meta.pop_slot();
+        }
+        self.phit_meta[li] = meta;
+    }
+
+    /// Drain every credit of link `li` that has arrived by `now` into `out`.
+    #[inline]
+    pub fn drain_arrived_credits(&mut self, li: usize, now: u64, out: &mut Vec<CreditInFlight>) {
+        let mut meta = self.credit_meta[li];
+        let ring =
+            &self.credit_pool[self.credit_off[li] as usize..self.credit_off[li + 1] as usize];
+        while let Some(front) = meta.front(ring) {
+            if front.arrive as u64 > now {
+                break;
+            }
+            out.push(*front);
+            meta.pop_slot();
+        }
+        self.credit_meta[li] = meta;
+    }
+
+    /// Pop the next phit regardless of its arrival stamp (boundary-link
+    /// export: the phit continues its flight in the receiving shard's copy).
+    #[inline]
+    pub fn take_phit(&mut self, li: usize) -> Option<PhitInFlight> {
+        let mut meta = self.phit_meta[li];
+        let ring = self.phit_ring(li);
+        let phit = meta.pop_front(ring);
+        self.phit_meta[li] = meta;
+        phit
+    }
+
+    /// Pop the next credit regardless of its arrival stamp (boundary-link
+    /// export toward the transmitting shard).
+    #[inline]
+    pub fn take_credit(&mut self, li: usize) -> Option<CreditInFlight> {
+        let mut meta = self.credit_meta[li];
+        let ring = self.credit_ring(li);
+        let credit = meta.pop_front(ring);
+        self.credit_meta[li] = meta;
+        credit
+    }
+
+    /// Enqueue a phit that already carries its absolute arrival stamp
+    /// (boundary-link import from the transmitting shard).
+    #[inline]
+    pub fn push_arriving_phit(&mut self, li: usize, phit: PhitInFlight) {
+        let mut meta = self.phit_meta[li];
+        let ring = self.phit_ring(li);
+        debug_assert!(
+            meta.back(ring)
+                .map(|p| p.arrive <= phit.arrive)
+                .unwrap_or(true),
+            "imported phits must keep non-decreasing arrival order"
+        );
+        meta.push_back(ring, phit);
+        self.phit_meta[li] = meta;
+    }
+
+    /// Enqueue a credit that already carries its absolute arrival stamp
+    /// (boundary-link import from the receiving shard).
+    #[inline]
+    pub fn push_arriving_credit(&mut self, li: usize, credit: CreditInFlight) {
+        let mut meta = self.credit_meta[li];
+        let ring = self.credit_ring(li);
+        debug_assert!(
+            meta.back(ring)
+                .map(|c| c.arrive <= credit.arrive)
+                .unwrap_or(true),
+            "imported credits must keep non-decreasing arrival order"
+        );
+        meta.push_back(ring, credit);
+        self.credit_meta[li] = meta;
+    }
+
+    /// Number of phits currently in flight on link `li` — one packed-word
+    /// read, no ring traversal.
+    #[inline]
+    pub fn phits_in_flight(&self, li: usize) -> usize {
+        self.phit_meta[li].len()
+    }
+
+    /// Number of credits currently in flight on link `li` (packed-word read).
+    #[inline]
+    pub fn credits_in_flight(&self, li: usize) -> usize {
+        self.credit_meta[li].len()
+    }
+
+    /// Highest occupancy link `li`'s phit pipeline has ever reached.
+    #[inline]
+    pub fn phit_high_water(&self, li: usize) -> usize {
+        self.phit_meta[li].high_water()
+    }
+
+    /// Highest occupancy link `li`'s credit pipeline has ever reached.
+    #[inline]
+    pub fn credit_high_water(&self, li: usize) -> usize {
+        self.credit_meta[li].high_water()
+    }
+
+    /// True when nothing is travelling on link `li` in either direction —
+    /// two packed-word reads (the watchdog/idle path never walks a ring).
+    #[inline]
+    pub fn is_idle(&self, li: usize) -> bool {
+        self.phit_meta[li].is_empty() && self.credit_meta[li].is_empty()
+    }
+
+    /// Maximum phit- and credit-ring high-water marks over every link (probe
+    /// diagnostics).  Scans only the two metadata arrays, never the pools.
+    pub fn max_high_waters(&self) -> (usize, usize) {
+        let mut phit_hw = 0;
+        for meta in &self.phit_meta {
+            phit_hw = phit_hw.max(meta.high_water());
+        }
+        let mut credit_hw = 0;
+        for meta in &self.credit_meta {
+            credit_hw = credit_hw.max(meta.high_water());
+        }
+        (phit_hw, credit_hw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketId;
+    use dragonfly_topology::NodeId;
+
+    fn phit(packet: u32) -> PhitInFlight {
+        PhitInFlight::new(PacketId(packet as u64), 0, true, false, 8)
+    }
+
+    fn fabric_of(specs: &[(u64, LinkEnd)]) -> LinkFabric {
+        let specs: Vec<LinkSpec> = specs
+            .iter()
+            .map(|&(latency, to)| LinkSpec {
+                latency,
+                to,
+                phit_cap: latency as usize + 1,
+                credit_cap: latency as usize + 1,
+            })
+            .collect();
+        LinkFabric::build(&specs)
+    }
+
+    #[test]
+    fn phit_arrives_after_latency() {
+        let mut f = fabric_of(&[(10, LinkEnd::Node { node: NodeId(0) })]);
+        f.send_phit(0, 5, phit(1));
+        let mut out = Vec::new();
+        f.drain_arrived_phits(0, 14, &mut out);
+        assert!(out.is_empty());
+        f.drain_arrived_phits(0, 15, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].packet, PacketId(1));
+        assert_eq!(out[0].arrive, 15);
+        assert!(f.is_idle(0));
+    }
+
+    #[test]
+    fn batched_drain_preserves_order_and_stops_at_future_stamps() {
+        let mut f = fabric_of(&[(3, LinkEnd::Router { router: 1, port: 2 })]);
+        f.send_phit(0, 0, phit(1));
+        f.send_phit(0, 1, phit(2));
+        f.send_phit(0, 2, phit(3));
+        assert_eq!(f.phits_in_flight(0), 3);
+        let mut out = Vec::new();
+        f.drain_arrived_phits(0, 4, &mut out);
+        let ids: Vec<_> = out.iter().map(|p| p.packet).collect();
+        assert_eq!(ids, vec![PacketId(1), PacketId(2)]);
+        assert_eq!(f.phits_in_flight(0), 1);
+        out.clear();
+        f.drain_arrived_phits(0, 5, &mut out);
+        assert_eq!(out[0].packet, PacketId(3));
+        assert!(f.is_idle(0));
+    }
+
+    #[test]
+    fn credits_travel_with_latency() {
+        let mut f = fabric_of(&[(7, LinkEnd::Router { router: 0, port: 0 })]);
+        f.send_credit(0, 100, 2);
+        let mut out = Vec::new();
+        f.drain_arrived_credits(0, 106, &mut out);
+        assert!(out.is_empty());
+        f.drain_arrived_credits(0, 107, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vc, 2);
+        assert_eq!(f.credits_in_flight(0), 0);
+    }
+
+    #[test]
+    fn idle_tracks_both_directions() {
+        let mut f = fabric_of(&[(2, LinkEnd::Node { node: NodeId(1) })]);
+        assert!(f.is_idle(0));
+        f.send_credit(0, 0, 0);
+        assert!(!f.is_idle(0));
+        let mut out = Vec::new();
+        f.drain_arrived_credits(0, 2, &mut out);
+        assert!(f.is_idle(0));
+    }
+
+    #[test]
+    fn rings_pack_back_to_back_without_rounding() {
+        // Three links, exact-capacity packing: offsets are the prefix sums.
+        let f = fabric_of(&[
+            (2, LinkEnd::Node { node: NodeId(0) }),
+            (4, LinkEnd::Node { node: NodeId(1) }),
+            (1, LinkEnd::Node { node: NodeId(2) }),
+        ]);
+        assert_eq!(f.phit_off, vec![0, 3, 8, 10]);
+        assert_eq!(f.phit_pool.len(), 10);
+        assert_eq!(f.credit_pool.len(), 10);
+    }
+
+    #[test]
+    fn neighbouring_rings_do_not_interfere() {
+        let mut f = fabric_of(&[
+            (1, LinkEnd::Node { node: NodeId(0) }),
+            (1, LinkEnd::Node { node: NodeId(1) }),
+        ]);
+        // Fill both rings to capacity (2 each), wrap one of them, and check
+        // the other's contents survive untouched.
+        f.send_phit(0, 0, phit(10));
+        f.send_phit(1, 0, phit(20));
+        f.send_phit(0, 1, phit(11));
+        f.send_phit(1, 1, phit(21));
+        let mut out = Vec::new();
+        f.drain_arrived_phits(0, 1, &mut out);
+        assert_eq!(out[0].packet, PacketId(10));
+        f.send_phit(0, 2, phit(12)); // wraps within link 0's slice
+        out.clear();
+        f.drain_arrived_phits(1, 10, &mut out);
+        let ids: Vec<_> = out.iter().map(|p| p.packet).collect();
+        assert_eq!(ids, vec![PacketId(20), PacketId(21)]);
+        out.clear();
+        f.drain_arrived_phits(0, 10, &mut out);
+        let ids: Vec<_> = out.iter().map(|p| p.packet).collect();
+        assert_eq!(ids, vec![PacketId(11), PacketId(12)]);
+    }
+
+    #[test]
+    fn shard_export_import_roundtrip() {
+        let mut f = fabric_of(&[(5, LinkEnd::Router { router: 3, port: 1 })]);
+        f.send_phit(0, 0, phit(1));
+        f.send_credit(0, 0, 1);
+        let p = f.take_phit(0).unwrap();
+        let c = f.take_credit(0).unwrap();
+        assert!(f.is_idle(0));
+        assert_eq!(p.arrive, 5);
+        f.push_arriving_phit(0, p);
+        f.push_arriving_credit(0, c);
+        assert_eq!(f.phits_in_flight(0), 1);
+        assert_eq!(f.credits_in_flight(0), 1);
+        let mut out = Vec::new();
+        f.drain_arrived_phits(0, 5, &mut out);
+        assert_eq!(out[0].packet, PacketId(1));
+    }
+
+    #[test]
+    fn high_water_marks_per_link() {
+        let mut f = fabric_of(&[
+            (3, LinkEnd::Node { node: NodeId(0) }),
+            (3, LinkEnd::Node { node: NodeId(1) }),
+        ]);
+        f.send_phit(0, 0, phit(1));
+        f.send_phit(0, 1, phit(2));
+        f.send_credit(1, 0, 0);
+        assert_eq!(f.phit_high_water(0), 2);
+        assert_eq!(f.phit_high_water(1), 0);
+        assert_eq!(f.credit_high_water(1), 1);
+        assert_eq!(f.max_high_waters(), (2, 1));
+        let mut out = Vec::new();
+        f.drain_arrived_phits(0, 100, &mut out);
+        assert_eq!(f.phit_high_water(0), 2, "draining keeps the mark");
+    }
+}

@@ -5,8 +5,9 @@
 //! It simulates every phit of every packet:
 //!
 //! * routers are input-buffered with per-port virtual channels ([`router`]),
-//! * links are pipelined and carry one phit per cycle, with credit-based backpressure
-//!   ([`link`]),
+//! * links are pipelined and carry one phit per cycle, with credit-based backpressure;
+//!   per-link state lives in the struct-of-arrays [`fabric::LinkFabric`] and the wire
+//!   types in [`link`],
 //! * flow control is Virtual Cut-Through or Wormhole ([`config::FlowControl`]),
 //! * routing is pluggable through the [`routing_iface::RoutingAlgorithm`] trait and is
 //!   re-evaluated every cycle (on-the-fly adaptivity),
@@ -29,9 +30,11 @@
 //! assert!(report.accepted_load > 0.0);
 //! ```
 
+pub mod active_set;
 pub mod buffer;
 pub mod config;
 pub mod engine;
+pub mod fabric;
 pub mod link;
 pub mod network;
 pub mod packet;
@@ -40,16 +43,19 @@ pub mod router;
 pub mod routing_iface;
 pub mod stats_collect;
 
+pub use active_set::ActiveSet;
+pub use buffer::{PacketSlot, VcBuffer};
 pub use config::{FlowControl, SimConfig};
 pub use engine::{
     job_report, phase_report, sim_report, span_overlap, PhaseIdentity, SimRunIdentity, Simulation,
 };
+pub use fabric::{LinkFabric, LinkSpec};
 pub use link::{CreditInFlight, LinkEnd, PhitInFlight};
 #[cfg(feature = "profile")]
 pub use network::PhaseProfile;
 pub use network::{GlobalStatusBoard, Network, SourceQueue};
 pub use packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
-pub use ring::FixedRing;
+pub use ring::{FixedRing, RingMeta};
 pub use router::{InputPort, InputVc, OutputPort, OutputVc, Router};
 pub use routing_iface::{
     BaselineMinimal, RouteChoice, RouteCtx, RouteUpdate, RouterView, RoutingAlgorithm,

@@ -1,17 +1,20 @@
-//! Pipelined links carrying phits forward and credits backward.
+//! The wire-format types of the link fabric: phits, credits and link ends.
+//!
+//! The per-link *state* (pipeline rings and their metadata) lives in the
+//! struct-of-arrays [`crate::fabric::LinkFabric`]; this module only defines the
+//! entry types those pools hold and the addressing of a link's far end.
 
 use crate::packet::PacketId;
-use crate::ring::FixedRing;
 use dragonfly_topology::NodeId;
 
 /// A phit travelling on a link.
 ///
-/// Kept to 16 bytes — every active link materializes `latency + 1` of these
-/// in its pipeline ring, and an h = 8 network has ~64 k links.  Arrival
+/// Kept to 16 bytes — every link materializes `latency + 1` of these in the
+/// fabric's shared phit pool, and an h = 8 network has ~64 k links.  Arrival
 /// cycles are stored as `u32` (runs beyond `u32::MAX` cycles are unsupported
 /// and debug-asserted at launch) and the head/tail markers share one flags
 /// byte behind accessors.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct PhitInFlight {
     /// The packet it belongs to.
     pub packet: PacketId,
@@ -29,7 +32,7 @@ const PHIT_TAIL: u8 = 2;
 
 impl PhitInFlight {
     /// A phit of `packet` bound for `vc`, with a zero arrival stamp (filled
-    /// in by [`Link::send_phit`]).
+    /// in by [`crate::fabric::LinkFabric::send_phit`]).
     #[inline]
     pub fn new(packet: PacketId, vc: u8, is_head: bool, is_tail: bool, size: u16) -> Self {
         Self {
@@ -57,7 +60,7 @@ impl PhitInFlight {
 /// A credit travelling back to the transmitter of a link.
 ///
 /// 8 bytes, for the same footprint reason as [`PhitInFlight`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CreditInFlight {
     /// Cycle at which the credit reaches the transmitter.
     pub arrive: u32,
@@ -82,184 +85,14 @@ pub enum LinkEnd {
     },
 }
 
-/// A unidirectional pipelined channel.
-///
-/// Phits inserted at cycle `t` become available at the far end at `t + latency`.
-/// Credits flow in the opposite direction with the same latency, modelling the
-/// round-trip time that sizes the buffers in the paper's methodology.
-///
-/// Both pipelines are [`FixedRing`]s whose capacities are provable at
-/// construction time: at most one phit is launched per cycle and arrivals are
-/// drained every cycle the link is active, so `latency + 1` phits bound the
-/// forward direction; in-flight credits are bounded by the downstream buffer
-/// space they stand for (`Σ downstream VC capacities`) and, independently, by
-/// `vcs × (latency + 1)` since each downstream VC drains at most one phit per
-/// cycle.  The engine passes the tighter of the two.
-#[derive(Debug)]
-pub struct Link {
-    /// Latency in cycles.
-    pub latency: u64,
-    /// Where the link ends.
-    pub to: LinkEnd,
-    phits: FixedRing<PhitInFlight>,
-    credits: FixedRing<CreditInFlight>,
-}
-
-impl Link {
-    /// Create an idle link able to carry `phit_cap` in-flight phits and
-    /// `credit_cap` in-flight credits.
-    pub fn new(latency: u64, to: LinkEnd, phit_cap: usize, credit_cap: usize) -> Self {
-        Self {
-            latency,
-            to,
-            phits: FixedRing::new(phit_cap),
-            credits: FixedRing::new(credit_cap),
-        }
-    }
-
-    /// Launch a phit at cycle `now`.
-    #[inline]
-    pub fn send_phit(&mut self, now: u64, mut phit: PhitInFlight) {
-        let arrive = now + self.latency;
-        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
-        phit.arrive = arrive as u32;
-        debug_assert!(
-            self.phits
-                .back()
-                .map(|p| p.arrive <= phit.arrive)
-                .unwrap_or(true),
-            "phits must be launched in non-decreasing time order"
-        );
-        self.phits.push_back(phit);
-    }
-
-    /// Launch a credit back to the transmitter at cycle `now`.
-    #[inline]
-    pub fn send_credit(&mut self, now: u64, vc: u8) {
-        let arrive = now + self.latency;
-        debug_assert!(arrive <= u32::MAX as u64, "cycle count exceeds u32 range");
-        self.credits.push_back(CreditInFlight {
-            arrive: arrive as u32,
-            vc,
-        });
-    }
-
-    /// Pop the next phit that has arrived by cycle `now`, if any.
-    #[inline]
-    pub fn pop_arrived_phit(&mut self, now: u64) -> Option<PhitInFlight> {
-        if self
-            .phits
-            .front()
-            .map(|p| p.arrive as u64 <= now)
-            .unwrap_or(false)
-        {
-            self.phits.pop_front()
-        } else {
-            None
-        }
-    }
-
-    /// Pop the next credit that has arrived by cycle `now`, if any.
-    #[inline]
-    pub fn pop_arrived_credit(&mut self, now: u64) -> Option<CreditInFlight> {
-        if self
-            .credits
-            .front()
-            .map(|c| c.arrive as u64 <= now)
-            .unwrap_or(false)
-        {
-            self.credits.pop_front()
-        } else {
-            None
-        }
-    }
-
-    /// Pop the next phit regardless of its arrival stamp (boundary-link export:
-    /// the phit continues its flight in the receiving shard's link copy).
-    #[inline]
-    pub fn take_phit(&mut self) -> Option<PhitInFlight> {
-        self.phits.pop_front()
-    }
-
-    /// Pop the next credit regardless of its arrival stamp (boundary-link
-    /// export toward the transmitting shard).
-    #[inline]
-    pub fn take_credit(&mut self) -> Option<CreditInFlight> {
-        self.credits.pop_front()
-    }
-
-    /// Enqueue a phit that already carries its absolute arrival stamp
-    /// (boundary-link import from the transmitting shard).
-    #[inline]
-    pub fn push_arriving_phit(&mut self, phit: PhitInFlight) {
-        debug_assert!(
-            self.phits
-                .back()
-                .map(|p| p.arrive <= phit.arrive)
-                .unwrap_or(true),
-            "imported phits must keep non-decreasing arrival order"
-        );
-        self.phits.push_back(phit);
-    }
-
-    /// Enqueue a credit that already carries its absolute arrival stamp
-    /// (boundary-link import from the receiving shard).
-    #[inline]
-    pub fn push_arriving_credit(&mut self, credit: CreditInFlight) {
-        debug_assert!(
-            self.credits
-                .back()
-                .map(|c| c.arrive <= credit.arrive)
-                .unwrap_or(true),
-            "imported credits must keep non-decreasing arrival order"
-        );
-        self.credits.push_back(credit);
-    }
-
-    /// Number of phits currently in flight.
-    #[inline]
-    pub fn phits_in_flight(&self) -> usize {
-        self.phits.len()
-    }
-
-    /// Number of credits currently in flight.
-    #[inline]
-    pub fn credits_in_flight(&self) -> usize {
-        self.credits.len()
-    }
-
-    /// Highest occupancy the phit pipeline has ever reached (probe
-    /// diagnostics: how much of the provable `latency + 1` bound a run used).
-    #[inline]
-    pub fn phit_ring_high_water(&self) -> usize {
-        self.phits.high_water()
-    }
-
-    /// Highest occupancy the credit pipeline has ever reached.
-    #[inline]
-    pub fn credit_ring_high_water(&self) -> usize {
-        self.credits.high_water()
-    }
-
-    /// True when nothing is travelling on the link in either direction.
-    #[inline]
-    pub fn is_idle(&self) -> bool {
-        self.phits.is_empty() && self.credits.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn phit(packet: u32) -> PhitInFlight {
-        PhitInFlight::new(PacketId(packet as u64), 0, true, false, 8)
-    }
-
     #[test]
     fn pipeline_entries_stay_compact() {
-        // ~64k links at h = 8 each materialize latency+1 of these; the
-        // footprint argument in the struct docs relies on these sizes.
+        // ~64k links at h = 8 each materialize latency+1 of these in the
+        // fabric pools; the footprint argument in the docs relies on these.
         assert_eq!(std::mem::size_of::<PhitInFlight>(), 16);
         assert_eq!(std::mem::size_of::<CreditInFlight>(), 8);
     }
@@ -272,60 +105,5 @@ mod tests {
         assert!(!t.is_head() && t.is_tail());
         let single = PhitInFlight::new(PacketId(9), 2, true, true, 1);
         assert!(single.is_head() && single.is_tail());
-    }
-
-    #[test]
-    fn phit_arrives_after_latency() {
-        let mut link = Link::new(10, LinkEnd::Node { node: NodeId(0) }, 11, 11);
-        link.send_phit(5, phit(1));
-        assert!(link.pop_arrived_phit(14).is_none());
-        let p = link.pop_arrived_phit(15).expect("phit should have arrived");
-        assert_eq!(p.packet, PacketId(1));
-        assert_eq!(p.arrive, 15);
-        assert!(link.is_idle());
-    }
-
-    #[test]
-    fn phits_preserve_order() {
-        let mut link = Link::new(3, LinkEnd::Router { router: 1, port: 2 }, 4, 4);
-        link.send_phit(0, phit(1));
-        link.send_phit(1, phit(2));
-        link.send_phit(2, phit(3));
-        assert_eq!(link.phits_in_flight(), 3);
-        assert_eq!(link.pop_arrived_phit(3).unwrap().packet, PacketId(1));
-        assert_eq!(link.pop_arrived_phit(4).unwrap().packet, PacketId(2));
-        assert!(link.pop_arrived_phit(4).is_none());
-        assert_eq!(link.pop_arrived_phit(5).unwrap().packet, PacketId(3));
-    }
-
-    #[test]
-    fn one_phit_per_cycle_pops_one_at_a_time() {
-        let mut link = Link::new(1, LinkEnd::Node { node: NodeId(3) }, 2, 2);
-        link.send_phit(0, phit(1));
-        link.send_phit(1, phit(2));
-        // Both have arrived by cycle 10, but they pop in order, one call each.
-        assert!(link.pop_arrived_phit(10).is_some());
-        assert!(link.pop_arrived_phit(10).is_some());
-        assert!(link.pop_arrived_phit(10).is_none());
-    }
-
-    #[test]
-    fn credits_travel_with_latency() {
-        let mut link = Link::new(7, LinkEnd::Router { router: 0, port: 0 }, 8, 8);
-        link.send_credit(100, 2);
-        assert!(link.pop_arrived_credit(106).is_none());
-        let c = link.pop_arrived_credit(107).unwrap();
-        assert_eq!(c.vc, 2);
-        assert_eq!(link.credits_in_flight(), 0);
-    }
-
-    #[test]
-    fn idle_tracks_both_directions() {
-        let mut link = Link::new(2, LinkEnd::Node { node: NodeId(1) }, 3, 3);
-        assert!(link.is_idle());
-        link.send_credit(0, 0);
-        assert!(!link.is_idle());
-        let _ = link.pop_arrived_credit(2);
-        assert!(link.is_idle());
     }
 }

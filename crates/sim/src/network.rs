@@ -1,7 +1,9 @@
-//! The network: routers, links, sources and the per-cycle simulation phases.
+//! The network: routers, the link fabric, sources and the per-cycle phases.
 
+use crate::active_set::ActiveSet;
 use crate::config::SimConfig;
-use crate::link::{CreditInFlight, Link, LinkEnd, PhitInFlight};
+use crate::fabric::{LinkFabric, LinkSpec};
+use crate::link::{CreditInFlight, LinkEnd, PhitInFlight};
 use crate::packet::{Packet, PacketArena, PacketId, UNTAGGED};
 use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
@@ -78,7 +80,9 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     params: DragonflyParams,
     /// All routers, indexed by router id.
     pub routers: Vec<Router>,
-    links: Vec<Link>,
+    /// Struct-of-arrays link state: every link's phit/credit pipeline lives in
+    /// two shared pools, addressed by link index (see [`LinkFabric`]).
+    fabric: LinkFabric,
     /// For every (router, input port): index of the link feeding it (usize::MAX for
     /// terminal/injection ports).
     incoming_link: Vec<usize>,
@@ -118,15 +122,15 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     pub tag_measured: bool,
     // --- Active-set scheduling state -------------------------------------------
     // At low load almost every link and router is idle; the per-cycle phases only
-    // visit members of these sets instead of scanning the whole network.
-    /// Links with phits or credits currently in flight, in activation order.
-    active_links: Vec<usize>,
-    /// Membership flags for `active_links` (indexed like `links`).
-    link_active: Vec<bool>,
-    /// Routers with at least one phit buffered in an input VC, in activation order.
-    active_routers: Vec<usize>,
-    /// Membership flags for `active_routers`.
-    router_active: Vec<bool>,
+    // visit members of these sets instead of scanning the whole network.  Both
+    // sets are two-level bitmaps iterated in ascending index order, so the
+    // arrival sweep walks the fabric's pipeline pools front to back and the
+    // switch sweep walks the router array front to back — traversal order
+    // matches memory order.
+    /// Links with phits or credits currently in flight.
+    active_links: ActiveSet,
+    /// Routers with at least one phit buffered in an input VC.
+    active_routers: ActiveSet,
     /// Phits currently stored in each router's input buffers.
     buffered_phits: Vec<u32>,
     /// Phits currently stored across *all* input buffers (memory telemetry).
@@ -134,6 +138,14 @@ pub struct Network<R: RoutingAlgorithm = Box<dyn RoutingAlgorithm>> {
     /// Reused scratch buffer for the per-router routing decisions (avoids a per-cycle
     /// allocation in `phase_routing`).
     route_scratch: Vec<(usize, usize, PacketId, RouteChoice)>,
+    /// Reused scratch for one link's arrived phits: `phase_arrivals` drains a
+    /// whole link in one batch (one metadata write-back per link per cycle)
+    /// and then processes the copies, so the fabric borrow never overlaps the
+    /// router/ejection mutations.  Capacity is the largest phit ring, fixed at
+    /// construction.
+    arrivals_phits: Vec<PhitInFlight>,
+    /// Reused scratch for one link's arrived credits (see `arrivals_phits`).
+    arrivals_credits: Vec<CreditInFlight>,
     // --- Sharding support -------------------------------------------------------
     /// Nodes this network instance generates and injects for.  The full range in
     /// a sequential run; a shard's owned range when this network is one partition
@@ -252,14 +264,14 @@ impl<R: RoutingAlgorithm> Network<R> {
             .collect();
 
         let mut routers = Vec::with_capacity(num_routers);
-        let mut links = Vec::with_capacity(num_routers * ports);
+        let mut specs = Vec::with_capacity(num_routers * ports);
         for r in 0..num_routers {
             let rid = RouterId(r as u32);
             routers.push(Router::new(rid, &config, &downstream));
             for (flat, &down) in downstream.iter().enumerate() {
                 let port = Port::from_flat(flat, h);
                 let latency = config.latency_for_port(port);
-                let end = match port {
+                let to = match port {
                     Port::Local(_) | Port::Global(_) => {
                         let (nbr, back) = params.neighbor(rid, port);
                         LinkEnd::Router {
@@ -271,25 +283,34 @@ impl<R: RoutingAlgorithm> Network<R> {
                         node: params.node_of_router(rid, t),
                     },
                 };
-                // Fixed pipeline capacities (see `Link`): at most one phit is
-                // launched per cycle and arrivals drain every cycle, bounding
-                // the forward ring by `latency + 1`; in-flight credits are
-                // bounded both by the downstream buffer space they stand for
-                // and by one credit per downstream VC per cycle.
+                // Fixed pipeline capacities (see `LinkFabric`): at most one
+                // phit is launched per cycle and arrivals drain every cycle,
+                // bounding the forward ring by `latency + 1`; in-flight
+                // credits are bounded both by the downstream buffer space they
+                // stand for and by one credit per downstream VC per cycle.
                 let phit_cap = latency as usize + 1;
                 let vcs = config.vcs_for(port.kind());
                 let credit_cap = (vcs * down).min(vcs * phit_cap);
-                links.push(Link::new(latency, end, phit_cap, credit_cap));
+                specs.push(LinkSpec {
+                    latency,
+                    to,
+                    phit_cap,
+                    credit_cap,
+                });
             }
         }
 
         // Reverse map: which link feeds each (router, input port)?
         let mut incoming_link = vec![usize::MAX; num_routers * ports];
-        for (li, link) in links.iter().enumerate() {
-            if let LinkEnd::Router { router, port } = link.to {
+        for (li, spec) in specs.iter().enumerate() {
+            if let LinkEnd::Router { router, port } = spec.to {
                 incoming_link[router * ports + port] = li;
             }
         }
+        // Per-link arrival batches are bounded by the ring capacities.
+        let max_phit_cap = specs.iter().map(|s| s.phit_cap).max().unwrap_or(0);
+        let max_credit_cap = specs.iter().map(|s| s.credit_cap).max().unwrap_or(0);
+        let fabric = LinkFabric::build(&specs);
 
         let sources = (0..params.num_nodes())
             .map(|_| SourceQueue::default())
@@ -297,8 +318,8 @@ impl<R: RoutingAlgorithm> Network<R> {
         let stats = StatsCollector::new(64 * 1024);
         let pb_board = GlobalStatusBoard::new(params.groups(), params.global_channels_per_group());
 
-        let link_phits = vec![0u64; links.len()];
-        let num_links = links.len();
+        let link_phits = vec![0u64; fabric.len()];
+        let num_links = fabric.len();
         let num_global_channels = params.groups() * params.global_channels_per_group();
         let rngs = (0..num_routers)
             .map(|r| Rng::seed_from(derive_seed(config.seed, r as u64)))
@@ -311,7 +332,7 @@ impl<R: RoutingAlgorithm> Network<R> {
             config,
             params,
             routers,
-            links,
+            fabric,
             incoming_link,
             link_phits,
             sources,
@@ -332,13 +353,13 @@ impl<R: RoutingAlgorithm> Network<R> {
             last_activity: 0,
             deadlock_detected: false,
             tag_measured: false,
-            active_links: Vec::with_capacity(num_links),
-            link_active: vec![false; num_links],
-            active_routers: Vec::with_capacity(num_routers),
-            router_active: vec![false; num_routers],
+            active_links: ActiveSet::new(num_links),
+            active_routers: ActiveSet::new(num_routers),
             buffered_phits: vec![0; num_routers],
             buffered_total: 0,
             route_scratch: Vec::with_capacity(route_scratch_cap),
+            arrivals_phits: Vec::with_capacity(max_phit_cap),
+            arrivals_credits: Vec::with_capacity(max_credit_cap),
             owned_nodes: 0..params.num_nodes(),
             sched_delivery_log: None,
             probe: None,
@@ -350,19 +371,13 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Add a link to the active set (idempotent).
     #[inline]
     fn mark_link_active(&mut self, li: usize) {
-        if !self.link_active[li] {
-            self.link_active[li] = true;
-            self.active_links.push(li);
-        }
+        self.active_links.insert(li);
     }
 
     /// Add a router to the active set (idempotent).
     #[inline]
     fn mark_router_active(&mut self, r: usize) {
-        if !self.router_active[r] {
-            self.router_active[r] = true;
-            self.active_routers.push(r);
-        }
+        self.active_routers.insert(r);
     }
 
     /// Topology parameters of the network.
@@ -516,6 +531,39 @@ impl<R: RoutingAlgorithm> Network<R> {
         self.finish_cycle();
     }
 
+    /// Advance one cycle, invoking `hook` at every phase boundary with the
+    /// name of the phase about to run (`"arrivals"`, `"injection"`,
+    /// `"routing"`, `"switch"`, `"bookkeeping"`) and finally with `"done"`.
+    ///
+    /// Behaviourally identical to [`Network::step`] — same phases, same order,
+    /// same watchdog and peak bookkeeping — the hook only brackets them.  The
+    /// zero-allocation tier uses this to attribute allocator activity to an
+    /// individual phase instead of a whole cycle; it is also the natural seam
+    /// for external phase-level instrumentation.
+    pub fn step_with_phase_hook(&mut self, hook: &mut dyn FnMut(&'static str)) {
+        self.advance_hooks();
+        let cycle = self.cycle;
+        let mut activity = false;
+        hook("arrivals");
+        activity |= self.phase_arrivals(cycle);
+        hook("injection");
+        activity |= self.phase_injection(cycle);
+        hook("routing");
+        self.phase_routing(cycle);
+        hook("switch");
+        activity |= self.phase_switch(cycle);
+        hook("bookkeeping");
+        self.stats.tick(cycle);
+        self.update_pb_board();
+        self.probe_sample(cycle);
+        let live = self.packets.live() > 0;
+        self.apply_watchdog(activity, live);
+        self.stats
+            .note_cycle_peaks(self.stats.in_flight(), self.buffered_total);
+        self.finish_cycle();
+        hook("done");
+    }
+
     /// Run the per-cycle lifecycle hooks (dynamic scheduler, workload phase
     /// boundaries) for the current cycle, before any packet is generated.
     ///
@@ -606,101 +654,122 @@ impl<R: RoutingAlgorithm> Network<R> {
     // Phase A: link and credit arrivals.
     // ------------------------------------------------------------------
     //
-    // Only links with phits or credits in flight are visited; a link leaves the
-    // active set as soon as both of its pipelines are empty.
+    // Only links with phits or credits in flight are visited, in ascending
+    // link-index order (the sweep over the active-set bitmap), so the walk
+    // reads the fabric's struct-of-arrays pools front to back.  Each link is
+    // drained in one batch — a single packed-metadata write-back per pipeline
+    // per link — into a reused scratch buffer, then the copies are processed
+    // against the routers; a link leaves the active set as soon as both of
+    // its pipelines are empty.
     fn phase_arrivals(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
         let h = self.params.h();
         let mut activity = false;
-        let mut active = std::mem::take(&mut self.active_links);
-        active.retain(|&li| {
+        let mut credits = std::mem::take(&mut self.arrivals_credits);
+        let mut phits = std::mem::take(&mut self.arrivals_phits);
+        let mut cursor = 0;
+        while let Some(li) = self.active_links.next_at_or_after(cursor) {
+            cursor = li + 1;
             // Credits back to the transmitter (owner of this link).
-            while let Some(credit) = self.links[li].pop_arrived_credit(cycle) {
+            credits.clear();
+            self.fabric.drain_arrived_credits(li, cycle, &mut credits);
+            if !credits.is_empty() {
                 let router = li / ports;
                 let port = li % ports;
-                let out = &mut self.routers[router].outputs[port].vcs[credit.vc as usize];
-                out.credits += 1;
-                debug_assert!(
-                    out.credits <= out.downstream_capacity,
-                    "credits above downstream capacity: credit accounting is broken"
-                );
+                for credit in &credits {
+                    let out = &mut self.routers[router].outputs[port].vcs[credit.vc as usize];
+                    out.credits += 1;
+                    debug_assert!(
+                        out.credits <= out.downstream_capacity,
+                        "credits above downstream capacity: credit accounting is broken"
+                    );
+                }
                 // A credit on a global output changes its advertised occupancy.
                 if let Port::Global(gport) = Port::from_flat(port, h) {
                     self.mark_pb_dirty(router, gport);
                 }
             }
             // Phits forward to the receiver.
-            let to = self.links[li].to;
-            while let Some(phit) = self.links[li].pop_arrived_phit(cycle) {
+            phits.clear();
+            self.fabric.drain_arrived_phits(li, cycle, &mut phits);
+            if !phits.is_empty() {
                 activity = true;
-                match to {
+                match self.fabric.end(li) {
                     LinkEnd::Router { router, port } => {
-                        let buffer =
-                            &mut self.routers[router].inputs[port].vcs[phit.vc as usize].buffer;
-                        buffer.receive_phit(phit.packet, phit.size, phit.is_head());
-                        let occupancy = buffer.occupancy();
-                        self.stats.note_vc_occupancy(occupancy);
-                        self.buffered_phits[router] += 1;
-                        self.buffered_total += 1;
-                        self.mark_router_active(router);
+                        // The whole batch lands at one (router, port); split the
+                        // borrow once so the per-phit work is pure buffer pushes.
+                        let Router {
+                            inputs, slot_pool, ..
+                        } = &mut self.routers[router];
+                        let vcs = &mut inputs[port].vcs;
+                        for phit in &phits {
+                            let buffer = &mut vcs[phit.vc as usize].buffer;
+                            buffer.receive_phit(slot_pool, phit.packet, phit.size, phit.is_head());
+                            let occupancy = buffer.occupancy();
+                            self.stats.note_vc_occupancy(occupancy);
+                        }
+                        self.buffered_phits[router] += phits.len() as u32;
+                        self.buffered_total += phits.len() as u64;
+                        self.active_routers.insert(router);
                     }
                     LinkEnd::Node { node: _ } => {
-                        // Ejection: the node consumes the phit immediately and returns
-                        // the credit so the ejection VC never backs up artificially.
-                        self.links[li].send_credit(cycle, phit.vc);
-                        if phit.is_tail() {
-                            // Delivery feedback for volume-bound scheduled jobs.
-                            // Only the job tag is needed here, and the stats
-                            // collector reads the packet in place — no clone.
-                            let job = self.packets.get(phit.packet).job;
-                            if job != UNTAGGED {
-                                if let Some(sched) = self.sched.as_mut() {
-                                    sched.note_delivered(job);
-                                    if let Some(log) = self.sched_delivery_log.as_mut() {
-                                        log.push(job);
+                        for phit in &phits {
+                            // Ejection: the node consumes the phit immediately and
+                            // returns the credit so the ejection VC never backs up
+                            // artificially.
+                            self.fabric.send_credit(li, cycle, phit.vc);
+                            if phit.is_tail() {
+                                // Delivery feedback for volume-bound scheduled jobs.
+                                // Only the job tag is needed here, and the stats
+                                // collector reads the packet in place — no clone.
+                                let job = self.packets.get(phit.packet).job;
+                                if job != UNTAGGED {
+                                    if let Some(sched) = self.sched.as_mut() {
+                                        sched.note_delivered(job);
+                                        if let Some(log) = self.sched_delivery_log.as_mut() {
+                                            log.push(job);
+                                        }
                                     }
                                 }
-                            }
-                            // Probe: delivery happens at the ejection link of
-                            // the (owned) destination router, so in a sharded
-                            // run exactly one shard records it.
-                            if self.probe.is_some() {
-                                let pkt = self.packets.get(phit.packet);
-                                let (src, dst, gen) = (pkt.src.0, pkt.dst.0, pkt.gen_cycle);
-                                let router = li / ports;
-                                let probe = self.probe.as_deref_mut().unwrap();
-                                probe.record_delivered(router);
-                                if probe.flight_sampled(src, gen) {
-                                    probe.record_flight(FlightEvent {
-                                        cycle,
-                                        gen_cycle: gen,
-                                        src,
-                                        dst,
-                                        router: router as u32,
-                                        port: NONE_U16,
-                                        vc: NONE_U16,
-                                        kind: FLIGHT_DELIVER,
-                                        class: u8::MAX,
-                                        nonminimal: 2,
-                                    });
+                                // Probe: delivery happens at the ejection link of
+                                // the (owned) destination router, so in a sharded
+                                // run exactly one shard records it.
+                                if self.probe.is_some() {
+                                    let pkt = self.packets.get(phit.packet);
+                                    let (src, dst, gen) = (pkt.src.0, pkt.dst.0, pkt.gen_cycle);
+                                    let router = li / ports;
+                                    let probe = self.probe.as_deref_mut().unwrap();
+                                    probe.record_delivered(router);
+                                    if probe.flight_sampled(src, gen) {
+                                        probe.record_flight(FlightEvent {
+                                            cycle,
+                                            gen_cycle: gen,
+                                            src,
+                                            dst,
+                                            router: router as u32,
+                                            port: NONE_U16,
+                                            vc: NONE_U16,
+                                            kind: FLIGHT_DELIVER,
+                                            class: u8::MAX,
+                                            nonminimal: 2,
+                                        });
+                                    }
                                 }
+                                self.stats
+                                    .record_delivery(self.packets.get(phit.packet), cycle);
+                                self.packets.free(phit.packet);
                             }
-                            self.stats
-                                .record_delivery(self.packets.get(phit.packet), cycle);
-                            self.packets.free(phit.packet);
                         }
                     }
                 }
             }
-            let still_active = !self.links[li].is_idle();
-            if !still_active {
-                self.link_active[li] = false;
+            if self.fabric.is_idle(li) {
+                // Safe mid-sweep: removal at the cursor never skips members.
+                self.active_links.remove(li);
             }
-            still_active
-        });
-        // Nothing activates new links during arrivals, so the swap cannot lose marks.
-        debug_assert!(self.active_links.is_empty());
-        self.active_links = active;
+        }
+        self.arrivals_credits = credits;
+        self.arrivals_phits = phits;
         activity
     }
 
@@ -785,8 +854,7 @@ impl<R: RoutingAlgorithm> Network<R> {
             };
             let term = self.params.node_index_in_router(node);
             let port = Port::Terminal(term).flat(self.params.h());
-            let buffer = &mut self.routers[router].inputs[port].vcs[0].buffer;
-            if buffer.free_space() == 0 {
+            if self.routers[router].inputs[port].vcs[0].buffer.free_space() == 0 {
                 continue;
             }
             let packet = self.packets.get_mut(head);
@@ -794,13 +862,17 @@ impl<R: RoutingAlgorithm> Network<R> {
             if is_head {
                 packet.inject_cycle = cycle;
             }
-            let buffer = &mut self.routers[router].inputs[port].vcs[0].buffer;
-            buffer.receive_phit(head, packet.size, is_head);
+            let size = packet.size;
+            let Router {
+                inputs, slot_pool, ..
+            } = &mut self.routers[router];
+            let buffer = &mut inputs[port].vcs[0].buffer;
+            buffer.receive_phit(slot_pool, head, size, is_head);
             let occupancy = buffer.occupancy();
             self.stats.note_vc_occupancy(occupancy);
             source.head_phits_sent += 1;
             activity = true;
-            if source.head_phits_sent == packet.size {
+            if source.head_phits_sent == size {
                 source.pending.pop_front();
                 source.head_phits_sent = 0;
             }
@@ -814,15 +886,17 @@ impl<R: RoutingAlgorithm> Network<R> {
     // ------------------------------------------------------------------
     // Phase C: routing and output-VC allocation.
     // ------------------------------------------------------------------
-    // Only routers with buffered phits can have a head packet to route; the walk is
-    // restricted to the active set and the decision buffer is a reused scratch
-    // allocation owned by the network.
+    // Only routers with buffered phits can have a head packet to route; the walk
+    // sweeps the active-set bitmap in ascending router order (safe because every
+    // router draws from its own RNG stream, so decisions are order-independent)
+    // and the decision buffer is a reused scratch allocation owned by the network.
     fn phase_routing(&mut self, cycle: u64) {
         let ports = self.params.ports_per_router();
         let h = self.params.h();
-        let active = std::mem::take(&mut self.active_routers);
         let mut decisions = std::mem::take(&mut self.route_scratch);
-        for &r in &active {
+        let mut cursor = 0;
+        while let Some(r) = self.active_routers.next_at_or_after(cursor) {
+            cursor = r + 1;
             decisions.clear();
             {
                 let router = &self.routers[r];
@@ -848,7 +922,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                         if input.route.is_some() {
                             continue;
                         }
-                        let Some(slot) = input.buffer.head() else {
+                        let Some(slot) = input.buffer.head(&router.slot_pool) else {
                             continue;
                         };
                         let packet = self.packets.get(slot.packet);
@@ -910,23 +984,25 @@ impl<R: RoutingAlgorithm> Network<R> {
         }
         decisions.clear();
         self.route_scratch = decisions;
-        debug_assert!(self.active_routers.is_empty());
-        self.active_routers = active;
     }
 
     // ------------------------------------------------------------------
     // Phase D: switch traversal and link transmission (one phit per output port).
     // ------------------------------------------------------------------
-    // The switch only needs routers holding buffered phits; routers whose buffers
-    // drain during the sweep leave the active set (and re-enter it from the arrival
-    // or injection phases when a new phit shows up).
+    // The switch only needs routers holding buffered phits, visited in ascending
+    // router order via the active-set bitmap (the launched phits and credits land
+    // on links `r * ports + op`, so the fabric's send-side writes sweep forward
+    // too); routers whose buffers drain during the sweep leave the active set
+    // (and re-enter it from the arrival or injection phases when a new phit
+    // shows up).
     fn phase_switch(&mut self, cycle: u64) -> bool {
         let ports = self.params.ports_per_router();
         let h = self.params.h();
         let flow_control = self.config.flow_control;
         let mut activity = false;
-        let mut active = std::mem::take(&mut self.active_routers);
-        active.retain(|&r| {
+        let mut cursor = 0;
+        while let Some(r) = self.active_routers.next_at_or_after(cursor) {
+            cursor = r + 1;
             for op in 0..ports {
                 let vcs = self.routers[r].outputs[op].vcs.len();
                 let start = self.routers[r].outputs[op].rr_next;
@@ -945,8 +1021,11 @@ impl<R: RoutingAlgorithm> Network<R> {
                         }
                         continue;
                     }
-                    let buffer = &self.routers[r].inputs[ip as usize].vcs[ivc as usize].buffer;
-                    let Some(head) = buffer.head() else { continue };
+                    let router = &self.routers[r];
+                    let buffer = &router.inputs[ip as usize].vcs[ivc as usize].buffer;
+                    let Some(head) = buffer.head(&router.slot_pool) else {
+                        continue;
+                    };
                     if !head.has_phit() {
                         continue;
                     }
@@ -968,17 +1047,24 @@ impl<R: RoutingAlgorithm> Network<R> {
                 self.buffered_total -= 1;
                 let (ip, ivc) = self.routers[r].outputs[op].vcs[vc].owner.unwrap();
                 let (ip, ivc) = (ip as usize, ivc as usize);
-                let router = &mut self.routers[r];
-                let sent_before = router.inputs[ip].vcs[ivc].buffer.head().unwrap().phits_sent;
-                let size = router.inputs[ip].vcs[ivc].buffer.head().unwrap().size;
-                let (pid, is_tail) = router.inputs[ip].vcs[ivc].buffer.send_phit();
-                let out = &mut router.outputs[op].vcs[vc];
+                let Router {
+                    inputs,
+                    outputs,
+                    slot_pool,
+                    ..
+                } = &mut self.routers[r];
+                let buffer = &mut inputs[ip].vcs[ivc].buffer;
+                let head = buffer.head(slot_pool).unwrap();
+                let sent_before = head.phits_sent;
+                let size = head.size;
+                let (pid, is_tail) = buffer.send_phit(slot_pool);
+                let out = &mut outputs[op].vcs[vc];
                 out.credits -= 1;
                 out.rr_owner_advance(is_tail);
                 if is_tail {
-                    router.inputs[ip].vcs[ivc].route = None;
+                    inputs[ip].vcs[ivc].route = None;
                 }
-                router.outputs[op].rr_next = (vc + 1) % vcs;
+                outputs[op].rr_next = (vc + 1) % vcs;
                 // A phit leaving a global output changes its advertised occupancy.
                 if let Port::Global(gport) = Port::from_flat(op, h) {
                     self.mark_pb_dirty(r, gport);
@@ -987,28 +1073,25 @@ impl<R: RoutingAlgorithm> Network<R> {
                 if let Some(probe) = self.probe.as_deref_mut() {
                     probe.record_link_phit(cycle, r * ports + op, vc);
                 }
-                self.links[r * ports + op].send_phit(
+                self.fabric.send_phit(
+                    r * ports + op,
                     cycle,
                     PhitInFlight::new(pid, vc as u8, sent_before == 0, is_tail, size),
                 );
-                self.mark_link_active(r * ports + op);
+                self.active_links.insert(r * ports + op);
                 // Return a credit to the upstream transmitter of the input buffer that
                 // just freed one phit (injection ports have no upstream link).
                 let upstream = self.incoming_link[r * ports + ip];
                 if upstream != usize::MAX {
-                    self.links[upstream].send_credit(cycle, ivc as u8);
-                    self.mark_link_active(upstream);
+                    self.fabric.send_credit(upstream, cycle, ivc as u8);
+                    self.active_links.insert(upstream);
                 }
             }
-            let still_active = self.buffered_phits[r] > 0;
-            if !still_active {
-                self.router_active[r] = false;
+            if self.buffered_phits[r] == 0 {
+                // Safe mid-sweep: removal at the cursor never skips members.
+                self.active_routers.remove(r);
             }
-            still_active
-        });
-        // Phits launched here arrive through links, so no router activates mid-sweep.
-        debug_assert!(self.active_routers.is_empty());
-        self.active_routers = active;
+        }
         activity
     }
 
@@ -1076,19 +1159,31 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Number of links (every router's output ports, flat-indexed as
     /// `router * ports_per_router + port`).
     pub fn num_links(&self) -> usize {
-        self.links.len()
+        self.fabric.len()
     }
 
     /// Where the link `li` ends (the receiving router/port or ejection node).
     pub fn link_end(&self, li: usize) -> LinkEnd {
-        self.links[li].to
+        self.fabric.end(li)
+    }
+
+    /// Phits currently queued on link `li`'s forward pipeline.  A single
+    /// packed-metadata read (the `len` field of the ring word) — the watchdog
+    /// and idle checks never walk the pipeline pools.
+    pub fn link_phits_in_flight(&self, li: usize) -> usize {
+        self.fabric.phits_in_flight(li)
+    }
+
+    /// Credits currently queued on link `li`'s return pipeline (one packed
+    /// `len`-field read, like [`Network::link_phits_in_flight`]).
+    pub fn link_credits_in_flight(&self, li: usize) -> usize {
+        self.fabric.credits_in_flight(li)
     }
 
     /// Drain every phit queued on link `li` into `out` (a transmit-side
     /// boundary link: the phits travel to another shard at the cycle barrier).
     pub fn take_link_phits(&mut self, li: usize, out: &mut Vec<PhitInFlight>) {
-        let link = &mut self.links[li];
-        while let Some(phit) = link.take_phit() {
+        while let Some(phit) = self.fabric.take_phit(li) {
             out.push(phit);
         }
     }
@@ -1096,8 +1191,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Drain every credit queued on link `li` into `out` (a receive-side
     /// boundary link: the credits travel back to the transmitting shard).
     pub fn take_link_credits(&mut self, li: usize, out: &mut Vec<CreditInFlight>) {
-        let link = &mut self.links[li];
-        while let Some(credit) = link.take_credit() {
+        while let Some(credit) = self.fabric.take_credit(li) {
             out.push(credit);
         }
     }
@@ -1105,14 +1199,14 @@ impl<R: RoutingAlgorithm> Network<R> {
     /// Deliver a phit from the transmitting shard into this shard's copy of
     /// link `li`, keeping its original arrival stamp.
     pub fn import_link_phit(&mut self, li: usize, phit: PhitInFlight) {
-        self.links[li].push_arriving_phit(phit);
+        self.fabric.push_arriving_phit(li, phit);
         self.mark_link_active(li);
     }
 
     /// Deliver a credit from the receiving shard into this shard's copy of
     /// link `li`, keeping its original arrival stamp.
     pub fn import_link_credit(&mut self, li: usize, credit: CreditInFlight) {
-        self.links[li].push_arriving_credit(credit);
+        self.fabric.push_arriving_credit(li, credit);
         self.mark_link_active(li);
     }
 
@@ -1195,7 +1289,7 @@ impl<R: RoutingAlgorithm> Network<R> {
     pub fn install_probes(&mut self, cfg: ProbeConfig) {
         let ports = self.params.ports_per_router();
         let h = self.params.h();
-        let link_class = (0..self.links.len())
+        let link_class = (0..self.fabric.len())
             .map(|li| match Port::from_flat(li % ports, h).kind() {
                 PortKind::Local => CLASS_LOCAL,
                 PortKind::Global => CLASS_GLOBAL,
@@ -1264,18 +1358,17 @@ impl<R: RoutingAlgorithm> Network<R> {
                 }
             }
         }
-        let mut phit_hw = 0usize;
-        let mut credit_hw = 0usize;
-        for link in &self.links {
-            phit_hw = phit_hw.max(link.phit_ring_high_water());
-            credit_hw = credit_hw.max(link.credit_ring_high_water());
-        }
+        // The high-water scan reads only the fabric's packed metadata words
+        // (two cache lines per 8 links), never the pipeline pools themselves.
+        let (phit_hw, credit_hw) = self.fabric.max_high_waters();
         let snap = SampleSnapshot {
             buffered_phits: self.buffered_total,
             pb_congested: self.pb_board.congested_count(),
             arena_grows: self.packets.grows(),
             phit_ring_high_water: phit_hw as u64,
             credit_ring_high_water: credit_hw as u64,
+            active_links: self.active_links.len() as u64,
+            active_routers: self.active_routers.len() as u64,
         };
         let probe = self.probe.as_deref_mut().unwrap();
         probe.sample(cycle, &self.link_phits, snap);
@@ -1380,7 +1473,7 @@ mod tests {
         let net = tiny_network();
         assert_eq!(net.routers.len(), 36);
         assert_eq!(net.sources.len(), 72);
-        assert_eq!(net.links.len(), 36 * 7);
+        assert_eq!(net.num_links(), 36 * 7);
         assert_eq!(net.routing_name(), "Minimal");
         assert_eq!(net.traffic_name(), "UN");
         assert!(net.is_drained());
@@ -1398,7 +1491,7 @@ mod tests {
                     PortKind::Terminal => assert_eq!(li, usize::MAX),
                     _ => {
                         assert_ne!(li, usize::MAX, "network port without an incoming link");
-                        match net.links[li].to {
+                        match net.link_end(li) {
                             LinkEnd::Router { router, port } => {
                                 assert_eq!(router, r);
                                 assert_eq!(port, p);

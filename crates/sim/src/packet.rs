@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// freeing a slot bumps its generation, so stale ids (use-after-free,
 /// double-free) are caught by a single integer compare instead of an
 /// `Option` discriminant per slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct PacketId(pub u64);
 
 impl PacketId {

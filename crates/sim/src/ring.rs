@@ -3,168 +3,328 @@
 //! Every queue the cycle loop touches — VC buffer slots, link phit pipelines,
 //! link credit pipelines — has a capacity that is *provable at construction
 //! time* from the simulation configuration (buffer depth, link latency, VC
-//! count).  [`FixedRing`] exploits that: it never grows past the capacity it
-//! was built with, so after its one-time backing allocation the steady-state
-//! loop performs no heap allocation at all (the invariant pinned by
-//! `tests/zero_alloc.rs`).
+//! count).  Two layers exploit that:
 //!
-//! The backing storage is allocated *eagerly* at construction, in a single
-//! `reserve_exact`.  Lazy (first-push) allocation was tried and rejected:
-//! rarely-used VCs get their first packet at unbounded, load-dependent times,
-//! so "zero allocations after warm-up" would never actually converge.  Eager
-//! reservation makes the whole-network footprint `Σ capacities` up front —
-//! the allocator packs these small buffers into resident heap pages, so the
-//! reservations are *not* free the way untouched `mmap` pages would be.
-//! That cost is kept small by sizing, not by laziness: every ring capacity is
-//! a tight per-ring bound (slot rings count whole packets, pipelines count
-//! `latency + 1` entries) and the pipeline entry types are packed to 16/8
-//! bytes, which keeps an h = 8 network (~64 k links) within tens of
-//! megabytes of ring backing.
+//! * [`RingMeta`] is the metadata of one ring — head, length, high-water mark
+//!   and capacity — packed into a single `u64` word (16 bits each).  It owns
+//!   no storage: the ring's elements live in a caller-provided slice, which is
+//!   what lets the [`crate::fabric::LinkFabric`] keep *every* pipeline of the
+//!   network in two contiguous pools and every ring's metadata in one parallel
+//!   array, and lets all of a router's VC slot queues share one backing pool.
+//!   All four fields provably fit 16 bits: phit pipelines hold at most
+//!   `latency + 1 ≤ 101` entries, credit pipelines at most
+//!   `vcs × (latency + 1)`, and VC slot rings at most `capacity + 1 ≤ 257`.
+//! * [`FixedRing`] is the owning convenience wrapper — a `RingMeta` plus its
+//!   own `Vec` backing — for rings that do not share a pool.
+//!
+//! The backing storage is allocated *eagerly* at construction.  Lazy
+//! (first-push) allocation was tried and rejected: rarely-used VCs get their
+//! first packet at unbounded, load-dependent times, so "zero allocations
+//! after warm-up" would never actually converge.  Eager reservation makes the
+//! whole-network footprint `Σ capacities` up front — and because the pooled
+//! layout packs rings back to back at their *exact* capacities (no
+//! power-of-two rounding), that footprint is the tight sum of the provable
+//! bounds.
 
-/// A bounded FIFO ring over `Copy` elements.
+/// Packed metadata of one bounded FIFO ring: `head | len | high_water | cap`,
+/// 16 bits each, in one `u64` word.
 ///
-/// Pushing beyond the fixed capacity panics: the capacities are sized from
-/// conservation arguments (see `ARCHITECTURE.md`, "Memory layout of the hot
-/// path"), so an overflow is a simulator bug, not a load condition.
+/// The word is the only per-ring state; the elements live in a caller-provided
+/// slice of exactly `cap` elements.  Pushing beyond the capacity panics: the
+/// capacities are sized from conservation arguments (see `ARCHITECTURE.md`,
+/// "Memory layout of the hot path"), so an overflow is a simulator bug, not a
+/// load condition.
+///
+/// Wrap-around is a compare-and-subtract rather than a power-of-two mask:
+/// exact-capacity slices pack tightly into the shared pools, which is worth
+/// more than the mask (the branch is perfectly predicted in the steady state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingMeta(u64);
+
+const SHIFT_HEAD: u32 = 0;
+const SHIFT_LEN: u32 = 16;
+const SHIFT_HW: u32 = 32;
+const SHIFT_CAP: u32 = 48;
+const FIELD: u64 = 0xFFFF;
+
+impl RingMeta {
+    /// Metadata of an empty ring of `cap` elements (at most `u16::MAX`).
+    pub fn new(cap: usize) -> Self {
+        assert!(
+            cap <= u16::MAX as usize,
+            "ring capacity {cap} exceeds the 16-bit packed field"
+        );
+        Self((cap as u64) << SHIFT_CAP)
+    }
+
+    /// Physical index of the oldest element.
+    #[inline]
+    pub fn head(self) -> usize {
+        ((self.0 >> SHIFT_HEAD) & FIELD) as usize
+    }
+
+    /// Number of elements currently held.
+    #[inline]
+    pub fn len(self) -> usize {
+        ((self.0 >> SHIFT_LEN) & FIELD) as usize
+    }
+
+    /// Highest occupancy the ring has ever reached.
+    #[inline]
+    pub fn high_water(self) -> usize {
+        ((self.0 >> SHIFT_HW) & FIELD) as usize
+    }
+
+    /// The fixed capacity the ring was built with.
+    #[inline]
+    pub fn capacity(self) -> usize {
+        ((self.0 >> SHIFT_CAP) & FIELD) as usize
+    }
+
+    /// True when the ring holds no elements.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Raw packed word (diagnostics and the metadata round-trip tests).
+    #[inline]
+    pub fn to_bits(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw packed word produced by [`RingMeta::to_bits`].
+    #[inline]
+    pub fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    #[inline]
+    fn set_head(&mut self, head: usize) {
+        self.0 = (self.0 & !(FIELD << SHIFT_HEAD)) | ((head as u64) << SHIFT_HEAD);
+    }
+
+    #[inline]
+    fn set_len(&mut self, len: usize) {
+        self.0 = (self.0 & !(FIELD << SHIFT_LEN)) | ((len as u64) << SHIFT_LEN);
+    }
+
+    #[inline]
+    fn set_high_water(&mut self, hw: usize) {
+        self.0 = (self.0 & !(FIELD << SHIFT_HW)) | ((hw as u64) << SHIFT_HW);
+    }
+
+    /// Physical index of logical position `i` (caller guarantees `i < len`).
+    #[inline]
+    fn phys(self, i: usize) -> usize {
+        let cap = self.capacity();
+        let p = self.head() + i;
+        if p >= cap {
+            p - cap
+        } else {
+            p
+        }
+    }
+
+    /// Reserve the next tail slot: asserts the ring is not full, bumps `len`
+    /// (and the high-water mark), and returns the physical index the new
+    /// element must be written to.  Storage-agnostic core of every push.
+    #[inline]
+    pub fn push_slot(&mut self) -> usize {
+        let len = self.len();
+        assert!(
+            len < self.capacity(),
+            "ring overflow: capacity {} exceeded",
+            self.capacity()
+        );
+        let pos = self.phys(len);
+        self.set_len(len + 1);
+        if len + 1 > self.high_water() {
+            self.set_high_water(len + 1);
+        }
+        pos
+    }
+
+    /// Release the head slot: returns its physical index and advances `head`,
+    /// or `None` when the ring is empty.  Storage-agnostic core of every pop.
+    #[inline]
+    pub fn pop_slot(&mut self) -> Option<usize> {
+        let len = self.len();
+        if len == 0 {
+            return None;
+        }
+        let pos = self.head();
+        let next = pos + 1;
+        self.set_head(if next == self.capacity() { 0 } else { next });
+        self.set_len(len - 1);
+        Some(pos)
+    }
+
+    // --- Slice-backed ring view -------------------------------------------
+    //
+    // The methods below treat `buf` (a slice of exactly `capacity` elements,
+    // typically a sub-slice of a shared pool) as the ring's storage.
+
+    /// Append an element; panics if the ring is full.
+    #[inline]
+    pub fn push_back<T: Copy>(&mut self, buf: &mut [T], value: T) {
+        debug_assert_eq!(buf.len(), self.capacity());
+        let pos = self.push_slot();
+        buf[pos] = value;
+    }
+
+    /// Remove and return the oldest element.
+    #[inline]
+    pub fn pop_front<T: Copy>(&mut self, buf: &[T]) -> Option<T> {
+        debug_assert_eq!(buf.len(), self.capacity());
+        self.pop_slot().map(|pos| buf[pos])
+    }
+
+    /// The oldest element, if any.
+    #[inline]
+    pub fn front<'a, T>(&self, buf: &'a [T]) -> Option<&'a T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&buf[self.head()])
+        }
+    }
+
+    /// Mutable access to the oldest element, if any.
+    #[inline]
+    pub fn front_mut<'a, T>(&self, buf: &'a mut [T]) -> Option<&'a mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&mut buf[self.head()])
+        }
+    }
+
+    /// The newest element, if any.
+    #[inline]
+    pub fn back<'a, T>(&self, buf: &'a [T]) -> Option<&'a T> {
+        let len = self.len();
+        if len == 0 {
+            None
+        } else {
+            Some(&buf[self.phys(len - 1)])
+        }
+    }
+
+    /// Mutable access to the newest element, if any.
+    #[inline]
+    pub fn back_mut<'a, T>(&self, buf: &'a mut [T]) -> Option<&'a mut T> {
+        let len = self.len();
+        if len == 0 {
+            None
+        } else {
+            Some(&mut buf[self.phys(len - 1)])
+        }
+    }
+
+    /// Iterate the elements oldest-first.
+    pub fn iter<'a, T>(&self, buf: &'a [T]) -> impl Iterator<Item = &'a T> + 'a {
+        let meta = *self;
+        (0..meta.len()).map(move |i| &buf[meta.phys(i)])
+    }
+}
+
+/// A bounded FIFO ring over `Copy` elements that owns its backing storage: a
+/// [`RingMeta`] word plus a private `Vec`.
+///
+/// The index math and overflow policy are exactly the shared-pool ring view's
+/// (`RingMeta`); only the storage ownership differs.  Rings that belong to a
+/// family with a common element type should share a pool through `RingMeta`
+/// directly instead — that is what the link fabric and the router slot pools
+/// do.
 #[derive(Debug, Clone)]
 pub struct FixedRing<T: Copy> {
     buf: Vec<T>,
-    cap: usize,
-    /// Physical-size-minus-one of the backing store, which is `cap` rounded up
-    /// to a power of two: wrap-around is a mask, not a branch (the same trick
-    /// `VecDeque` uses).  The padding costs address space, not resident
-    /// memory — untouched slots are never written.
-    mask: usize,
-    head: usize,
-    len: usize,
-    /// Highest `len` ever reached — how much of the provable capacity bound a
-    /// run actually used (probe diagnostics; see `dragonfly_probe`).
-    high_water: usize,
+    meta: RingMeta,
 }
 
 impl<T: Copy> FixedRing<T> {
     /// An empty ring that will never hold more than `cap` elements.  The
     /// backing store is reserved here, up front — see the module docs.
     pub fn new(cap: usize) -> Self {
-        let phys = cap.next_power_of_two();
         let mut buf = Vec::new();
-        buf.reserve_exact(phys);
+        buf.reserve_exact(cap);
         Self {
             buf,
-            cap,
-            mask: phys - 1,
-            head: 0,
-            len: 0,
-            high_water: 0,
+            meta: RingMeta::new(cap),
         }
-    }
-
-    /// Physical index of logical position `i` (caller guarantees `i < len`).
-    #[inline]
-    fn phys(&self, i: usize) -> usize {
-        (self.head + i) & self.mask
     }
 
     /// Append an element; panics if the ring is full.
     #[inline]
     pub fn push_back(&mut self, value: T) {
-        assert!(
-            self.len < self.cap,
-            "FixedRing overflow: capacity {} exceeded",
-            self.cap
-        );
-        let pos = self.phys(self.len);
+        let pos = self.meta.push_slot();
+        // The backing is materialized on first touch of each physical slot
+        // (the reservation is exact, so this never reallocates).
         if pos == self.buf.len() {
             self.buf.push(value);
         } else {
             self.buf[pos] = value;
-        }
-        self.len += 1;
-        if self.len > self.high_water {
-            self.high_water = self.len;
         }
     }
 
     /// Remove and return the oldest element.
     #[inline]
     pub fn pop_front(&mut self) -> Option<T> {
-        if self.len == 0 {
-            return None;
-        }
-        let value = self.buf[self.head];
-        self.head = (self.head + 1) & self.mask;
-        self.len -= 1;
-        Some(value)
+        self.meta.pop_slot().map(|pos| self.buf[pos])
     }
 
     /// The oldest element, if any.
     #[inline]
     pub fn front(&self) -> Option<&T> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(&self.buf[self.head])
-        }
+        self.meta.front(&self.buf)
     }
 
     /// Mutable access to the oldest element, if any.
     #[inline]
     pub fn front_mut(&mut self) -> Option<&mut T> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(&mut self.buf[self.head])
-        }
+        self.meta.front_mut(&mut self.buf)
     }
 
     /// The newest element, if any.
     #[inline]
     pub fn back(&self) -> Option<&T> {
-        if self.len == 0 {
-            None
-        } else {
-            Some(&self.buf[self.phys(self.len - 1)])
-        }
+        self.meta.back(&self.buf)
     }
 
     /// Mutable access to the newest element, if any.
     #[inline]
     pub fn back_mut(&mut self) -> Option<&mut T> {
-        if self.len == 0 {
-            None
-        } else {
-            let p = self.phys(self.len - 1);
-            Some(&mut self.buf[p])
-        }
+        self.meta.back_mut(&mut self.buf)
     }
 
     /// Number of elements currently held.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.meta.len()
     }
 
     /// True when the ring holds no elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.meta.is_empty()
     }
 
     /// The fixed capacity the ring was built with.
     #[inline]
     pub fn capacity(&self) -> usize {
-        self.cap
+        self.meta.capacity()
     }
 
     /// Highest occupancy the ring has ever reached.
     #[inline]
     pub fn high_water(&self) -> usize {
-        self.high_water
+        self.meta.high_water()
     }
 
     /// Iterate the elements oldest-first.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        (0..self.len).map(move |i| &self.buf[self.phys(i)])
+        self.meta.iter(&self.buf)
     }
 }
 
@@ -217,7 +377,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "FixedRing overflow")]
+    #[should_panic(expected = "ring overflow")]
     fn overflow_panics() {
         let mut r = FixedRing::new(2);
         r.push_back(1);
@@ -285,5 +445,65 @@ mod tests {
         assert!(r.is_empty());
         assert_eq!(r.capacity(), 0);
         assert_eq!(r.front(), None);
+    }
+
+    // --- RingMeta slice-backed view ---------------------------------------
+
+    #[test]
+    fn meta_view_fifo_over_a_shared_pool() {
+        // Two rings sharing one pool, back to back at exact capacities.
+        let mut pool = [0u32; 5];
+        let (mut a, mut b) = (RingMeta::new(2), RingMeta::new(3));
+        let (pa, pb) = pool.split_at_mut(2);
+        a.push_back(pa, 10);
+        b.push_back(pb, 20);
+        a.push_back(pa, 11);
+        b.push_back(pb, 21);
+        assert_eq!(a.pop_front(pa), Some(10));
+        assert_eq!(b.front(pb), Some(&20));
+        assert_eq!(a.pop_front(pa), Some(11));
+        assert_eq!(b.pop_front(pb), Some(20));
+        assert_eq!(b.pop_front(pb), Some(21));
+        assert!(a.is_empty() && b.is_empty());
+        assert_eq!(a.high_water(), 2);
+        assert_eq!(b.high_water(), 2);
+    }
+
+    #[test]
+    fn meta_packed_word_roundtrip() {
+        let mut pool = [0u8; 3];
+        let mut m = RingMeta::new(3);
+        m.push_back(&mut pool, 1);
+        m.push_back(&mut pool, 2);
+        m.pop_front(&pool);
+        let bits = m.to_bits();
+        let back = RingMeta::from_bits(bits);
+        assert_eq!(back, m);
+        assert_eq!(back.head(), 1);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.high_water(), 2);
+        assert_eq!(back.capacity(), 3);
+        assert_eq!(std::mem::size_of::<RingMeta>(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the 16-bit packed field")]
+    fn meta_rejects_oversized_capacity() {
+        RingMeta::new(usize::from(u16::MAX) + 1);
+    }
+
+    #[test]
+    fn meta_wraparound_is_branch_not_mask() {
+        // Capacity 3 (not a power of two): the wrap must land on index 0.
+        let mut pool = [0i32; 3];
+        let mut m = RingMeta::new(3);
+        for i in 0..3 {
+            m.push_back(&mut pool, i);
+        }
+        m.pop_front(&pool);
+        m.push_back(&mut pool, 3); // physically wraps to index 0
+        assert_eq!(pool[0], 3);
+        let v: Vec<i32> = m.iter(&pool).copied().collect();
+        assert_eq!(v, vec![1, 2, 3]);
     }
 }

@@ -1,6 +1,6 @@
 //! Input-buffered virtual-channel routers.
 
-use crate::buffer::VcBuffer;
+use crate::buffer::{PacketSlot, VcBuffer};
 use crate::config::SimConfig;
 use dragonfly_topology::{Port, RouterId};
 
@@ -8,7 +8,7 @@ use dragonfly_topology::{Port, RouterId};
 /// the packet at its head, if any.
 #[derive(Debug)]
 pub struct InputVc {
-    /// The phit FIFO.
+    /// The phit FIFO (a ring view over the router's shared [`Router::slot_pool`]).
     pub buffer: VcBuffer,
     /// Output assignment of the head packet: `(flat output port, output VC)`.
     pub route: Option<(u16, u8)>,
@@ -77,6 +77,13 @@ pub struct Router {
     pub inputs: Vec<InputPort>,
     /// Output ports, indexed by flat port index.
     pub outputs: Vec<OutputPort>,
+    /// Packet-slot backing storage shared by every input VC buffer of this
+    /// router.  Each [`VcBuffer`] is a ring view over its own contiguous
+    /// region of this pool; sizing comes from [`VcBuffer::slot_bound`], so
+    /// the pool is one exact allocation per router instead of one `Vec` per
+    /// VC.  Buffer methods take it explicitly (`vc.buffer.head(&r.slot_pool)`)
+    /// so the borrow checker can see it is disjoint from `inputs`.
+    pub slot_pool: Vec<PacketSlot>,
     /// Rotating offset used to vary the order in which input VCs are served.
     pub rr_alloc: usize,
 }
@@ -92,15 +99,20 @@ impl Router {
         assert_eq!(downstream_capacity.len(), ports);
         let mut inputs = Vec::with_capacity(ports);
         let mut outputs = Vec::with_capacity(ports);
+        let mut pool_len = 0usize;
         for (flat, &down) in downstream_capacity.iter().enumerate() {
             let port = Port::from_flat(flat, h);
             let vcs = config.vcs_for(port.kind());
             let in_capacity = config.buffer_for(port.kind());
             inputs.push(InputPort {
                 vcs: (0..vcs)
-                    .map(|_| InputVc {
-                        buffer: VcBuffer::new(in_capacity, config.packet_size),
-                        route: None,
+                    .map(|_| {
+                        let buffer = VcBuffer::new(in_capacity, config.packet_size, pool_len);
+                        pool_len += VcBuffer::slot_bound(in_capacity, config.packet_size);
+                        InputVc {
+                            buffer,
+                            route: None,
+                        }
                     })
                     .collect(),
             });
@@ -119,6 +131,7 @@ impl Router {
             id,
             inputs,
             outputs,
+            slot_pool: vec![PacketSlot::default(); pool_len],
             rr_alloc: 0,
         }
     }
@@ -148,6 +161,7 @@ impl Router {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::PacketId;
     use dragonfly_topology::PortKind;
 
     fn test_config() -> SimConfig {
@@ -183,6 +197,41 @@ mod tests {
         assert_eq!(gout.vcs[0].credits, config.global_buffer);
         assert_eq!(gout.vcs[0].occupancy(), 0);
         assert!(gout.vcs[0].is_free());
+    }
+
+    #[test]
+    fn slot_pool_covers_every_vc_exactly() {
+        let config = test_config();
+        let r = Router::new(RouterId(1), &config, &downstream(&config));
+        let expected: usize = r
+            .inputs
+            .iter()
+            .flat_map(|p| p.vcs.iter())
+            .map(|vc| VcBuffer::slot_bound(vc.buffer.capacity(), config.packet_size))
+            .sum();
+        assert_eq!(r.slot_pool.len(), expected);
+    }
+
+    #[test]
+    fn vcs_use_disjoint_pool_regions() {
+        // Fill two VCs of the same port through the shared pool and check
+        // that neither sees the other's packet.
+        let config = test_config();
+        let mut r = Router::new(RouterId(0), &config, &downstream(&config));
+        let flat = Port::Local(0).flat(2);
+        let Router {
+            inputs, slot_pool, ..
+        } = &mut r;
+        let vcs = &mut inputs[flat].vcs;
+        vcs[0]
+            .buffer
+            .receive_phit(slot_pool, PacketId(10), config.packet_size as u16, true);
+        vcs[1]
+            .buffer
+            .receive_phit(slot_pool, PacketId(11), config.packet_size as u16, true);
+        assert_eq!(vcs[0].buffer.head(slot_pool).unwrap().packet, PacketId(10));
+        assert_eq!(vcs[1].buffer.head(slot_pool).unwrap().packet, PacketId(11));
+        assert_eq!(r.stored_phits(), 2);
     }
 
     #[test]

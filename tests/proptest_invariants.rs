@@ -111,3 +111,116 @@ fn idle_network_first_decision_is_minimal() {
         }
     }
 }
+
+/// Slice-backed ring views (`RingMeta` over a caller-provided pool region)
+/// behave exactly like a `VecDeque` bounded at the same capacity, across
+/// random push/pop churn that repeatedly wraps the ring.
+#[test]
+fn ring_meta_view_matches_vecdeque_model() {
+    use dragonfly::sim::RingMeta;
+    use std::collections::VecDeque;
+
+    let mut meta_rng = Rng::seed_from(0xF00D);
+    for case in 0..48 {
+        let cap = 1 + meta_rng.gen_index(17);
+        let mut ring = RingMeta::new(cap);
+        let mut pool = vec![0u64; cap];
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut rng = Rng::seed_from(0x9000 + case);
+        let mut next_value = 0u64;
+        for _ in 0..400 {
+            if ring.len() < cap && rng.bernoulli(0.55) {
+                ring.push_back(&mut pool, next_value);
+                model.push_back(next_value);
+                next_value += 1;
+            } else if !model.is_empty() {
+                assert_eq!(ring.pop_front(&pool), model.pop_front());
+            }
+            assert_eq!(ring.len(), model.len());
+            assert_eq!(ring.is_empty(), model.is_empty());
+            assert_eq!(ring.front(&pool), model.front());
+            assert_eq!(ring.back(&pool), model.back());
+            assert!(ring.iter(&pool).copied().eq(model.iter().copied()));
+        }
+    }
+}
+
+/// Filling a ring to capacity and wrapping it many times never corrupts FIFO
+/// order: the head index wraps by compare-and-subtract, not a power-of-two
+/// mask, so every capacity — not just powers of two — must survive.
+#[test]
+fn ring_meta_wraparound_at_capacity() {
+    use dragonfly::sim::RingMeta;
+
+    for cap in [1usize, 2, 3, 5, 7, 8, 13, 100, 101] {
+        let mut ring = RingMeta::new(cap);
+        let mut pool = vec![0u64; cap];
+        // Fill to capacity, then cycle one-in-one-out for several laps.
+        for v in 0..cap as u64 {
+            ring.push_back(&mut pool, v);
+        }
+        assert_eq!(ring.len(), cap);
+        for v in cap as u64..cap as u64 * 7 {
+            assert_eq!(ring.pop_front(&pool), Some(v - cap as u64));
+            ring.push_back(&mut pool, v);
+            assert_eq!(ring.len(), cap);
+        }
+        assert_eq!(ring.high_water(), cap);
+    }
+}
+
+/// The packed metadata word round-trips all four fields at random states.
+#[test]
+fn ring_meta_packed_word_roundtrip_random() {
+    use dragonfly::sim::RingMeta;
+
+    let mut meta_rng = Rng::seed_from(0xBEEF);
+    for _ in 0..48 {
+        let cap = 1 + meta_rng.gen_index(u16::MAX as usize);
+        let mut ring = RingMeta::new(cap);
+        let mut pool = vec![0u8; cap];
+        let pushes = meta_rng.gen_index(cap.min(50) + 1);
+        let pops = meta_rng.gen_index(pushes + 1);
+        for _ in 0..pushes {
+            ring.push_back(&mut pool, 0);
+        }
+        for _ in 0..pops {
+            ring.pop_front(&pool);
+        }
+        let bits = ring.to_bits();
+        let back = RingMeta::from_bits(bits);
+        assert_eq!(back.capacity(), cap);
+        assert_eq!(back.len(), pushes - pops);
+        assert_eq!(back.head(), ring.head());
+        assert_eq!(back.high_water(), pushes);
+        assert_eq!(back.to_bits(), bits);
+    }
+}
+
+/// The high-water mark is monotone under arbitrary churn and always equals the
+/// historical maximum occupancy (never the current one).
+#[test]
+fn ring_meta_high_water_is_monotone_max() {
+    use dragonfly::sim::RingMeta;
+
+    let mut meta_rng = Rng::seed_from(0xCAFE);
+    for case in 0..48 {
+        let cap = 1 + meta_rng.gen_index(31);
+        let mut ring = RingMeta::new(cap);
+        let mut pool = vec![0u32; cap];
+        let mut rng = Rng::seed_from(7_000 + case);
+        let mut max_seen = 0usize;
+        let mut last_hw = 0usize;
+        for _ in 0..300 {
+            if ring.len() < cap && rng.bernoulli(0.5) {
+                ring.push_back(&mut pool, 1);
+            } else if !ring.is_empty() {
+                ring.pop_front(&pool);
+            }
+            max_seen = max_seen.max(ring.len());
+            assert!(ring.high_water() >= last_hw, "high water went backwards");
+            last_hw = ring.high_water();
+            assert_eq!(ring.high_water(), max_seen);
+        }
+    }
+}

@@ -22,6 +22,12 @@
 //! SINGLE test function: a second test running in parallel would pollute the
 //! counter and make the assertion meaningless.  Runs are fully deterministic
 //! (fixed seeds), so a pass here is reproducible, not probabilistic.
+//!
+//! Beyond the whole-cycle zero, the test attributes allocator activity to the
+//! individual phases through `step_with_phase_hook` and asserts the zero
+//! separately for arrivals, injection, routing, switch and bookkeeping — a
+//! regression that allocates in exactly one phase fails with that phase's
+//! name, not just "some cycle allocated".
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -114,5 +120,55 @@ fn steady_state_cycle_loop_is_allocation_free() {
                 fc.name()
             );
         }
+    }
+
+    per_phase_attribution();
+}
+
+/// Phase names in pipeline order, as reported by `step_with_phase_hook`.
+const PHASES: [&str; 5] = ["arrivals", "injection", "routing", "switch", "bookkeeping"];
+
+/// Attribute steady-state allocator activity to individual phases and assert
+/// the zero for each one separately (probes installed, so the arrival and
+/// switch paths include their probe recording).
+fn per_phase_attribution() {
+    let mut spec = ExperimentSpec::new(2);
+    spec.routing = RoutingKind::Olm;
+    spec.flow_control = FlowControlKind::Vct;
+    spec.traffic = TrafficKind::Uniform;
+    spec.seed = 42;
+    let mut sim = spec.build_simulation();
+    sim.install_probes(ProbeConfig::full(64));
+    sim.network_mut()
+        .set_injection(Some(BernoulliInjection::new(
+            0.1,
+            FlowControlKind::Vct.packet_size(),
+        )));
+    sim.run_cycles(WARMUP_CYCLES);
+
+    let mut per_phase = [0u64; 5];
+    let mut current: Option<usize> = None;
+    let mut last = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..MEASURED_CYCLES {
+        let mut hook = |name: &'static str| {
+            let now = ALLOCS.load(Ordering::Relaxed);
+            if let Some(idx) = current {
+                per_phase[idx] += now - last;
+            }
+            last = now;
+            current = PHASES.iter().position(|&p| p == name);
+        };
+        sim.network_mut().step_with_phase_hook(&mut hook);
+    }
+    assert!(
+        sim.network().stats.total_delivered > 0,
+        "per-phase pin ran an idle loop"
+    );
+    for (phase, &allocs) in PHASES.iter().zip(&per_phase) {
+        assert_eq!(
+            allocs, 0,
+            "phase `{phase}` performed {allocs} heap allocations in {MEASURED_CYCLES} \
+             steady-state cycles (probes enabled)"
+        );
     }
 }
