@@ -64,6 +64,18 @@ fn bench_cycle_rate(c: &mut Criterion) {
             b.iter(|| sim.run_cycles(100));
         },
     );
+    // And the same point with the online anomaly detectors armed on top of the
+    // full instrument set — the third leg of the probe-overhead pair, pinning
+    // the detector stepping cost (integer window math once per sample).
+    let mut sim = prepared_simulation(FlowControlKind::Vct, 0.2);
+    sim.install_probes(dragonfly_core::ProbeConfig::full_active(64));
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "vct_load0.2_detectors"),
+        &(),
+        |b, _| {
+            b.iter(|| sim.run_cycles(100));
+        },
+    );
     group.finish();
 }
 

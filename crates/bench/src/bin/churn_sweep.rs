@@ -15,14 +15,13 @@
 //! with the lifecycle columns; `--json FILE` additionally emits one structured
 //! JSON object per point when built with `--features json`.
 
-use dragonfly_bench::{write_workload_job_csv, HarnessArgs};
+use dragonfly_bench::{file_slug, write_workload_job_csv, HarnessArgs};
 use dragonfly_core::{churn_sweep, ChurnSweep, FlowControlKind, RoutingKind, WorkloadReport};
 use dragonfly_sched::scenarios::fragmentation_trace;
 use dragonfly_topology::DragonflyParams;
 
 fn main() {
     let mut args = HarnessArgs::from_env();
-    args.reject_probe("churn_sweep");
     // A `--json` on a feature-less build is a hard error before paying for the sweep.
     #[cfg(not(feature = "json"))]
     if args.json_out.is_some() {
@@ -86,7 +85,29 @@ fn main() {
         params.num_nodes(),
         sweep.base.measure,
     );
-    let reports = args.runner("churn sweep").run_workloads(&specs);
+    let runner = args.runner("churn sweep");
+    let reports = match &args.probe {
+        Some(probes) => runner
+            .run_workloads_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let trace = spec.traffic.churn().expect("churn traffic");
+                let prefix = format!(
+                    "churn_{}_{}",
+                    file_slug(spec.routing.name()),
+                    file_slug(&trace.name)
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report.aggregate),
+                );
+                report
+            })
+            .collect(),
+        None => runner.run_workloads(&specs),
+    };
 
     println!(
         "{:<12} {:<12} {:>11} {:>11} {:>12} {:>10} {:>9}",

@@ -6,7 +6,7 @@
 //! cargo run --release -p dragonfly_bench --bin fig10_11
 //! ```
 
-use dragonfly_bench::HarnessArgs;
+use dragonfly_bench::{file_slug, HarnessArgs};
 use dragonfly_core::{
     sweep::paper_thresholds, threshold_sweep, CsvWriter, FlowControlKind, RoutingKind,
     ThresholdSweep, TrafficKind,
@@ -31,7 +31,28 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
         specs.len(),
         args.h
     );
-    let reports = args.runner(format!("figure {figure}")).run_steady(&specs);
+    let runner = args.runner(format!("figure {figure}"));
+    let reports = match &args.probe {
+        Some(probes) => runner
+            .run_steady_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig{figure}_th{}_{}",
+                    file_slug(&format!("{:.2}", spec.threshold)),
+                    file_slug(&format!("{:.2}", spec.offered_load)),
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report),
+                );
+                report
+            })
+            .collect(),
+        None => runner.run_steady(&specs),
+    };
 
     println!(
         "\n== Figure {figure}: RLM threshold sweep ({}) ==",
@@ -68,7 +89,6 @@ fn run_figure(args: &HarnessArgs, traffic: TrafficKind, figure: &str, csv_name: 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig10_11");
-    args.reject_probe("fig10_11");
     run_figure(
         &args,
         TrafficKind::Uniform,

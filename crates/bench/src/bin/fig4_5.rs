@@ -71,7 +71,11 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
                         file_slug(spec.routing.name()),
                         file_slug(&format!("{:.2}", spec.offered_load)),
                     );
-                    args.write_probe(&probe, &prefix);
+                    args.write_probe(
+                        &probe,
+                        &prefix,
+                        &spec.manifest_with_report(&prefix, &report),
+                    );
                     report
                 })
                 .collect()

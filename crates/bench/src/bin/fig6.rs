@@ -10,15 +10,25 @@
 //! cargo run --release -p dragonfly_bench --bin fig6
 //! ```
 
-use dragonfly_bench::HarnessArgs;
+use dragonfly_bench::{file_slug, HarnessArgs};
 use dragonfly_core::{
-    mix_sweep, sweep::paper_mix_percentages, CsvWriter, FlowControlKind, MixSweep, RoutingKind,
+    mix_sweep, sweep::paper_mix_percentages, CsvWriter, ExperimentSpec, FlowControlKind, MixSweep,
+    RoutingKind,
 };
+
+/// The mix point's ADVG percentage (every fig6 spec carries mixed traffic).
+fn global_pct(spec: &ExperimentSpec) -> u32 {
+    match spec.traffic {
+        dragonfly_core::TrafficKind::Mixed {
+            global_fraction, ..
+        } => (global_fraction * 100.0).round() as u32,
+        _ => unreachable!("mix sweep produces mixed traffic only"),
+    }
+}
 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig6");
-    args.reject_probe("fig6");
     let mechanisms = vec![
         RoutingKind::Par62,
         RoutingKind::Olm,
@@ -46,19 +56,35 @@ fn main() {
         specs.len(),
         args.h
     );
-    let reports = args.runner("figure 6a").run_steady(&specs);
+    let reports = match &args.probe {
+        Some(probes) => args
+            .runner("figure 6a")
+            .run_steady_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig6a_{}_mix{}",
+                    file_slug(spec.routing.name()),
+                    global_pct(spec)
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report),
+                );
+                report
+            })
+            .collect(),
+        None => args.runner("figure 6a").run_steady(&specs),
+    };
     println!("\n== Figure 6a: throughput vs. % of global traffic (VCT) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
     let path = args.csv_path("fig6a_mix_throughput.csv");
     let mut csv = CsvWriter::create(&path, "routing,global_pct,accepted_load,avg_latency")
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(reports.iter()) {
-        let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed {
-                global_fraction, ..
-            } => (global_fraction * 100.0).round() as u32,
-            _ => unreachable!("mix sweep produces mixed traffic only"),
-        };
+        let pct = global_pct(spec);
         println!(
             "{:<10} {:>10} {:>12.4}",
             report.routing, pct, report.accepted_load
@@ -86,21 +112,34 @@ fn main() {
         "figure 6b: burst of {packets_per_node} packets/node, {} simulations",
         specs.len()
     );
-    let batch_reports = args
-        .runner("figure 6b")
-        .run_batches(&specs, packets_per_node, max_cycles);
+    let batch_reports = match &args.probe {
+        Some(probes) => args
+            .runner("figure 6b")
+            .run_batches_probed(&specs, packets_per_node, max_cycles, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig6b_{}_mix{}",
+                    file_slug(spec.routing.name()),
+                    global_pct(spec)
+                );
+                // Batch reports carry no peak telemetry; the manifest peaks stay 0.
+                args.write_probe(&probe, &prefix, &spec.manifest(&prefix));
+                report
+            })
+            .collect(),
+        None => args
+            .runner("figure 6b")
+            .run_batches(&specs, packets_per_node, max_cycles),
+    };
     println!("\n== Figure 6b: burst consumption time (VCT) ==");
     println!("{:<10} {:>10} {:>16}", "routing", "global%", "cycles");
     let path = args.csv_path("fig6b_burst_consumption.csv");
     let mut csv = CsvWriter::create(&path, "routing,global_pct,consumption_cycles,timed_out")
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(batch_reports.iter()) {
-        let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed {
-                global_fraction, ..
-            } => (global_fraction * 100.0).round() as u32,
-            _ => unreachable!(),
-        };
+        let pct = global_pct(spec);
         println!(
             "{:<10} {:>10} {:>16}",
             report.routing, pct, report.consumption_cycles

@@ -7,7 +7,7 @@
 //! cargo run --release -p dragonfly_bench --bin fig7_8 -- --pattern all
 //! ```
 
-use dragonfly_bench::{print_series, HarnessArgs};
+use dragonfly_bench::{file_slug, print_series, HarnessArgs};
 use dragonfly_core::{
     load_sweep, CsvWriter, FlowControlKind, LoadSweep, RoutingKind, SimReport, TrafficKind,
 };
@@ -50,14 +50,33 @@ fn run_pattern(args: &HarnessArgs, pattern: &str) -> Vec<SimReport> {
         specs.len(),
         args.h
     );
-    args.runner(format!("figure 7/8 [{pattern}]"))
-        .run_steady(&specs)
+    let runner = args.runner(format!("figure 7/8 [{pattern}]"));
+    match &args.probe {
+        Some(probes) => runner
+            .run_steady_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig7_8_{pattern}_{}_{}",
+                    file_slug(spec.routing.name()),
+                    file_slug(&format!("{:.2}", spec.offered_load)),
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report),
+                );
+                report
+            })
+            .collect(),
+        None => runner.run_steady(&specs),
+    }
 }
 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig7_8");
-    args.reject_probe("fig7_8");
     let patterns: Vec<&str> = match args.pattern.as_str() {
         "all" => vec!["un", "advg1", "advgh"],
         p => vec![p],

@@ -7,15 +7,25 @@
 //! cargo run --release -p dragonfly_bench --bin fig9
 //! ```
 
-use dragonfly_bench::HarnessArgs;
+use dragonfly_bench::{file_slug, HarnessArgs};
 use dragonfly_core::{
-    mix_sweep, sweep::paper_mix_percentages, CsvWriter, FlowControlKind, MixSweep, RoutingKind,
+    mix_sweep, sweep::paper_mix_percentages, CsvWriter, ExperimentSpec, FlowControlKind, MixSweep,
+    RoutingKind,
 };
+
+/// The mix point's ADVG percentage (every fig9 spec carries mixed traffic).
+fn global_pct(spec: &ExperimentSpec) -> u32 {
+    match spec.traffic {
+        dragonfly_core::TrafficKind::Mixed {
+            global_fraction, ..
+        } => (global_fraction * 100.0).round() as u32,
+        _ => unreachable!("mix sweep produces mixed traffic only"),
+    }
+}
 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("fig9");
-    args.reject_probe("fig9");
     // OLM is omitted: it requires VCT (the sweep would drop it anyway).
     let mechanisms = vec![
         RoutingKind::Par62,
@@ -43,19 +53,35 @@ fn main() {
         specs.len(),
         args.h
     );
-    let reports = args.runner("figure 9a").run_steady(&specs);
+    let reports = match &args.probe {
+        Some(probes) => args
+            .runner("figure 9a")
+            .run_steady_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig9a_{}_mix{}",
+                    file_slug(spec.routing.name()),
+                    global_pct(spec)
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report),
+                );
+                report
+            })
+            .collect(),
+        None => args.runner("figure 9a").run_steady(&specs),
+    };
     println!("\n== Figure 9a: throughput vs. % of global traffic (Wormhole) ==");
     println!("{:<10} {:>10} {:>12}", "routing", "global%", "accepted");
     let path = args.csv_path("fig9a_mix_throughput_wh.csv");
     let mut csv = CsvWriter::create(&path, "routing,global_pct,accepted_load,avg_latency")
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(reports.iter()) {
-        let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed {
-                global_fraction, ..
-            } => (global_fraction * 100.0).round() as u32,
-            _ => unreachable!(),
-        };
+        let pct = global_pct(spec);
         println!(
             "{:<10} {:>10} {:>12.4}",
             report.routing, pct, report.accepted_load
@@ -84,21 +110,34 @@ fn main() {
         "figure 9b: burst of {packets_per_node} packets/node (80 phits each), {} simulations",
         specs.len()
     );
-    let batch_reports = args
-        .runner("figure 9b")
-        .run_batches(&specs, packets_per_node, max_cycles);
+    let batch_reports = match &args.probe {
+        Some(probes) => args
+            .runner("figure 9b")
+            .run_batches_probed(&specs, packets_per_node, max_cycles, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!(
+                    "fig9b_{}_mix{}",
+                    file_slug(spec.routing.name()),
+                    global_pct(spec)
+                );
+                // Batch reports carry no peak telemetry; the manifest peaks stay 0.
+                args.write_probe(&probe, &prefix, &spec.manifest(&prefix));
+                report
+            })
+            .collect(),
+        None => args
+            .runner("figure 9b")
+            .run_batches(&specs, packets_per_node, max_cycles),
+    };
     println!("\n== Figure 9b: burst consumption time (Wormhole) ==");
     println!("{:<10} {:>10} {:>16}", "routing", "global%", "cycles");
     let path = args.csv_path("fig9b_burst_consumption_wh.csv");
     let mut csv = CsvWriter::create(&path, "routing,global_pct,consumption_cycles,timed_out")
         .expect("cannot create CSV");
     for (spec, report) in specs.iter().zip(batch_reports.iter()) {
-        let pct = match spec.traffic {
-            dragonfly_core::TrafficKind::Mixed {
-                global_fraction, ..
-            } => (global_fraction * 100.0).round() as u32,
-            _ => unreachable!(),
-        };
+        let pct = global_pct(spec);
         println!(
             "{:<10} {:>10} {:>16}",
             report.routing, pct, report.consumption_cycles

@@ -61,7 +61,11 @@ fn main() {
                 .zip(&specs)
                 .map(|((report, probe), spec)| {
                     let prefix = format!("interference_{}", file_slug(spec.routing.name()));
-                    args.write_probe(&probe, &prefix);
+                    args.write_probe(
+                        &probe,
+                        &prefix,
+                        &spec.manifest_with_report(&prefix, &report.aggregate),
+                    );
                     report
                 })
                 .collect()

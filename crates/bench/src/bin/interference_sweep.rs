@@ -15,7 +15,7 @@
 //! protection each (mechanism, placement) combination buys as aggressor pressure
 //! rises.  One CSV row per (mechanism, placement, aggressor load, job, phase).
 
-use dragonfly_bench::{write_workload_phase_csv, HarnessArgs};
+use dragonfly_bench::{file_slug, write_workload_phase_csv, HarnessArgs};
 use dragonfly_core::{
     interference_sweep, FlowControlKind, InterferenceSweep, PlacementPolicy, RoutingKind,
     WorkloadReport,
@@ -25,7 +25,6 @@ use dragonfly_topology::DragonflyParams;
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("interference_sweep");
-    args.reject_probe("interference_sweep");
     let params = DragonflyParams::new(args.h);
     // The +1 global channel saturates at 2/nodes_per_group phits/(node·cycle)
     // under ADVG+1 from half of the machine; --loads scales relative to that.
@@ -57,7 +56,30 @@ fn main() {
         args.h,
         params.num_nodes()
     );
-    let reports = args.runner("interference sweep").run_workloads(&specs);
+    let runner = args.runner("interference sweep");
+    let reports = match &args.probe {
+        Some(probes) => runner
+            .run_workloads_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let workload = spec.traffic.workload().expect("workload traffic");
+                let prefix = format!(
+                    "intsweep_{}_{}_{}",
+                    file_slug(spec.routing.name()),
+                    file_slug(workload.jobs[0].placement.name()),
+                    file_slug(&format!("{:.4}", workload.jobs[0].phases[0].offered_load)),
+                );
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report.aggregate),
+                );
+                report
+            })
+            .collect(),
+        None => runner.run_workloads(&specs),
+    };
 
     println!(
         "{:<12} {:>6} {:>10} {:>12} {:>12} {:>12}",

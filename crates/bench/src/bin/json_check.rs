@@ -1,0 +1,54 @@
+//! Validate emitted JSON artifacts (json feature only): each file argument
+//! must pass the full RFC 8259 syntax check, `*_manifest.json` files must
+//! additionally round-trip through [`RunManifest::from_json`], and `*.jsonl`
+//! files are validated line by line.
+//!
+//! ```text
+//! cargo run --release -p dragonfly_bench --features json --bin json_check -- \
+//!     results/run_trace.json results/run_manifest.json results/run_trigger.jsonl
+//! ```
+//!
+//! Exit status 0 when every file validates; the first failure prints the file
+//! and the parse error and exits 1.  CI runs this over the detector smoke
+//! run's trace/manifest/trigger output.
+
+use dragonfly_core::RunManifest;
+use dragonfly_stats::validate_json;
+
+fn check(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    if path.ends_with(".jsonl") {
+        for (i, line) in text.lines().enumerate() {
+            validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        }
+    } else {
+        validate_json(&text)?;
+    }
+    if path.ends_with("_manifest.json") {
+        let (manifest, probe, files) =
+            RunManifest::from_json(&text).ok_or("manifest does not round-trip")?;
+        // The reader parses what the writer emits: re-emission is an identity.
+        let reemitted = manifest.to_json(&probe, &files);
+        if reemitted != text {
+            return Err("manifest re-emission differs from the original".to_string());
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: json_check <file.json|file.jsonl> ...");
+        std::process::exit(2);
+    }
+    for path in &files {
+        match check(path) {
+            Ok(()) => println!("ok {path}"),
+            Err(e) => {
+                eprintln!("json_check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

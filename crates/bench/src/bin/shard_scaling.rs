@@ -52,7 +52,6 @@ fn point_spec(args: &HarnessArgs, h: usize) -> ExperimentSpec {
 
 fn main() {
     let args = HarnessArgs::from_env();
-    args.reject_probe("shard_scaling");
     let scales: Vec<usize> = if args.quick {
         vec![2, 4]
     } else {
@@ -91,6 +90,24 @@ fn main() {
         csv.row(&format!("{h},0,{seq_ms:.3},1.0,true"))
             .expect("CSV write failed");
         json_entries.push((format!("shard_scaling/h{h}/seq"), seq_ms * 1e6));
+
+        // With --probe*, one extra sequential run outside the timed region
+        // carries the probes, so the scaling numbers stay untouched while the
+        // probe output (and its report-identity guarantee) is still exercised.
+        if let Some(probes) = &args.probe {
+            let (report, probe) = spec.run_probed(probes.clone());
+            assert!(
+                report == baseline,
+                "probed report diverged from the unprobed baseline at h = {h} — probes \
+                 must be passive"
+            );
+            let prefix = format!("shard_scaling_h{h}");
+            args.write_probe(
+                &probe,
+                &prefix,
+                &spec.manifest_with_report(&prefix, &report),
+            );
+        }
 
         for &shards in &SHARD_COUNTS {
             if shards > groups || shards > cores {

@@ -17,7 +17,11 @@ use dragonfly_topology::DragonflyParams;
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("table1");
-    args.reject_probe("table1");
+    if args.probe.is_some() {
+        // Every other binary honors --probe*; Table I is a closed-form property
+        // of the parity-sign rule, so there is no simulation to attach probes to.
+        eprintln!("note: table1 is closed-form (no simulation), --probe* flags have no effect");
+    }
     let table = ParitySignTable::new();
     println!("Table I: possible hop combinations for local misrouting within supernodes");
     println!("{:<12} {:<12} {:<10}", "first hop", "second hop", "allowed");

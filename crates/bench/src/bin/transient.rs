@@ -10,14 +10,13 @@
 //! runner (`--jobs N`, `--sequential`).  One CSV row per (mechanism, phase);
 //! phase 0 is UN, phase 1 is ADVG+h.
 
-use dragonfly_bench::{write_workload_phase_csv, HarnessArgs};
+use dragonfly_bench::{file_slug, write_workload_phase_csv, HarnessArgs};
 use dragonfly_core::{ExperimentSpec, FlowControlKind, RoutingKind, TrafficKind, WorkloadSpec};
 use dragonfly_topology::DragonflyParams;
 
 fn main() {
     let args = HarnessArgs::from_env();
     args.reject_json("transient");
-    args.reject_probe("transient");
     let params = DragonflyParams::new(args.h);
     let load = 0.25;
     let switch_cycle = args.warmup + args.measure / 2;
@@ -44,7 +43,24 @@ fn main() {
             spec
         })
         .collect();
-    let reports = args.runner("transient").run_workloads(&specs);
+    let runner = args.runner("transient");
+    let reports = match &args.probe {
+        Some(probes) => runner
+            .run_workloads_probed(&specs, probes)
+            .into_iter()
+            .zip(&specs)
+            .map(|((report, probe), spec)| {
+                let prefix = format!("transient_{}", file_slug(spec.routing.name()));
+                args.write_probe(
+                    &probe,
+                    &prefix,
+                    &spec.manifest_with_report(&prefix, &report.aggregate),
+                );
+                report
+            })
+            .collect(),
+        None => runner.run_workloads(&specs),
+    };
 
     println!(
         "{:<12} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",

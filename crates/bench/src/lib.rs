@@ -21,7 +21,8 @@
 //! --json <FILE>    structured JSON output (churn_sweep and shard_scaling only,
 //!                  needs the `json` feature for churn_sweep)
 //! --probe          install observability probes and write their output files
-//!                  next to the CSVs (fig4_5 and interference only)
+//!                  next to the CSVs (all simulation binaries; table1 is
+//!                  closed-form and has nothing to probe)
 //! --probe-stride N   time-series sampling stride in cycles (default 64; implies
 //!                    --probe)
 //! --probe-flight N   sample ~1/N packets into the flight recorder (0 = off;
@@ -29,6 +30,18 @@
 //! --probe-heatmap N  per-(link, VC) heatmap window in cycles (0 = off; implies
 //!                    --probe)
 //! --probe-top N      routers in the per-router time-series cut (implies --probe)
+//! --probe-detect     arm the online anomaly detectors (implies --probe); trips
+//!                    land in <prefix>_trigger.jsonl plus a black-box bundle
+//!                    around the first trip
+//! --probe-detect-window N    detector evaluation window in samples (implies
+//!                            --probe-detect)
+//! --probe-detect-collapse P  throughput-collapse threshold: trip when delivered
+//!                            < P% of injected over a window (implies
+//!                            --probe-detect)
+//! --probe-detect-stall N     credit-stall run length in samples (implies
+//!                            --probe-detect)
+//! --probe-trace    export detector trips as Chrome trace_event / Perfetto JSON
+//!                  (<prefix>_trace.json; implies --probe)
 //! ```
 //!
 //! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
@@ -37,7 +50,8 @@
 //! a plain in-order loop that produces byte-identical CSVs.
 
 use dragonfly_core::{
-    ExperimentSpec, FlowControlKind, ProbeConfig, SimReport, SweepRunner, WorkloadReport,
+    DetectorConfig, ExperimentSpec, FlowControlKind, ProbeConfig, RunManifest, SimReport,
+    SweepRunner, WorkloadReport,
 };
 use std::path::{Path, PathBuf};
 
@@ -179,6 +193,31 @@ impl HarnessArgs {
                         .parse()
                         .map_err(|e| format!("--probe-top: {e}"))?;
                 }
+                "--probe-detect" => {
+                    armed_detect(&mut out.probe);
+                }
+                "--probe-detect-window" => {
+                    let window = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-detect-window: {e}"))?;
+                    if window == 0 {
+                        return Err("--probe-detect-window must be at least 1 sample".to_string());
+                    }
+                    armed_detect(&mut out.probe).window = window;
+                }
+                "--probe-detect-collapse" => {
+                    armed_detect(&mut out.probe).collapse_pct = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-detect-collapse: {e}"))?;
+                }
+                "--probe-detect-stall" => {
+                    armed_detect(&mut out.probe).stall_samples = value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--probe-detect-stall: {e}"))?;
+                }
+                "--probe-trace" => {
+                    out.probe.get_or_insert_with(ProbeConfig::default).trace = true;
+                }
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
                 "--json" => out.json_out = Some(PathBuf::from(value(&mut i)?)),
                 "--pattern" => out.pattern = value(&mut i)?,
@@ -265,31 +304,33 @@ impl HarnessArgs {
         }
     }
 
-    /// Exit with usage status when any `--probe*` flag was passed: binaries
-    /// that don't emit probe output call this right after parsing, so the
-    /// flags fail fast instead of being silently ignored (the probe sibling
-    /// of [`HarnessArgs::reject_json`]).
-    pub fn reject_probe(&self, binary: &str) {
-        if self.probe.is_some() {
-            eprintln!(
-                "--probe* flags are not supported by {binary} (only fig4_5 and interference \
-                 emit probe output)"
-            );
-            std::process::exit(2);
-        }
-    }
-
     /// Write a probe recorder's full output set into the output directory with
-    /// the given file-name prefix, printing what was written.
-    pub fn write_probe(&self, probe: &dragonfly_core::ProbeRecorder, prefix: &str) {
+    /// the given file-name prefix — including the self-describing
+    /// `<prefix>_manifest.json` — printing what was written.
+    pub fn write_probe(
+        &self,
+        probe: &dragonfly_core::ProbeRecorder,
+        prefix: &str,
+        manifest: &RunManifest,
+    ) {
         std::fs::create_dir_all(&self.out_dir).expect("cannot create the output directory");
         let files = probe
-            .write_all(&self.out_dir, prefix)
+            .write_all_with_manifest(&self.out_dir, prefix, manifest)
             .expect("cannot write probe output");
         for file in files {
             println!("wrote {}", file.display());
         }
     }
+}
+
+/// `--probe-detect*` helper: ensure probes exist and the detectors are armed
+/// (idempotently, so later `--probe-detect-*` knobs refine rather than reset).
+fn armed_detect(probe: &mut Option<ProbeConfig>) -> &mut DetectorConfig {
+    let cfg = probe.get_or_insert_with(ProbeConfig::default);
+    if !cfg.detect.enabled() {
+        cfg.detect = DetectorConfig::armed();
+    }
+    &mut cfg.detect
 }
 
 /// Lowercased file-name-safe slug of a display label: alphanumerics survive,
@@ -313,7 +354,8 @@ fn usage() -> String {
      [--drain N] [--seed N] [--jobs N] [--shards N] [--sequential] [--out DIR] \
      [--loads a,b,c] [--pattern P] [--json FILE (churn_sweep, shard_scaling)] \
      [--probe] [--probe-stride N] [--probe-flight N] [--probe-heatmap N] \
-     [--probe-top N (fig4_5, interference)]"
+     [--probe-top N] [--probe-detect] [--probe-detect-window N] \
+     [--probe-detect-collapse PCT] [--probe-detect-stall N] [--probe-trace]"
         .to_string()
 }
 
@@ -580,6 +622,46 @@ mod tests {
         assert!(!cfg.flight_enabled());
         // A zero stride is rejected at parse time.
         assert!(HarnessArgs::parse_from(["--probe-stride", "0"]).is_err());
+    }
+
+    #[test]
+    fn parse_detect_and_trace_flags() {
+        // --probe alone leaves the detectors off and the trace export off.
+        let plain = HarnessArgs::parse_from(["--probe"]).unwrap().probe.unwrap();
+        assert!(!plain.detect.enabled());
+        assert!(!plain.trace);
+        // --probe-detect implies --probe and arms the default detector set.
+        let armed = HarnessArgs::parse_from(["--probe-detect"])
+            .unwrap()
+            .probe
+            .unwrap();
+        assert_eq!(armed.detect, dragonfly_core::DetectorConfig::armed());
+        assert!(!armed.trace);
+        // The detect knobs refine the armed defaults instead of resetting them,
+        // in any order, and --probe-trace composes.
+        let tuned = HarnessArgs::parse_from([
+            "--probe-detect-collapse",
+            "95",
+            "--probe-detect-window",
+            "4",
+            "--probe-detect-stall",
+            "3",
+            "--probe-trace",
+        ])
+        .unwrap()
+        .probe
+        .unwrap();
+        assert_eq!(tuned.detect.collapse_pct, 95);
+        assert_eq!(tuned.detect.window, 4);
+        assert_eq!(tuned.detect.stall_samples, 3);
+        assert_eq!(
+            tuned.detect.misroute_pct,
+            dragonfly_core::DetectorConfig::armed().misroute_pct
+        );
+        assert!(tuned.trace);
+        assert!(tuned.detect_enabled());
+        // A zero window is rejected at parse time.
+        assert!(HarnessArgs::parse_from(["--probe-detect-window", "0"]).is_err());
     }
 
     #[test]

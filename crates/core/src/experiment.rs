@@ -1,6 +1,6 @@
 //! Single-experiment specification and execution.
 
-use dragonfly_probe::{ProbeConfig, ProbeRecorder};
+use dragonfly_probe::{ProbeConfig, ProbeRecorder, RunManifest};
 use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
 use dragonfly_sched::Trace;
 use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
@@ -444,6 +444,80 @@ impl ExperimentSpec {
             },
         )
     }
+
+    /// Run the burst-consumption protocol with probes installed (see
+    /// [`ExperimentSpec::run_probed`]).
+    pub fn run_batch_probed(
+        &self,
+        packets_per_node: u64,
+        max_cycles: u64,
+        probes: ProbeConfig,
+    ) -> (BatchReport, ProbeRecorder) {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedBatchRun {
+                spec: self,
+                packets_per_node,
+                max_cycles,
+                probes,
+            },
+        )
+    }
+
+    /// Run the burst-consumption protocol on the sharded engine with probes
+    /// installed (see [`ExperimentSpec::run_probed_sharded`]).
+    pub fn run_batch_probed_sharded(
+        &self,
+        packets_per_node: u64,
+        max_cycles: u64,
+        probes: ProbeConfig,
+        shards: usize,
+    ) -> (BatchReport, ProbeRecorder) {
+        self.routing.dispatch(
+            AdaptiveParams::with_threshold(self.threshold),
+            ProbedShardedBatchRun {
+                spec: self,
+                packets_per_node,
+                max_cycles,
+                probes,
+                shards,
+            },
+        )
+    }
+
+    /// Build the [`RunManifest`] describing this spec, with zeroed peak
+    /// telemetry.  Use [`ExperimentSpec::manifest_with_report`] when a
+    /// [`SimReport`] is at hand.
+    pub fn manifest(&self, title: &str) -> RunManifest {
+        RunManifest {
+            schema_version: 1,
+            title: title.to_string(),
+            h: self.h as u64,
+            routing: self.routing.name().to_string(),
+            flow_control: self.flow_control.name().to_string(),
+            traffic: self.traffic.name(),
+            offered_load: self.offered_load,
+            threshold: self.threshold,
+            seed: self.seed,
+            warmup: self.warmup,
+            measure: self.measure,
+            drain: self.drain,
+            peak_in_flight_packets: 0,
+            peak_buffered_phits: 0,
+            peak_vc_occupancy: 0,
+        }
+    }
+
+    /// [`ExperimentSpec::manifest`] with the peak-telemetry section filled
+    /// from a run's report.
+    pub fn manifest_with_report(&self, title: &str, report: &SimReport) -> RunManifest {
+        RunManifest {
+            peak_in_flight_packets: report.peak_in_flight_packets,
+            peak_buffered_phits: report.peak_buffered_phits,
+            peak_vc_occupancy: report.peak_vc_occupancy,
+            ..self.manifest(title)
+        }
+    }
 }
 
 /// Build the monomorphized simulation for a spec, installing any workload or
@@ -659,6 +733,52 @@ impl RoutingVisitor for ProbedShardedWorkloadRun<'_> {
         let mut sim = build_sharded_with_routing(spec, routing, self.shards);
         sim.install_probes(self.probes);
         let report = run_sharded_jobs_with(&mut sim, spec);
+        let probe = sim.merged_probe().expect("probes were installed above");
+        (report, probe)
+    }
+}
+
+/// Visitor running the burst-consumption protocol with probes installed.
+struct ProbedBatchRun<'a> {
+    spec: &'a ExperimentSpec,
+    packets_per_node: u64,
+    max_cycles: u64,
+    probes: ProbeConfig,
+}
+
+impl RoutingVisitor for ProbedBatchRun<'_> {
+    type Output = (BatchReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_with_routing(spec, routing);
+        sim.install_probes(self.probes);
+        let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
+        let report = sim.run_batch(burst, self.max_cycles);
+        let probe = *sim.take_probe().expect("probes were installed above");
+        (report, probe)
+    }
+}
+
+/// Visitor running the burst-consumption protocol on the sharded engine with
+/// probes installed in every replica.
+struct ProbedShardedBatchRun<'a> {
+    spec: &'a ExperimentSpec,
+    packets_per_node: u64,
+    max_cycles: u64,
+    probes: ProbeConfig,
+    shards: usize,
+}
+
+impl RoutingVisitor for ProbedShardedBatchRun<'_> {
+    type Output = (BatchReport, ProbeRecorder);
+
+    fn visit<R: RoutingAlgorithm + Clone + 'static>(self, routing: R) -> Self::Output {
+        let spec = self.spec;
+        let mut sim = build_sharded_with_routing(spec, routing, self.shards);
+        sim.install_probes(self.probes);
+        let burst = BurstSpec::new(self.packets_per_node, spec.flow_control.packet_size());
+        let report = sim.run_batch(burst, self.max_cycles);
         let probe = sim.merged_probe().expect("probes were installed above");
         (report, probe)
     }

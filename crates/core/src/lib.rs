@@ -44,7 +44,10 @@ pub use sweep::{
     InterferenceSweep, LoadSweep, MixSweep, ThresholdSweep,
 };
 
-pub use dragonfly_probe::{ProbeConfig, ProbeRecorder};
+pub use dragonfly_probe::{
+    detector_name, DetectorConfig, ProbeConfig, ProbeRecorder, RunManifest, TraceBuilder,
+    TripRecord,
+};
 pub use dragonfly_routing::{AdaptiveParams, RoutingKind};
 pub use dragonfly_sched::{Completion, SyntheticTrace, Trace, TraceJob};
 pub use dragonfly_shard::{ShardPlan, ShardedSimulation};

@@ -212,6 +212,34 @@ impl SweepRunner {
         }
     }
 
+    /// Run every point in burst-consumption mode with probes installed (see
+    /// [`ExperimentSpec::run_batch_probed`]), in spec order.  Probes are
+    /// read-only: the reports are byte-identical to
+    /// [`SweepRunner::run_batches`].
+    pub fn run_batches_probed(
+        &self,
+        specs: &[ExperimentSpec],
+        packets_per_node: u64,
+        max_cycles: u64,
+        probes: &ProbeConfig,
+    ) -> Vec<(BatchReport, ProbeRecorder)> {
+        let label = |i: usize| specs[i].label();
+        if self.shards > 1 {
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_batch_probed_sharded(
+                    packets_per_node,
+                    max_cycles,
+                    probes.clone(),
+                    self.shards,
+                )
+            })
+        } else {
+            self.execute(specs.len(), label, |i| {
+                specs[i].run_batch_probed(packets_per_node, max_cycles, probes.clone())
+            })
+        }
+    }
+
     /// Execute `total` independent points, preserving index order.
     ///
     /// The collector thread owns the progress state; workers (or the sequential

@@ -1,4 +1,7 @@
-//! Probe configuration: one struct gates all four instruments.
+//! Probe configuration: one struct gates all four passive instruments plus
+//! the active diagnostics layer (detectors and trace export).
+
+use crate::detect::DetectorConfig;
 
 /// Configuration of a [`crate::ProbeRecorder`].
 ///
@@ -28,6 +31,13 @@ pub struct ProbeConfig {
     pub heatmap_window: u64,
     /// Maximum heatmap windows stored; later windows are dropped and counted.
     pub max_windows: usize,
+    /// Online anomaly detectors ([`DetectorConfig::off`] by default; armed
+    /// detectors trip on the recorded sample stream and gate the trigger
+    /// bundle emission).
+    pub detect: DetectorConfig,
+    /// Emit a Chrome `trace_event` / Perfetto JSON file (detector trips on a
+    /// cycle-as-microsecond timebase) next to the other probe files.
+    pub trace: bool,
 }
 
 impl Default for ProbeConfig {
@@ -40,6 +50,8 @@ impl Default for ProbeConfig {
             flight_capacity: 1 << 16,
             heatmap_window: 0,
             max_windows: 64,
+            detect: DetectorConfig::off(),
+            trace: false,
         }
     }
 }
@@ -52,6 +64,24 @@ impl ProbeConfig {
             heatmap_window: window,
             ..Self::default()
         }
+    }
+
+    /// [`Self::full`] plus the whole active layer: every detector armed at
+    /// the [`DetectorConfig::armed`] defaults and trace export on — the
+    /// configuration of the detectors-armed bench point and the invariance
+    /// tests.
+    pub fn full_active(window: u64) -> Self {
+        Self {
+            detect: DetectorConfig::armed(),
+            trace: true,
+            ..Self::full(window)
+        }
+    }
+
+    /// True when the online detector bank runs.
+    #[inline]
+    pub fn detect_enabled(&self) -> bool {
+        self.detect.enabled()
     }
 
     /// True when the per-(link, VC) heatmaps are recorded.
@@ -82,7 +112,10 @@ mod tests {
         cfg.validate();
         assert!(!cfg.heatmap_enabled());
         assert!(cfg.flight_enabled());
+        assert!(!cfg.detect_enabled());
         assert!(ProbeConfig::full(1024).heatmap_enabled());
+        let active = ProbeConfig::full_active(1024);
+        assert!(active.heatmap_enabled() && active.detect_enabled() && active.trace);
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! Online anomaly detectors: fixed-state, cycle-indexed machines fed from the
+//! recorder's counter stream.
+//!
+//! Each detector is a deterministic state machine over the *sampled* series
+//! (one step per recorded time-series sample, never per cycle), so its
+//! verdicts are a pure function of the sample stream.  That purity is the
+//! whole determinism story: a sequential run steps the bank online inside
+//! [`crate::ProbeRecorder::sample`], while a sharded run discards the
+//! shard-local verdicts and replays the identical machine over the *merged*
+//! series — and because merged series are byte-identical to sequential series
+//! (the pinned shard-invariance of the passive layer), replay and online
+//! stepping produce identical [`TripRecord`]s.
+//!
+//! All evidence is kept as exact integers (numerator/denominator pairs, never
+//! ratios), so trigger files format identically everywhere.  All detector
+//! state is sized at construction and the trip list is bounded by
+//! [`DetectorConfig::max_trips`] (overflow drops and counts), which keeps the
+//! zero-allocation pin intact with every detector armed.
+
+/// Detector id: accepted/injected throughput ratio collapsed below
+/// `collapse_pct` over an evaluation window.
+pub const DETECT_COLLAPSE: u8 = 0;
+/// Detector id: phits stayed buffered with zero deliveries for
+/// `stall_samples` consecutive samples (credit stall / livelock suspicion).
+pub const DETECT_STALL: u8 = 1;
+/// Detector id: misroute decisions exceeded `misroute_pct` of injections over
+/// an evaluation window.
+pub const DETECT_STORM: u8 = 2;
+/// Detector id: one router's delivery share exceeded `skew_pct` of the
+/// per-router mean over an evaluation window (fairness skew; router-level
+/// skew proxies job-level skew under the contiguous placement policy).
+pub const DETECT_SKEW: u8 = 3;
+
+/// `router` value of a [`TripRecord`] that implicates no single router.
+pub const NO_ROUTER: u32 = u32::MAX;
+
+/// Machine-readable name of a `DETECT_*` id (used in the trigger and trace
+/// files).
+pub fn detector_name(detector: u8) -> &'static str {
+    match detector {
+        DETECT_COLLAPSE => "throughput_collapse",
+        DETECT_STALL => "credit_stall",
+        DETECT_STORM => "misroute_storm",
+        DETECT_SKEW => "fairness_skew",
+        _ => "unknown",
+    }
+}
+
+/// Configuration of the online detector bank.  `window == 0` disables every
+/// detector (the default); [`DetectorConfig::armed`] gives the tuned-on
+/// defaults the `--probe-detect` flag installs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Samples per evaluation window of the windowed detectors (collapse,
+    /// storm, skew).  `0` disables the whole bank.
+    pub window: u32,
+    /// Throughput-collapse threshold: trip when
+    /// `delivered × 100 < collapse_pct × injected` over a window.
+    pub collapse_pct: u32,
+    /// Minimum packets injected in a window for the windowed ratio detectors
+    /// to evaluate at all (suppresses verdicts on idle or draining windows).
+    pub min_window_injected: u64,
+    /// Consecutive samples with buffered phits and zero deliveries before the
+    /// credit-stall detector trips.
+    pub stall_samples: u32,
+    /// Misroute-storm threshold: trip when
+    /// `misroutes × 100 > misroute_pct × injected` over a window.
+    pub misroute_pct: u32,
+    /// Fairness-skew threshold: trip when the busiest router's window
+    /// deliveries exceed `skew_pct`% of the per-router mean
+    /// (`max × routers × 100 > skew_pct × total`).
+    pub skew_pct: u32,
+    /// Maximum trip records stored; later trips are dropped and counted.
+    pub max_trips: usize,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl DetectorConfig {
+    /// Every detector disabled (threshold fields keep the armed values so a
+    /// struct update can flip just `window`).
+    pub fn off() -> Self {
+        Self {
+            window: 0,
+            ..Self::armed()
+        }
+    }
+
+    /// The tuned-on defaults: 8-sample windows, collapse below 50%, stall
+    /// after 8 flat samples, storm above 60% misroutes, skew above 4× the
+    /// per-router mean.
+    pub fn armed() -> Self {
+        Self {
+            window: 8,
+            collapse_pct: 50,
+            min_window_injected: 64,
+            stall_samples: 8,
+            misroute_pct: 60,
+            skew_pct: 400,
+            max_trips: 64,
+        }
+    }
+
+    /// True when the detector bank runs.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.window > 0
+    }
+}
+
+/// One detector verdict: the cycle it fired, the sample index and window it
+/// evaluated, and the exact integer evidence (`observed` vs `bound`, whose
+/// meaning is detector-specific — see the trigger-file schema in RESULTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TripRecord {
+    /// `DETECT_*` id of the detector that fired.
+    pub detector: u8,
+    /// Cycle of the sample at which the verdict fired.
+    pub cycle: u64,
+    /// Index of that sample in the recorded series.
+    pub sample: u32,
+    /// Cycle of the first sample of the evaluated window (for the stall
+    /// detector: the first flat sample of the run).
+    pub window_start_cycle: u64,
+    /// Detector-specific evidence numerator (e.g. packets delivered in the
+    /// window for collapse, buffered phits for stall).
+    pub observed: u64,
+    /// Detector-specific evidence denominator/bound (e.g. packets injected in
+    /// the window for collapse, the configured run length for stall).
+    pub bound: u64,
+    /// Implicated router ([`NO_ROUTER`] for network-wide verdicts; set by the
+    /// fairness-skew detector).
+    pub router: u32,
+}
+
+/// One step of detector input: the cumulative counters at a sample point.
+/// Built either from the live hot counters (sequential online stepping) or
+/// from row `i` of the recorded series (replay after a shard merge) — the two
+/// sources carry identical values by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DetectorSample<'a> {
+    /// Cycle of the sample.
+    pub cycle: u64,
+    /// Cumulative packets injected.
+    pub injected: u64,
+    /// Cumulative packets delivered.
+    pub delivered: u64,
+    /// Cumulative global misroute decisions.
+    pub global_misroutes: u64,
+    /// Cumulative local misroute decisions.
+    pub local_misroutes: u64,
+    /// Phits buffered at the sample point (instantaneous gauge).
+    pub buffered_phits: u64,
+    /// Cumulative per-router deliveries, when per-router recording is on
+    /// (`top_k > 0`); `None` disables the fairness-skew detector for this
+    /// step, identically online and in replay.
+    pub router_delivered: Option<&'a [u64]>,
+}
+
+/// The four detector state machines sharing one window clock.  All storage is
+/// sized at construction; [`DetectorBank::step`] never allocates.
+#[derive(Debug, Clone)]
+pub struct DetectorBank {
+    cfg: DetectorConfig,
+
+    // Window clock.
+    window_fill: u32,
+    window_start_cycle: u64,
+
+    // Cumulative baselines at the previous window boundary.
+    base_injected: u64,
+    base_delivered: u64,
+    base_misroutes: u64,
+    router_base_delivered: Vec<u64>,
+
+    // Credit-stall run-length machine.
+    stall_run: u32,
+    stall_start_cycle: u64,
+    prev_delivered: u64,
+
+    // Re-arm latches: a detector that tripped stays quiet until one clean
+    // evaluation (or, for stall, until progress resumes).
+    armed: [bool; 4],
+
+    samples_seen: u32,
+    trips: Vec<TripRecord>,
+    trips_dropped: u64,
+}
+
+impl DetectorBank {
+    /// Build a bank.  `skew_routers` is the router count when per-router
+    /// deliveries will be fed in (arming the fairness-skew detector) and `0`
+    /// otherwise.
+    pub fn new(cfg: &DetectorConfig, skew_routers: usize) -> Self {
+        let mut trips = Vec::new();
+        trips.reserve_exact(if cfg.enabled() { cfg.max_trips } else { 0 });
+        Self {
+            cfg: cfg.clone(),
+            window_fill: 0,
+            window_start_cycle: 0,
+            base_injected: 0,
+            base_delivered: 0,
+            base_misroutes: 0,
+            router_base_delivered: vec![0; skew_routers],
+            stall_run: 0,
+            stall_start_cycle: 0,
+            prev_delivered: 0,
+            armed: [true; 4],
+            samples_seen: 0,
+            trips,
+            trips_dropped: 0,
+        }
+    }
+
+    /// Trips recorded so far, in firing order (which is cycle order).
+    pub fn trips(&self) -> &[TripRecord] {
+        &self.trips
+    }
+
+    /// Trips dropped after the bounded list filled.
+    pub fn trips_dropped(&self) -> u64 {
+        self.trips_dropped
+    }
+
+    fn trip(&mut self, record: TripRecord) {
+        if self.trips.len() < self.cfg.max_trips {
+            self.trips.push(record);
+        } else {
+            self.trips_dropped += 1;
+        }
+    }
+
+    /// Advance every machine by one sample.  Allocation-free.
+    pub fn step(&mut self, s: DetectorSample<'_>) {
+        if !self.cfg.enabled() {
+            return;
+        }
+        let sample = self.samples_seen;
+        self.samples_seen += 1;
+        if self.window_fill == 0 {
+            self.window_start_cycle = s.cycle;
+        }
+
+        // Credit stall: buffered traffic with zero forward progress.
+        if s.buffered_phits > 0 && s.delivered == self.prev_delivered {
+            if self.stall_run == 0 {
+                self.stall_start_cycle = s.cycle;
+            }
+            self.stall_run += 1;
+            if self.stall_run >= self.cfg.stall_samples && self.armed[DETECT_STALL as usize] {
+                self.armed[DETECT_STALL as usize] = false;
+                self.trip(TripRecord {
+                    detector: DETECT_STALL,
+                    cycle: s.cycle,
+                    sample,
+                    window_start_cycle: self.stall_start_cycle,
+                    observed: s.buffered_phits,
+                    bound: u64::from(self.cfg.stall_samples),
+                    router: NO_ROUTER,
+                });
+            }
+        } else {
+            self.stall_run = 0;
+            self.armed[DETECT_STALL as usize] = true;
+        }
+        self.prev_delivered = s.delivered;
+
+        // Windowed ratio detectors evaluate on non-overlapping windows.
+        self.window_fill += 1;
+        if self.window_fill < self.cfg.window {
+            return;
+        }
+        self.window_fill = 0;
+        let d_inj = s.injected - self.base_injected;
+        let d_del = s.delivered - self.base_delivered;
+        let misroutes = s.global_misroutes + s.local_misroutes;
+        let d_mis = misroutes - self.base_misroutes;
+        let window_start_cycle = self.window_start_cycle;
+
+        if d_inj >= self.cfg.min_window_injected {
+            if d_del * 100 < u64::from(self.cfg.collapse_pct) * d_inj {
+                if self.armed[DETECT_COLLAPSE as usize] {
+                    self.armed[DETECT_COLLAPSE as usize] = false;
+                    self.trip(TripRecord {
+                        detector: DETECT_COLLAPSE,
+                        cycle: s.cycle,
+                        sample,
+                        window_start_cycle,
+                        observed: d_del,
+                        bound: d_inj,
+                        router: NO_ROUTER,
+                    });
+                }
+            } else {
+                self.armed[DETECT_COLLAPSE as usize] = true;
+            }
+            if d_mis * 100 > u64::from(self.cfg.misroute_pct) * d_inj {
+                if self.armed[DETECT_STORM as usize] {
+                    self.armed[DETECT_STORM as usize] = false;
+                    self.trip(TripRecord {
+                        detector: DETECT_STORM,
+                        cycle: s.cycle,
+                        sample,
+                        window_start_cycle,
+                        observed: d_mis,
+                        bound: d_inj,
+                        router: NO_ROUTER,
+                    });
+                }
+            } else {
+                self.armed[DETECT_STORM as usize] = true;
+            }
+        } else {
+            // Idle window: no verdicts either way, and tripped ratio
+            // detectors re-arm.
+            self.armed[DETECT_COLLAPSE as usize] = true;
+            self.armed[DETECT_STORM as usize] = true;
+        }
+
+        if let Some(rd) = s.router_delivered {
+            if !rd.is_empty() && rd.len() == self.router_base_delivered.len() {
+                let n = rd.len() as u64;
+                let mut max_delta = 0u64;
+                let mut max_router = NO_ROUTER;
+                let mut total = 0u64;
+                for (r, (&cur, &base)) in rd.iter().zip(&self.router_base_delivered).enumerate() {
+                    let delta = cur - base;
+                    total += delta;
+                    if delta > max_delta {
+                        max_delta = delta;
+                        max_router = r as u32;
+                    }
+                }
+                if total >= self.cfg.min_window_injected
+                    && max_delta * n * 100 > u64::from(self.cfg.skew_pct) * total
+                {
+                    if self.armed[DETECT_SKEW as usize] {
+                        self.armed[DETECT_SKEW as usize] = false;
+                        self.trip(TripRecord {
+                            detector: DETECT_SKEW,
+                            cycle: s.cycle,
+                            sample,
+                            window_start_cycle,
+                            observed: max_delta * n,
+                            bound: total,
+                            router: max_router,
+                        });
+                    }
+                } else {
+                    self.armed[DETECT_SKEW as usize] = true;
+                }
+                self.router_base_delivered.copy_from_slice(rd);
+            }
+        }
+
+        self.base_injected = s.injected;
+        self.base_delivered = s.delivered;
+        self.base_misroutes = misroutes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DetectorConfig {
+        DetectorConfig {
+            window: 2,
+            collapse_pct: 50,
+            min_window_injected: 10,
+            stall_samples: 3,
+            misroute_pct: 60,
+            skew_pct: 300,
+            max_trips: 4,
+        }
+    }
+
+    fn feed(bank: &mut DetectorBank, rows: &[(u64, u64, u64, u64, u64)]) {
+        for &(cycle, injected, delivered, misroutes, buffered) in rows {
+            bank.step(DetectorSample {
+                cycle,
+                injected,
+                delivered,
+                global_misroutes: misroutes,
+                local_misroutes: 0,
+                buffered_phits: buffered,
+                router_delivered: None,
+            });
+        }
+    }
+
+    #[test]
+    fn collapse_trips_once_then_rearms_after_a_clean_window() {
+        let mut bank = DetectorBank::new(&cfg(), 0);
+        feed(
+            &mut bank,
+            &[
+                // Window 1: 20 injected, 4 delivered — 20% < 50% → trip.
+                (0, 10, 2, 0, 0),
+                (4, 20, 4, 0, 0),
+                // Window 2: still collapsed, but the latch holds.
+                (8, 30, 6, 0, 0),
+                (12, 40, 8, 0, 0),
+                // Window 3: healthy → re-arms.
+                (16, 50, 18, 0, 0),
+                (20, 60, 28, 0, 0),
+                // Window 4: collapsed again → second trip.
+                (24, 70, 29, 0, 0),
+                (28, 80, 30, 0, 0),
+            ],
+        );
+        let trips = bank.trips();
+        assert_eq!(trips.len(), 2);
+        assert_eq!(trips[0].detector, DETECT_COLLAPSE);
+        assert_eq!(
+            (trips[0].cycle, trips[0].observed, trips[0].bound),
+            (4, 4, 20)
+        );
+        assert_eq!(trips[0].window_start_cycle, 0);
+        assert_eq!(trips[1].cycle, 28);
+    }
+
+    #[test]
+    fn idle_windows_never_trip_ratio_detectors() {
+        let mut bank = DetectorBank::new(&cfg(), 0);
+        // 4 injected per window, below min_window_injected = 10, all lost.
+        feed(&mut bank, &[(0, 2, 0, 2, 0), (4, 4, 0, 4, 0)]);
+        assert!(bank.trips().is_empty());
+    }
+
+    #[test]
+    fn stall_needs_buffered_phits_and_flat_deliveries() {
+        let mut bank = DetectorBank::new(&cfg(), 0);
+        feed(
+            &mut bank,
+            &[
+                (0, 50, 5, 0, 9),  // delivery count moves here → run starts after
+                (4, 60, 5, 0, 9),  // flat #1
+                (8, 70, 5, 0, 9),  // flat #2
+                (12, 80, 5, 0, 9), // flat #3 → trip
+                (16, 90, 6, 0, 0), // progress resumes → machine resets
+                (20, 99, 6, 0, 0), // flat but nothing buffered → no stall
+            ],
+        );
+        let stalls: Vec<_> = bank
+            .trips()
+            .iter()
+            .filter(|t| t.detector == DETECT_STALL)
+            .collect();
+        assert_eq!(stalls.len(), 1);
+        assert_eq!(stalls[0].cycle, 12);
+        assert_eq!(stalls[0].window_start_cycle, 4);
+        assert_eq!(stalls[0].observed, 9);
+    }
+
+    #[test]
+    fn storm_and_skew_evidence_is_exact() {
+        let mut bank = DetectorBank::new(&cfg(), 4);
+        let step = |bank: &mut DetectorBank, cycle, inj, del, mis, rd: [u64; 4]| {
+            bank.step(DetectorSample {
+                cycle,
+                injected: inj,
+                delivered: del,
+                global_misroutes: mis,
+                local_misroutes: 0,
+                buffered_phits: 0,
+                router_delivered: Some(&rd),
+            });
+        };
+        // Window: 20 injected, 13 misroutes (65% > 60%); router 2 delivers 10
+        // of 12 (skew 10*4*100 = 4000 > 300*12 = 3600).
+        step(&mut bank, 0, 10, 6, 6, [1, 0, 5, 0]);
+        step(&mut bank, 4, 20, 12, 13, [1, 0, 10, 1]);
+        let trips = bank.trips();
+        assert_eq!(trips.len(), 2);
+        assert_eq!(trips[0].detector, DETECT_STORM);
+        assert_eq!((trips[0].observed, trips[0].bound), (13, 20));
+        assert_eq!(trips[1].detector, DETECT_SKEW);
+        assert_eq!((trips[1].observed, trips[1].bound), (40, 12));
+        assert_eq!(trips[1].router, 2);
+    }
+
+    #[test]
+    fn trip_list_is_bounded() {
+        let mut bank = DetectorBank::new(
+            &DetectorConfig {
+                max_trips: 1,
+                ..cfg()
+            },
+            0,
+        );
+        // Alternate collapsed and clean windows so the latch re-arms.
+        let (mut inj, mut del) = (0u64, 0u64);
+        for w in 0..6u64 {
+            let healthy = w % 2 == 1;
+            for half in 0..2u64 {
+                inj += 50;
+                del += if healthy { 48 } else { 5 };
+                feed(&mut bank, &[(w * 8 + half * 4, inj, del, 0, 0)]);
+            }
+        }
+        assert_eq!(bank.trips().len(), 1);
+        assert!(bank.trips_dropped() > 0);
+    }
+
+    #[test]
+    fn disabled_bank_records_nothing() {
+        let mut bank = DetectorBank::new(&DetectorConfig::off(), 0);
+        feed(&mut bank, &[(0, 100, 0, 100, 50); 32]);
+        assert!(bank.trips().is_empty());
+        assert_eq!(bank.trips_dropped(), 0);
+    }
+}

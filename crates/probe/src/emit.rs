@@ -56,7 +56,56 @@ impl ProbeRecorder {
         if self.cfg.heatmap_enabled() {
             emit("heatmap.csv", &|out| self.write_heatmap_csv(out))?;
         }
+        if self.cfg.detect_enabled() {
+            emit("trigger.jsonl", &|out| self.write_trigger_jsonl(out))?;
+            // The black-box bundle slices around the first verdict.
+            if let Some(&first) = self.trips().first() {
+                emit("trigger_series.csv", &|out| {
+                    self.write_bundle_series_csv(out, &first)
+                })?;
+                if self.cfg.flight_enabled() {
+                    emit("trigger_flight.jsonl", &|out| {
+                        self.write_bundle_flight_jsonl(out, &first)
+                    })?;
+                }
+                if self.cfg.heatmap_enabled() {
+                    emit("trigger_heatmap.csv", &|out| {
+                        self.write_bundle_heatmap_csv(out, &first)
+                    })?;
+                }
+            }
+        }
+        if self.cfg.trace {
+            emit("trace.json", &|out| self.write_trace(out))?;
+        }
         emit("diag.csv", &|out| self.write_diag_csv(out))?;
+        Ok(written)
+    }
+
+    /// [`Self::write_all`] plus a `<prefix>_manifest.json` self-description
+    /// listing the written files.  Returns every path written, the manifest
+    /// last.
+    pub fn write_all_with_manifest(
+        &self,
+        dir: &Path,
+        prefix: &str,
+        manifest: &crate::manifest::RunManifest,
+    ) -> io::Result<Vec<PathBuf>> {
+        let mut written = self.write_all(dir, prefix)?;
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| {
+                p.file_name()
+                    .unwrap_or_default()
+                    .to_string_lossy()
+                    .into_owned()
+            })
+            .collect();
+        let path = dir.join(format!("{prefix}_manifest.json"));
+        let mut out = BufWriter::new(File::create(&path)?);
+        out.write_all(manifest.to_json(&self.cfg, &names).as_bytes())?;
+        out.flush()?;
+        written.push(path);
         Ok(written)
     }
 
@@ -218,6 +267,7 @@ mod tests {
             flight_capacity: 8,
             heatmap_window: 8,
             max_windows: 2,
+            ..ProbeConfig::default()
         };
         let mut p = ProbeRecorder::new(cfg, dims);
         p.record_injected(0);
@@ -311,6 +361,87 @@ mod tests {
         );
         for path in &written {
             assert!(path.exists());
+            std::fs::remove_file(path).unwrap();
+        }
+    }
+
+    #[test]
+    fn write_all_with_manifest_emits_active_layer_files() {
+        use crate::detect::DetectorConfig;
+        use crate::manifest::RunManifest;
+
+        let dims = ProbeDims {
+            routers: 1,
+            ports: 1,
+            vcs: 1,
+            link_class: vec![CLASS_TERMINAL],
+        };
+        let cfg = ProbeConfig {
+            stride: 4,
+            max_samples: 16,
+            detect: DetectorConfig {
+                window: 2,
+                min_window_injected: 4,
+                ..DetectorConfig::armed()
+            },
+            trace: true,
+            ..ProbeConfig::full(8)
+        };
+        let mut p = ProbeRecorder::new(cfg.clone(), dims);
+        for i in 0..4u64 {
+            for _ in 0..3 {
+                p.record_injected(0);
+            }
+            p.sample(i * 4, &[0], SampleSnapshot::default());
+        }
+        assert!(!p.trips().is_empty(), "collapse must trip");
+
+        let manifest = RunManifest {
+            schema_version: 1,
+            title: "t".to_string(),
+            h: 2,
+            routing: "olm".to_string(),
+            flow_control: "vct".to_string(),
+            traffic: "un".to_string(),
+            offered_load: 0.2,
+            threshold: 0.45,
+            seed: 1,
+            warmup: 0,
+            measure: 16,
+            drain: 0,
+            peak_in_flight_packets: 0,
+            peak_buffered_phits: 0,
+            peak_vc_occupancy: 0,
+        };
+        let dir = std::env::temp_dir().join("dragonfly_probe_emit_active_test");
+        let written = p.write_all_with_manifest(&dir, "t", &manifest).unwrap();
+        let names: Vec<String> = written
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "t_series.csv",
+                "t_series.jsonl",
+                "t_routers.csv",
+                "t_flight.jsonl",
+                "t_heatmap.csv",
+                "t_trigger.jsonl",
+                "t_trigger_series.csv",
+                "t_trigger_flight.jsonl",
+                "t_trigger_heatmap.csv",
+                "t_trace.json",
+                "t_diag.csv",
+                "t_manifest.json",
+            ]
+        );
+        let text = std::fs::read_to_string(written.last().unwrap()).unwrap();
+        let (m2, p2, files) = RunManifest::from_json(&text).expect("manifest parses");
+        assert_eq!(m2, manifest);
+        assert_eq!(p2, cfg);
+        assert_eq!(files.len(), names.len() - 1, "manifest lists the set");
+        for path in &written {
             std::fs::remove_file(path).unwrap();
         }
     }

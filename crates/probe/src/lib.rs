@@ -40,16 +40,44 @@
 //! record methods only index into it.  Overflow (more samples, events or
 //! windows than configured) *drops and counts* instead of growing, which
 //! keeps `tests/zero_alloc.rs` green with probes enabled.
+//!
+//! # The active layer
+//!
+//! On top of the passive instruments sits an *active diagnostics layer* that
+//! preserves all three invariants above:
+//!
+//! * **online detectors** ([`DetectorBank`]) — four fixed-state anomaly
+//!   machines (throughput collapse, credit stall, misroute storm, fairness
+//!   skew) stepped once per recorded sample.  A sequential engine steps them
+//!   online; a sharded engine defers and replays the identical machine over
+//!   the merged series, which is byte-identical to the sequential stream —
+//!   so the verdicts are too,
+//! * **triggered black-box capture** — when a detector trips, `write_all`
+//!   slices the already-recorded series/flight/heatmap data into a bounded
+//!   diagnostic bundle around the first trip (`*_trigger*` files),
+//! * **trace + manifest export** — detector trips as Chrome
+//!   `trace_event`/Perfetto JSON ([`TraceBuilder`]), and a self-describing
+//!   [`RunManifest`] JSON naming the run and its emitted files.
 
 #![warn(missing_docs)]
 
 mod config;
+mod detect;
 mod emit;
 mod flight;
+mod manifest;
 mod recorder;
+mod trace;
+mod trigger;
 
 pub use config::ProbeConfig;
+pub use detect::{
+    detector_name, DetectorBank, DetectorConfig, DetectorSample, TripRecord, DETECT_COLLAPSE,
+    DETECT_SKEW, DETECT_STALL, DETECT_STORM, NO_ROUTER,
+};
 pub use flight::{flight_hash, FlightEvent, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16};
+pub use manifest::RunManifest;
 pub use recorder::{
     ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL,
 };
+pub use trace::TraceBuilder;

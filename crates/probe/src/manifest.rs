@@ -1,0 +1,299 @@
+//! Self-describing run manifests: one JSON document per probe file set, so
+//! downstream tooling learns what a run was (topology, mechanism, flow
+//! control, seed, probe configuration, peak telemetry, emitted files) without
+//! parsing CSV headers.
+//!
+//! The manifest deliberately records nothing engine-dependent — in
+//! particular, *not* the shard count — so the manifest of a sharded run is
+//! byte-identical to the sequential run's, like every other
+//! determinism-pinned probe file.  The vendored `serde_json` stand-in is
+//! emission-only, so both the writer and the narrow reader here are
+//! hand-rolled; [`RunManifest::from_json`] only parses what
+//! [`RunManifest::to_json`] emits (enough for the CI round-trip check).
+
+use crate::config::ProbeConfig;
+use crate::detect::DetectorConfig;
+
+/// Experiment identity and peak telemetry of one probe file set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Manifest schema version (bump on field changes).
+    pub schema_version: u32,
+    /// The file-set prefix / sweep-point label.
+    pub title: String,
+    /// Dragonfly size parameter `h` (network has `2h(h²+1)` routers... the
+    /// canonical `a = 2h, p = h` balanced configuration).
+    pub h: u64,
+    /// Routing mechanism name (e.g. `olm`).
+    pub routing: String,
+    /// Flow-control discipline name (`vct` / `wormhole`).
+    pub flow_control: String,
+    /// Traffic pattern name (e.g. `advg+1`).
+    pub traffic: String,
+    /// Offered load in phits/node/cycle.
+    pub offered_load: f64,
+    /// Adaptive misrouting threshold.
+    pub threshold: f64,
+    /// RNG seed of the run.
+    pub seed: u64,
+    /// Warmup cycles.
+    pub warmup: u64,
+    /// Measured cycles.
+    pub measure: u64,
+    /// Drain cycles.
+    pub drain: u64,
+    /// Peak packets in flight during the run (0 when the protocol reports no
+    /// peak telemetry, e.g. batch runs).
+    pub peak_in_flight_packets: u64,
+    /// Peak phits buffered in input VCs.
+    pub peak_buffered_phits: u64,
+    /// Peak occupancy of any single VC, in phits.
+    pub peak_vc_occupancy: u64,
+}
+
+/// Minimal JSON string escaping for the few free-text fields.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn unesc(s: &str) -> String {
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+/// Value of `"key": <raw>` in `text`, as the raw token up to the next
+/// delimiter — or, for string values, the whole quoted token (workload and
+/// churn traffic labels legally contain commas and brackets).  Keys are
+/// matched with the leading quote, so nested objects may not reuse a key name
+/// (the manifest schema keeps all keys unique).
+fn raw_field<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    if let Some(body) = rest.strip_prefix('"') {
+        // String value: scan to the closing quote, honoring backslash escapes.
+        let mut escaped = false;
+        for (i, c) in body.char_indices() {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => return Some(&rest[..i + 2]),
+                _ => {}
+            }
+        }
+        return None;
+    }
+    let end = rest.find([',', '}', ']', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn u64_field(text: &str, key: &str) -> Option<u64> {
+    raw_field(text, key)?.parse().ok()
+}
+
+fn f64_field(text: &str, key: &str) -> Option<f64> {
+    raw_field(text, key)?.parse().ok()
+}
+
+fn str_field(text: &str, key: &str) -> Option<String> {
+    let raw = raw_field(text, key)?;
+    Some(unesc(raw.strip_prefix('"')?.strip_suffix('"')?))
+}
+
+impl RunManifest {
+    /// Render the manifest, the probe configuration it was recorded under,
+    /// and the emitted file list as a pretty-printed JSON document.
+    pub fn to_json(&self, probe: &ProbeConfig, files: &[String]) -> String {
+        let mut s = String::with_capacity(1024);
+        let mut line = |indent: usize, text: String| {
+            s.push_str(&" ".repeat(indent));
+            s.push_str(&text);
+            s.push('\n');
+        };
+        line(0, "{".into());
+        line(2, format!("\"schema_version\": {},", self.schema_version));
+        line(2, format!("\"title\": \"{}\",", esc(&self.title)));
+        line(2, "\"experiment\": {".into());
+        line(4, format!("\"h\": {},", self.h));
+        line(4, format!("\"routing\": \"{}\",", esc(&self.routing)));
+        line(
+            4,
+            format!("\"flow_control\": \"{}\",", esc(&self.flow_control)),
+        );
+        line(4, format!("\"traffic\": \"{}\",", esc(&self.traffic)));
+        line(4, format!("\"offered_load\": {},", self.offered_load));
+        line(4, format!("\"threshold\": {},", self.threshold));
+        line(4, format!("\"seed\": {},", self.seed));
+        line(4, format!("\"warmup\": {},", self.warmup));
+        line(4, format!("\"measure\": {},", self.measure));
+        line(4, format!("\"drain\": {}", self.drain));
+        line(2, "},".into());
+        line(2, "\"peaks\": {".into());
+        line(
+            4,
+            format!("\"in_flight_packets\": {},", self.peak_in_flight_packets),
+        );
+        line(
+            4,
+            format!("\"buffered_phits\": {},", self.peak_buffered_phits),
+        );
+        line(4, format!("\"vc_occupancy\": {}", self.peak_vc_occupancy));
+        line(2, "},".into());
+        line(2, "\"probe\": {".into());
+        line(4, format!("\"stride\": {},", probe.stride));
+        line(4, format!("\"max_samples\": {},", probe.max_samples));
+        line(4, format!("\"top_k\": {},", probe.top_k));
+        line(4, format!("\"flight_every\": {},", probe.flight_every));
+        line(
+            4,
+            format!("\"flight_capacity\": {},", probe.flight_capacity),
+        );
+        line(4, format!("\"heatmap_window\": {},", probe.heatmap_window));
+        line(4, format!("\"max_windows\": {},", probe.max_windows));
+        line(4, format!("\"trace\": {},", probe.trace));
+        line(4, "\"detect\": {".into());
+        line(6, format!("\"window\": {},", probe.detect.window));
+        line(
+            6,
+            format!("\"collapse_pct\": {},", probe.detect.collapse_pct),
+        );
+        line(
+            6,
+            format!(
+                "\"min_window_injected\": {},",
+                probe.detect.min_window_injected
+            ),
+        );
+        line(
+            6,
+            format!("\"stall_samples\": {},", probe.detect.stall_samples),
+        );
+        line(
+            6,
+            format!("\"misroute_pct\": {},", probe.detect.misroute_pct),
+        );
+        line(6, format!("\"skew_pct\": {},", probe.detect.skew_pct));
+        line(6, format!("\"max_trips\": {}", probe.detect.max_trips));
+        line(4, "}".into());
+        line(2, "},".into());
+        let list = files
+            .iter()
+            .map(|f| format!("\"{}\"", esc(f)))
+            .collect::<Vec<_>>()
+            .join(", ");
+        line(2, format!("\"files\": [{list}]"));
+        line(0, "}".into());
+        s
+    }
+
+    /// Parse a document emitted by [`Self::to_json`] back into the manifest,
+    /// the probe configuration and the file list.  Returns `None` on any
+    /// missing field.
+    pub fn from_json(text: &str) -> Option<(RunManifest, ProbeConfig, Vec<String>)> {
+        let manifest = RunManifest {
+            schema_version: u64_field(text, "schema_version")? as u32,
+            title: str_field(text, "title")?,
+            h: u64_field(text, "h")?,
+            routing: str_field(text, "routing")?,
+            flow_control: str_field(text, "flow_control")?,
+            traffic: str_field(text, "traffic")?,
+            offered_load: f64_field(text, "offered_load")?,
+            threshold: f64_field(text, "threshold")?,
+            seed: u64_field(text, "seed")?,
+            warmup: u64_field(text, "warmup")?,
+            measure: u64_field(text, "measure")?,
+            drain: u64_field(text, "drain")?,
+            peak_in_flight_packets: u64_field(text, "in_flight_packets")?,
+            peak_buffered_phits: u64_field(text, "buffered_phits")?,
+            peak_vc_occupancy: u64_field(text, "vc_occupancy")?,
+        };
+        let probe = ProbeConfig {
+            stride: u64_field(text, "stride")?,
+            max_samples: u64_field(text, "max_samples")? as usize,
+            top_k: u64_field(text, "top_k")? as usize,
+            flight_every: u64_field(text, "flight_every")?,
+            flight_capacity: u64_field(text, "flight_capacity")? as usize,
+            heatmap_window: u64_field(text, "heatmap_window")?,
+            max_windows: u64_field(text, "max_windows")? as usize,
+            trace: raw_field(text, "trace")? == "true",
+            detect: DetectorConfig {
+                window: u64_field(text, "window")? as u32,
+                collapse_pct: u64_field(text, "collapse_pct")? as u32,
+                min_window_injected: u64_field(text, "min_window_injected")?,
+                stall_samples: u64_field(text, "stall_samples")? as u32,
+                misroute_pct: u64_field(text, "misroute_pct")? as u32,
+                skew_pct: u64_field(text, "skew_pct")? as u32,
+                max_trips: u64_field(text, "max_trips")? as usize,
+            },
+        };
+        let files_at = text.find("\"files\":")? + "\"files\":".len();
+        let rest = &text[files_at..];
+        let open = rest.find('[')?;
+        let close = rest.find(']')?;
+        let files = rest[open + 1..close]
+            .split(',')
+            .map(str::trim)
+            .filter(|f| !f.is_empty())
+            .map(|f| Some(unesc(f.strip_prefix('"')?.strip_suffix('"')?)))
+            .collect::<Option<Vec<String>>>()?;
+        Some((manifest, probe, files))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> RunManifest {
+        RunManifest {
+            schema_version: 1,
+            title: "fig4_5_un_olm_0-25".to_string(),
+            h: 2,
+            routing: "olm".to_string(),
+            flow_control: "vct".to_string(),
+            traffic: "advg+1".to_string(),
+            offered_load: 0.25,
+            threshold: 0.45,
+            seed: 23,
+            warmup: 300,
+            measure: 600,
+            drain: 900,
+            peak_in_flight_packets: 512,
+            peak_buffered_phits: 4096,
+            peak_vc_occupancy: 32,
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let probe = ProbeConfig::full_active(64);
+        let files = vec!["t_series.csv".to_string(), "t_trigger.jsonl".to_string()];
+        let text = manifest().to_json(&probe, &files);
+        let (m2, p2, f2) = RunManifest::from_json(&text).expect("parse own emission");
+        assert_eq!(m2, manifest());
+        assert_eq!(p2, probe);
+        assert_eq!(f2, files);
+    }
+
+    #[test]
+    fn labels_with_commas_brackets_and_quotes_round_trip() {
+        // Workload/churn traffic labels legally contain commas and brackets,
+        // and free-text titles may carry quotes; none of them may confuse the
+        // narrow field parser.
+        let mut m = manifest();
+        m.title = "run \"A\", the one with [brackets]".to_string();
+        m.traffic = "WL[aggressor:ADVG+1@0.24,victim:UN@0.10]".to_string();
+        let text = m.to_json(&ProbeConfig::full_active(64), &["a_series.csv".to_string()]);
+        let (m2, _, f2) = RunManifest::from_json(&text).expect("parse own emission");
+        assert_eq!(m2, m);
+        assert_eq!(f2, vec!["a_series.csv".to_string()]);
+    }
+
+    #[test]
+    fn detectors_off_and_empty_files_round_trip() {
+        let probe = ProbeConfig::default();
+        let text = manifest().to_json(&probe, &[]);
+        let (_, p2, f2) = RunManifest::from_json(&text).unwrap();
+        assert_eq!(p2, probe);
+        assert!(f2.is_empty());
+    }
+}

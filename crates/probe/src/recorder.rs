@@ -1,6 +1,7 @@
 //! The probe recorder: preallocated storage plus the hot-path record methods.
 
 use crate::config::ProbeConfig;
+use crate::detect::{DetectorBank, DetectorSample, TripRecord};
 use crate::flight::{flight_hash, FlightEvent};
 use dragonfly_stats::TimeSeries;
 
@@ -252,6 +253,14 @@ pub struct ProbeRecorder {
     pub(crate) heat_occupancy: Vec<u32>,
     pub(crate) heat_windows: usize,
     pub(crate) heat_dropped: u64,
+
+    // Online detector bank (`None` when `cfg.detect` is off).
+    pub(crate) detect: Option<DetectorBank>,
+    // True on the replicas of a sharded engine: shard-local counter streams
+    // are meaningless to the network-wide detectors, so online stepping is
+    // skipped and [`Self::merge`] recomputes the verdicts by replaying the
+    // merged series instead.
+    pub(crate) detect_deferred: bool,
 }
 
 impl ProbeRecorder {
@@ -307,6 +316,12 @@ impl ProbeRecorder {
             heat_occupancy: vec![0; heat_cells],
             heat_windows: 0,
             heat_dropped: 0,
+            detect: cfg.detect.enabled().then(|| {
+                // The fairness-skew detector replays over the per-router
+                // series, so it arms only when those are recorded.
+                DetectorBank::new(&cfg.detect, if cfg.top_k > 0 { routers } else { 0 })
+            }),
+            detect_deferred: false,
             cfg,
             dims,
         }
@@ -481,6 +496,22 @@ impl ProbeRecorder {
                 self.router_misrouted_series[r].push(self.router_misrouted[r] as f64);
             }
         }
+        // Step the detector bank on exactly the values this sample recorded,
+        // indexed by the sample's canonical cycle — the same stream a replay
+        // over the series reconstructs.
+        if !self.detect_deferred {
+            if let Some(bank) = self.detect.as_mut() {
+                bank.step(DetectorSample {
+                    cycle: self.series.injected.cycle_of(self.samples - 1),
+                    injected: self.injected_total,
+                    delivered: self.delivered_total,
+                    global_misroutes: self.global_mis_total,
+                    local_misroutes: self.local_mis_total,
+                    buffered_phits: snap.buffered_phits,
+                    router_delivered: (self.cfg.top_k > 0).then_some(&self.router_delivered[..]),
+                });
+            }
+        }
     }
 
     /// Number of time-series samples recorded.
@@ -538,6 +569,62 @@ impl ProbeRecorder {
         });
         order.truncate(k);
         order
+    }
+
+    /// Detector verdicts recorded so far (empty when detectors are off, and
+    /// on the replicas of a sharded engine until [`Self::merge`] replays the
+    /// merged series).
+    pub fn trips(&self) -> &[TripRecord] {
+        self.detect.as_ref().map_or(&[], DetectorBank::trips)
+    }
+
+    /// Detector verdicts dropped after the bounded trip list filled.
+    pub fn trips_dropped(&self) -> u64 {
+        self.detect.as_ref().map_or(0, DetectorBank::trips_dropped)
+    }
+
+    /// Skip online detector stepping on this recorder (sharded engines call
+    /// this on every replica: shard-local streams carry partial counts, so
+    /// the verdicts are recomputed from the merged series instead).
+    pub fn defer_detection(&mut self) {
+        self.detect_deferred = true;
+    }
+
+    /// Recompute the detector verdicts by replaying the bank over the
+    /// recorded series.  Because the bank is a pure function of the sample
+    /// stream and merged series are byte-identical to sequential series, the
+    /// replayed trips equal the online trips of an equivalent sequential run
+    /// (pinned by `online_and_replayed_trips_agree` below).
+    pub fn replay_detectors(&mut self) {
+        if self.detect.take().is_none() {
+            return;
+        }
+        let mut bank = DetectorBank::new(
+            &self.cfg.detect,
+            if self.cfg.top_k > 0 {
+                self.dims.routers
+            } else {
+                0
+            },
+        );
+        let mut router_scratch = vec![0u64; self.router_delivered_series.len()];
+        let per_router = !self.router_delivered_series.is_empty();
+        for i in 0..self.samples {
+            for (r, series) in self.router_delivered_series.iter().enumerate() {
+                router_scratch[r] = series.samples()[i] as u64;
+            }
+            bank.step(DetectorSample {
+                cycle: self.series.injected.cycle_of(i),
+                injected: self.series.injected.samples()[i] as u64,
+                delivered: self.series.delivered.samples()[i] as u64,
+                global_misroutes: self.series.global_misroute_decisions.samples()[i] as u64,
+                local_misroutes: self.series.local_misroute_decisions.samples()[i] as u64,
+                buffered_phits: self.series.buffered_phits.samples()[i] as u64,
+                router_delivered: per_router.then_some(&router_scratch[..]),
+            });
+        }
+        self.detect_deferred = false;
+        self.detect = Some(bank);
     }
 
     /// Merge another partition's recorder into this one (element-wise sums,
@@ -617,6 +704,11 @@ impl ProbeRecorder {
         }
         self.heat_windows = self.heat_windows.max(other.heat_windows);
         self.heat_dropped += other.heat_dropped;
+        // Detector verdicts are not summable — they are a nonlinear function
+        // of the global stream — so the merged recorder recomputes them from
+        // the merged series, which this merge just made byte-identical to the
+        // sequential stream.
+        self.replay_detectors();
     }
 }
 
@@ -651,6 +743,7 @@ mod tests {
             flight_capacity: 4,
             heatmap_window: 8,
             max_windows: 2,
+            ..ProbeConfig::default()
         }
     }
 
@@ -778,6 +871,46 @@ mod tests {
         }
         let hits = (0..1000u32).filter(|&s| p.flight_sampled(s, 5)).count();
         assert!(hits > 60 && hits < 250, "{hits} of 1000 sampled at 1/8");
+    }
+
+    #[test]
+    fn online_and_replayed_trips_agree() {
+        let mut p = ProbeRecorder::new(
+            ProbeConfig {
+                detect: crate::detect::DetectorConfig {
+                    window: 2,
+                    min_window_injected: 4,
+                    ..crate::detect::DetectorConfig::armed()
+                },
+                ..cfg()
+            },
+            dims(),
+        );
+        // Inject without delivering: throughput collapse plus a credit stall
+        // (buffered phits, flat deliveries) fire online.
+        for i in 0..8u64 {
+            for _ in 0..3 {
+                p.record_injected((i % 2) as usize);
+            }
+            p.sample(
+                i * 4,
+                &[0; 6],
+                SampleSnapshot {
+                    buffered_phits: 10,
+                    ..SampleSnapshot::default()
+                },
+            );
+        }
+        let online = p.trips().to_vec();
+        assert!(!online.is_empty(), "scenario must trip at least once");
+        p.replay_detectors();
+        assert_eq!(p.trips(), &online[..], "replay must equal online verdicts");
+
+        // A deferred replica records nothing until merge-time replay.
+        let mut deferred = ProbeRecorder::new(p.cfg.clone(), dims());
+        deferred.defer_detection();
+        deferred.sample(0, &[0; 6], SampleSnapshot::default());
+        assert!(deferred.trips().is_empty());
     }
 
     #[test]

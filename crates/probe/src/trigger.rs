@@ -1,0 +1,285 @@
+//! Triggered black-box capture: when a detector trips, the already-recorded
+//! probe data is sliced into a bounded diagnostic bundle around the trip.
+//!
+//! Emission is entirely post-run — the hot path records nothing extra — so
+//! the bundle is a pure function of the trip list and the passive
+//! instruments, all of which are shard-invariant; the bundle files are
+//! therefore byte-identical between sequential and sharded runs by
+//! construction.  Every emitted number is an exact integer.
+//!
+//! The bundle around the *first* trip contains:
+//!
+//! * a time-series slice covering the evaluated window plus one window of
+//!   leading context,
+//! * the flight-recorder events inside that cycle range, filtered to the
+//!   implicated routers (the skew-flagged router, or the top-K busiest
+//!   routers for network-wide verdicts),
+//! * the heatmap windows overlapping the range (when heatmaps are on).
+
+use std::io::{self, Write};
+
+use crate::detect::{detector_name, TripRecord, NO_ROUTER};
+use crate::recorder::ProbeRecorder;
+
+/// JSON fragment for a trip's implicated-router field.
+fn opt_router(router: u32) -> String {
+    if router == NO_ROUTER {
+        "null".to_string()
+    } else {
+        router.to_string()
+    }
+}
+
+impl ProbeRecorder {
+    /// The bundle's cycle range around `trip`: the evaluated window plus one
+    /// extra window of leading context, closed at the trip cycle.
+    pub fn bundle_range(&self, trip: &TripRecord) -> (u64, u64) {
+        let context = u64::from(self.cfg.detect.window) * self.cfg.stride;
+        (trip.window_start_cycle.saturating_sub(context), trip.cycle)
+    }
+
+    /// Routers the bundle's flight slice is filtered to: the skew-implicated
+    /// router when the trip names one, otherwise the top-K busiest routers.
+    /// Deterministic and shard-invariant (both sources are).
+    pub fn implicated_routers(&self, trip: &TripRecord) -> Vec<usize> {
+        if trip.router != NO_ROUTER {
+            vec![trip.router as usize]
+        } else {
+            self.top_routers(self.cfg.top_k.max(1))
+        }
+    }
+
+    /// Every trip as one JSON object per line, with a trailing
+    /// `{"trips":N,"trips_dropped":N}` metadata object.
+    pub fn write_trigger_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        for t in self.trips() {
+            writeln!(
+                out,
+                "{{\"detector\":\"{}\",\"cycle\":{},\"sample\":{},\"window_start\":{},\
+                 \"observed\":{},\"bound\":{},\"router\":{}}}",
+                detector_name(t.detector),
+                t.cycle,
+                t.sample,
+                t.window_start_cycle,
+                t.observed,
+                t.bound,
+                opt_router(t.router),
+            )?;
+        }
+        writeln!(
+            out,
+            "{{\"trips\":{},\"trips_dropped\":{}}}",
+            self.trips().len(),
+            self.trips_dropped()
+        )?;
+        Ok(())
+    }
+
+    /// The time-series slice of the bundle, in the `series.csv` schema.
+    pub fn write_bundle_series_csv(
+        &self,
+        out: &mut impl Write,
+        trip: &TripRecord,
+    ) -> io::Result<()> {
+        let (lo, hi) = self.bundle_range(trip);
+        let columns = self.series.columns();
+        write!(out, "cycle")?;
+        for (name, _) in &columns {
+            write!(out, ",{name}")?;
+        }
+        writeln!(out)?;
+        for i in 0..self.samples {
+            let cycle = self.series.injected.cycle_of(i);
+            if cycle < lo || cycle > hi {
+                continue;
+            }
+            write!(out, "{cycle}")?;
+            for (_, series) in &columns {
+                write!(out, ",{}", series.samples()[i] as u64)?;
+            }
+            writeln!(out)?;
+        }
+        Ok(())
+    }
+
+    /// The flight slice of the bundle: canonical-order events inside the
+    /// bundle range at the implicated routers, with a trailing
+    /// `{"bundle_lo":..,"bundle_hi":..,"events":N}` metadata object.
+    pub fn write_bundle_flight_jsonl(
+        &self,
+        out: &mut impl Write,
+        trip: &TripRecord,
+    ) -> io::Result<()> {
+        let (lo, hi) = self.bundle_range(trip);
+        let implicated = self.implicated_routers(trip);
+        let mut events = 0u64;
+        for e in self.sorted_flight() {
+            if e.cycle < lo || e.cycle > hi || !implicated.contains(&(e.router as usize)) {
+                continue;
+            }
+            events += 1;
+            writeln!(
+                out,
+                "{{\"cycle\":{},\"src\":{},\"gen_cycle\":{},\"dst\":{},\"router\":{}}}",
+                e.cycle, e.src, e.gen_cycle, e.dst, e.router,
+            )?;
+        }
+        writeln!(
+            out,
+            "{{\"bundle_lo\":{lo},\"bundle_hi\":{hi},\"events\":{events}}}"
+        )?;
+        Ok(())
+    }
+
+    /// The heatmap slice of the bundle: the windows overlapping the bundle
+    /// range, in the `heatmap.csv` schema.
+    pub fn write_bundle_heatmap_csv(
+        &self,
+        out: &mut impl Write,
+        trip: &TripRecord,
+    ) -> io::Result<()> {
+        let (lo, hi) = self.bundle_range(trip);
+        writeln!(
+            out,
+            "window_start,router,port,class,vc,phits,credit_stalls,occupancy_phits"
+        )?;
+        let links = self.dims.links();
+        let hw = self.cfg.heatmap_window.max(1);
+        for w in 0..self.heat_windows {
+            let w_start = w as u64 * hw;
+            if w_start > hi || w_start + hw <= lo {
+                continue;
+            }
+            for li in 0..links {
+                for vc in 0..self.dims.vcs {
+                    let cell = (w * links + li) * self.dims.vcs + vc;
+                    let (p, s, o) = (
+                        self.heat_phits[cell],
+                        self.heat_stalls[cell],
+                        self.heat_occupancy[cell],
+                    );
+                    if p == 0 && s == 0 && o == 0 {
+                        continue;
+                    }
+                    writeln!(
+                        out,
+                        "{w_start},{},{},{},{vc},{p},{s},{o}",
+                        li / self.dims.ports,
+                        li % self.dims.ports,
+                        crate::recorder::class_name(self.dims.link_class[li]),
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{DetectorConfig, DETECT_COLLAPSE};
+    use crate::recorder::{ProbeDims, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL};
+    use crate::{FlightEvent, ProbeConfig, FLIGHT_HOP};
+
+    fn tripped_recorder() -> ProbeRecorder {
+        let dims = ProbeDims {
+            routers: 2,
+            ports: 3,
+            vcs: 1,
+            link_class: vec![
+                CLASS_LOCAL,
+                CLASS_GLOBAL,
+                CLASS_TERMINAL,
+                CLASS_LOCAL,
+                CLASS_GLOBAL,
+                CLASS_TERMINAL,
+            ],
+        };
+        let cfg = ProbeConfig {
+            stride: 4,
+            max_samples: 16,
+            top_k: 1,
+            flight_every: 1,
+            flight_capacity: 8,
+            heatmap_window: 8,
+            max_windows: 8,
+            detect: DetectorConfig {
+                window: 2,
+                min_window_injected: 4,
+                ..DetectorConfig::armed()
+            },
+            trace: false,
+        };
+        let mut p = ProbeRecorder::new(cfg, dims);
+        p.record_flight(FlightEvent {
+            cycle: 2,
+            gen_cycle: 1,
+            src: 0,
+            dst: 3,
+            router: 0,
+            port: 1,
+            vc: 0,
+            kind: FLIGHT_HOP,
+            class: CLASS_GLOBAL,
+            nonminimal: 0,
+        });
+        p.record_link_phit(2, 1, 0);
+        p.record_link_phit(70, 1, 0); // outside the bundle of an early trip
+        for i in 0..4u64 {
+            for _ in 0..3 {
+                p.record_injected(0);
+            }
+            p.sample(i * 4, &[0; 6], SampleSnapshot::default());
+        }
+        p
+    }
+
+    #[test]
+    fn trigger_and_bundle_slices() {
+        let p = tripped_recorder();
+        let trips = p.trips();
+        assert!(!trips.is_empty());
+        let first = trips[0];
+        assert_eq!(first.detector, DETECT_COLLAPSE);
+        assert_eq!(first.cycle, 4);
+
+        let mut buf = Vec::new();
+        p.write_trigger_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.starts_with("{\"detector\":\"throughput_collapse\",\"cycle\":4,"),
+            "{text}"
+        );
+        assert!(text.contains("\"router\":null"), "{text}");
+        assert!(text.trim_end().ends_with("\"trips_dropped\":0}"), "{text}");
+
+        // Series slice: trip at cycle 4, window start 0, one window of
+        // context → cycles 0 and 4 only.
+        let mut buf = Vec::new();
+        p.write_bundle_series_csv(&mut buf, &first).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        assert!(text.contains("\n0,") && text.contains("\n4,"), "{text}");
+
+        // Flight slice: the cycle-2 hop at router 0 is implicated (router 0
+        // is the only active router, hence top-1).
+        let mut buf = Vec::new();
+        p.write_bundle_flight_jsonl(&mut buf, &first).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"cycle\":2,"), "{text}");
+        assert!(
+            text.trim_end()
+                .ends_with("{\"bundle_lo\":0,\"bundle_hi\":4,\"events\":1}"),
+            "{text}"
+        );
+
+        // Heatmap slice: window 0 overlaps [0, 4]; window 8 (cycle 70) does
+        // not appear.
+        let mut buf = Vec::new();
+        p.write_bundle_heatmap_csv(&mut buf, &first).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2, "{text}");
+        assert!(text.contains("\n0,0,1,global,0,1,0,0"), "{text}");
+    }
+}

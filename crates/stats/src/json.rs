@@ -190,9 +190,234 @@ impl ToJson for WorkloadReport {
     }
 }
 
+/// Validate that `text` is one syntactically well-formed JSON document
+/// (RFC 8259 grammar), returning the error position on failure.
+///
+/// The vendored `serde_json` stand-in is emission-only, so this
+/// recursive-descent checker is the read-side complement: CI uses it to prove
+/// the hand-rolled emitters (probe manifests, Perfetto traces, report JSON)
+/// produce output a real JSON parser would accept.  It checks syntax only —
+/// no value tree is built, so arbitrarily large documents validate in one
+/// pass with O(depth) stack.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    validate_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_JSON_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn validate_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_JSON_DEPTH {
+        return Err(format!(
+            "nesting deeper than {MAX_JSON_DEPTH} at byte {pos}"
+        ));
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => validate_object(bytes, pos, depth),
+        Some(b'[') => validate_array(bytes, pos, depth),
+        Some(b'"') => validate_string(bytes, pos),
+        Some(b't') => validate_literal(bytes, pos, b"true"),
+        Some(b'f') => validate_literal(bytes, pos, b"false"),
+        Some(b'n') => validate_literal(bytes, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => validate_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {c:#04x} at {pos}")),
+        None => Err("unexpected end of document".to_string()),
+    }
+}
+
+fn validate_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key string at byte {pos}"));
+        }
+        validate_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}"));
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        validate_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn validate_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        validate_value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn validate_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening '"'
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !bytes.get(*pos + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!("bad \\u escape at byte {pos}"));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("unescaped control byte at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn validate_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn validate_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    // Integer part: a single 0, or a nonzero digit followed by digits.
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("bad number at byte {start}")),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad fraction at byte {pos}"));
+        }
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            return Err(format!("bad exponent at byte {pos}"));
+        }
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_json_accepts_well_formed_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e+10",
+            "\"esc \\u00e9 \\n\"",
+            "{\"a\": [1, 2.5, true, false, null], \"b\": {\"c\": \"d\"}}",
+            " { \"nested\" : [ { } , [ ] ] } \n",
+        ] {
+            assert!(validate_json(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn validate_json_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "[1 2]",
+            "{'a': 1}",
+            "nul",
+            "01",
+            "1.",
+            "1e",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "{} trailing",
+            "\"\u{1}\"",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn validate_json_accepts_the_report_emitters() {
+        let mut ts = TimeSeries::new(64);
+        ts.push(1.0);
+        ts.push(2.0);
+        assert_eq!(validate_json(&ts.to_json().dump()), Ok(()));
+    }
 
     #[test]
     fn time_series_round_trips_through_json() {

@@ -26,7 +26,7 @@ mod workload_report;
 pub use exact::ExactStats;
 pub use histogram::Histogram;
 #[cfg(feature = "json")]
-pub use json::time_series_from_json;
+pub use json::{time_series_from_json, validate_json};
 pub use report::{BatchReport, SimReport};
 pub use running::RunningStats;
 pub use scoped::ScopedStats;

@@ -15,8 +15,17 @@
 //! Defaults to the paper-scale h = 8 machine with deliberately short windows
 //! (the profile measures the cycle loop, not steady-state convergence);
 //! `results/probe_phase_profile.md` records a run of this example.
+//!
+//! Besides the textual breakdown, the run is exported as a Perfetto-openable
+//! trace (`results/phase_profile_trace.json`): one process per engine, one
+//! thread per shard, phase spans laid end to end plus each shard's barrier
+//! wait.  This is the one *wall-clock* trace producer — deliberately an
+//! example-level export, never part of `ProbeRecorder::write_all`, because
+//! wall time is engine-dependent and would break the sequential-vs-sharded
+//! byte-identity guarantee of the probe file set.
 
 use dragonfly::core::{ExperimentSpec, RoutingKind, TrafficKind};
+use dragonfly::probe::TraceBuilder;
 use dragonfly::routing::{AdaptiveParams, Olm};
 use dragonfly::shard::{ShardPlan, ShardedSimulation};
 use dragonfly::sim::{PhaseProfile, Simulation};
@@ -106,5 +115,47 @@ fn main() {
         "sharded whole run {:>7.1} ms wall ({:.2}x vs sequential, reports byte-identical)",
         shard_wall.as_secs_f64() * 1e3,
         seq_wall.as_secs_f64() / shard_wall.as_secs_f64()
+    );
+
+    // Perfetto export: aggregate phase times as end-to-end spans (µs), one
+    // trace process per engine, one thread per shard, barrier wait appended
+    // after each shard's phases.
+    let mut tb = TraceBuilder::new();
+    tb.name_process(0, "sequential engine");
+    tb.name_thread(0, 0, "cycle loop");
+    let mut ts = 0.0;
+    for (name, nanos) in sim.network().phase_profile().rows() {
+        let dur = nanos as f64 / 1e3;
+        tb.span(name, 0, 0, ts, dur, &[("nanos", nanos.to_string())]);
+        ts += dur;
+    }
+    tb.name_process(1, "sharded engine");
+    for s in 0..shards {
+        let tid = s as u32;
+        tb.name_thread(1, tid, &format!("shard {s}/{shards}"));
+        let mut ts = 0.0;
+        for (name, nanos) in sharded.phase_profile(s).rows() {
+            let dur = nanos as f64 / 1e3;
+            tb.span(name, 1, tid, ts, dur, &[("nanos", nanos.to_string())]);
+            ts += dur;
+        }
+        let wait = sharded.barrier_wait_nanos(s);
+        tb.span(
+            "barrier wait",
+            1,
+            tid,
+            ts,
+            wait as f64 / 1e3,
+            &[("nanos", wait.to_string())],
+        );
+    }
+    let out = std::path::Path::new("results");
+    std::fs::create_dir_all(out).expect("cannot create results/");
+    let trace_path = out.join("phase_profile_trace.json");
+    std::fs::write(&trace_path, tb.render()).expect("trace write failed");
+    println!(
+        "wrote {} ({} events — open at ui.perfetto.dev)",
+        trace_path.display(),
+        tb.len()
     );
 }

@@ -13,8 +13,10 @@
 //!    buffered-phit peak, the busiest routers, and one sampled packet's full
 //!    flight through the network,
 //! 3. writes the probe file set to `results/probe_study/` and re-parses the
-//!    emitted CSV/JSONL to locate the hottest (link, VC) heatmap cell —
-//!    doubling as an end-to-end check that the files are well-formed.
+//!    emitted CSV/JSONL — locating the hottest (link, VC) heatmap cell and
+//!    checking the engine diagnostics columns (arena growth, ring high-water
+//!    marks, active-set populations) — doubling as an end-to-end check that
+//!    the files are well-formed.
 //!
 //! CI runs this example as the probe smoke test.
 
@@ -138,6 +140,29 @@ fn main() {
     assert_eq!(lines.len(), flight.len() + 1);
     assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
     assert!(lines.last().unwrap().starts_with("{\"flight_dropped\":"));
+
+    // Parse back the engine diagnostics CSV: the full post-fabric column set
+    // (arena growth, ring high-water marks, and the PR-8 active-set
+    // populations), with a live network necessarily driving both active sets.
+    let diag_csv = std::fs::read_to_string(out.join("probe_study_diag.csv")).unwrap();
+    let mut diag_rows = diag_csv.lines();
+    assert_eq!(
+        diag_rows.next().expect("diag CSV is empty"),
+        "cycle,arena_grows,phit_ring_high_water,credit_ring_high_water,active_links,active_routers",
+        "diag CSV header drifted from the documented schema"
+    );
+    let (mut peak_links, mut peak_routers) = (0u64, 0u64);
+    for row in diag_rows {
+        let f: Vec<&str> = row.split(',').collect();
+        assert_eq!(f.len(), 6, "malformed diag row: {row}");
+        peak_links = peak_links.max(f[4].parse().expect("malformed active_links"));
+        peak_routers = peak_routers.max(f[5].parse().expect("malformed active_routers"));
+    }
+    assert!(
+        peak_links > 0 && peak_routers > 0,
+        "a loaded run must populate the link and router active sets"
+    );
+    println!("active-set peaks: {peak_links} links, {peak_routers} routers");
 
     // Parse back the heatmap CSV and locate the hottest (link, VC) cell.
     let heatmap_csv = std::fs::read_to_string(out.join("probe_study_heatmap.csv")).unwrap();

@@ -38,6 +38,12 @@ fn full_probes() -> ProbeConfig {
     ProbeConfig::full(64)
 }
 
+/// Every instrument on **plus** the armed anomaly detectors and the trace
+/// export — the active layer on top of the passive recorder.
+fn active_probes() -> ProbeConfig {
+    ProbeConfig::full_active(64)
+}
+
 #[test]
 fn probes_never_perturb_any_mechanism_or_flow_control() {
     for fc in [FlowControlKind::Vct, FlowControlKind::Wormhole] {
@@ -174,6 +180,83 @@ fn probe_files_are_byte_identical_across_shard_counts() {
             sequential.len(),
             "{shards} shards: pinned file set diverged"
         );
+        for ((name, bytes), (seq_name, seq_bytes)) in sharded.iter().zip(&sequential) {
+            assert_eq!(name, seq_name);
+            assert_eq!(
+                bytes, seq_bytes,
+                "{shards} shards: {name} is not byte-identical to the sequential run"
+            );
+        }
+    }
+}
+
+#[test]
+fn detectors_never_perturb_the_report() {
+    // Armed detectors (and the trace export) ride the same read-only hooks as
+    // the passive instruments: every report field must stay byte-identical.
+    for routing in [RoutingKind::Minimal, RoutingKind::Olm, RoutingKind::Rlm] {
+        let spec = steady_spec(routing, FlowControlKind::Vct);
+        let plain = spec.run();
+        let (probed, probe) = spec.run_probed(active_probes());
+        assert_eq!(
+            probed, plain,
+            "{routing:?}: armed detectors perturbed the report"
+        );
+        assert!(probe.samples() > 0);
+    }
+}
+
+/// A scenario engineered to trip the detectors: ADVG+1 at a saturating load
+/// collapses minimal routing's delivered/injected ratio, and the collapse
+/// threshold is set so high that any deficit at all trips it.
+fn anomalous_spec() -> (ExperimentSpec, ProbeConfig) {
+    let mut spec = steady_spec(RoutingKind::Minimal, FlowControlKind::Vct);
+    spec.offered_load = 0.8;
+    let mut probes = active_probes();
+    probes.detect.window = 4;
+    probes.detect.collapse_pct = 100;
+    probes.detect.min_window_injected = 16;
+    (spec, probes)
+}
+
+#[test]
+fn trigger_bundle_and_manifest_are_byte_identical_across_shard_counts() {
+    let (spec, probes) = anomalous_spec();
+    let (report, probe) = spec.run_probed(probes.clone());
+    assert!(
+        !probe.trips().is_empty(),
+        "the forced-anomaly scenario must trip at least one detector, or this \
+         pin is vacuous"
+    );
+    let manifest = spec.manifest_with_report("anomaly", &report);
+    let seq_dir = scratch("anomaly_seq");
+    probe
+        .write_all_with_manifest(&seq_dir, "anomaly", &manifest)
+        .unwrap();
+    let (sequential, _) = read_outputs(&seq_dir);
+    for required in [
+        "anomaly_trigger.jsonl",
+        "anomaly_trigger_series.csv",
+        "anomaly_trigger_flight.jsonl",
+        "anomaly_trigger_heatmap.csv",
+        "anomaly_trace.json",
+        "anomaly_manifest.json",
+    ] {
+        assert!(
+            sequential.iter().any(|(n, _)| n == required),
+            "{required} missing from the trigger bundle"
+        );
+    }
+
+    for shards in [2, 4] {
+        let (sharded_report, probe) = spec.run_probed_sharded(probes.clone(), shards);
+        assert_eq!(sharded_report, report, "{shards} shards: report diverged");
+        let dir = scratch(&format!("anomaly_shards{shards}"));
+        probe
+            .write_all_with_manifest(&dir, "anomaly", &manifest)
+            .unwrap();
+        let (sharded, _) = read_outputs(&dir);
+        assert_eq!(sharded.len(), sequential.len());
         for ((name, bytes), (seq_name, seq_bytes)) in sharded.iter().zip(&sequential) {
             assert_eq!(name, seq_name);
             assert_eq!(

@@ -14,9 +14,10 @@
 //! by design, which is a property of the load, not of the cycle loop.
 //!
 //! Probes are installed with every instrument enabled (stride-64 time series,
-//! flight recorder, heatmaps): all probe storage is reserved at installation
-//! and overflow drops-and-counts, so the observability layer must not cost a
-//! single allocation on the hot path either.
+//! flight recorder, heatmaps) **and every anomaly detector armed**: all probe
+//! storage — including the detector bank's trip list — is reserved at
+//! installation and overflow drops-and-counts, so the observability layer must
+//! not cost a single allocation on the hot path either.
 //!
 //! The counting allocator is process-global, so this file deliberately holds a
 //! SINGLE test function: a second test running in parallel would pollute the
@@ -85,9 +86,10 @@ fn steady_state_cycle_loop_is_allocation_free() {
             spec.traffic = TrafficKind::Uniform;
             spec.seed = 42;
             let mut sim = spec.build_simulation();
-            // Every probe instrument on: the observability layer must be
-            // allocation-free too (storage reserved here, before warm-up).
-            sim.install_probes(ProbeConfig::full(64));
+            // Every probe instrument on and the detectors armed: the active
+            // observability layer must be allocation-free too (storage
+            // reserved here, before warm-up).
+            sim.install_probes(ProbeConfig::full_active(64));
             sim.network_mut()
                 .set_injection(Some(BernoulliInjection::new(0.1, fc.packet_size())));
 
@@ -138,7 +140,7 @@ fn per_phase_attribution() {
     spec.traffic = TrafficKind::Uniform;
     spec.seed = 42;
     let mut sim = spec.build_simulation();
-    sim.install_probes(ProbeConfig::full(64));
+    sim.install_probes(ProbeConfig::full_active(64));
     sim.network_mut()
         .set_injection(Some(BernoulliInjection::new(
             0.1,
