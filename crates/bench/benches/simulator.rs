@@ -76,6 +76,22 @@ fn bench_cycle_rate(c: &mut Criterion) {
             b.iter(|| sim.run_cycles(100));
         },
     );
+    // And the full instrument set plus the delay-attribution ledger — paired
+    // with `vct_load0.2_probed`, this pins the ledger's fold cost (six
+    // histogram increments per delivered packet; the engine-side stamps are
+    // unconditional and already inside every point above).
+    let mut sim = prepared_simulation(FlowControlKind::Vct, 0.2);
+    sim.install_probes(dragonfly_core::ProbeConfig {
+        delay: true,
+        ..dragonfly_core::ProbeConfig::full(64)
+    });
+    group.bench_with_input(
+        BenchmarkId::new("run_100_cycles", "vct_load0.2_delay"),
+        &(),
+        |b, _| {
+            b.iter(|| sim.run_cycles(100));
+        },
+    );
     group.finish();
 }
 

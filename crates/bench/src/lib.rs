@@ -42,6 +42,9 @@
 //!                            --probe-detect)
 //! --probe-trace    export detector trips as Chrome trace_event / Perfetto JSON
 //!                  (<prefix>_trace.json; implies --probe)
+//! --probe-delay    fold every delivered packet's delay decomposition into the
+//!                  per-component ledger and emit <prefix>_delay.csv/.jsonl
+//!                  (implies --probe)
 //! ```
 //!
 //! Every sweep executes through [`dragonfly_core::SweepRunner`] (built by
@@ -218,6 +221,9 @@ impl HarnessArgs {
                 "--probe-trace" => {
                     out.probe.get_or_insert_with(ProbeConfig::default).trace = true;
                 }
+                "--probe-delay" => {
+                    out.probe.get_or_insert_with(ProbeConfig::default).delay = true;
+                }
                 "--out" => out.out_dir = PathBuf::from(value(&mut i)?),
                 "--json" => out.json_out = Some(PathBuf::from(value(&mut i)?)),
                 "--pattern" => out.pattern = value(&mut i)?,
@@ -355,7 +361,8 @@ fn usage() -> String {
      [--loads a,b,c] [--pattern P] [--json FILE (churn_sweep, shard_scaling)] \
      [--probe] [--probe-stride N] [--probe-flight N] [--probe-heatmap N] \
      [--probe-top N] [--probe-detect] [--probe-detect-window N] \
-     [--probe-detect-collapse PCT] [--probe-detect-stall N] [--probe-trace]"
+     [--probe-detect-collapse PCT] [--probe-detect-stall N] [--probe-trace] \
+     [--probe-delay]"
         .to_string()
 }
 
@@ -662,6 +669,20 @@ mod tests {
         assert!(tuned.detect_enabled());
         // A zero window is rejected at parse time.
         assert!(HarnessArgs::parse_from(["--probe-detect-window", "0"]).is_err());
+    }
+
+    #[test]
+    fn parse_delay_flag() {
+        // --probe alone leaves the delay ledger off.
+        let plain = HarnessArgs::parse_from(["--probe"]).unwrap().probe.unwrap();
+        assert!(!plain.delay_enabled());
+        // --probe-delay implies --probe and composes with other knobs.
+        let delayed = HarnessArgs::parse_from(["--probe-delay", "--probe-stride", "32"])
+            .unwrap()
+            .probe
+            .unwrap();
+        assert!(delayed.delay_enabled());
+        assert_eq!(delayed.stride, 32);
     }
 
     #[test]

@@ -4,9 +4,7 @@
 
 #![cfg(feature = "json")]
 
-use dragonfly_core::{
-    ExperimentSpec, ProbeConfig, RoutingKind, RunManifest, TrafficKind,
-};
+use dragonfly_core::{ExperimentSpec, ProbeConfig, RoutingKind, RunManifest, TrafficKind};
 use dragonfly_stats::validate_json;
 
 /// Minimal routing under saturating ADVG+1 with a 100 % collapse threshold:

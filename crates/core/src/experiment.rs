@@ -1,6 +1,6 @@
 //! Single-experiment specification and execution.
 
-use dragonfly_probe::{ProbeConfig, ProbeRecorder, RunManifest};
+use dragonfly_probe::{ProbeConfig, ProbeRecorder, RunManifest, MANIFEST_SCHEMA_VERSION};
 use dragonfly_routing::{AdaptiveParams, RoutingKind, RoutingVisitor};
 use dragonfly_sched::Trace;
 use dragonfly_sim::{RoutingAlgorithm, SimConfig, Simulation};
@@ -490,7 +490,7 @@ impl ExperimentSpec {
     /// [`SimReport`] is at hand.
     pub fn manifest(&self, title: &str) -> RunManifest {
         RunManifest {
-            schema_version: 1,
+            schema_version: MANIFEST_SCHEMA_VERSION,
             title: title.to_string(),
             h: self.h as u64,
             routing: self.routing.name().to_string(),

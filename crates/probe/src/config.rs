@@ -38,6 +38,10 @@ pub struct ProbeConfig {
     /// Emit a Chrome `trace_event` / Perfetto JSON file (detector trips on a
     /// cycle-as-microsecond timebase) next to the other probe files.
     pub trace: bool,
+    /// Fold every delivered packet's delay decomposition into the per-component
+    /// ledger and emit `*_delay.csv`/`*_delay.jsonl` (exact, not sampled; off
+    /// by default — the stamps themselves are always captured by the engine).
+    pub delay: bool,
 }
 
 impl Default for ProbeConfig {
@@ -52,6 +56,7 @@ impl Default for ProbeConfig {
             max_windows: 64,
             detect: DetectorConfig::off(),
             trace: false,
+            delay: false,
         }
     }
 }
@@ -96,6 +101,12 @@ impl ProbeConfig {
         self.flight_every > 0
     }
 
+    /// True when the per-packet delay ledger folds deliveries.
+    #[inline]
+    pub fn delay_enabled(&self) -> bool {
+        self.delay
+    }
+
     /// Panics on nonsensical values (a zero stride).
     pub fn validate(&self) {
         assert!(self.stride >= 1, "probe stride must be at least 1 cycle");
@@ -113,6 +124,7 @@ mod tests {
         assert!(!cfg.heatmap_enabled());
         assert!(cfg.flight_enabled());
         assert!(!cfg.detect_enabled());
+        assert!(!cfg.delay_enabled(), "the delay ledger is opt-in");
         assert!(ProbeConfig::full(1024).heatmap_enabled());
         let active = ProbeConfig::full_active(1024);
         assert!(active.heatmap_enabled() && active.detect_enabled() && active.trace);

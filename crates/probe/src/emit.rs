@@ -56,6 +56,10 @@ impl ProbeRecorder {
         if self.cfg.heatmap_enabled() {
             emit("heatmap.csv", &|out| self.write_heatmap_csv(out))?;
         }
+        if self.cfg.delay_enabled() {
+            emit("delay.csv", &|out| self.write_delay_csv(out))?;
+            emit("delay.jsonl", &|out| self.write_delay_jsonl(out))?;
+        }
         if self.cfg.detect_enabled() {
             emit("trigger.jsonl", &|out| self.write_trigger_jsonl(out))?;
             // The black-box bundle slices around the first verdict.
@@ -71,6 +75,11 @@ impl ProbeRecorder {
                 if self.cfg.heatmap_enabled() {
                     emit("trigger_heatmap.csv", &|out| {
                         self.write_bundle_heatmap_csv(out, &first)
+                    })?;
+                }
+                if self.cfg.delay_enabled() {
+                    emit("trigger_delay.csv", &|out| {
+                        self.write_bundle_delay_csv(out, &first)
                     })?;
                 }
             }
@@ -225,6 +234,28 @@ impl ProbeRecorder {
         Ok(())
     }
 
+    /// The delay-attribution ledger as a CSV table, one row per
+    /// (scope, component).
+    pub fn write_delay_csv(&self, out: &mut impl Write) -> io::Result<()> {
+        let ledger = self.ledger.as_ref().expect("delay ledger enabled");
+        writeln!(out, "{}", crate::delay::DelayLedger::CSV_HEADER)?;
+        for row in ledger.rows() {
+            writeln!(out, "{}", row.csv())?;
+        }
+        Ok(())
+    }
+
+    /// The delay-attribution ledger as JSONL: one object per row, then a
+    /// trailing metadata object with the folded / violation / dropped counts.
+    pub fn write_delay_jsonl(&self, out: &mut impl Write) -> io::Result<()> {
+        let ledger = self.ledger.as_ref().expect("delay ledger enabled");
+        for row in ledger.rows() {
+            writeln!(out, "{}", row.json())?;
+        }
+        writeln!(out, "{}", ledger.meta_json())?;
+        Ok(())
+    }
+
     /// The engine-dependent diagnostic series (arena growth, ring high-water
     /// marks).  Not covered by the sequential-vs-sharded byte-identity
     /// guarantee — see the module docs.
@@ -250,7 +281,7 @@ impl ProbeRecorder {
 mod tests {
     use super::*;
     use crate::recorder::{ProbeDims, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL};
-    use crate::{FlightEvent, ProbeConfig, FLIGHT_HOP};
+    use crate::{DelaySample, FlightEvent, ProbeConfig, DELAY_UNTAGGED, FLIGHT_HOP};
 
     fn recorder() -> ProbeRecorder {
         let dims = ProbeDims {
@@ -267,6 +298,7 @@ mod tests {
             flight_capacity: 8,
             heatmap_window: 8,
             max_windows: 2,
+            delay: true,
             ..ProbeConfig::default()
         };
         let mut p = ProbeRecorder::new(cfg, dims);
@@ -284,6 +316,15 @@ mod tests {
             nonminimal: 1,
         });
         p.record_link_phit(2, 1, 0);
+        p.record_delay(
+            &DelaySample {
+                components: [1, 0, 0, 2, 0, 1],
+                misrouted: false,
+                job: DELAY_UNTAGGED,
+                phase: DELAY_UNTAGGED,
+            },
+            4,
+        );
         p.sample(0, &[1, 2, 3], SampleSnapshot::default());
         p
     }
@@ -324,6 +365,29 @@ mod tests {
              0,0,1,global,0,1,0,0\n"
         );
 
+        let mut delay = Vec::new();
+        p.write_delay_csv(&mut delay).unwrap();
+        let text = String::from_utf8(delay).unwrap();
+        assert!(
+            text.starts_with("scope,component,packets,cycles,p50,p95,p99\n"),
+            "{text}"
+        );
+        // One minimal packet [1,0,0,2,0,1]: net and minimal rows agree,
+        // the misrouted scope is empty and skipped.
+        assert!(text.contains("net,injection_queue,1,1,2,2,2"), "{text}");
+        assert!(text.contains("minimal,link_transit,1,2,3,3,3"), "{text}");
+        assert!(!text.contains("misrouted,"), "{text}");
+
+        let mut delay_jsonl = Vec::new();
+        p.write_delay_jsonl(&mut delay_jsonl).unwrap();
+        let text = String::from_utf8(delay_jsonl).unwrap();
+        assert!(
+            text.trim_end().ends_with(
+                "{\"delay_folded\":1,\"conservation_violations\":0,\"scope_dropped\":0}"
+            ),
+            "{text}"
+        );
+
         let mut routers = Vec::new();
         p.write_router_series_csv(&mut routers).unwrap();
         let text = String::from_utf8(routers).unwrap();
@@ -356,6 +420,8 @@ mod tests {
                 "t_routers.csv",
                 "t_flight.jsonl",
                 "t_heatmap.csv",
+                "t_delay.csv",
+                "t_delay.jsonl",
                 "t_diag.csv"
             ]
         );
@@ -385,6 +451,7 @@ mod tests {
                 ..DetectorConfig::armed()
             },
             trace: true,
+            delay: true,
             ..ProbeConfig::full(8)
         };
         let mut p = ProbeRecorder::new(cfg.clone(), dims);
@@ -397,7 +464,7 @@ mod tests {
         assert!(!p.trips().is_empty(), "collapse must trip");
 
         let manifest = RunManifest {
-            schema_version: 1,
+            schema_version: crate::manifest::MANIFEST_SCHEMA_VERSION,
             title: "t".to_string(),
             h: 2,
             routing: "olm".to_string(),
@@ -427,10 +494,13 @@ mod tests {
                 "t_routers.csv",
                 "t_flight.jsonl",
                 "t_heatmap.csv",
+                "t_delay.csv",
+                "t_delay.jsonl",
                 "t_trigger.jsonl",
                 "t_trigger_series.csv",
                 "t_trigger_flight.jsonl",
                 "t_trigger_heatmap.csv",
+                "t_trigger_delay.csv",
                 "t_trace.json",
                 "t_diag.csv",
                 "t_manifest.json",

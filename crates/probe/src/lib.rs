@@ -6,7 +6,7 @@
 //! never perturbs a run: reports with probes on are byte-identical to reports
 //! with probes off (pinned by `tests/probe_invariance.rs`).
 //!
-//! Four instruments share one [`ProbeConfig`]:
+//! Five instruments share one [`ProbeConfig`]:
 //!
 //! * **time series** — network-wide counters (injected / delivered packets,
 //!   misroute decisions, buffered phits, per-class link phits, Piggybacking
@@ -22,7 +22,13 @@
 //!   ring high-water marks) that are deliberately *excluded* from the
 //!   byte-identity guarantee (a sharded engine drains its boundary rings every
 //!   cycle, so its high-water marks legitimately differ from the sequential
-//!   engine's).
+//!   engine's),
+//! * **delay attribution** ([`DelayLedger`]) — an exact (not sampled)
+//!   per-packet latency decomposition: the engine stamps component boundaries
+//!   on every packet, and on delivery the completed split (injection queue /
+//!   VC wait / credit wait / link transit / detour / serialization) folds into
+//!   per-component histograms whose integer sum equals the end-to-end latency
+//!   for every packet (the conservation invariant).
 //!
 //! # Determinism
 //!
@@ -62,6 +68,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod delay;
 mod detect;
 mod emit;
 mod flight;
@@ -71,12 +78,16 @@ mod trace;
 mod trigger;
 
 pub use config::ProbeConfig;
+pub use delay::{
+    ClassLedger, DelayLedger, DelayRow, DelaySample, DELAY_COMPONENTS, DELAY_COMPONENT_NAMES,
+    DELAY_UNTAGGED,
+};
 pub use detect::{
     detector_name, DetectorBank, DetectorConfig, DetectorSample, TripRecord, DETECT_COLLAPSE,
     DETECT_SKEW, DETECT_STALL, DETECT_STORM, NO_ROUTER,
 };
 pub use flight::{flight_hash, FlightEvent, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16};
-pub use manifest::RunManifest;
+pub use manifest::{RunManifest, MANIFEST_SCHEMA_VERSION};
 pub use recorder::{
     ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL, CLASS_TERMINAL,
 };

@@ -14,10 +14,19 @@
 use crate::config::ProbeConfig;
 use crate::detect::DetectorConfig;
 
+/// Current manifest schema version.  History:
+///
+/// * **1** — initial schema (no `delay` key in the probe section),
+/// * **2** — adds the boolean `"delay"` probe key (the per-packet delay
+///   ledger).  [`RunManifest::from_json`] still reads version-1 documents;
+///   a missing `delay` key parses as `false`.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+
 /// Experiment identity and peak telemetry of one probe file set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
-    /// Manifest schema version (bump on field changes).
+    /// Manifest schema version (bump on field changes; see
+    /// [`MANIFEST_SCHEMA_VERSION`]).
     pub schema_version: u32,
     /// The file-set prefix / sweep-point label.
     pub title: String,
@@ -150,6 +159,7 @@ impl RunManifest {
         line(4, format!("\"heatmap_window\": {},", probe.heatmap_window));
         line(4, format!("\"max_windows\": {},", probe.max_windows));
         line(4, format!("\"trace\": {},", probe.trace));
+        line(4, format!("\"delay\": {},", probe.delay));
         line(4, "\"detect\": {".into());
         line(6, format!("\"window\": {},", probe.detect.window));
         line(
@@ -215,6 +225,9 @@ impl RunManifest {
             heatmap_window: u64_field(text, "heatmap_window")?,
             max_windows: u64_field(text, "max_windows")? as usize,
             trace: raw_field(text, "trace")? == "true",
+            // Version tolerance: schema-1 manifests predate the delay ledger,
+            // so a missing key means the ledger was off.
+            delay: raw_field(text, "delay").is_some_and(|r| r == "true"),
             detect: DetectorConfig {
                 window: u64_field(text, "window")? as u32,
                 collapse_pct: u64_field(text, "collapse_pct")? as u32,
@@ -245,7 +258,7 @@ mod tests {
 
     fn manifest() -> RunManifest {
         RunManifest {
-            schema_version: 1,
+            schema_version: MANIFEST_SCHEMA_VERSION,
             title: "fig4_5_un_olm_0-25".to_string(),
             h: 2,
             routing: "olm".to_string(),
@@ -286,6 +299,35 @@ mod tests {
         let (m2, _, f2) = RunManifest::from_json(&text).expect("parse own emission");
         assert_eq!(m2, m);
         assert_eq!(f2, vec!["a_series.csv".to_string()]);
+    }
+
+    #[test]
+    fn schema_v1_documents_still_parse() {
+        // A version-1 manifest has no "delay" key; the reader must accept it
+        // and default the ledger to off.
+        let mut probe = ProbeConfig::full_active(64);
+        probe.delay = true;
+        let v2 = manifest().to_json(&probe, &["t_delay.csv".to_string()]);
+        let v1 = v2
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"delay\":"))
+            .map(|l| {
+                if l.trim_start().starts_with("\"schema_version\":") {
+                    "  \"schema_version\": 1,".to_string()
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let (m1, p1, f1) = RunManifest::from_json(&v1).expect("parse schema-1 document");
+        assert_eq!(m1.schema_version, 1);
+        assert!(!p1.delay, "missing delay key must read as off");
+        assert_eq!(f1, vec!["t_delay.csv".to_string()]);
+
+        // The current schema round-trips the flag both ways.
+        let (_, p2, _) = RunManifest::from_json(&v2).expect("parse schema-2 document");
+        assert!(p2.delay);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The probe recorder: preallocated storage plus the hot-path record methods.
 
 use crate::config::ProbeConfig;
+use crate::delay::{DelayLedger, DelaySample};
 use crate::detect::{DetectorBank, DetectorSample, TripRecord};
 use crate::flight::{flight_hash, FlightEvent};
 use dragonfly_stats::TimeSeries;
@@ -254,6 +255,9 @@ pub struct ProbeRecorder {
     pub(crate) heat_windows: usize,
     pub(crate) heat_dropped: u64,
 
+    // Delay-attribution ledger (`None` when `cfg.delay` is off).
+    pub(crate) ledger: Option<DelayLedger>,
+
     // Online detector bank (`None` when `cfg.detect` is off).
     pub(crate) detect: Option<DetectorBank>,
     // True on the replicas of a sharded engine: shard-local counter streams
@@ -316,6 +320,9 @@ impl ProbeRecorder {
             heat_occupancy: vec![0; heat_cells],
             heat_windows: 0,
             heat_dropped: 0,
+            ledger: cfg
+                .delay_enabled()
+                .then(|| DelayLedger::new(cfg.stride, cfg.max_samples)),
             detect: cfg.detect.enabled().then(|| {
                 // The fairness-skew detector replays over the per-router
                 // series, so it arms only when those are recorded.
@@ -348,6 +355,28 @@ impl ProbeRecorder {
     #[inline]
     pub fn heatmap_enabled(&self) -> bool {
         self.cfg.heatmap_enabled()
+    }
+
+    /// True when the delay ledger folds deliveries (lets the engine skip the
+    /// sample assembly entirely).
+    #[inline]
+    pub fn delay_enabled(&self) -> bool {
+        self.ledger.is_some()
+    }
+
+    /// Fold one delivered packet's delay decomposition into the ledger
+    /// (no-op when the delay probe is off).  `latency` is the delivered
+    /// end-to-end latency the components must sum to.
+    #[inline]
+    pub fn record_delay(&mut self, sample: &DelaySample, latency: u64) {
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.fold(sample, latency);
+        }
+    }
+
+    /// The delay ledger, when armed.
+    pub fn delay_ledger(&self) -> Option<&DelayLedger> {
+        self.ledger.as_ref()
     }
 
     /// Deterministic flight-sampling decision for a packet key.
@@ -495,6 +524,9 @@ impl ProbeRecorder {
                 self.router_delivered_series[r].push(self.router_delivered[r] as f64);
                 self.router_misrouted_series[r].push(self.router_misrouted[r] as f64);
             }
+        }
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.sample();
         }
         // Step the detector bank on exactly the values this sample recorded,
         // indexed by the sample's canonical cycle — the same stream a replay
@@ -704,6 +736,9 @@ impl ProbeRecorder {
         }
         self.heat_windows = self.heat_windows.max(other.heat_windows);
         self.heat_dropped += other.heat_dropped;
+        if let (Some(dst), Some(src)) = (self.ledger.as_mut(), other.ledger.as_ref()) {
+            dst.merge(src);
+        }
         // Detector verdicts are not summable — they are a nonlinear function
         // of the global stream — so the merged recorder recomputes them from
         // the merged series, which this merge just made byte-identical to the

@@ -14,12 +14,16 @@
 //! * the flight-recorder events inside that cycle range, filtered to the
 //!   implicated routers (the skew-flagged router, or the top-K busiest
 //!   routers for network-wide verdicts),
-//! * the heatmap windows overlapping the range (when heatmaps are on).
+//! * the heatmap windows overlapping the range (when heatmaps are on),
+//! * the delay ledger's per-component cycle deltas over the range (when the
+//!   delay ledger is on), recovered exactly from its cumulative series.
 
 use std::io::{self, Write};
 
+use crate::delay::DELAY_COMPONENT_NAMES;
 use crate::detect::{detector_name, TripRecord, NO_ROUTER};
 use crate::recorder::ProbeRecorder;
+use dragonfly_stats::TimeSeries;
 
 /// JSON fragment for a trip's implicated-router field.
 fn opt_router(router: u32) -> String {
@@ -173,6 +177,42 @@ impl ProbeRecorder {
         }
         Ok(())
     }
+
+    /// The delay slice of the bundle: per-component folded-packet and cycle
+    /// deltas over the bundle range, recovered from the ledger's cumulative
+    /// series (exact integers, so the slice is shard-invariant like the rest
+    /// of the bundle).
+    pub fn write_bundle_delay_csv(
+        &self,
+        out: &mut impl Write,
+        trip: &TripRecord,
+    ) -> io::Result<()> {
+        let ledger = self.ledger.as_ref().expect("delay ledger enabled");
+        let (lo, hi) = self.bundle_range(trip);
+        // Delta of a cumulative series over [lo, hi]: value at the last
+        // sample inside the range minus the value at the last sample before
+        // it (both zero when no such sample exists).
+        let delta = |series: &TimeSeries| -> u64 {
+            let samples = series.samples();
+            let (mut before, mut inside) = (0.0, 0.0);
+            for (i, &v) in samples.iter().enumerate() {
+                let cycle = series.cycle_of(i);
+                if cycle < lo {
+                    before = v;
+                }
+                if cycle <= hi {
+                    inside = v;
+                }
+            }
+            (inside - before) as u64
+        };
+        writeln!(out, "component,packets,cycles")?;
+        let packets = delta(ledger.series_folded());
+        for (i, name) in DELAY_COMPONENT_NAMES.iter().enumerate() {
+            writeln!(out, "{name},{packets},{}", delta(&ledger.series()[i]))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -210,8 +250,18 @@ mod tests {
                 ..DetectorConfig::armed()
             },
             trace: false,
+            delay: true,
         };
         let mut p = ProbeRecorder::new(cfg, dims);
+        p.record_delay(
+            &crate::DelaySample {
+                components: [1, 0, 0, 2, 0, 1],
+                misrouted: false,
+                job: crate::DELAY_UNTAGGED,
+                phase: crate::DELAY_UNTAGGED,
+            },
+            4,
+        );
         p.record_flight(FlightEvent {
             cycle: 2,
             gen_cycle: 1,
@@ -281,5 +331,17 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2, "{text}");
         assert!(text.contains("\n0,0,1,global,0,1,0,0"), "{text}");
+
+        // Delay slice: the single packet folded before the first sample lands
+        // inside the bundle range, so its component split shows up as the
+        // window's delta.
+        let mut buf = Vec::new();
+        p.write_bundle_delay_csv(&mut buf, &first).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("component,packets,cycles\n"), "{text}");
+        assert!(text.contains("injection_queue,1,1"), "{text}");
+        assert!(text.contains("link_transit,1,2"), "{text}");
+        assert!(text.contains("serialization,1,1"), "{text}");
+        assert!(text.contains("detour,1,0"), "{text}");
     }
 }

@@ -14,6 +14,12 @@ pub struct PacketSlot {
     pub phits_received: u16,
     /// Phits of this packet forwarded out of the buffer so far.
     pub phits_sent: u16,
+    /// Cycle the head phit entered this buffer (delay attribution: the start
+    /// of the VC-allocation wait at this hop).
+    pub enqueue_cycle: u64,
+    /// Cycle this buffer's packet was granted an output VC (delay
+    /// attribution: the start of the credit/switch wait; 0 until granted).
+    pub grant_cycle: u64,
 }
 
 impl PacketSlot {
@@ -147,8 +153,9 @@ impl VcBuffer {
         self.slots.front(self.region(pool))
     }
 
-    /// Receive one phit of `packet`.  `is_head` marks the first phit of the packet,
-    /// which opens a new slot at the tail of the FIFO.
+    /// Receive one phit of `packet` at `cycle`.  `is_head` marks the first
+    /// phit of the packet, which opens a new slot at the tail of the FIFO and
+    /// stamps the slot's `enqueue_cycle` for delay attribution.
     ///
     /// Panics if the buffer would overflow (the credit scheme must prevent this) or if
     /// a non-head phit arrives for a packet that is not the most recent slot.
@@ -158,6 +165,7 @@ impl VcBuffer {
         packet: PacketId,
         size: u16,
         is_head: bool,
+        cycle: u64,
     ) {
         assert!(
             self.occupancy < self.capacity,
@@ -172,6 +180,8 @@ impl VcBuffer {
                     size,
                     phits_received: 1,
                     phits_sent: 0,
+                    enqueue_cycle: cycle,
+                    grant_cycle: 0,
                 },
             );
         } else {
@@ -219,6 +229,18 @@ impl VcBuffer {
     pub fn head_has_phit(&self, pool: &[PacketSlot]) -> bool {
         self.head(pool).map(|s| s.has_phit()).unwrap_or(false)
     }
+
+    /// Stamp the head slot's `grant_cycle` (delay attribution: the output-VC
+    /// grant ends the head's VC wait at this hop).
+    #[inline]
+    pub fn stamp_grant(&mut self, pool: &mut [PacketSlot], cycle: u64) {
+        let region = self.region_mut(pool);
+        let slot = self
+            .slots
+            .front_mut(region)
+            .expect("grant stamped on an empty VC buffer");
+        slot.grant_cycle = cycle;
+    }
 }
 
 #[cfg(test)]
@@ -242,7 +264,7 @@ mod tests {
     fn receive_then_send_whole_packet() {
         let (mut b, mut pool) = with_pool(16, 4);
         for i in 0..4u16 {
-            b.receive_phit(&mut pool, pid(1), 4, i == 0);
+            b.receive_phit(&mut pool, pid(1), 4, i == 0, 0);
         }
         assert_eq!(b.occupancy(), 4);
         assert_eq!(b.packets(), 1);
@@ -259,16 +281,16 @@ mod tests {
     #[test]
     fn cut_through_send_while_receiving() {
         let (mut b, mut pool) = with_pool(8, 4);
-        b.receive_phit(&mut pool, pid(7), 4, true);
+        b.receive_phit(&mut pool, pid(7), 4, true, 0);
         assert!(b.head_has_phit(&pool));
         let (_, tail) = b.send_phit(&mut pool);
         assert!(!tail);
         assert_eq!(b.occupancy(), 0);
         assert!(!b.head_has_phit(&pool));
         assert_eq!(b.packets(), 1, "slot stays open until the tail is sent");
-        b.receive_phit(&mut pool, pid(7), 4, false);
-        b.receive_phit(&mut pool, pid(7), 4, false);
-        b.receive_phit(&mut pool, pid(7), 4, false);
+        b.receive_phit(&mut pool, pid(7), 4, false, 0);
+        b.receive_phit(&mut pool, pid(7), 4, false, 0);
+        b.receive_phit(&mut pool, pid(7), 4, false, 0);
         let mut tails = 0;
         for _ in 0..3 {
             let (_, t) = b.send_phit(&mut pool);
@@ -284,10 +306,10 @@ mod tests {
     fn multiple_packets_fifo_order() {
         let (mut b, mut pool) = with_pool(16, 2);
         for i in 0..3u16 {
-            b.receive_phit(&mut pool, pid(1), 3, i == 0);
+            b.receive_phit(&mut pool, pid(1), 3, i == 0, 0);
         }
         for i in 0..2u16 {
-            b.receive_phit(&mut pool, pid(2), 2, i == 0);
+            b.receive_phit(&mut pool, pid(2), 2, i == 0, 0);
         }
         assert_eq!(b.packets(), 2);
         assert_eq!(b.occupancy(), 5);
@@ -312,9 +334,9 @@ mod tests {
         let mut a = VcBuffer::new(8, 4, 0);
         let mut b = VcBuffer::new(8, 4, bound);
         let mut pool = vec![PacketSlot::default(); bound * 2];
-        a.receive_phit(&mut pool, pid(1), 4, true);
-        b.receive_phit(&mut pool, pid(2), 4, true);
-        a.receive_phit(&mut pool, pid(1), 4, false);
+        a.receive_phit(&mut pool, pid(1), 4, true, 0);
+        b.receive_phit(&mut pool, pid(2), 4, true, 0);
+        a.receive_phit(&mut pool, pid(1), 4, false, 0);
         assert_eq!(a.head(&pool).unwrap().packet, pid(1));
         assert_eq!(b.head(&pool).unwrap().packet, pid(2));
         assert_eq!(a.occupancy(), 2);
@@ -328,17 +350,17 @@ mod tests {
     #[should_panic(expected = "overflow")]
     fn overflow_panics() {
         let (mut b, mut pool) = with_pool(2, 4);
-        b.receive_phit(&mut pool, pid(1), 4, true);
-        b.receive_phit(&mut pool, pid(1), 4, false);
-        b.receive_phit(&mut pool, pid(1), 4, false);
+        b.receive_phit(&mut pool, pid(1), 4, true, 0);
+        b.receive_phit(&mut pool, pid(1), 4, false, 0);
+        b.receive_phit(&mut pool, pid(1), 4, false, 0);
     }
 
     #[test]
     #[should_panic(expected = "interleaved")]
     fn interleaved_packets_rejected() {
         let (mut b, mut pool) = with_pool(8, 4);
-        b.receive_phit(&mut pool, pid(1), 4, true);
-        b.receive_phit(&mut pool, pid(2), 4, false);
+        b.receive_phit(&mut pool, pid(1), 4, true, 0);
+        b.receive_phit(&mut pool, pid(2), 4, false, 0);
     }
 
     #[test]
@@ -352,7 +374,7 @@ mod tests {
     #[should_panic(expected = "no phit of the head packet")]
     fn send_without_present_phit_panics() {
         let (mut b, mut pool) = with_pool(8, 4);
-        b.receive_phit(&mut pool, pid(1), 4, true);
+        b.receive_phit(&mut pool, pid(1), 4, true, 0);
         let _ = b.send_phit(&mut pool);
         let _ = b.send_phit(&mut pool);
     }
@@ -366,8 +388,8 @@ mod tests {
     #[test]
     fn occupancy_tracks_present_phits_only() {
         let (mut b, mut pool) = with_pool(8, 8);
-        b.receive_phit(&mut pool, pid(1), 8, true);
-        b.receive_phit(&mut pool, pid(1), 8, false);
+        b.receive_phit(&mut pool, pid(1), 8, true, 0);
+        b.receive_phit(&mut pool, pid(1), 8, false, 0);
         let _ = b.send_phit(&mut pool);
         assert_eq!(b.occupancy(), 1);
         assert_eq!(b.free_space(), 7);

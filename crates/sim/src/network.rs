@@ -4,13 +4,13 @@ use crate::active_set::ActiveSet;
 use crate::config::SimConfig;
 use crate::fabric::{LinkFabric, LinkSpec};
 use crate::link::{CreditInFlight, LinkEnd, PhitInFlight};
-use crate::packet::{Packet, PacketArena, PacketId, UNTAGGED};
+use crate::packet::{Packet, PacketArena, PacketId, RouteState, UNTAGGED};
 use crate::router::Router;
 use crate::routing_iface::{RouteChoice, RouteCtx, RouterView, RoutingAlgorithm};
 use crate::stats_collect::StatsCollector;
 use dragonfly_probe::{
-    FlightEvent, ProbeConfig, ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL, CLASS_LOCAL,
-    CLASS_TERMINAL, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16,
+    DelaySample, FlightEvent, ProbeConfig, ProbeDims, ProbeRecorder, SampleSnapshot, CLASS_GLOBAL,
+    CLASS_LOCAL, CLASS_TERMINAL, FLIGHT_DELIVER, FLIGHT_HOP, FLIGHT_INJECT, NONE_U16,
 };
 use dragonfly_rng::{derive_seed, Rng};
 use dragonfly_sched::ScheduleRuntime;
@@ -703,8 +703,25 @@ impl<R: RoutingAlgorithm> Network<R> {
                         } = &mut self.routers[router];
                         let vcs = &mut inputs[port].vcs;
                         for phit in &phits {
+                            if phit.is_head() {
+                                // Delay attribution: arrival ends this hop's
+                                // link transit (first phit out → head in).
+                                let packet = self.packets.get_mut(phit.packet);
+                                let transit = cycle - packet.delay.head_stamp;
+                                if on_detour(&packet.route) {
+                                    packet.delay.detour += transit;
+                                } else {
+                                    packet.delay.link_transit += transit;
+                                }
+                            }
                             let buffer = &mut vcs[phit.vc as usize].buffer;
-                            buffer.receive_phit(slot_pool, phit.packet, phit.size, phit.is_head());
+                            buffer.receive_phit(
+                                slot_pool,
+                                phit.packet,
+                                phit.size,
+                                phit.is_head(),
+                                cycle,
+                            );
                             let occupancy = buffer.occupancy();
                             self.stats.note_vc_occupancy(occupancy);
                         }
@@ -718,7 +735,25 @@ impl<R: RoutingAlgorithm> Network<R> {
                             // returns the credit so the ejection VC never backs up
                             // artificially.
                             self.fabric.send_credit(li, cycle, phit.vc);
+                            if phit.is_head() {
+                                // Delay attribution: the head reaching the node
+                                // ends the final link transit and starts the
+                                // serialization tail (head before tail, so a
+                                // one-phit packet serializes in zero cycles).
+                                let packet = self.packets.get_mut(phit.packet);
+                                let transit = cycle - packet.delay.head_stamp;
+                                if on_detour(&packet.route) {
+                                    packet.delay.detour += transit;
+                                } else {
+                                    packet.delay.link_transit += transit;
+                                }
+                                packet.delay.head_stamp = cycle;
+                            }
                             if phit.is_tail() {
+                                {
+                                    let packet = self.packets.get_mut(phit.packet);
+                                    packet.delay.serialization = cycle - packet.delay.head_stamp;
+                                }
                                 // Delivery feedback for volume-bound scheduled jobs.
                                 // Only the job tag is needed here, and the stats
                                 // collector reads the packet in place — no clone.
@@ -754,6 +789,42 @@ impl<R: RoutingAlgorithm> Network<R> {
                                             nonminimal: 2,
                                         });
                                     }
+                                }
+                                // Delay ledger: fold the completed decomposition
+                                // at the destination's ejection link (exactly one
+                                // shard owns it), before the packet is freed.
+                                if self
+                                    .probe
+                                    .as_deref()
+                                    .is_some_and(ProbeRecorder::delay_enabled)
+                                {
+                                    let pkt = self.packets.get(phit.packet);
+                                    let d = &pkt.delay;
+                                    let sample = DelaySample {
+                                        components: [
+                                            d.injection_queue,
+                                            d.vc_wait,
+                                            d.credit_wait,
+                                            d.link_transit,
+                                            d.detour,
+                                            d.serialization,
+                                        ],
+                                        misrouted: pkt.route.global_misrouted
+                                            || pkt.route.local_misrouted_ever,
+                                        job: pkt.job,
+                                        phase: pkt.phase,
+                                    };
+                                    let latency = cycle - pkt.gen_cycle;
+                                    debug_assert_eq!(
+                                        sample.total(),
+                                        latency,
+                                        "delay components must sum to the \
+                                         end-to-end latency"
+                                    );
+                                    self.probe
+                                        .as_deref_mut()
+                                        .unwrap()
+                                        .record_delay(&sample, latency);
                                 }
                                 self.stats
                                     .record_delivery(self.packets.get(phit.packet), cycle);
@@ -861,13 +932,16 @@ impl<R: RoutingAlgorithm> Network<R> {
             let is_head = source.head_phits_sent == 0;
             if is_head {
                 packet.inject_cycle = cycle;
+                // Delay stamp 1: time spent queued at the source NIC before the
+                // head phit enters the injection buffer.
+                packet.delay.injection_queue = cycle - packet.gen_cycle;
             }
             let size = packet.size;
             let Router {
                 inputs, slot_pool, ..
             } = &mut self.routers[router];
             let buffer = &mut inputs[port].vcs[0].buffer;
-            buffer.receive_phit(slot_pool, head, size, is_head);
+            buffer.receive_phit(slot_pool, head, size, is_head, cycle);
             let occupancy = buffer.occupancy();
             self.stats.note_vc_occupancy(occupancy);
             source.head_phits_sent += 1;
@@ -951,6 +1025,30 @@ impl<R: RoutingAlgorithm> Network<R> {
                 }
                 out.owner = Some((ip as u16, ivc as u8));
                 router.inputs[ip].vcs[ivc].route = Some((flat as u16, choice.vc));
+                // Delay stamp 3: the head waited in this input VC from enqueue
+                // until this grant.  Classified on the *pre-grant* route: a
+                // packet still travelling its detour books the wait against
+                // the detour component instead of `vc_wait`.
+                let waited = {
+                    let Router {
+                        inputs, slot_pool, ..
+                    } = &mut *router;
+                    let buffer = &mut inputs[ip].vcs[ivc].buffer;
+                    let enqueued = buffer
+                        .head(slot_pool)
+                        .expect("granted VC holds a head packet")
+                        .enqueue_cycle;
+                    buffer.stamp_grant(slot_pool, cycle);
+                    cycle - enqueued
+                };
+                {
+                    let packet = self.packets.get_mut(pid);
+                    if on_detour(&packet.route) {
+                        packet.delay.detour += waited;
+                    } else {
+                        packet.delay.vc_wait += waited;
+                    }
+                }
                 apply_grant(self.packets.get_mut(pid), &choice, &self.params, router.id);
                 // Probe: grants only happen at routers holding buffered phits,
                 // which in a sharded run are exactly the owned routers.
@@ -1057,6 +1155,7 @@ impl<R: RoutingAlgorithm> Network<R> {
                 let head = buffer.head(slot_pool).unwrap();
                 let sent_before = head.phits_sent;
                 let size = head.size;
+                let grant_cycle = head.grant_cycle;
                 let (pid, is_tail) = buffer.send_phit(slot_pool);
                 let out = &mut outputs[op].vcs[vc];
                 out.credits -= 1;
@@ -1065,6 +1164,19 @@ impl<R: RoutingAlgorithm> Network<R> {
                     inputs[ip].vcs[ivc].route = None;
                 }
                 outputs[op].rr_next = (vc + 1) % vcs;
+                // Delay stamp 4: the first phit crossing the switch ends the
+                // wait for downstream credits that began at the grant, and the
+                // head timestamp restarts for the link-transit leg.
+                if sent_before == 0 {
+                    let packet = self.packets.get_mut(pid);
+                    let waited = cycle - grant_cycle;
+                    if on_detour(&packet.route) {
+                        packet.delay.detour += waited;
+                    } else {
+                        packet.delay.credit_wait += waited;
+                    }
+                    packet.delay.head_stamp = cycle;
+                }
                 // A phit leaving a global output changes its advertised occupancy.
                 if let Port::Global(gport) = Port::from_flat(op, h) {
                     self.mark_pb_dirty(r, gport);
@@ -1457,6 +1569,17 @@ fn apply_grant(
         }
         Port::Terminal(_) => {}
     }
+}
+
+/// True while a packet is travelling away from its minimal path: globally
+/// misrouted but not yet at the intermediate group, or locally misrouted
+/// inside the current group.  Waits and transits incurred in this state are
+/// booked to the `detour` delay component; everything after the detour
+/// rejoins the minimal components, so Minimal routing has an identically
+/// zero detour column.
+#[inline]
+fn on_detour(route: &RouteState) -> bool {
+    (route.global_misrouted && !route.reached_intermediate) || route.local_misrouted_in_group
 }
 
 #[cfg(test)]

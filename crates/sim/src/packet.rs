@@ -78,6 +78,54 @@ impl RouteState {
     }
 }
 
+/// Per-packet delay-attribution ledger: integer cycle accumulators stamped by
+/// the engine at component boundaries and folded by the probe layer on
+/// delivery.
+///
+/// The components partition the packet's lifetime exactly — every cycle
+/// between generation and tail delivery lands in exactly one accumulator, so
+/// their sum equals the end-to-end latency with no residual (the delay
+/// layer's cardinal invariant, pinned by `tests/delay_conservation.rs`).
+/// `head_stamp` is the one transient field: the cycle of the packet's latest
+/// boundary event, consumed by the next event.  Stamping is unconditional
+/// (plain integer writes on state the engine already touches), so the probe
+/// passivity invariant is untouched: nothing here feeds back into routing.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct DelayState {
+    /// Cycles between generation and the head phit entering the source VC.
+    pub injection_queue: u64,
+    /// Cycles the head waited buffered for an output-VC grant (minimal path).
+    pub vc_wait: u64,
+    /// Cycles the granted head waited for downstream credits / switch
+    /// bandwidth before its first phit went out (minimal path).
+    pub credit_wait: u64,
+    /// Cycles the head spent crossing links, pipeline latency included
+    /// (minimal path).
+    pub link_transit: u64,
+    /// Cycles of waiting and transit accumulated while the packet was on a
+    /// misrouting detour (before reaching its Valiant intermediate group, or
+    /// on a local misroute within a group).
+    pub detour: u64,
+    /// Cycles between the head and the tail phit arriving at the destination.
+    pub serialization: u64,
+    /// Cycle of the latest boundary event (transient bookkeeping, not a
+    /// component).
+    pub head_stamp: u64,
+}
+
+impl DelayState {
+    /// Sum of all components — equals the delivered end-to-end latency.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.injection_queue
+            + self.vc_wait
+            + self.credit_wait
+            + self.link_transit
+            + self.detour
+            + self.serialization
+    }
+}
+
 /// A packet in flight.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Packet {
@@ -101,6 +149,9 @@ pub struct Packet {
     pub phase: u16,
     /// Adaptive routing state.
     pub route: RouteState,
+    /// Delay-attribution accumulators (stamped unconditionally, read only on
+    /// delivery when the delay probe is armed).
+    pub delay: DelayState,
 }
 
 impl Packet {
@@ -117,6 +168,7 @@ impl Packet {
             job: UNTAGGED,
             phase: UNTAGGED,
             route: RouteState::default(),
+            delay: DelayState::default(),
         }
     }
 

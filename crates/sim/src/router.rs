@@ -225,10 +225,10 @@ mod tests {
         let vcs = &mut inputs[flat].vcs;
         vcs[0]
             .buffer
-            .receive_phit(slot_pool, PacketId(10), config.packet_size as u16, true);
+            .receive_phit(slot_pool, PacketId(10), config.packet_size as u16, true, 0);
         vcs[1]
             .buffer
-            .receive_phit(slot_pool, PacketId(11), config.packet_size as u16, true);
+            .receive_phit(slot_pool, PacketId(11), config.packet_size as u16, true, 0);
         assert_eq!(vcs[0].buffer.head(slot_pool).unwrap().packet, PacketId(10));
         assert_eq!(vcs[1].buffer.head(slot_pool).unwrap().packet, PacketId(11));
         assert_eq!(r.stored_phits(), 2);

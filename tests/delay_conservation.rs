@@ -1,0 +1,205 @@
+//! The delay ledger's cardinal invariant: the six components of every
+//! delivered packet's decomposition sum *exactly* to its end-to-end latency —
+//! integer conservation with no residual bucket — across every routing
+//! mechanism × flow control combination, under seeded random configurations,
+//! and for a hand-built scenario whose component values are computed by hand
+//! from the pipeline timing.
+
+use dragonfly::core::{
+    ExperimentSpec, FlowControlKind, ProbeConfig, ProbeRecorder, RoutingKind, TrafficKind,
+};
+use dragonfly::probe::DelaySample;
+use dragonfly::rng::Rng;
+use dragonfly::sim::{BaselineMinimal, Network, SimConfig};
+use dragonfly::topology::NodeId;
+use dragonfly::traffic::Uniform;
+
+fn delay_probes() -> ProbeConfig {
+    ProbeConfig {
+        delay: true,
+        ..ProbeConfig::full(64)
+    }
+}
+
+/// Assert the ledger of a finished run upholds conservation and is
+/// non-vacuous.
+fn assert_conserves(probe: &ProbeRecorder, label: &str) -> u64 {
+    let ledger = probe.delay_ledger().expect("delay ledger installed");
+    assert!(ledger.folded() > 0, "{label}: no packets folded — vacuous");
+    assert_eq!(
+        ledger.violations(),
+        0,
+        "{label}: {} of {} packets violated component conservation",
+        ledger.violations(),
+        ledger.folded()
+    );
+    // The class split partitions the folded population.
+    assert_eq!(
+        ledger.minimal().packets + ledger.misrouted().packets,
+        ledger.folded(),
+        "{label}: class split does not partition the folded packets"
+    );
+    ledger.folded()
+}
+
+#[test]
+fn components_conserve_across_mechanisms_and_flow_controls() {
+    for fc in [FlowControlKind::Vct, FlowControlKind::Wormhole] {
+        for routing in RoutingKind::ALL {
+            if fc == FlowControlKind::Wormhole && !routing.supports_wormhole() {
+                continue;
+            }
+            let mut spec = ExperimentSpec::new(2);
+            spec.routing = routing;
+            spec.flow_control = fc;
+            // ADVG+1 exercises misrouting on the adaptive mechanisms, so the
+            // misrouted class and the detour component are both non-trivial.
+            spec.traffic = TrafficKind::AdversarialGlobal(1);
+            spec.offered_load = 0.25;
+            spec.seed = 23;
+            spec.warmup = 300;
+            spec.measure = 600;
+            spec.drain = 900;
+            let label = format!("{routing:?}/{fc:?}");
+            let (_, probe) = spec.run_probed(delay_probes());
+            assert_conserves(&probe, &label);
+            let ledger = probe.delay_ledger().unwrap();
+            if routing == RoutingKind::Minimal {
+                // Minimal routing never leaves the minimal path: no packet
+                // lands in the misrouted class and no cycle lands in detour.
+                assert_eq!(
+                    ledger.misrouted().packets,
+                    0,
+                    "{label}: minimal routing produced misrouted packets"
+                );
+                assert_eq!(
+                    ledger.minimal().cycles[4],
+                    0,
+                    "{label}: minimal routing accrued detour cycles"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn components_conserve_under_seeded_random_configs() {
+    // A seeded property sweep: random mechanism × flow control × load ×
+    // traffic, deterministic across runs (the RNG is the repo's own).
+    let mut rng = Rng::seed_from(0xD31A_7CAB);
+    for case in 0..8u64 {
+        let routing = RoutingKind::ALL[(rng.next_u64() % RoutingKind::ALL.len() as u64) as usize];
+        let fc = if routing.supports_wormhole() && rng.next_u64().is_multiple_of(2) {
+            FlowControlKind::Wormhole
+        } else {
+            FlowControlKind::Vct
+        };
+        let load = 0.1 + 0.15 * (rng.next_u64() % 5) as f64;
+        let traffic = if rng.next_u64().is_multiple_of(2) {
+            TrafficKind::Uniform
+        } else {
+            TrafficKind::AdversarialGlobal(1)
+        };
+        let mut spec = ExperimentSpec::new(2);
+        spec.routing = routing;
+        spec.flow_control = fc;
+        spec.traffic = traffic.clone();
+        spec.offered_load = load;
+        spec.seed = rng.next_u64();
+        spec.warmup = 200;
+        spec.measure = 400;
+        spec.drain = 600;
+        let label = format!("case {case}: {routing:?}/{fc:?}/{traffic:?}@{load}");
+        let (_, probe) = spec.run_probed(delay_probes());
+        assert_conserves(&probe, &label);
+    }
+}
+
+#[test]
+fn sharded_merge_preserves_conservation_and_totals() {
+    let mut spec = ExperimentSpec::new(2);
+    spec.routing = RoutingKind::Olm;
+    spec.flow_control = FlowControlKind::Vct;
+    spec.traffic = TrafficKind::AdversarialGlobal(1);
+    spec.offered_load = 0.25;
+    spec.seed = 23;
+    spec.warmup = 300;
+    spec.measure = 600;
+    spec.drain = 900;
+    let (_, sequential) = spec.run_probed(delay_probes());
+    let folded = assert_conserves(&sequential, "sequential");
+    for shards in [2usize, 4] {
+        let (_, merged) = spec.run_probed_sharded(delay_probes(), shards);
+        let label = format!("{shards} shards");
+        assert_eq!(assert_conserves(&merged, &label), folded);
+        assert_eq!(
+            merged.delay_ledger().unwrap().rows(),
+            sequential.delay_ledger().unwrap().rows(),
+            "{label}: merged delay rows diverged from the sequential run"
+        );
+    }
+}
+
+/// One packet through an otherwise idle h=2 VCT network, with every component
+/// computed by hand from the paper timing (local links 10 cycles, global 100,
+/// ejection 1) and the five-phase pipeline order:
+///
+/// * the head enters the injection buffer in phase B of cycle 0, is granted in
+///   phase C and crosses the switch in phase D of the same cycle — so the
+///   injection-queue, VC-wait and credit-wait components are all 0,
+/// * each downstream hop arrives in phase A and is granted/forwarded the same
+///   cycle, so the waits stay 0 and every link's latency lands in
+///   `link_transit` (minimal 3-hop path: 10 + 100 + 10, plus the 1-cycle
+///   ejection link),
+/// * the remaining 7 phits of the 8-phit packet follow the head on
+///   consecutive cycles, so `serialization` is exactly 7,
+/// * detour is identically 0 under minimal routing.
+#[test]
+fn hand_built_packet_decomposition_is_pinned() {
+    let config = SimConfig::paper_vct(2).with_seed(7);
+    let mut net: Network = Network::new(
+        config,
+        Box::new(BaselineMinimal::new()),
+        Box::new(Uniform::new()),
+    );
+    net.install_probes(delay_probes());
+    let src = NodeId(0);
+    let dst = NodeId((net.params().num_nodes() - 1) as u32);
+    let id = net.packets.alloc(src, dst, 8, 0);
+    net.packets.get_mut(id).measured = true;
+    net.stats.begin_measurement(0);
+    net.sources[0].pending.push_back(id);
+    net.stats.record_generated(8, 0);
+    net.run(1_000);
+    assert!(net.is_drained(), "packet should be delivered");
+
+    let probe = net.take_probe().unwrap();
+    let ledger = probe.delay_ledger().expect("delay ledger installed");
+    assert_eq!(ledger.folded(), 1);
+    assert_eq!(ledger.violations(), 0);
+    assert_eq!(ledger.misrouted().packets, 0);
+    let minimal = ledger.minimal();
+    assert_eq!(minimal.packets, 1);
+    // [injection_queue, vc_wait, credit_wait, link_transit, detour,
+    //  serialization] — see the doc comment for the arithmetic.
+    assert_eq!(
+        minimal.cycles,
+        [0, 0, 0, 121, 0, 7],
+        "hand-computed decomposition diverged"
+    );
+    // And conservation against the independently-recorded latency stat.
+    let latency = net.stats.latency.mean();
+    let total: u64 = minimal.cycles.iter().sum();
+    assert_eq!(total as f64, latency, "components must sum to the latency");
+}
+
+#[test]
+fn delay_sample_total_matches_component_sum() {
+    let sample = DelaySample {
+        components: [1, 2, 3, 4, 5, 6],
+        misrouted: false,
+        job: 0,
+        phase: 0,
+    };
+    assert_eq!(sample.total(), 21);
+}

@@ -16,6 +16,7 @@
 use dragonfly::core::{
     ExperimentSpec, FlowControlKind, ProbeConfig, RoutingKind, TrafficKind, WorkloadSpec,
 };
+use dragonfly::probe::DelayLedger;
 use std::path::{Path, PathBuf};
 
 fn steady_spec(routing: RoutingKind, fc: FlowControlKind) -> ExperimentSpec {
@@ -33,15 +34,22 @@ fn steady_spec(routing: RoutingKind, fc: FlowControlKind) -> ExperimentSpec {
     spec
 }
 
-/// Probe configuration with every instrument on.
+/// Probe configuration with every instrument on, including the delay ledger
+/// (off in `ProbeConfig::full` so the bench pair isolates its fold cost).
 fn full_probes() -> ProbeConfig {
-    ProbeConfig::full(64)
+    ProbeConfig {
+        delay: true,
+        ..ProbeConfig::full(64)
+    }
 }
 
 /// Every instrument on **plus** the armed anomaly detectors and the trace
 /// export — the active layer on top of the passive recorder.
 fn active_probes() -> ProbeConfig {
-    ProbeConfig::full_active(64)
+    ProbeConfig {
+        delay: true,
+        ..ProbeConfig::full_active(64)
+    }
 }
 
 #[test]
@@ -166,6 +174,16 @@ fn probe_files_are_byte_identical_across_shard_counts() {
         sequential.iter().any(|(n, _)| n == "probe_heatmap.csv"),
         "heatmap output missing"
     );
+    assert!(
+        sequential
+            .iter()
+            .any(|(n, b)| n == "probe_delay.csv" && b.len() > DelayLedger::CSV_HEADER.len() + 1),
+        "delay output missing or empty — the delay half of the pin is vacuous"
+    );
+    assert!(
+        sequential.iter().any(|(n, _)| n == "probe_delay.jsonl"),
+        "delay JSONL output missing"
+    );
     assert_eq!(seq_diag, vec!["probe_diag.csv".to_string()]);
 
     for shards in [2, 4] {
@@ -239,6 +257,7 @@ fn trigger_bundle_and_manifest_are_byte_identical_across_shard_counts() {
         "anomaly_trigger_series.csv",
         "anomaly_trigger_flight.jsonl",
         "anomaly_trigger_heatmap.csv",
+        "anomaly_trigger_delay.csv",
         "anomaly_trace.json",
         "anomaly_manifest.json",
     ] {

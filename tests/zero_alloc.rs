@@ -89,7 +89,10 @@ fn steady_state_cycle_loop_is_allocation_free() {
             // Every probe instrument on and the detectors armed: the active
             // observability layer must be allocation-free too (storage
             // reserved here, before warm-up).
-            sim.install_probes(ProbeConfig::full_active(64));
+            sim.install_probes(ProbeConfig {
+                delay: true,
+                ..ProbeConfig::full_active(64)
+            });
             sim.network_mut()
                 .set_injection(Some(BernoulliInjection::new(0.1, fc.packet_size())));
 
@@ -140,7 +143,10 @@ fn per_phase_attribution() {
     spec.traffic = TrafficKind::Uniform;
     spec.seed = 42;
     let mut sim = spec.build_simulation();
-    sim.install_probes(ProbeConfig::full_active(64));
+    sim.install_probes(ProbeConfig {
+        delay: true,
+        ..ProbeConfig::full_active(64)
+    });
     sim.network_mut()
         .set_injection(Some(BernoulliInjection::new(
             0.1,
